@@ -1,0 +1,112 @@
+// Ablations for the design choices DESIGN.md calls out:
+//  1. contiguous partition WITHOUT profiling (uniform split) vs the full
+//     profiled partition — isolates the §4.3 predictive balancing;
+//  2. stealing chunk size (§4.4: single-scanline stealing costs ~10x more
+//     synchronization than chunked stealing);
+//  3. the old algorithm's task (chunk) size (§3.4: parallel efficiency is
+//     strongly task-size dependent);
+//  4. the old algorithm's warp tile size.
+#include "bench/common.hpp"
+#include "parallel/new_renderer.hpp"
+#include "parallel/old_renderer.hpp"
+#include "svmsim/svm.hpp"
+
+namespace psw {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::Context ctx(argc, argv);
+  bench::header("Ablations", "partitioning design choices",
+                "profiled-contiguous beats uniform-contiguous on balance; "
+                "chunked stealing slashes lock traffic vs per-scanline "
+                "stealing; old-algorithm efficiency depends on task size");
+
+  const Dataset& data = ctx.mri(256);
+  const int procs = ctx.flags().get_int("p", 16);
+  const Camera cam = Camera::orbit(data.dims, 0.55, 0.35);
+
+  std::printf("\n--- (1) initial-assignment balance, %d procs (no stealing) ---\n",
+              procs);
+  {
+    TextTable table({"partition", "work imbalance (max/mean - 1)"});
+    for (bool profiled : {false, true}) {
+      ParallelOptions opt;
+      opt.stealing = false;
+      opt.profile_every = 1000;
+      NewParallelRenderer renderer(opt);
+      SerialExecutor exec(procs);
+      ImageU8 out;
+      // Frame 1 always uses the uniform partition; frame 2 the profile.
+      ParallelRenderStats stats = renderer.render(data.volume, cam, exec, &out);
+      if (profiled) stats = renderer.render(data.volume, cam, exec, &out);
+      table.add_row({profiled ? "profiled contiguous (§4.3)" : "uniform contiguous",
+                     fmt(stats.work_imbalance(), 3)});
+    }
+    table.print();
+  }
+
+  std::printf("\n--- (2) stealing unit: lock operations per frame (new algo) ---\n");
+  {
+    TextTable table({"chunk scanlines", "lock ops", "steals"});
+    for (int chunk : {1, 2, 4, 8, 16}) {
+      ParallelOptions opt;
+      opt.chunk_scanlines = chunk;
+      WorkloadOptions wopt;
+      wopt.parallel = opt;
+      const ParallelRenderStats stats = frame_stats(Algo::kNew, data, procs, wopt);
+      table.add_row({std::to_string(chunk), std::to_string(stats.lock_ops),
+                     std::to_string(stats.steals)});
+    }
+    table.print();
+    std::printf("(the paper found 1-scanline stealing cost ~10x the lock traffic)\n");
+  }
+
+  std::printf("\n--- (3) old-algorithm task size vs simulated cycles (%d procs) ---\n",
+              procs);
+  {
+    TextTable table({"chunk scanlines", "Mcycles (DASH model)", "true-share %"});
+    for (int chunk : {1, 2, 4, 8, 16, 32}) {
+      WorkloadOptions wopt;
+      wopt.parallel.chunk_scanlines = chunk;
+      const SimResult r = simulate(ctx.machine(MachineConfig::dash()),
+                                   trace_frame(Algo::kOld, data, procs, wopt));
+      table.add_row({std::to_string(chunk), fmt(r.total_cycles / 1e6, 2),
+                     fmt(100 * r.miss_rate_of(MissClass::kTrueShare), 3)});
+    }
+    table.print();
+  }
+
+  std::printf("\n--- (4) old-algorithm warp tile size vs simulated cycles ---\n");
+  {
+    TextTable table({"tile", "Mcycles (DASH model)"});
+    for (int tile : {8, 16, 32, 64, 128}) {
+      WorkloadOptions wopt;
+      wopt.parallel.warp_tile = tile;
+      const SimResult r = simulate(ctx.machine(MachineConfig::dash()),
+                                   trace_frame(Algo::kOld, data, procs, wopt));
+      table.add_row({std::to_string(tile), fmt(r.total_cycles / 1e6, 2)});
+    }
+    table.print();
+  }
+
+  std::printf("\n--- (5) barrier vs p2p inter-phase sync on SVM (new algo) ---\n");
+  {
+    const TraceSet traces = trace_frame(Algo::kNew, data, procs);
+    TextTable table({"sync", "Mcycles (SVM model)"});
+    for (bool p2p : {false, true}) {
+      SvmRunOptions opt;
+      opt.warmup_intervals = traces.intervals() / 2;
+      opt.p2p_interphase_sync = p2p;
+      const SvmResult r = svm_simulate(SvmConfig{}, traces, opt);
+      table.add_row({p2p ? "p2p neighbour flags (§5.5.2)" : "global barrier",
+                     fmt(r.total_cycles / 1e6, 2)});
+    }
+    table.print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace psw
+
+int main(int argc, char** argv) { return psw::run(argc, argv); }

@@ -1,0 +1,99 @@
+// Shared context for the figure-reproduction bench binaries.
+//
+// Every binary prints: which paper figure it regenerates, the shape the
+// paper reports, and the measured table. Flags:
+//   --scale=half|quarter|full   dataset sizing (default half: paper
+//                               dimensions / 2, so full sweeps run in
+//                               seconds on one host core)
+//   --procs=1,2,4,8,16,32       processor counts for sweeps
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "memsim/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace psw::bench {
+
+class Context {
+ public:
+  Context(int argc, char** argv) : flags_(argc, argv) {
+    const std::string scale = flags_.get("scale", "half");
+    divisor_ = scale == "full" ? 1 : (scale == "quarter" ? 4 : 2);
+    const std::string procs = flags_.get("procs", "1,2,4,8,16,32");
+    size_t pos = 0;
+    while (pos < procs.size()) {
+      size_t comma = procs.find(',', pos);
+      if (comma == std::string::npos) comma = procs.size();
+      procs_.push_back(std::atoi(procs.substr(pos, comma - pos).c_str()));
+      pos = comma + 1;
+    }
+  }
+
+  int divisor() const { return divisor_; }
+  const std::vector<int>& procs() const { return procs_; }
+  const CliFlags& flags() const { return flags_; }
+
+  // Scales a machine's cache capacity with the dataset divisor (by
+  // divisor^2, the growth rate of the algorithm's plane working set, §3.4.4)
+  // so that the working-set/cache and volume/aggregate-cache ratios that
+  // drive the paper's results are preserved at reduced dataset scale.
+  MachineConfig machine(MachineConfig m) const {
+    m.cache_bytes = std::max<uint64_t>(16u << 10, m.cache_bytes / (divisor_ * divisor_));
+    return m;
+  }
+
+  // Scaled paper datasets, cached per process. size_class is 128, 256, 512
+  // or 640 for MRI; 128, 256 or 512 for CT.
+  const Dataset& mri(int size_class) { return dataset("mri", size_class); }
+  const Dataset& ct(int size_class) { return dataset("ct", size_class); }
+
+  const Dataset& dataset(const std::string& kind, int size_class) {
+    const std::string key = kind + std::to_string(size_class);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    const DatasetSpec* spec = nullptr;
+    if (kind == "mri") {
+      for (const auto& s : kMriSpecs) {
+        if (std::string(s.name) == "mri-" + std::to_string(size_class)) spec = &s;
+      }
+    } else {
+      for (const auto& s : kCtSpecs) {
+        if (std::string(s.name) == "ct-" + std::to_string(size_class)) spec = &s;
+      }
+    }
+    const DatasetSpec scaled = scale_spec(*spec, divisor_);
+    std::string name = std::string(spec->name);
+    if (divisor_ > 1) name += "/" + std::to_string(divisor_);
+    std::fprintf(stderr, "[bench] building %s (%dx%dx%d)...\n", name.c_str(), scaled.nx,
+                 scaled.ny, scaled.nz);
+    Dataset d = make_dataset(kind, name, scaled.nx, scaled.ny, scaled.nz);
+    return cache_.emplace(key, std::move(d)).first->second;
+  }
+
+ private:
+  CliFlags flags_;
+  int divisor_ = 2;
+  std::vector<int> procs_;
+  std::map<std::string, Dataset> cache_;
+};
+
+inline void header(const char* figure, const char* what, const char* paper_shape) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("Paper shape: %s\n", paper_shape);
+  std::printf("================================================================\n");
+}
+
+// Percentage-of-total triple used by the breakdown figures.
+inline std::vector<double> pct_breakdown(double busy, double mem, double sync) {
+  const double total = busy + mem + sync;
+  if (total <= 0) return {0, 0, 0};
+  return {100 * busy / total, 100 * mem / total, 100 * sync / total};
+}
+
+}  // namespace psw::bench

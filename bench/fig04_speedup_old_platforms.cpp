@@ -1,0 +1,37 @@
+// Figure 4: self-relative speedups of the OLD parallel shear warper on the
+// 512-class MRI brain across platforms (DASH, Challenge, Simulator).
+#include "bench/common.hpp"
+
+namespace psw {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::Context ctx(argc, argv);
+  bench::header("Figure 4", "old-algorithm speedups on three platforms (512-class MRI)",
+                "speedups fall well short of linear and flatten beyond ~8-16 "
+                "processors; the distributed-memory DASH scales worst, the "
+                "centralized Challenge best at its size");
+
+  const Dataset& data = ctx.mri(512);
+  const std::vector<MachineConfig> machines{
+      ctx.machine(MachineConfig::dash()), ctx.machine(MachineConfig::challenge()),
+      ctx.machine(MachineConfig::simulator())};
+
+  TextTable table({"procs", "DASH", "Challenge", "Simulator"});
+  std::vector<std::vector<SpeedupPoint>> curves;
+  for (const auto& m : machines) {
+    std::fprintf(stderr, "[bench] machine %s...\n", m.name.c_str());
+    curves.push_back(speedup_curve(Algo::kOld, data, m, ctx.procs()));
+  }
+  for (size_t i = 0; i < ctx.procs().size(); ++i) {
+    table.add_row({std::to_string(ctx.procs()[i]), fmt(curves[0][i].speedup, 2),
+                   fmt(curves[1][i].speedup, 2), fmt(curves[2][i].speedup, 2)});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace psw
+
+int main(int argc, char** argv) { return psw::run(argc, argv); }

@@ -1,0 +1,37 @@
+// Figure 6: OLD-algorithm speedups for the three MRI data-set sizes on
+// DASH and Challenge.
+#include "bench/common.hpp"
+
+namespace psw {
+namespace {
+
+void machine_sweep(bench::Context& ctx, const MachineConfig& machine) {
+  std::printf("\n--- %s ---\n", machine.name.c_str());
+  TextTable table({"procs", "mri-128", "mri-256", "mri-512"});
+  std::vector<std::vector<SpeedupPoint>> curves;
+  for (int size : {128, 256, 512}) {
+    std::fprintf(stderr, "[bench] %s mri-%d...\n", machine.name.c_str(), size);
+    curves.push_back(speedup_curve(Algo::kOld, ctx.mri(size), machine, ctx.procs()));
+  }
+  for (size_t i = 0; i < ctx.procs().size(); ++i) {
+    table.add_row({std::to_string(ctx.procs()[i]), fmt(curves[0][i].speedup, 2),
+                   fmt(curves[1][i].speedup, 2), fmt(curves[2][i].speedup, 2)});
+  }
+  table.print();
+}
+
+int run(int argc, char** argv) {
+  bench::Context ctx(argc, argv);
+  bench::header("Figure 6", "old-algorithm speedups vs data-set size",
+                "DASH speedups are well below Challenge's at every size; on "
+                "DASH the intermediate (256-class) set speeds up best, with "
+                "both the smaller and the larger sets doing worse");
+  machine_sweep(ctx, ctx.machine(MachineConfig::dash()));
+  machine_sweep(ctx, ctx.machine(MachineConfig::challenge()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace psw
+
+int main(int argc, char** argv) { return psw::run(argc, argv); }

@@ -1,0 +1,42 @@
+// Figure 9: miss rate vs per-processor cache size (working sets) for the
+// OLD algorithm on the Simulator with 32 processors, three MRI sizes.
+// The knee of each curve locates the important working set, which for the
+// old algorithm grows with data-set size (~ a plane through the volume,
+// O(n^2)) and is nearly independent of the processor count.
+#include "bench/common.hpp"
+
+namespace psw {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::Context ctx(argc, argv);
+  bench::header("Figure 9", "old-algorithm miss rate vs cache size (32 procs)",
+                "a knee at a cache size that grows roughly with n^2 of the "
+                "volume; past the knee the curve flattens at the sharing floor");
+
+  const int procs = ctx.flags().get_int("p", 32);
+  TextTable table({"cache KB", "mri-128", "mri-256", "mri-512"});
+  std::vector<TraceSet> traces;
+  for (int size : {128, 256, 512}) {
+    std::fprintf(stderr, "[bench] tracing mri-%d...\n", size);
+    traces.push_back(trace_frame(Algo::kOld, ctx.mri(size), procs));
+  }
+  for (int kb = 1; kb <= 1024; kb *= 2) {
+    std::vector<std::string> row{std::to_string(kb)};
+    for (const auto& t : traces) {
+      MachineConfig m = MachineConfig::simulator();
+      m.cache_bytes = static_cast<uint64_t>(kb) << 10;
+      const SimResult r = simulate(m, t);
+      row.push_back(fmt(100 * r.miss_rate(true), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\n(values are total miss rate %%; knees mark the working sets)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace psw
+
+int main(int argc, char** argv) { return psw::run(argc, argv); }

@@ -1,0 +1,36 @@
+// Figure 13: old vs new parallel shear warper speedups on the Simulator
+// machine for the three MRI data-set sizes.
+#include "bench/common.hpp"
+
+namespace psw {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::Context ctx(argc, argv);
+  bench::header("Figure 13", "old vs new speedups on the Simulator (MRI sets)",
+                "same story as DASH with larger absolute speedups: the new "
+                "algorithm wins everywhere, especially for larger data sets "
+                "and more processors");
+
+  for (int size : {128, 256, 512}) {
+    const Dataset& data = ctx.mri(size);
+    std::printf("\n--- mri-%d ---\n", size);
+    const auto old_curve =
+        speedup_curve(Algo::kOld, data, ctx.machine(MachineConfig::simulator()), ctx.procs());
+    const auto new_curve =
+        speedup_curve(Algo::kNew, data, ctx.machine(MachineConfig::simulator()), ctx.procs());
+    TextTable table({"procs", "old", "new", "new/old"});
+    for (size_t i = 0; i < ctx.procs().size(); ++i) {
+      table.add_row({std::to_string(ctx.procs()[i]), fmt(old_curve[i].speedup, 2),
+                     fmt(new_curve[i].speedup, 2),
+                     fmt(new_curve[i].speedup / std::max(1e-9, old_curve[i].speedup), 2)});
+    }
+    table.print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace psw
+
+int main(int argc, char** argv) { return psw::run(argc, argv); }

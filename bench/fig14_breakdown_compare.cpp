@@ -1,0 +1,41 @@
+// Figure 14: cumulative time breakdown of the OLD vs NEW parallel shear
+// warpers on DASH and the Simulator, 512-class MRI brain. (Panels (a)/(c)
+// are the old program — the same data as Figure 5 — and (b)/(d) the new.)
+#include "bench/common.hpp"
+
+namespace psw {
+namespace {
+
+void compare_on(bench::Context& ctx, const MachineConfig& machine) {
+  const Dataset& data = ctx.mri(512);
+  std::printf("\n--- %s ---\n", machine.name.c_str());
+  TextTable table({"procs", "old busy %", "old mem %", "old sync %", "new busy %",
+                   "new mem %", "new sync %"});
+  for (int procs : ctx.procs()) {
+    std::fprintf(stderr, "[bench] %s P=%d...\n", machine.name.c_str(), procs);
+    const SimResult old_r = simulate(machine, trace_frame(Algo::kOld, data, procs));
+    const SimResult new_r = simulate(machine, trace_frame(Algo::kNew, data, procs));
+    const auto po = bench::pct_breakdown(old_r.busy_sum(), old_r.mem_sum(), old_r.sync_sum());
+    const auto pn = bench::pct_breakdown(new_r.busy_sum(), new_r.mem_sum(), new_r.sync_sum());
+    table.add_row({std::to_string(procs), fmt(po[0], 1), fmt(po[1], 1), fmt(po[2], 1),
+                   fmt(pn[0], 1), fmt(pn[1], 1), fmt(pn[2], 1)});
+  }
+  table.print();
+}
+
+int run(int argc, char** argv) {
+  bench::Context ctx(argc, argv);
+  bench::header("Figure 14", "old vs new time breakdown (512-class MRI)",
+                "the major difference is the data-access (memory) stall "
+                "component, which no longer dominates in the new program, on "
+                "DASH as well as the simulated machine; load balance is "
+                "preserved");
+  compare_on(ctx, ctx.machine(MachineConfig::dash()));
+  compare_on(ctx, ctx.machine(MachineConfig::simulator()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace psw
+
+int main(int argc, char** argv) { return psw::run(argc, argv); }

@@ -1,0 +1,34 @@
+// Figure 15: old vs new speedups on the 512-class CT human head on the
+// distributed-memory machines.
+#include "bench/common.hpp"
+
+namespace psw {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::Context ctx(argc, argv);
+  bench::header("Figure 15", "old vs new speedups, 512-class CT head",
+                "the results mirror the MRI data sets: the new algorithm "
+                "substantially outperforms and out-scales the old one, and "
+                "(unlike the old) speeds up better on bigger data sets");
+
+  const Dataset& data = ctx.ct(512);
+  for (const MachineConfig& m :
+       {ctx.machine(MachineConfig::dash()), ctx.machine(MachineConfig::simulator())}) {
+    std::printf("\n--- %s ---\n", m.name.c_str());
+    const auto old_curve = speedup_curve(Algo::kOld, data, m, ctx.procs());
+    const auto new_curve = speedup_curve(Algo::kNew, data, m, ctx.procs());
+    TextTable table({"procs", "old", "new"});
+    for (size_t i = 0; i < ctx.procs().size(); ++i) {
+      table.add_row({std::to_string(ctx.procs()[i]), fmt(old_curve[i].speedup, 2),
+                     fmt(new_curve[i].speedup, 2)});
+    }
+    table.print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace psw
+
+int main(int argc, char** argv) { return psw::run(argc, argv); }

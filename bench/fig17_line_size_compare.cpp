@@ -1,0 +1,38 @@
+// Figure 17: spatial locality comparison — total miss rate vs cache line
+// size for the old and new algorithms (Simulator, 32 procs, 512-class MRI).
+#include "bench/common.hpp"
+
+namespace psw {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::Context ctx(argc, argv);
+  bench::header("Figure 17", "miss rate vs line size, old vs new (32 procs)",
+                "the new algorithm benefits even more from longer cache lines "
+                "because each processor works on more contiguous scanlines of "
+                "the intermediate image");
+
+  const Dataset& data = ctx.mri(512);
+  const int procs = ctx.flags().get_int("p", 32);
+  const TraceSet old_t = trace_frame(Algo::kOld, data, procs);
+  const TraceSet new_t = trace_frame(Algo::kNew, data, procs);
+
+  TextTable table({"line B", "old total %", "new total %", "old true %", "new true %"});
+  for (int line : {16, 32, 64, 128, 256}) {
+    MachineConfig m = ctx.machine(MachineConfig::simulator());
+    m.line_bytes = line;
+    const SimResult ro = simulate(m, old_t);
+    const SimResult rn = simulate(m, new_t);
+    table.add_row({std::to_string(line), fmt(100 * ro.miss_rate(true), 3),
+                   fmt(100 * rn.miss_rate(true), 3),
+                   fmt(100 * ro.miss_rate_of(MissClass::kTrueShare), 3),
+                   fmt(100 * rn.miss_rate_of(MissClass::kTrueShare), 3)});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace psw
+
+int main(int argc, char** argv) { return psw::run(argc, argv); }

@@ -1,0 +1,67 @@
+// Figure 18: working sets of the NEW algorithm. Panel (a): miss rate vs
+// cache size across processor counts (the working set *shrinks* with more
+// processors, unlike the old algorithm's). Panel (b): across data sets at
+// 32 processors (even the 512-class set fits in tens of KB).
+#include "bench/common.hpp"
+
+namespace psw {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::Context ctx(argc, argv);
+  bench::header("Figure 18", "new-algorithm working sets",
+                "(a) the knee moves to smaller caches as processors increase — "
+                "a processor's contiguous block of scanlines contracts; (b) at "
+                "32 processors even the 512-class set's working set is tiny "
+                "(~64KB in the paper)");
+
+  const MachineConfig base = MachineConfig::simulator();
+
+  std::printf("\n--- (a) miss rate %% vs cache size, 512-class MRI ---\n");
+  {
+    const Dataset& data = ctx.mri(512);
+    std::vector<int> procs{4, 16, 32};
+    std::vector<TraceSet> traces;
+    for (int p : procs) {
+      std::fprintf(stderr, "[bench] tracing P=%d...\n", p);
+      traces.push_back(trace_frame(Algo::kNew, data, p));
+    }
+    TextTable table({"cache KB", "P=4", "P=16", "P=32"});
+    for (int kb = 1; kb <= 1024; kb *= 2) {
+      std::vector<std::string> row{std::to_string(kb)};
+      for (const auto& t : traces) {
+        MachineConfig m = base;
+        m.cache_bytes = static_cast<uint64_t>(kb) << 10;
+        row.push_back(fmt(100 * simulate(m, t).miss_rate(true), 3));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+  }
+
+  std::printf("\n--- (b) miss rate %% vs cache size across MRI sets (32 procs) ---\n");
+  {
+    std::vector<TraceSet> traces;
+    for (int size : {128, 256, 512}) {
+      std::fprintf(stderr, "[bench] tracing mri-%d...\n", size);
+      traces.push_back(trace_frame(Algo::kNew, ctx.mri(size), 32));
+    }
+    TextTable table({"cache KB", "mri-128", "mri-256", "mri-512"});
+    for (int kb = 1; kb <= 1024; kb *= 2) {
+      std::vector<std::string> row{std::to_string(kb)};
+      for (const auto& t : traces) {
+        MachineConfig m = base;
+        m.cache_bytes = static_cast<uint64_t>(kb) << 10;
+        row.push_back(fmt(100 * simulate(m, t).miss_rate(true), 3));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace psw
+
+int main(int argc, char** argv) { return psw::run(argc, argv); }

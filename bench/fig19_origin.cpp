@@ -1,0 +1,36 @@
+// Figure 19: old vs new speedups on the SGI Origin2000 (16 processors),
+// 512-class MRI brain.
+#include "bench/common.hpp"
+
+namespace psw {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::Context ctx(argc, argv);
+  bench::header("Figure 19", "old vs new speedups on Origin2000 (512-class MRI)",
+                "the new algorithm significantly outperforms the old one, "
+                "validating the DASH/simulator results on modern scalable "
+                "ccNUMA hardware");
+
+  const Dataset& data = ctx.mri(512);
+  std::vector<int> procs;
+  for (int p : ctx.procs()) {
+    if (p <= 16) procs.push_back(p);  // the paper's machine had 16 procs
+  }
+  const auto old_curve =
+      speedup_curve(Algo::kOld, data, ctx.machine(MachineConfig::origin2000()), procs);
+  const auto new_curve =
+      speedup_curve(Algo::kNew, data, ctx.machine(MachineConfig::origin2000()), procs);
+  TextTable table({"procs", "old", "new"});
+  for (size_t i = 0; i < procs.size(); ++i) {
+    table.add_row({std::to_string(procs[i]), fmt(old_curve[i].speedup, 2),
+                   fmt(new_curve[i].speedup, 2)});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace psw
+
+int main(int argc, char** argv) { return psw::run(argc, argv); }

@@ -1,0 +1,43 @@
+// Figure 21: execution-time breakdown of the OLD parallel shear warper on
+// the SVM platform, 512-class MRI brain.
+#include "bench/common.hpp"
+#include "svmsim/svm.hpp"
+
+namespace psw {
+namespace {
+
+int run(int argc, char** argv) {
+  bench::Context ctx(argc, argv);
+  bench::header("Figure 21", "old-algorithm SVM execution-time breakdown",
+                "extremely high data wait and barrier wait: interleaved chunks "
+                "smaller than a page cause page-level false sharing and "
+                "fragmented communication, and contention delays the barrier's "
+                "own synchronization messages");
+
+  const Dataset& data = ctx.mri(512);
+  TextTable table({"procs", "compute %", "data %", "lock %", "barrier %",
+                   "faults", "multi-writer pages"});
+  for (int p : ctx.procs()) {
+    if (p < 4) continue;
+    std::fprintf(stderr, "[bench] P=%d...\n", p);
+    const TraceSet traces = trace_frame(Algo::kOld, data, p);
+    SvmRunOptions opt;
+    opt.warmup_intervals = traces.intervals() / 2;
+    opt.lock_ops = frame_stats(Algo::kOld, data, p, WorkloadOptions{}).lock_ops;
+    const SvmResult r = svm_simulate(SvmConfig{}, traces, opt);
+    const double total =
+        r.compute_sum() + r.data_sum() + r.lock_sum() + r.barrier_sum();
+    table.add_row({std::to_string(p), fmt(100 * r.compute_sum() / total, 1),
+                   fmt(100 * r.data_sum() / total, 1),
+                   fmt(100 * r.lock_sum() / total, 1),
+                   fmt(100 * r.barrier_sum() / total, 1),
+                   std::to_string(r.page_faults), std::to_string(r.multi_writer_pages)});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace psw
+
+int main(int argc, char** argv) { return psw::run(argc, argv); }

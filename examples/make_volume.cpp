@@ -1,0 +1,77 @@
+// Dataset tool: generate phantom volumes, up-/down-sample them (the §3.3
+// methodology used for the paper's 512/640-class sets) and save/load the
+// .vol format — the on-ramp for feeding real scans to the renderer.
+//
+//   ./examples/make_volume --kind=mri --size=256,256,167 --out=brain.vol
+//   ./examples/make_volume --in=brain.vol --resample=511,511,333 --out=big.vol
+//   ./examples/make_volume --in=scan.raw --raw-dims=128,128,128 --out=scan.vol
+#include <cstdio>
+
+#include "core/volume_io.hpp"
+#include "phantom/phantom.hpp"
+#include "phantom/resample.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+bool parse_dims(const std::string& s, int* x, int* y, int* z) {
+  return std::sscanf(s.c_str(), "%d,%d,%d", x, y, z) == 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psw;
+  const CliFlags flags(argc, argv);
+  const std::string out_path = flags.get("out", "volume.vol");
+
+  DensityVolume volume;
+  if (flags.has("in")) {
+    const std::string in = flags.get("in", "");
+    if (flags.has("raw-dims")) {
+      int x, y, z;
+      if (!parse_dims(flags.get("raw-dims", ""), &x, &y, &z)) {
+        std::fprintf(stderr, "bad --raw-dims, expected X,Y,Z\n");
+        return 1;
+      }
+      if (!read_raw_volume(in, x, y, z, &volume)) {
+        std::fprintf(stderr, "failed to read raw volume %s\n", in.c_str());
+        return 1;
+      }
+    } else if (!read_volume(in, &volume)) {
+      std::fprintf(stderr, "failed to read %s\n", in.c_str());
+      return 1;
+    }
+    std::printf("loaded %dx%dx%d from %s\n", volume.nx(), volume.ny(), volume.nz(),
+                in.c_str());
+  } else {
+    int x = 128, y = 128, z = 128;
+    if (flags.has("size") && !parse_dims(flags.get("size", ""), &x, &y, &z)) {
+      std::fprintf(stderr, "bad --size, expected X,Y,Z\n");
+      return 1;
+    }
+    const std::string kind = flags.get("kind", "mri");
+    const uint64_t seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+    volume = kind == "ct" ? make_ct_head(x, y, z, seed) : make_mri_brain(x, y, z, seed);
+    std::printf("generated %s phantom %dx%dx%d (transparent fraction %.2f at "
+                "threshold 70)\n",
+                kind.c_str(), x, y, z, transparent_fraction(volume, 70));
+  }
+
+  if (flags.has("resample")) {
+    int x, y, z;
+    if (!parse_dims(flags.get("resample", ""), &x, &y, &z)) {
+      std::fprintf(stderr, "bad --resample, expected X,Y,Z\n");
+      return 1;
+    }
+    std::printf("resampling to %dx%dx%d...\n", x, y, z);
+    volume = resample(volume, x, y, z);
+  }
+
+  if (!write_volume(out_path, volume)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%.1f MB)\n", out_path.c_str(), volume.size() / 1048576.0);
+  return 0;
+}

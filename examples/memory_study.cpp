@@ -1,0 +1,67 @@
+// Memory-system study: drive the trace-and-simulate substrate directly —
+// the workflow behind every simulator figure in the paper. Traces a frame
+// of either algorithm, then sweeps a machine parameter and prints the miss
+// classification, exactly like §3.4.2-3.4.4.
+//
+//   ./examples/memory_study [--algo=new] [--size=96] [--procs=16]
+//                           [--sweep=line|cache|procs]
+#include <cstdio>
+
+#include "memsim/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psw;
+  const CliFlags flags(argc, argv);
+  const Algo algo = flags.get("algo", "new") == "old" ? Algo::kOld : Algo::kNew;
+  const int n = flags.get_int("size", 96);
+  const int procs = flags.get_int("procs", 16);
+  const std::string sweep = flags.get("sweep", "line");
+
+  std::printf("building %d^3 CT-head phantom and tracing the %s algorithm "
+              "at %d processors...\n", n, algo_name(algo), procs);
+  const Dataset data = make_dataset("ct", "example", n, n, n);
+
+  auto print_result = [](const std::string& label, const SimResult& r) {
+    std::printf("%-10s  miss%%=%.3f  cold=%llu cap=%llu conf=%llu true=%llu "
+                "false=%llu  remote=%.0f%%  Mcycles=%.2f\n",
+                label.c_str(), 100 * r.miss_rate(true),
+                static_cast<unsigned long long>(r.misses_of(MissClass::kCold)),
+                static_cast<unsigned long long>(r.misses_of(MissClass::kCapacity)),
+                static_cast<unsigned long long>(r.misses_of(MissClass::kConflict)),
+                static_cast<unsigned long long>(r.misses_of(MissClass::kTrueShare)),
+                static_cast<unsigned long long>(r.misses_of(MissClass::kFalseShare)),
+                100 * r.remote_fraction(), r.total_cycles / 1e6);
+  };
+
+  if (sweep == "procs") {
+    for (int p : {1, 2, 4, 8, 16, 32}) {
+      const TraceSet traces = trace_frame(algo, data, p);
+      print_result("P=" + std::to_string(p),
+                   simulate(MachineConfig::simulator(), traces));
+    }
+    return 0;
+  }
+
+  const TraceSet traces = trace_frame(algo, data, procs);
+  std::printf("trace: %zu references across %d intervals\n\n",
+              traces.total_records(), traces.intervals());
+
+  if (sweep == "cache") {
+    for (int kb = 4; kb <= 4096; kb *= 4) {
+      MachineConfig m = MachineConfig::simulator();
+      m.cache_bytes = static_cast<uint64_t>(kb) << 10;
+      print_result(std::to_string(kb) + "KB", simulate(m, traces));
+    }
+  } else {
+    for (int line : {16, 32, 64, 128, 256}) {
+      MachineConfig m = MachineConfig::simulator();
+      m.line_bytes = line;
+      print_result(std::to_string(line) + "B", simulate(m, traces));
+    }
+  }
+  std::printf("\n(every simulator figure in bench/ is this workflow with the "
+              "paper's exact parameters; see DESIGN.md)\n");
+  return 0;
+}

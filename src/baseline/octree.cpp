@@ -1,0 +1,95 @@
+#include "baseline/octree.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace psw {
+
+MinMaxOctree::MinMaxOctree(const DensityVolume& vol, int leaf_size)
+    : leaf_size_(leaf_size) {
+  auto ceil_div = [](int a, int b) { return (a + b - 1) / b; };
+
+  // Level 0: leaf bricks.
+  std::array<int, 3> dims{ceil_div(vol.nx(), leaf_size), ceil_div(vol.ny(), leaf_size),
+                          ceil_div(vol.nz(), leaf_size)};
+  while (true) {
+    level_dims_.push_back(dims);
+    level_offset_.push_back(nodes_.size());
+    nodes_.resize(nodes_.size() + static_cast<size_t>(dims[0]) * dims[1] * dims[2]);
+    ++levels_;
+    if (dims[0] == 1 && dims[1] == 1 && dims[2] == 1) break;
+    dims = {ceil_div(dims[0], 2), ceil_div(dims[1], 2), ceil_div(dims[2], 2)};
+  }
+
+  // Fill leaves.
+  const auto& d0 = level_dims_[0];
+  for (int bz = 0; bz < d0[2]; ++bz) {
+    for (int by = 0; by < d0[1]; ++by) {
+      for (int bx = 0; bx < d0[0]; ++bx) {
+        Range r;
+        const int x1 = std::min(vol.nx(), (bx + 1) * leaf_size);
+        const int y1 = std::min(vol.ny(), (by + 1) * leaf_size);
+        const int z1 = std::min(vol.nz(), (bz + 1) * leaf_size);
+        for (int z = bz * leaf_size; z < z1; ++z) {
+          for (int y = by * leaf_size; y < y1; ++y) {
+            for (int x = bx * leaf_size; x < x1; ++x) {
+              const uint8_t v = vol.at(x, y, z);
+              r.min = std::min(r.min, v);
+              r.max = std::max(r.max, v);
+            }
+          }
+        }
+        node(0, bx, by, bz) = r;
+      }
+    }
+  }
+
+  // Build interior levels bottom-up.
+  for (int l = 1; l < levels_; ++l) {
+    const auto& dl = level_dims_[l];
+    const auto& dc = level_dims_[l - 1];
+    for (int bz = 0; bz < dl[2]; ++bz) {
+      for (int by = 0; by < dl[1]; ++by) {
+        for (int bx = 0; bx < dl[0]; ++bx) {
+          Range r;
+          for (int dz = 0; dz <= 1; ++dz) {
+            for (int dy = 0; dy <= 1; ++dy) {
+              for (int dx = 0; dx <= 1; ++dx) {
+                const int cx = 2 * bx + dx, cy = 2 * by + dy, cz = 2 * bz + dz;
+                if (cx >= dc[0] || cy >= dc[1] || cz >= dc[2]) continue;
+                const Range& c = node(l - 1, cx, cy, cz);
+                r.min = std::min(r.min, c.min);
+                r.max = std::max(r.max, c.max);
+              }
+            }
+          }
+          node(l, bx, by, bz) = r;
+        }
+      }
+    }
+  }
+}
+
+MinMaxOctree::Range MinMaxOctree::leaf_range(int x, int y, int z) const {
+  return node(0, x / leaf_size_, y / leaf_size_, z / leaf_size_);
+}
+
+MinMaxOctree::Range MinMaxOctree::node_range(int level, int x, int y, int z) const {
+  const int edge = node_edge(level);
+  return node(level, x / edge, y / edge, z / edge);
+}
+
+int MinMaxOctree::largest_empty_level(int x, int y, int z, uint8_t threshold) const {
+  int best = -1;
+  for (int l = 0; l < levels_; ++l) {
+    const int edge = node_edge(l);
+    const auto& dims = level_dims_[l];
+    const int bx = x / edge, by = y / edge, bz = z / edge;
+    if (bx >= dims[0] || by >= dims[1] || bz >= dims[2]) break;
+    if (node(l, bx, by, bz).max >= threshold) break;
+    best = l;
+  }
+  return best;
+}
+
+}  // namespace psw

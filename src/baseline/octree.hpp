@@ -1,0 +1,64 @@
+// Min-max octree over the density volume — the coherence data structure of
+// the ray-casting baseline (§2: "ray casting algorithms use an octree
+// representation of the volume" to skip transparent regions).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/volume.hpp"
+
+namespace psw {
+
+// Complete octree stored in a flat array, built bottom-up from fixed-size
+// leaf bricks. Each node records the min and max density in its region, so
+// a traversal can skip regions the transfer function maps to zero opacity.
+class MinMaxOctree {
+ public:
+  // Builds over the volume with the given leaf brick edge (power of two).
+  MinMaxOctree(const DensityVolume& vol, int leaf_size = 4);
+
+  int leaf_size() const { return leaf_size_; }
+  int levels() const { return levels_; }
+
+  struct Range {
+    uint8_t min = 255;
+    uint8_t max = 0;
+  };
+
+  // Min/max of the leaf brick containing voxel (x, y, z).
+  Range leaf_range(int x, int y, int z) const;
+
+  // Min/max of the node at `level` (0 = leaves) containing (x, y, z).
+  // Edge length of a level-l node is leaf_size << l.
+  Range node_range(int level, int x, int y, int z) const;
+
+  // Largest level whose node at (x, y, z) has max < threshold (i.e. the
+  // whole node is transparent under a monotone opacity map), or -1 if even
+  // the leaf is not transparent. Used to skip empty space in big steps.
+  int largest_empty_level(int x, int y, int z, uint8_t threshold) const;
+
+  // Edge length (in voxels) of a node at the given level.
+  int node_edge(int level) const { return leaf_size_ << level; }
+
+ private:
+  Range& node(int level, int bx, int by, int bz) {
+    const auto& dims = level_dims_[level];
+    return nodes_[level_offset_[level] +
+                  (static_cast<size_t>(bz) * dims[1] + by) * dims[0] + bx];
+  }
+  const Range& node(int level, int bx, int by, int bz) const {
+    const auto& dims = level_dims_[level];
+    return nodes_[level_offset_[level] +
+                  (static_cast<size_t>(bz) * dims[1] + by) * dims[0] + bx];
+  }
+
+  int leaf_size_;
+  int levels_ = 0;
+  std::vector<std::array<int, 3>> level_dims_;
+  std::vector<size_t> level_offset_;
+  std::vector<Range> nodes_;
+};
+
+}  // namespace psw

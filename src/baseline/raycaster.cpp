@@ -1,0 +1,173 @@
+#include "baseline/raycaster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/intermediate_image.hpp"
+#include "util/timer.hpp"
+
+namespace psw {
+
+namespace {
+
+DensityVolume opacity_volume(const ClassifiedVolume& vol) {
+  DensityVolume o(vol.nx(), vol.ny(), vol.nz());
+  for (int z = 0; z < vol.nz(); ++z) {
+    for (int y = 0; y < vol.ny(); ++y) {
+      for (int x = 0; x < vol.nx(); ++x) o.at(x, y, z) = vol.at(x, y, z).a;
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+RayCaster::RayCaster(const ClassifiedVolume& volume, uint8_t alpha_threshold)
+    : volume_(volume),
+      alpha_threshold_(alpha_threshold),
+      opacity_(opacity_volume(volume)),
+      octree_(opacity_, 4) {}
+
+RayCastStats RayCaster::render(const Camera& camera, ImageU8* out,
+                               const RayCastOptions& opt) const {
+  RayCastStats stats;
+  WallTimer timer;
+
+  const std::array<int, 3> dims{volume_.nx(), volume_.ny(), volume_.nz()};
+  const Factorization f = factorize(camera, dims);
+  out->resize(f.final_width, f.final_height);
+  out->clear();
+
+  // Recover the framing shift the factorization applied: final image
+  // coordinates are view projection plus a constant 2-D shift.
+  auto uv_of = [&](const Vec3& p) {
+    const double coords[3] = {p.x, p.y, p.z};
+    return std::pair<double, double>{
+        coords[f.perm[0]] + f.trans_i + f.shear_i * coords[f.perm[2]],
+        coords[f.perm[1]] + f.trans_j + f.shear_j * coords[f.perm[2]]};
+  };
+  const auto [u0, v0] = uv_of({0, 0, 0});
+  const Vec3 warped0 = f.warp.apply(u0, v0);
+  const Vec3 proj0 = camera.view.transform_point({0, 0, 0});
+  const double shift_x = warped0.x - proj0.x;
+  const double shift_y = warped0.y - proj0.y;
+
+  Mat4 inv_view;
+  const bool ok = camera.view.inverse(&inv_view);
+  (void)ok;
+  const Vec3 dir = inv_view.transform_dir({0, 0, 1});
+  const float inv255 = 1.0f / 255.0f;
+  const double nx = dims[0], ny = dims[1], nz = dims[2];
+
+  for (int py = 0; py < f.final_height; ++py) {
+    for (int px = 0; px < f.final_width; ++px) {
+      ++stats.rays;
+      // Object-space ray through this pixel.
+      const Vec3 origin =
+          inv_view.transform_point({px - shift_x, py - shift_y, 0.0});
+
+      // Clip against the volume bounds [0, n-1] per axis.
+      double t_near = -1e30, t_far = 1e30;
+      const double o[3] = {origin.x, origin.y, origin.z};
+      const double d[3] = {dir.x, dir.y, dir.z};
+      const double hi[3] = {nx - 1, ny - 1, nz - 1};
+      bool miss = false;
+      for (int a = 0; a < 3; ++a) {
+        if (std::abs(d[a]) < 1e-12) {
+          if (o[a] < 0 || o[a] > hi[a]) {
+            miss = true;
+            break;
+          }
+          continue;
+        }
+        double t0 = (0 - o[a]) / d[a];
+        double t1 = (hi[a] - o[a]) / d[a];
+        if (t0 > t1) std::swap(t0, t1);
+        t_near = std::max(t_near, t0);
+        t_far = std::min(t_far, t1);
+      }
+      if (miss || t_near > t_far) continue;
+
+      float r = 0, g = 0, b = 0, a_acc = 0;
+      double t = t_near;
+      while (t <= t_far) {
+        ++stats.steps;
+        const double sx = o[0] + t * d[0];
+        const double sy = o[1] + t * d[1];
+        const double sz = o[2] + t * d[2];
+        const int ix = static_cast<int>(sx);
+        const int iy = static_cast<int>(sy);
+        const int iz = static_cast<int>(sz);
+
+        if (opt.use_octree) {
+          const int lvl = octree_.largest_empty_level(ix, iy, iz, alpha_threshold_);
+          if (lvl >= 0) {
+            // Skip to where the ray exits this empty node.
+            const int edge = octree_.node_edge(lvl);
+            double t_exit = t + opt.step;
+            double best = 1e30;
+            const double pos[3] = {sx, sy, sz};
+            for (int axis = 0; axis < 3; ++axis) {
+              if (std::abs(d[axis]) < 1e-12) continue;
+              const double lo = std::floor(pos[axis] / edge) * edge;
+              const double bound = d[axis] > 0 ? lo + edge : lo;
+              const double dt = (bound - pos[axis]) / d[axis];
+              if (dt > 1e-9) best = std::min(best, dt);
+            }
+            if (best < 1e29) {
+              t_exit = t + best + 1e-6;
+              ++stats.space_leaps;
+            }
+            // Re-align to the sampling grid.
+            t = t_near + std::ceil((t_exit - t_near) / opt.step) * opt.step;
+            continue;
+          }
+        }
+
+        if (!opt.traversal_only) {
+          // Opacity-weighted trilinear resampling of classified voxels —
+          // the same resampling operator the shear warper applies.
+          const int x1 = std::min(ix + 1, volume_.nx() - 1);
+          const int y1 = std::min(iy + 1, volume_.ny() - 1);
+          const int z1 = std::min(iz + 1, volume_.nz() - 1);
+          const float fx = static_cast<float>(sx - ix);
+          const float fy = static_cast<float>(sy - iy);
+          const float fz = static_cast<float>(sz - iz);
+          float sa = 0, sr = 0, sg = 0, sb = 0;
+          for (int dz = 0; dz <= 1; ++dz) {
+            for (int dy = 0; dy <= 1; ++dy) {
+              for (int dx = 0; dx <= 1; ++dx) {
+                const float w = (dx ? fx : 1 - fx) * (dy ? fy : 1 - fy) *
+                                (dz ? fz : 1 - fz);
+                if (w == 0.0f) continue;
+                const ClassifiedVoxel& cv = volume_.at(
+                    dx ? x1 : ix, dy ? y1 : iy, dz ? z1 : iz);
+                if (cv.transparent(alpha_threshold_)) continue;
+                const float va = w * (cv.a * inv255);
+                sa += va;
+                sr += va * (cv.r * inv255);
+                sg += va * (cv.g * inv255);
+                sb += va * (cv.b * inv255);
+              }
+            }
+          }
+          if (sa > 0) {
+            ++stats.samples_composited;
+            const float transmit = 1.0f - a_acc;
+            r += transmit * sr;
+            g += transmit * sg;
+            b += transmit * sb;
+            a_acc += transmit * sa;
+            if (a_acc >= IntermediateImage::kOpaqueAlpha) break;  // early termination
+          }
+        }
+        t += opt.step;
+      }
+      out->at(px, py) = quantize8(Rgba{r, g, b, a_acc});
+    }
+  }
+  stats.total_ms = timer.millis();
+  return stats;
+}
+
+}  // namespace psw

@@ -1,0 +1,51 @@
+// Ray-casting baseline renderer (Levoy-style, as parallelized by Nieh &
+// Levoy [8]). Functionally equivalent to the shear warper: same classified
+// voxels, same compositing operator, same framing — but image-order
+// traversal with an octree for space leaping and early ray termination.
+//
+// The paper's Figure 2 contrasts its time breakdown (dominated by looping/
+// traversal) with the shear warper's (dominated by compositing); the
+// `traversal_only` mode supports exactly that decomposition: a run that
+// performs all addressing and traversal but skips the resample/composite
+// arithmetic measures the looping time.
+#pragma once
+
+#include "baseline/octree.hpp"
+#include "core/classify.hpp"
+#include "core/factorization.hpp"
+#include "util/image.hpp"
+
+namespace psw {
+
+struct RayCastStats {
+  double total_ms = 0.0;
+  uint64_t rays = 0;
+  uint64_t steps = 0;            // ray-march iterations (looping work)
+  uint64_t samples_composited = 0;  // samples that did resample+composite
+  uint64_t space_leaps = 0;      // octree-accelerated skips
+};
+
+struct RayCastOptions {
+  double step = 1.0;             // sample spacing along the ray, in voxels
+  bool traversal_only = false;   // skip the compositing arithmetic
+  bool use_octree = true;        // disable to measure the octree's benefit
+};
+
+class RayCaster {
+ public:
+  // Builds the opacity octree once per classified volume.
+  RayCaster(const ClassifiedVolume& volume, uint8_t alpha_threshold);
+
+  // Renders with the same framing the shear warper would use for `camera`
+  // (so outputs are directly comparable).
+  RayCastStats render(const Camera& camera, ImageU8* out,
+                      const RayCastOptions& opt = {}) const;
+
+ private:
+  const ClassifiedVolume& volume_;
+  uint8_t alpha_threshold_;
+  DensityVolume opacity_;  // per-voxel opacity, input to the octree
+  MinMaxOctree octree_;
+};
+
+}  // namespace psw

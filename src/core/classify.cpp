@@ -1,0 +1,49 @@
+#include "core/classify.hpp"
+
+#include <cmath>
+
+#include "core/gradient.hpp"
+
+namespace psw {
+
+ClassifiedVolume classify(const DensityVolume& density, const TransferFunction& tf,
+                          const ClassifyOptions& opt) {
+  ClassifiedVolume out(density.nx(), density.ny(), density.nz());
+  const Vec3 light = opt.light_dir.normalized();
+
+  for (int z = 0; z < density.nz(); ++z) {
+    for (int y = 0; y < density.ny(); ++y) {
+      for (int x = 0; x < density.nx(); ++x) {
+        const float d = density.at(x, y, z);
+        const float gm = gradient_magnitude(density, x, y, z);
+        const float a = tf.opacity(d, gm);
+        ClassifiedVoxel cv;
+        cv.a = static_cast<uint8_t>(std::lround(std::clamp(a, 0.0f, 1.0f) * 255.0f));
+        if (cv.a >= opt.alpha_threshold) {
+          const Vec3 n = surface_normal(density, x, y, z);
+          const double lambert = std::max(0.0, n.dot(light));
+          const double shade = opt.ambient + opt.diffuse * lambert;
+          const Vec3 c = tf.color(d) * shade;
+          cv.r = static_cast<uint8_t>(std::lround(std::clamp(c.x, 0.0, 1.0) * 255.0));
+          cv.g = static_cast<uint8_t>(std::lround(std::clamp(c.y, 0.0, 1.0) * 255.0));
+          cv.b = static_cast<uint8_t>(std::lround(std::clamp(c.z, 0.0, 1.0) * 255.0));
+        } else {
+          cv = ClassifiedVoxel{};  // fully transparent voxels carry no color
+        }
+        out.at(x, y, z) = cv;
+      }
+    }
+  }
+  return out;
+}
+
+double classified_transparent_fraction(const ClassifiedVolume& v, uint8_t alpha_threshold) {
+  if (v.empty()) return 1.0;
+  size_t transparent = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v.data()[i].transparent(alpha_threshold)) ++transparent;
+  }
+  return static_cast<double>(transparent) / static_cast<double>(v.size());
+}
+
+}  // namespace psw

@@ -1,0 +1,44 @@
+// Pre-classification and pre-shading: turns a raw density volume into a
+// dense volume of classified voxels (opacity + shaded color). This is the
+// input to the run-length encoder and to the dense reference renderer.
+#pragma once
+
+#include <cstdint>
+
+#include "core/transfer.hpp"
+#include "core/volume.hpp"
+
+namespace psw {
+
+// 4-byte classified voxel: quantized opacity and shaded color. The compact
+// layout matters: it sets the spatial-locality behaviour the paper measures
+// (several voxels per cache line).
+struct ClassifiedVoxel {
+  uint8_t a = 0;  // opacity, 0..255
+  uint8_t r = 0, g = 0, b = 0;
+
+  bool transparent(uint8_t threshold) const { return a < threshold; }
+};
+static_assert(sizeof(ClassifiedVoxel) == 4);
+
+using ClassifiedVolume = Volume<ClassifiedVoxel>;
+
+struct ClassifyOptions {
+  // Directional light in object space for Lambertian + ambient shading.
+  Vec3 light_dir{0.3, -0.5, 1.0};
+  float ambient = 0.35f;
+  float diffuse = 0.65f;
+  // Opacities below this (in 0..255 quantized units) are treated as fully
+  // transparent by the run-length encoder.
+  uint8_t alpha_threshold = 12;
+};
+
+// Classifies and shades every voxel. Shading is precomputed with a fixed
+// object-space light, as in Lacroute's fastest (pre-shaded) mode.
+ClassifiedVolume classify(const DensityVolume& density, const TransferFunction& tf,
+                          const ClassifyOptions& opt = {});
+
+// Fraction of classified voxels below the alpha threshold.
+double classified_transparent_fraction(const ClassifiedVolume& v, uint8_t alpha_threshold);
+
+}  // namespace psw

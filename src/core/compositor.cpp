@@ -1,0 +1,171 @@
+#include "core/compositor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psw {
+
+namespace {
+
+// Per-slice resampling geometry: voxel i of the slice lands at
+// u = i + offset; pixel u therefore resamples voxels i0 = u - base and
+// i0 + 1 with weight `w` on the upper neighbour, where base = ceil(offset)
+// and w = base - offset in [0, 1).
+struct SliceGeom {
+  int base;
+  float w;
+
+  static SliceGeom from_offset(double offset) {
+    const int base = static_cast<int>(std::ceil(offset));
+    return {base, static_cast<float>(base - offset)};
+  }
+};
+
+}  // namespace
+
+namespace {
+
+template <bool kTraversalOnly>
+uint32_t composite_scanline_impl(const RleVolume& rle, const Factorization& f, int v,
+                                 IntermediateImage& img, MemoryHook* hook,
+                                 CompositeStats* stats) {
+  uint32_t work = 0;
+  const int width = img.width();
+  const float inv255 = 1.0f / 255.0f;
+
+  for (int t = 0; t < f.nk; ++t) {
+    const int k = f.slice(t);
+    const double off_u = f.offset_u(k);
+    const double off_v = f.offset_v(k);
+
+    // Which voxel scanlines feed intermediate scanline v in this slice.
+    const SliceGeom gv = SliceGeom::from_offset(off_v);
+    const int j0 = v - gv.base;  // lower voxel scanline; j0+1 is the upper
+    if (j0 < -1 || j0 >= f.nj) continue;
+    const float wv = gv.w;
+
+    RunCursor c0(rle, k, j0, hook);
+    RunCursor c1(rle, k, j0 + 1, hook);
+    if ((c0.null() || c0.empty()) && (c1.null() || c1.empty())) continue;
+
+    // Early scanline termination: if everything is already opaque, no
+    // later slice can contribute either.
+    if (img.fully_opaque_from(v, 0, hook)) break;
+
+    const SliceGeom gu = SliceGeom::from_offset(off_u);
+    const float wu = gu.w;
+    const float w00 = (1.0f - wu) * (1.0f - wv);  // (i0,   j0)
+    const float w10 = wu * (1.0f - wv);           // (i0+1, j0)
+    const float w01 = (1.0f - wu) * wv;           // (i0,   j0+1)
+    const float w11 = wu * wv;                    // (i0+1, j0+1)
+
+    // Pixel range receiving any contribution: i_real = u - off_u in
+    // (-1, ni).
+    int u = std::max(0, static_cast<int>(std::floor(off_u - 1.0)) + 1);
+    const int u_end =
+        std::min(width, static_cast<int>(std::ceil(off_u + rle.ni())));
+
+    ++work;
+    if (stats) ++stats->slices_touched;
+
+    while (u < u_end) {
+      u = img.next_writable(v, u, hook);
+      if (u >= u_end) break;
+      const int i0 = u - gu.base;
+
+      const ClassifiedVoxel* v00 = c0.at(i0);
+      const ClassifiedVoxel* v10 = c0.at(i0 + 1);
+      const ClassifiedVoxel* v01 = c1.at(i0);
+      const ClassifiedVoxel* v11 = c1.at(i0 + 1);
+
+      if (!v00 && !v10 && !v01 && !v11) {
+        // Skip to the next pixel whose 2x2 footprint can contain a
+        // non-transparent voxel.
+        const int m = std::min(c0.next_nontransparent(i0 + 2),
+                               c1.next_nontransparent(i0 + 2));
+        if (m >= rle.ni()) break;  // nothing further in this slice
+        u = std::max(u + 1, m - 1 + gu.base);
+        continue;
+      }
+
+      if constexpr (!kTraversalOnly) {
+        // Opacity-weighted (premultiplied) bilinear resampling, in a fixed
+        // term order so the dense reference renderer is bit-identical.
+        float sa = 0.0f, sr = 0.0f, sg = 0.0f, sb = 0.0f;
+        auto accumulate = [&](const ClassifiedVoxel* cv, float w) {
+          if (!cv) return;
+          const float a = w * (cv->a * inv255);
+          sa += a;
+          sr += a * (cv->r * inv255);
+          sg += a * (cv->g * inv255);
+          sb += a * (cv->b * inv255);
+          ++work;
+          if (stats) ++stats->voxels_composited;
+        };
+        accumulate(v00, w00);
+        accumulate(v10, w10);
+        accumulate(v01, w01);
+        accumulate(v11, w11);
+
+        Rgba& px = img.pixel(u, v);
+        hook_read(hook, &px, sizeof(Rgba));
+        const float transmit = 1.0f - px.a;
+        px.r += transmit * sr;
+        px.g += transmit * sg;
+        px.b += transmit * sb;
+        px.a += transmit * sa;
+        hook_write(hook, &px, sizeof(Rgba));
+        ++work;
+        if (stats) ++stats->pixels_visited;
+
+        if (px.a >= IntermediateImage::kOpaqueAlpha) img.mark_opaque(u, v, hook);
+      } else {
+        // Touch the voxel pointers so the traversal cost is realistic but
+        // do no compositing arithmetic.
+        work += (v00 != nullptr) + (v10 != nullptr) + (v01 != nullptr) +
+                (v11 != nullptr) + 1;
+        if (stats) ++stats->pixels_visited;
+      }
+      ++u;
+    }
+  }
+  if (stats) ++stats->scanlines;
+  return work;
+}
+
+}  // namespace
+
+uint32_t composite_scanline(const RleVolume& rle, const Factorization& f, int v,
+                            IntermediateImage& img, MemoryHook* hook,
+                            CompositeStats* stats) {
+  return composite_scanline_impl<false>(rle, f, v, img, hook, stats);
+}
+
+uint32_t composite_scanline_traversal_only(const RleVolume& rle, const Factorization& f,
+                                           int v, IntermediateImage& img,
+                                           MemoryHook* hook, CompositeStats* stats) {
+  return composite_scanline_impl<true>(rle, f, v, img, hook, stats);
+}
+
+bool scanline_provably_empty(const RleVolume& rle, const Factorization& f, int v) {
+  for (int t = 0; t < f.nk; ++t) {
+    const int k = f.slice(t);
+    const SliceGeom gv = SliceGeom::from_offset(f.offset_v(k));
+    const int j0 = v - gv.base;
+    if (j0 < -1 || j0 >= f.nj) continue;
+    if (j0 >= 0 && !rle.scanline_empty(k, j0)) return false;
+    if (j0 + 1 < f.nj && !rle.scanline_empty(k, j0 + 1)) return false;
+  }
+  return true;
+}
+
+CompositeStats composite_frame(const RleVolume& rle, const Factorization& f,
+                               IntermediateImage& img, MemoryHook* hook) {
+  CompositeStats stats;
+  for (int v = 0; v < img.height(); ++v) {
+    composite_scanline(rle, f, v, img, hook, &stats);
+  }
+  return stats;
+}
+
+}  // namespace psw

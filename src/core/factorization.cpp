@@ -1,0 +1,118 @@
+#include "core/factorization.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace psw {
+
+Camera Camera::orbit(const std::array<int, 3>& dims, double yaw, double pitch, double roll) {
+  (void)dims;  // bounds recentering in factorize() makes the center moot
+  Camera cam;
+  cam.view = Mat4::rotation_y(yaw) * Mat4::rotation_x(pitch) * Mat4::rotation_z(roll);
+  return cam;
+}
+
+Affine2D Affine2D::inverse() const {
+  const double det = a00 * a11 - a01 * a10;
+  assert(std::abs(det) > 1e-12);
+  Affine2D inv;
+  inv.a00 = a11 / det;
+  inv.a01 = -a01 / det;
+  inv.a10 = -a10 / det;
+  inv.a11 = a00 / det;
+  inv.bx = -(inv.a00 * bx + inv.a01 * by);
+  inv.by = -(inv.a10 * bx + inv.a11 * by);
+  return inv;
+}
+
+Factorization factorize(const Camera& camera, const std::array<int, 3>& dims) {
+  Factorization f;
+
+  // Object-space viewing direction: the direction that projects to +z.
+  Mat4 inv_view;
+  const bool ok = camera.view.inverse(&inv_view);
+  assert(ok && "view matrix must be invertible");
+  (void)ok;
+  const Vec3 d = inv_view.transform_dir({0.0, 0.0, 1.0});
+
+  // Principal axis: object axis most parallel to the viewing direction.
+  int c = 0;
+  for (int a = 1; a < 3; ++a) {
+    if (std::abs(d[a]) > std::abs(d[c])) c = a;
+  }
+  f.principal_axis = c;
+  f.perm = {(c + 1) % 3, (c + 2) % 3, c};
+  f.ni = dims[f.perm[0]];
+  f.nj = dims[f.perm[1]];
+  f.nk = dims[f.perm[2]];
+
+  // Along a viewing ray, u = i - (d_i/d_k) k is invariant, so voxel i of
+  // slice k lands at u = i + shear_i * k with shear_i = -d_i/d_k.
+  const double di = d[f.perm[0]], dj = d[f.perm[1]], dk = d[f.perm[2]];
+  assert(std::abs(dk) > 0.0);
+  f.shear_i = -di / dk;
+  f.shear_j = -dj / dk;
+  // |shear| <= 1 is the factorization's defining property (principal axis
+  // dominates), up to rounding at exact 45-degree views.
+  f.trans_i = f.shear_i < 0.0 ? -f.shear_i * (f.nk - 1) : 0.0;
+  f.trans_j = f.shear_j < 0.0 ? -f.shear_j * (f.nk - 1) : 0.0;
+
+  f.intermediate_width =
+      f.ni + static_cast<int>(std::ceil(std::abs(f.shear_i) * (f.nk - 1))) + 1;
+  f.intermediate_height =
+      f.nj + static_cast<int>(std::ceil(std::abs(f.shear_j) * (f.nk - 1))) + 1;
+
+  // Front-to-back order: slice depth increases along +k iff the z row of
+  // the view has positive coefficient on the k' axis.
+  f.k_ascending = camera.view.at(2, f.perm[2]) > 0.0;
+
+  // Warp: image position of the ray with sheared coords (u, v). The ray
+  // passes through the object point with permuted coords
+  // (u - trans_i, v - trans_j, 0) on the k=0 slice plane.
+  auto project = [&](double u, double v) {
+    Vec3 obj;
+    double coords[3] = {0.0, 0.0, 0.0};
+    coords[f.perm[0]] = u - f.trans_i;
+    coords[f.perm[1]] = v - f.trans_j;
+    coords[f.perm[2]] = 0.0;
+    obj = {coords[0], coords[1], coords[2]};
+    return camera.view.transform_point(obj);
+  };
+  const Vec3 p00 = project(0, 0), p10 = project(1, 0), p01 = project(0, 1);
+  f.warp.a00 = p10.x - p00.x;
+  f.warp.a10 = p10.y - p00.y;
+  f.warp.a01 = p01.x - p00.x;
+  f.warp.a11 = p01.y - p00.y;
+  f.warp.bx = p00.x;
+  f.warp.by = p00.y;
+
+  // Final image bounds: warp the intermediate image corners.
+  const double w = f.intermediate_width, h = f.intermediate_height;
+  const Vec3 corners[4] = {f.warp.apply(0, 0), f.warp.apply(w, 0), f.warp.apply(0, h),
+                           f.warp.apply(w, h)};
+  double min_x = corners[0].x, max_x = corners[0].x;
+  double min_y = corners[0].y, max_y = corners[0].y;
+  for (const Vec3& p : corners) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const int need_w = static_cast<int>(std::ceil(max_x - min_x)) + 1;
+  const int need_h = static_cast<int>(std::ceil(max_y - min_y)) + 1;
+  if (camera.image_width > 0 && camera.image_height > 0) {
+    f.final_width = camera.image_width;
+    f.final_height = camera.image_height;
+    // Center the warped bounds in the requested image.
+    f.warp.bx += (f.final_width - (max_x - min_x)) * 0.5 - min_x;
+    f.warp.by += (f.final_height - (max_y - min_y)) * 0.5 - min_y;
+  } else {
+    f.final_width = need_w;
+    f.final_height = need_h;
+    f.warp.bx -= min_x;
+    f.warp.by -= min_y;
+  }
+  return f;
+}
+
+}  // namespace psw

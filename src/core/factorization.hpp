@@ -1,0 +1,75 @@
+// Shear-warp factorization of a parallel-projection viewing transformation
+// (Lacroute [4]): M_view = M_warp2D ∘ M_shear ∘ P. The volume is sheared so
+// viewing rays become perpendicular to the slices; slices composite into an
+// intermediate image that a 2-D warp maps to the final image.
+#pragma once
+
+#include <array>
+
+#include "util/mat4.hpp"
+#include "util/vec.hpp"
+
+namespace psw {
+
+// Camera for parallel projection: `view` maps object space to image space
+// (the projection drops the z row). Typically a rotation about the volume
+// center composed from rotation angles.
+struct Camera {
+  Mat4 view;
+  // Final image dimensions; 0 means "auto-size to the warped bounds".
+  int image_width = 0;
+  int image_height = 0;
+
+  // View matrix rotating the volume of the given dimensions about its
+  // center by the given Euler angles (radians), applied z(roll), then
+  // x(pitch), then y(yaw).
+  static Camera orbit(const std::array<int, 3>& dims, double yaw, double pitch,
+                      double roll = 0.0);
+};
+
+// 2-D affine map: (out_x, out_y) = A * (u, v) + b.
+struct Affine2D {
+  double a00 = 1, a01 = 0, a10 = 0, a11 = 1;
+  double bx = 0, by = 0;
+
+  Vec3 apply(double u, double v) const {
+    return {a00 * u + a01 * v + bx, a10 * u + a11 * v + by, 0.0};
+  }
+  // Inverse map; asserts non-singularity via the factorization contract.
+  Affine2D inverse() const;
+};
+
+// Everything the compositor and warper need for one viewpoint.
+struct Factorization {
+  int principal_axis = 2;       // object axis most parallel to the view dir
+  std::array<int, 3> perm{0, 1, 2};  // permuted axes (i', j', k'=principal)
+  int ni = 0, nj = 0, nk = 0;   // permuted volume dimensions
+
+  double shear_i = 0.0;         // shear per slice along i'
+  double shear_j = 0.0;         // shear per slice along j'
+  double trans_i = 0.0;         // translation making sheared coords >= 0
+  double trans_j = 0.0;
+
+  bool k_ascending = true;      // front-to-back slice order
+
+  int intermediate_width = 0;   // sheared (intermediate) image size
+  int intermediate_height = 0;
+
+  Affine2D warp;                // intermediate (u,v) -> final image (x,y)
+  int final_width = 0;          // final image size (auto or from camera)
+  int final_height = 0;
+
+  // Sheared-space offset of slice k: voxel i of slice k lands at
+  // u = i + offset_u(k) in the intermediate image.
+  double offset_u(int k) const { return trans_i + shear_i * k; }
+  double offset_v(int k) const { return trans_j + shear_j * k; }
+
+  // Slice index of the t-th slice in front-to-back order.
+  int slice(int t) const { return k_ascending ? t : nk - 1 - t; }
+};
+
+// Computes the factorization for a camera and volume dimensions.
+// The view matrix must be invertible (e.g. a rotation).
+Factorization factorize(const Camera& camera, const std::array<int, 3>& dims);
+
+}  // namespace psw

@@ -1,0 +1,28 @@
+#include "core/gradient.hpp"
+
+#include <cmath>
+
+namespace psw {
+
+Vec3 gradient_at(const DensityVolume& v, int x, int y, int z) {
+  const double gx = 0.5 * (v.at_clamped(x + 1, y, z) - v.at_clamped(x - 1, y, z));
+  const double gy = 0.5 * (v.at_clamped(x, y + 1, z) - v.at_clamped(x, y - 1, z));
+  const double gz = 0.5 * (v.at_clamped(x, y, z + 1) - v.at_clamped(x, y, z - 1));
+  return {gx, gy, gz};
+}
+
+float gradient_magnitude(const DensityVolume& v, int x, int y, int z) {
+  // Max per-axis central difference is 127.5; max magnitude sqrt(3)*127.5.
+  constexpr double kMax = 220.836;  // sqrt(3) * 127.5
+  const Vec3 g = gradient_at(v, x, y, z);
+  return static_cast<float>(std::min(1.0, g.norm() / kMax));
+}
+
+Vec3 surface_normal(const DensityVolume& v, int x, int y, int z) {
+  const Vec3 g = gradient_at(v, x, y, z);
+  const double n = g.norm();
+  if (n < 1e-9) return {};
+  return {-g.x / n, -g.y / n, -g.z / n};
+}
+
+}  // namespace psw

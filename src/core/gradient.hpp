@@ -1,0 +1,21 @@
+// Central-difference gradient estimation over a density volume; used for
+// shading and for gradient-modulated classification.
+#pragma once
+
+#include "core/volume.hpp"
+#include "util/vec.hpp"
+
+namespace psw {
+
+// Gradient vector at a voxel (central differences, clamped at borders).
+Vec3 gradient_at(const DensityVolume& v, int x, int y, int z);
+
+// Gradient magnitude normalized to [0,1] (divided by the maximum possible
+// central-difference magnitude for 8-bit data).
+float gradient_magnitude(const DensityVolume& v, int x, int y, int z);
+
+// Unit surface normal (negated normalized gradient); zero vector where the
+// gradient vanishes.
+Vec3 surface_normal(const DensityVolume& v, int x, int y, int z);
+
+}  // namespace psw

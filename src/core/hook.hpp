@@ -1,0 +1,25 @@
+// Memory-access hook: the renderers report their data references (volume
+// runs, voxel data, image pixels, skip links) through this interface so the
+// cache and SVM simulators can replay them. A null hook costs one
+// predictable branch in the hot loops.
+#pragma once
+
+#include <cstdint>
+
+namespace psw {
+
+class MemoryHook {
+ public:
+  virtual ~MemoryHook() = default;
+  virtual void access(const void* addr, uint32_t bytes, bool write) = 0;
+};
+
+// Convenience wrappers used by the kernels; `hook` may be null.
+inline void hook_read(MemoryHook* hook, const void* addr, uint32_t bytes) {
+  if (hook) hook->access(addr, bytes, false);
+}
+inline void hook_write(MemoryHook* hook, const void* addr, uint32_t bytes) {
+  if (hook) hook->access(addr, bytes, true);
+}
+
+}  // namespace psw

@@ -1,0 +1,54 @@
+#include "core/intermediate_image.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace psw {
+
+void IntermediateImage::resize(int width, int height) {
+  width_ = width;
+  height_ = height;
+  pixels_.assign(static_cast<size_t>(width) * height, Rgba{});
+  skip_.assign(static_cast<size_t>(width) * height, 0);
+}
+
+void IntermediateImage::clear() { clear_rows(0, height_); }
+
+void IntermediateImage::clear_rows(int v0, int v1) {
+  v0 = std::max(0, v0);
+  v1 = std::min(height_, v1);
+  if (v1 <= v0) return;
+  const size_t begin = static_cast<size_t>(v0) * width_;
+  const size_t count = static_cast<size_t>(v1 - v0) * width_;
+  std::fill_n(pixels_.data() + begin, count, Rgba{});
+  std::memset(skip_.data() + begin, 0, count * sizeof(int32_t));
+}
+
+int IntermediateImage::next_writable(int v, int u, MemoryHook* hook) {
+  int32_t* s = skip_.data() + static_cast<size_t>(v) * width_;
+  const int start = u;
+  while (u < width_) {
+    hook_read(hook, s + u, sizeof(int32_t));
+    if (s[u] == 0) break;
+    u += s[u];
+  }
+  // Path compression: point every link on the path at the destination.
+  int cur = start;
+  while (cur < u && s[cur] > 0) {
+    const int nxt = cur + s[cur];
+    if (s[cur] != u - cur) {
+      s[cur] = u - cur;
+      hook_write(hook, s + cur, sizeof(int32_t));
+    }
+    cur = nxt;
+  }
+  return u;
+}
+
+void IntermediateImage::mark_opaque(int u, int v, MemoryHook* hook) {
+  int32_t* s = skip_.data() + static_cast<size_t>(v) * width_;
+  s[u] = 1;
+  hook_write(hook, s + u, sizeof(int32_t));
+}
+
+}  // namespace psw

@@ -1,0 +1,59 @@
+// The intermediate (composited) image: premultiplied RGBA pixels plus
+// per-pixel skip links implementing the dynamically run-length-encoded
+// opaque-pixel structure used for early ray termination (§2). Skip links
+// are path-compressed offsets to the next non-opaque pixel in a scanline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hook.hpp"
+#include "util/vec.hpp"
+
+namespace psw {
+
+class IntermediateImage {
+ public:
+  // Pixels whose accumulated opacity reaches this are marked opaque and
+  // skipped in later slices (the paper's early ray termination threshold).
+  static constexpr float kOpaqueAlpha = 0.98f;
+
+  IntermediateImage() = default;
+  IntermediateImage(int width, int height) { resize(width, height); }
+
+  void resize(int width, int height);
+  // Clears pixels and skip links for a new frame.
+  void clear();
+  // Clears only the given scanline range [v0, v1) — what each processor
+  // clears for its own partition in the parallel renderers.
+  void clear_rows(int v0, int v1);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  Rgba& pixel(int u, int v) { return pixels_[static_cast<size_t>(v) * width_ + u]; }
+  const Rgba& pixel(int u, int v) const {
+    return pixels_[static_cast<size_t>(v) * width_ + u];
+  }
+  Rgba* row(int v) { return pixels_.data() + static_cast<size_t>(v) * width_; }
+  const Rgba* row(int v) const { return pixels_.data() + static_cast<size_t>(v) * width_; }
+
+  // First non-opaque pixel index >= u in scanline v (may be width()).
+  // Follows and path-compresses skip links; reports link traffic to hook.
+  int next_writable(int v, int u, MemoryHook* hook = nullptr);
+
+  // Marks pixel (u, v) opaque so later slices skip it.
+  void mark_opaque(int u, int v, MemoryHook* hook = nullptr);
+
+  // True when every pixel of scanline v is opaque from index `from` on.
+  bool fully_opaque_from(int v, int from, MemoryHook* hook = nullptr) {
+    return next_writable(v, from, hook) >= width_;
+  }
+
+ private:
+  int width_ = 0, height_ = 0;
+  std::vector<Rgba> pixels_;
+  std::vector<int32_t> skip_;  // 0 = writable, >0 = offset to candidate
+};
+
+}  // namespace psw

@@ -1,0 +1,24 @@
+// Brute-force dense reference renderer: identical shear-warp math and
+// compositing expressions, but direct dense-array access with no run-length
+// encoding and no skip links. The run-based renderer must match it
+// bit-for-bit; the test suite enforces this.
+#pragma once
+
+#include "core/classify.hpp"
+#include "core/factorization.hpp"
+#include "core/intermediate_image.hpp"
+#include "util/image.hpp"
+
+namespace psw {
+
+// Composites the whole frame from the dense classified volume. Voxels with
+// opacity below `alpha_threshold` are treated as fully transparent, exactly
+// as the run-length encoder does.
+void reference_composite(const ClassifiedVolume& vol, const Factorization& f,
+                         uint8_t alpha_threshold, IntermediateImage& img);
+
+// Full reference render: composite + warp.
+void reference_render(const ClassifiedVolume& vol, const Camera& camera,
+                      uint8_t alpha_threshold, ImageU8* out);
+
+}  // namespace psw

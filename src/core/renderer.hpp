@@ -1,0 +1,38 @@
+// The serial shear-warp renderer: compositing + warp for one frame.
+#pragma once
+
+#include "core/compositor.hpp"
+#include "core/factorization.hpp"
+#include "core/rle_volume.hpp"
+#include "core/warp.hpp"
+#include "util/image.hpp"
+
+namespace psw {
+
+struct RenderStats {
+  double composite_ms = 0.0;
+  double warp_ms = 0.0;
+  double total_ms = 0.0;
+  CompositeStats composite;
+  WarpStats warp;
+  int intermediate_width = 0;
+  int intermediate_height = 0;
+};
+
+// Serial renderer. Holds the intermediate image across frames so repeated
+// renders don't reallocate (matching the measured steady-state behaviour).
+class SerialRenderer {
+ public:
+  // Renders one frame into `out` (resized to the factorization's final
+  // image dimensions).
+  RenderStats render(const EncodedVolume& volume, const Camera& camera, ImageU8* out,
+                     MemoryHook* hook = nullptr);
+
+  // The intermediate image of the last rendered frame (for tests/tools).
+  const IntermediateImage& intermediate() const { return intermediate_; }
+
+ private:
+  IntermediateImage intermediate_;
+};
+
+}  // namespace psw

@@ -1,0 +1,133 @@
+#include "core/rle_volume.hpp"
+
+#include <cstring>
+
+namespace psw {
+
+RleVolume RleVolume::encode(const ClassifiedVolume& vol, int principal_axis,
+                            uint8_t alpha_threshold) {
+  RleVolume r;
+  r.axis_ = principal_axis;
+  r.perm_ = AxisPermutation::for_principal_axis(principal_axis);
+  r.alpha_threshold_ = alpha_threshold;
+  r.ni_ = vol.dim(r.perm_.axis_i);
+  r.nj_ = vol.dim(r.perm_.axis_j);
+  r.nk_ = vol.dim(r.perm_.axis_k);
+
+  const size_t scanlines = static_cast<size_t>(r.nk_) * r.nj_;
+  r.run_offset_.reserve(scanlines + 1);
+  r.voxel_offset_.reserve(scanlines + 1);
+  r.run_offset_.push_back(0);
+  r.voxel_offset_.push_back(0);
+
+  for (int k = 0; k < r.nk_; ++k) {
+    for (int j = 0; j < r.nj_; ++j) {
+      // Encode one scanline: alternating runs starting transparent.
+      bool cur_opaque = false;  // by convention the first run is transparent
+      int cur_len = 0;
+      for (int i = 0; i < r.ni_; ++i) {
+        const auto obj = r.perm_.to_object(i, j, k);
+        const ClassifiedVoxel& cv = vol.at(obj[0], obj[1], obj[2]);
+        const bool opaque = !cv.transparent(alpha_threshold);
+        if (opaque != cur_opaque) {
+          r.runs_.push_back(static_cast<uint16_t>(cur_len));
+          cur_opaque = opaque;
+          cur_len = 0;
+        }
+        ++cur_len;
+        if (opaque) r.voxels_.push_back(cv);
+      }
+      r.runs_.push_back(static_cast<uint16_t>(cur_len));
+      r.run_offset_.push_back(r.runs_.size());
+      r.voxel_offset_.push_back(r.voxels_.size());
+    }
+  }
+  return r;
+}
+
+size_t RleVolume::storage_bytes() const {
+  return runs_.size() * sizeof(uint16_t) + voxels_.size() * sizeof(ClassifiedVoxel) +
+         (run_offset_.size() + voxel_offset_.size()) * sizeof(uint64_t);
+}
+
+void RleVolume::decode_scanline(int k, int j, ClassifiedVoxel* out) const {
+  std::memset(out, 0, sizeof(ClassifiedVoxel) * ni_);
+  const uint16_t* run = runs_at(k, j);
+  const size_t nruns = runs_in_scanline(k, j);
+  const ClassifiedVoxel* vox = voxels_at(k, j);
+  int pos = 0;
+  bool opaque = false;
+  for (size_t ri = 0; ri < nruns; ++ri) {
+    const int len = run[ri];
+    if (opaque) {
+      for (int t = 0; t < len; ++t) out[pos + t] = *vox++;
+    }
+    pos += len;
+    opaque = !opaque;
+  }
+}
+
+RunCursor::RunCursor(const RleVolume& vol, int k, int j, MemoryHook* hook) {
+  ni_ = vol.ni();
+  if (j < 0 || j >= vol.nj() || k < 0 || k >= vol.nk()) return;  // null cursor
+  runs_ = vol.runs_at(k, j);
+  num_runs_ = vol.runs_in_scanline(k, j);
+  voxels_ = vol.voxels_at(k, j);
+  hook_ = hook;
+  ni_ = vol.ni();
+  empty_ = vol.scanline_empty(k, j);
+  run_idx_ = 0;
+  run_start_ = 0;
+  run_len_ = num_runs_ > 0 ? runs_[0] : ni_;
+  voxels_before_ = 0;
+  run_opaque_ = false;
+  hook_read(hook_, runs_, sizeof(uint16_t));
+}
+
+void RunCursor::advance_to(int i) {
+  while (i >= run_start_ + run_len_ && run_idx_ + 1 < num_runs_) {
+    if (run_opaque_) voxels_before_ += run_len_;
+    run_start_ += run_len_;
+    ++run_idx_;
+    run_len_ = runs_[run_idx_];
+    run_opaque_ = !run_opaque_;
+    hook_read(hook_, runs_ + run_idx_, sizeof(uint16_t));
+  }
+}
+
+const ClassifiedVoxel* RunCursor::at(int i) {
+  if (runs_ == nullptr || i < 0 || i >= ni_) return nullptr;
+  advance_to(i);
+  if (!run_opaque_ || i < run_start_ || i >= run_start_ + run_len_) return nullptr;
+  const ClassifiedVoxel* v = voxels_ + voxels_before_ + (i - run_start_);
+  hook_read(hook_, v, sizeof(ClassifiedVoxel));
+  return v;
+}
+
+int RunCursor::next_nontransparent(int i) const {
+  if (runs_ == nullptr) return ni_ == 0 ? 0 : ni_;
+  if (i < 0) i = 0;
+  // Scan forward from the current run without mutating state.
+  size_t idx = run_idx_;
+  int start = run_start_;
+  int len = run_len_;
+  bool opaque = run_opaque_;
+  while (true) {
+    if (opaque && i < start + len) return std::max(i, start);
+    if (idx + 1 >= num_runs_) return ni_;
+    start += len;
+    ++idx;
+    len = runs_[idx];
+    opaque = !opaque;
+  }
+}
+
+EncodedVolume EncodedVolume::build(const ClassifiedVolume& vol, uint8_t alpha_threshold) {
+  EncodedVolume e;
+  e.alpha_threshold_ = alpha_threshold;
+  e.dims_ = {vol.nx(), vol.ny(), vol.nz()};
+  for (int c = 0; c < 3; ++c) e.rle_[c] = RleVolume::encode(vol, c, alpha_threshold);
+  return e;
+}
+
+}  // namespace psw

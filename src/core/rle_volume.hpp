@@ -1,0 +1,150 @@
+// Run-length encoded classified volume — the coherence data structure of the
+// shear-warp algorithm (§2). Three encodings are kept, one per principal
+// viewing axis, each storing scanlines in the order the compositor streams
+// them, which is what gives the algorithm its sequential-locality advantage.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/classify.hpp"
+#include "core/hook.hpp"
+
+namespace psw {
+
+// Axis permutation for principal axis c: slice axis k' = c,
+// scanline-in-slice axis j' = (c+2)%3, voxel-in-scanline axis i' = (c+1)%3.
+struct AxisPermutation {
+  int axis_i, axis_j, axis_k;
+
+  static AxisPermutation for_principal_axis(int c) {
+    return {(c + 1) % 3, (c + 2) % 3, c};
+  }
+  // Object-space coordinates of permuted-space point (i, j, k).
+  std::array<int, 3> to_object(int i, int j, int k) const {
+    std::array<int, 3> obj{};
+    obj[axis_i] = i;
+    obj[axis_j] = j;
+    obj[axis_k] = k;
+    return obj;
+  }
+};
+
+// One per-axis encoding. Runs alternate transparent/non-transparent,
+// starting with a (possibly zero-length) transparent run. Non-transparent
+// voxels are packed contiguously in scanline order.
+class RleVolume {
+ public:
+  RleVolume() = default;
+
+  // Encodes the classified volume for principal axis c (0=x, 1=y, 2=z).
+  static RleVolume encode(const ClassifiedVolume& vol, int principal_axis,
+                          uint8_t alpha_threshold);
+
+  int ni() const { return ni_; }
+  int nj() const { return nj_; }
+  int nk() const { return nk_; }
+  int principal_axis() const { return axis_; }
+  const AxisPermutation& perm() const { return perm_; }
+  uint8_t alpha_threshold() const { return alpha_threshold_; }
+
+  size_t run_count() const { return runs_.size(); }
+  size_t voxel_count() const { return voxels_.size(); }
+  // Bytes of encoded data (runs + voxels + offsets); the paper notes the
+  // encoded volume is greatly compressed relative to the dense data.
+  size_t storage_bytes() const;
+
+  bool scanline_empty(int k, int j) const {
+    const size_t s = scanline_index(k, j);
+    return voxel_offset_[s] == voxel_offset_[s + 1];
+  }
+
+  // Decodes one scanline to dense voxels (transparent voxels zeroed);
+  // `out` must have room for ni() entries. For tests and tools.
+  void decode_scanline(int k, int j, ClassifiedVoxel* out) const;
+
+  size_t scanline_index(int k, int j) const {
+    return static_cast<size_t>(k) * nj_ + j;
+  }
+
+  // Raw access for the cursor and the trace layer.
+  const uint16_t* runs_at(int k, int j) const { return runs_.data() + run_offset_[scanline_index(k, j)]; }
+  size_t runs_in_scanline(int k, int j) const {
+    const size_t s = scanline_index(k, j);
+    return run_offset_[s + 1] - run_offset_[s];
+  }
+  const ClassifiedVoxel* voxels_at(int k, int j) const {
+    return voxels_.data() + voxel_offset_[scanline_index(k, j)];
+  }
+
+ private:
+  int ni_ = 0, nj_ = 0, nk_ = 0;
+  int axis_ = 2;
+  AxisPermutation perm_{0, 1, 2};
+  uint8_t alpha_threshold_ = 1;
+  std::vector<uint16_t> runs_;
+  std::vector<ClassifiedVoxel> voxels_;
+  std::vector<uint64_t> run_offset_;    // per scanline, size nk*nj + 1
+  std::vector<uint64_t> voxel_offset_;  // per scanline, size nk*nj + 1
+};
+
+// Streams one scanline's runs with monotonically non-decreasing queries.
+// Out-of-range scanlines (j outside [0, nj)) construct a null cursor whose
+// queries report "all transparent".
+class RunCursor {
+ public:
+  RunCursor() = default;  // null cursor
+  RunCursor(const RleVolume& vol, int k, int j, MemoryHook* hook = nullptr);
+
+  bool null() const { return runs_ == nullptr; }
+  // All voxels in the scanline are transparent (cheap: checks offsets).
+  bool empty() const { return empty_; }
+
+  // Voxel at index i, or nullptr if transparent/out of range. Queries must
+  // be non-decreasing in i (i may repeat). Reports data references to the
+  // hook: run-length reads on run advances, voxel reads on hits.
+  const ClassifiedVoxel* at(int i);
+
+  // Smallest index >= i holding a non-transparent voxel, or ni if none.
+  // Does not consume cursor state. Must also be called non-decreasing.
+  int next_nontransparent(int i) const;
+
+ private:
+  void advance_to(int i);
+
+  const uint16_t* runs_ = nullptr;
+  size_t num_runs_ = 0;
+  const ClassifiedVoxel* voxels_ = nullptr;
+  MemoryHook* hook_ = nullptr;
+  int ni_ = 0;
+  bool empty_ = true;
+  // Current run state.
+  size_t run_idx_ = 0;
+  int run_start_ = 0;           // first voxel index of current run
+  int run_len_ = 0;             // length of current run
+  size_t voxels_before_ = 0;    // packed voxels preceding current run
+  bool run_opaque_ = false;
+};
+
+// The full shear-warp input: one encoding per principal axis.
+class EncodedVolume {
+ public:
+  EncodedVolume() = default;
+  // Encodes all three axis orderings.
+  static EncodedVolume build(const ClassifiedVolume& vol, uint8_t alpha_threshold = 1);
+
+  const RleVolume& for_axis(int c) const { return rle_[c]; }
+  int dim(int axis) const { return dims_[axis]; }
+  uint8_t alpha_threshold() const { return alpha_threshold_; }
+  size_t storage_bytes() const {
+    return rle_[0].storage_bytes() + rle_[1].storage_bytes() + rle_[2].storage_bytes();
+  }
+
+ private:
+  std::array<RleVolume, 3> rle_;
+  std::array<int, 3> dims_{0, 0, 0};
+  uint8_t alpha_threshold_ = 1;
+};
+
+}  // namespace psw

@@ -1,0 +1,87 @@
+#include "core/transfer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psw {
+
+Ramp::Ramp(std::initializer_list<std::pair<int, float>> points) : points_(points) {
+  if (points_.empty()) points_.push_back({0, 0.0f});
+}
+
+float Ramp::operator()(float density) const {
+  if (density <= points_.front().first) return points_.front().second;
+  if (density >= points_.back().first) return points_.back().second;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (density <= points_[i].first) {
+      const float d0 = static_cast<float>(points_[i - 1].first);
+      const float d1 = static_cast<float>(points_[i].first);
+      const float t = (d1 > d0) ? (density - d0) / (d1 - d0) : 0.0f;
+      return points_[i - 1].second + t * (points_[i].second - points_[i - 1].second);
+    }
+  }
+  return points_.back().second;
+}
+
+TransferFunction::TransferFunction()
+    : colors_{Vec3{1, 1, 1}, Vec3{1, 1, 1}, Vec3{1, 1, 1}, Vec3{1, 1, 1}},
+      stops_{0, 85, 170, 255} {}
+
+void TransferFunction::set_color_map(std::array<Vec3, 4> colors, std::array<int, 4> stops) {
+  colors_ = colors;
+  stops_ = stops;
+}
+
+float TransferFunction::opacity(float density, float gradient_mag) const {
+  float a = opacity_(density);
+  if (use_gradient_) a *= gradient_(gradient_mag * 255.0f);
+  return std::clamp(a, 0.0f, 1.0f);
+}
+
+Vec3 TransferFunction::color(float density) const {
+  if (density <= stops_.front()) return colors_.front();
+  if (density >= stops_.back()) return colors_.back();
+  for (size_t i = 1; i < stops_.size(); ++i) {
+    if (density <= stops_[i]) {
+      const double t = (stops_[i] > stops_[i - 1])
+                           ? (density - stops_[i - 1]) /
+                                 static_cast<double>(stops_[i] - stops_[i - 1])
+                           : 0.0;
+      return colors_[i - 1] + t * (colors_[i] - colors_[i - 1]);
+    }
+  }
+  return colors_.back();
+}
+
+TransferFunction TransferFunction::mri_preset() {
+  TransferFunction tf;
+  // CSF (~40) transparent, gray matter (~110) translucent, white matter
+  // (~170) fairly opaque. Background and skin mostly transparent, which
+  // yields the 70-95% transparent-voxel fraction the paper relies on.
+  tf.set_opacity_ramp(Ramp{{0, 0.0f}, {70, 0.0f}, {100, 0.25f}, {130, 0.45f},
+                           {160, 0.75f}, {200, 0.95f}, {255, 1.0f}});
+  tf.set_color_map({Vec3{0.25, 0.22, 0.20}, Vec3{0.65, 0.55, 0.45},
+                    Vec3{0.85, 0.78, 0.70}, Vec3{1.0, 0.97, 0.92}},
+                   {0, 100, 170, 255});
+  return tf;
+}
+
+TransferFunction TransferFunction::ct_preset() {
+  TransferFunction tf;
+  // Soft tissue translucent, bone opaque.
+  tf.set_opacity_ramp(Ramp{{0, 0.0f}, {60, 0.0f}, {95, 0.12f}, {150, 0.2f},
+                           {210, 0.9f}, {255, 1.0f}});
+  tf.set_color_map({Vec3{0.3, 0.15, 0.1}, Vec3{0.8, 0.5, 0.4},
+                    Vec3{0.95, 0.9, 0.8}, Vec3{1.0, 1.0, 0.98}},
+                   {0, 90, 200, 255});
+  return tf;
+}
+
+TransferFunction TransferFunction::threshold_preset(uint8_t threshold, float alpha) {
+  TransferFunction tf;
+  const int t = threshold;
+  tf.set_opacity_ramp(Ramp{{0, 0.0f}, {std::max(0, t - 1), 0.0f}, {t, alpha}, {255, alpha}});
+  return tf;
+}
+
+}  // namespace psw

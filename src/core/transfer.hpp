@@ -1,0 +1,64 @@
+// Classification: maps raw density (and gradient magnitude) to opacity and
+// color. The shear-warp pipeline pre-classifies and pre-shades the volume
+// (Lacroute's fast mode); the ray-casting baseline evaluates the same
+// transfer function along each ray so the two renderers are functionally
+// equivalent, as in the paper's Figure 2 comparison.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/vec.hpp"
+
+namespace psw {
+
+// A piecewise-linear ramp over density [0,255].
+class Ramp {
+ public:
+  // Control points (density, value); densities must be increasing.
+  Ramp(std::initializer_list<std::pair<int, float>> points);
+  Ramp() : Ramp({{0, 0.0f}, {255, 1.0f}}) {}
+
+  float operator()(float density) const;
+
+ private:
+  std::vector<std::pair<int, float>> points_;
+};
+
+// Transfer function: opacity from a density ramp, optionally modulated by
+// gradient magnitude (so homogeneous interiors become transparent and tissue
+// boundaries opaque, the standard Levoy-style classification); color from a
+// density-indexed map.
+class TransferFunction {
+ public:
+  TransferFunction();
+
+  // Presets matching the phantom tissue bands.
+  static TransferFunction mri_preset();
+  static TransferFunction ct_preset();
+  // Simple threshold classification for tests: opacity 0 below `threshold`,
+  // `alpha` at and above it; constant white color.
+  static TransferFunction threshold_preset(uint8_t threshold, float alpha = 0.8f);
+
+  void set_opacity_ramp(Ramp r) { opacity_ = std::move(r); }
+  void set_gradient_ramp(Ramp r) { gradient_ = std::move(r); }
+  void set_gradient_modulation(bool on) { use_gradient_ = on; }
+  void set_color_map(std::array<Vec3, 4> colors, std::array<int, 4> stops);
+
+  // Opacity in [0,1] for a voxel with the given density and gradient
+  // magnitude (magnitude normalized to [0,1]).
+  float opacity(float density, float gradient_mag) const;
+
+  // Unshaded material color in [0,1]^3.
+  Vec3 color(float density) const;
+
+ private:
+  Ramp opacity_;
+  Ramp gradient_;
+  bool use_gradient_ = false;
+  std::array<Vec3, 4> colors_;
+  std::array<int, 4> stops_;
+};
+
+}  // namespace psw

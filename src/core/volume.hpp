@@ -1,0 +1,65 @@
+// Dense 3-D voxel grid. Storage order is x fastest, then y, then z — the
+// "scanline order" the shear-warp algorithm's spatial locality argument
+// depends on (§2 of the paper).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace psw {
+
+template <typename T>
+class Volume {
+ public:
+  Volume() = default;
+  Volume(int nx, int ny, int nz, T fill = T{}) { resize(nx, ny, nz, fill); }
+
+  void resize(int nx, int ny, int nz, T fill = T{}) {
+    nx_ = nx;
+    ny_ = ny;
+    nz_ = nz;
+    data_.assign(static_cast<size_t>(nx) * ny * nz, fill);
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  int dim(int axis) const { return axis == 0 ? nx_ : (axis == 1 ? ny_ : nz_); }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  bool in_bounds(int x, int y, int z) const {
+    return x >= 0 && x < nx_ && y >= 0 && y < ny_ && z >= 0 && z < nz_;
+  }
+
+  size_t index(int x, int y, int z) const {
+    assert(in_bounds(x, y, z));
+    return (static_cast<size_t>(z) * ny_ + y) * nx_ + x;
+  }
+
+  T& at(int x, int y, int z) { return data_[index(x, y, z)]; }
+  const T& at(int x, int y, int z) const { return data_[index(x, y, z)]; }
+
+  // Clamped access: coordinates are clamped to the valid range. Used by
+  // gradient estimation and resampling at the borders.
+  const T& at_clamped(int x, int y, int z) const {
+    x = std::clamp(x, 0, nx_ - 1);
+    y = std::clamp(y, 0, ny_ - 1);
+    z = std::clamp(z, 0, nz_ - 1);
+    return data_[index(x, y, z)];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+ private:
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<T> data_;
+};
+
+// Raw scalar volumes use 8-bit density, like the MRI/CT data in the paper.
+using DensityVolume = Volume<uint8_t>;
+
+}  // namespace psw

@@ -1,0 +1,49 @@
+#include "core/volume_io.hpp"
+
+#include <fstream>
+
+namespace psw {
+
+namespace {
+constexpr char kMagic[] = "PSWVOL1\n";
+}
+
+bool write_volume(const std::string& path, const DensityVolume& volume) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << kMagic << volume.nx() << " " << volume.ny() << " " << volume.nz() << "\n";
+  f.write(reinterpret_cast<const char*>(volume.data()),
+          static_cast<std::streamsize>(volume.size()));
+  return static_cast<bool>(f);
+}
+
+bool read_volume(const std::string& path, DensityVolume* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  char magic[sizeof(kMagic) - 1];
+  f.read(magic, sizeof(magic));
+  if (!f || std::string(magic, sizeof(magic)) != kMagic) return false;
+  int nx = 0, ny = 0, nz = 0;
+  f >> nx >> ny >> nz;
+  if (!f || nx <= 0 || ny <= 0 || nz <= 0) return false;
+  // Guard absurd sizes before allocating (corrupt headers).
+  const uint64_t total = static_cast<uint64_t>(nx) * ny * nz;
+  if (total > (4ull << 30)) return false;
+  f.get();  // the newline after the dimensions
+  out->resize(nx, ny, nz);
+  f.read(reinterpret_cast<char*>(out->data()), static_cast<std::streamsize>(total));
+  return static_cast<bool>(f);
+}
+
+bool read_raw_volume(const std::string& path, int nx, int ny, int nz,
+                     DensityVolume* out) {
+  if (nx <= 0 || ny <= 0 || nz <= 0) return false;
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  out->resize(nx, ny, nz);
+  f.read(reinterpret_cast<char*>(out->data()),
+         static_cast<std::streamsize>(out->size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace psw

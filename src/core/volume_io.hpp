@@ -1,0 +1,25 @@
+// Volume file I/O: a minimal self-describing binary format (".vol") for
+// 8-bit density grids, so users can feed real scans to the renderer and
+// persist phantoms. Layout: magic "PSWVOL1\n", three ASCII dimensions and
+// a newline, then nx*ny*nz raw bytes in x-fastest order.
+#pragma once
+
+#include <string>
+
+#include "core/volume.hpp"
+
+namespace psw {
+
+// Writes the volume; returns false on I/O failure.
+bool write_volume(const std::string& path, const DensityVolume& volume);
+
+// Reads a volume written by write_volume; returns false on parse or I/O
+// failure (including truncated payloads).
+bool read_volume(const std::string& path, DensityVolume* out);
+
+// Reads a headerless raw 8-bit volume of known dimensions (the format most
+// public CT/MRI datasets ship in).
+bool read_raw_volume(const std::string& path, int nx, int ny, int nz,
+                     DensityVolume* out);
+
+}  // namespace psw

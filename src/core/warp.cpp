@@ -1,0 +1,69 @@
+#include "core/warp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psw {
+
+void warp_scanline(const IntermediateImage& src, const Factorization& f,
+                   const Affine2D& inv, int y, int x0, int x1, ImageU8& out,
+                   MemoryHook* hook, WarpStats* stats) {
+  (void)f;
+  const int sw = src.width(), sh = src.height();
+  Pixel8* dst = out.row(y);
+  for (int x = x0; x < x1; ++x) {
+    const Vec3 uv = inv.apply(x + 0.0, y + 0.0);
+    const double u = uv.x, v = uv.y;
+    // Bilinear footprint; outside pixels are transparent black.
+    const int u0 = static_cast<int>(std::floor(u));
+    const int v0 = static_cast<int>(std::floor(v));
+    if (u0 < -1 || u0 >= sw || v0 < -1 || v0 >= sh) {
+      dst[x] = Pixel8{};
+      hook_write(hook, dst + x, sizeof(Pixel8));
+      if (stats) ++stats->pixels_written;
+      continue;
+    }
+    const float fu = static_cast<float>(u - u0);
+    const float fv = static_cast<float>(v - v0);
+    float r = 0, g = 0, b = 0, a = 0;
+    auto sample = [&](int su, int sv, float w) {
+      if (w == 0.0f || su < 0 || su >= sw || sv < 0 || sv >= sh) return;
+      const Rgba& p = src.pixel(su, sv);
+      hook_read(hook, &p, sizeof(Rgba));
+      r += w * p.r;
+      g += w * p.g;
+      b += w * p.b;
+      a += w * p.a;
+      if (stats) ++stats->samples;
+    };
+    sample(u0, v0, (1 - fu) * (1 - fv));
+    sample(u0 + 1, v0, fu * (1 - fv));
+    sample(u0, v0 + 1, (1 - fu) * fv);
+    sample(u0 + 1, v0 + 1, fu * fv);
+    dst[x] = quantize8(Rgba{r, g, b, a});
+    hook_write(hook, dst + x, sizeof(Pixel8));
+    if (stats) ++stats->pixels_written;
+  }
+}
+
+WarpStats warp_frame(const IntermediateImage& src, const Factorization& f, ImageU8& out,
+                     MemoryHook* hook) {
+  WarpStats stats;
+  const Affine2D inv = f.warp.inverse();
+  for (int y = 0; y < out.height(); ++y) {
+    warp_scanline(src, f, inv, y, 0, out.width(), out, hook, &stats);
+  }
+  return stats;
+}
+
+void warp_tile(const IntermediateImage& src, const Factorization& f, const Affine2D& inv,
+               int tile_x, int tile_y, int tile_size, ImageU8& out, MemoryHook* hook,
+               WarpStats* stats) {
+  const int y1 = std::min(out.height(), tile_y + tile_size);
+  const int x1 = std::min(out.width(), tile_x + tile_size);
+  for (int y = tile_y; y < y1; ++y) {
+    warp_scanline(src, f, inv, y, tile_x, x1, out, hook, stats);
+  }
+}
+
+}  // namespace psw

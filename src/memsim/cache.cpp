@@ -1,0 +1,91 @@
+#include "memsim/cache.hpp"
+
+#include <algorithm>
+
+namespace psw {
+
+SetAssocCache::SetAssocCache(uint64_t capacity_bytes, int line_bytes, int assoc)
+    : assoc_(assoc) {
+  const uint64_t lines = std::max<uint64_t>(assoc, capacity_bytes / line_bytes);
+  num_sets_ = static_cast<int>(std::max<uint64_t>(1, lines / assoc));
+  ways_.assign(static_cast<size_t>(num_sets_) * assoc_, Way{});
+}
+
+SetAssocCache::Result SetAssocCache::access(uint64_t line_addr) {
+  Result result;
+  Way* set = ways_.data() + set_index(line_addr) * assoc_;
+  ++tick_;
+  Way* lru_way = set;
+  for (int w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].tag == line_addr) {
+      set[w].lru = tick_;
+      result.hit = true;
+      return result;
+    }
+    if (!set[w].valid) {
+      lru_way = &set[w];
+    } else if (lru_way->valid && set[w].lru < lru_way->lru) {
+      lru_way = &set[w];
+    }
+  }
+  // Prefer an invalid way if any exists.
+  for (int w = 0; w < assoc_; ++w) {
+    if (!set[w].valid) {
+      lru_way = &set[w];
+      break;
+    }
+  }
+  if (lru_way->valid) {
+    result.evicted = true;
+    result.evicted_line = lru_way->tag;
+  }
+  lru_way->tag = line_addr;
+  lru_way->valid = true;
+  lru_way->lru = tick_;
+  return result;
+}
+
+bool SetAssocCache::contains(uint64_t line_addr) const {
+  const Way* set = ways_.data() + set_index(line_addr) * assoc_;
+  for (int w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].tag == line_addr) return true;
+  }
+  return false;
+}
+
+void SetAssocCache::invalidate(uint64_t line_addr) {
+  Way* set = ways_.data() + set_index(line_addr) * assoc_;
+  for (int w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].tag == line_addr) {
+      set[w].valid = false;
+      return;
+    }
+  }
+}
+
+FullyAssocCache::FullyAssocCache(uint64_t capacity_bytes, int line_bytes)
+    : capacity_lines_(std::max<uint64_t>(1, capacity_bytes / line_bytes)) {}
+
+bool FullyAssocCache::access(uint64_t line_addr) {
+  const auto it = map_.find(line_addr);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  if (map_.size() >= capacity_lines_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(line_addr);
+  map_[line_addr] = lru_.begin();
+  return false;
+}
+
+void FullyAssocCache::invalidate(uint64_t line_addr) {
+  const auto it = map_.find(line_addr);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+}  // namespace psw

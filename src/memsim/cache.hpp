@@ -1,0 +1,68 @@
+// Set-associative LRU cache model (tag store only), plus a same-capacity
+// fully-associative shadow used to split replacement misses into capacity
+// vs conflict (a miss that hits in the shadow is a conflict miss).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace psw {
+
+class SetAssocCache {
+ public:
+  SetAssocCache(uint64_t capacity_bytes, int line_bytes, int assoc);
+
+  struct Result {
+    bool hit = false;
+    bool evicted = false;
+    uint64_t evicted_line = 0;  // line address (byte address / line size)
+  };
+
+  // Touches the line (allocate on miss, LRU update on hit).
+  Result access(uint64_t line_addr);
+
+  bool contains(uint64_t line_addr) const;
+  // Removes the line if present (coherence invalidation).
+  void invalidate(uint64_t line_addr);
+
+  int num_sets() const { return num_sets_; }
+  int assoc() const { return assoc_; }
+
+ private:
+  struct Way {
+    uint64_t tag = 0;
+    bool valid = false;
+    uint64_t lru = 0;  // larger = more recent
+  };
+
+  size_t set_index(uint64_t line_addr) const {
+    // Mix the upper bits so contiguous-but-strided structures don't all
+    // alias to a few sets more than real hardware would.
+    return static_cast<size_t>(line_addr % num_sets_);
+  }
+
+  int num_sets_;
+  int assoc_;
+  std::vector<Way> ways_;  // num_sets * assoc
+  uint64_t tick_ = 0;
+};
+
+// Fully-associative LRU with the same number of lines.
+class FullyAssocCache {
+ public:
+  FullyAssocCache(uint64_t capacity_bytes, int line_bytes);
+
+  // Returns true on hit; allocates (and evicts LRU) on miss.
+  bool access(uint64_t line_addr);
+  void invalidate(uint64_t line_addr);
+
+ private:
+  size_t capacity_lines_;
+  std::list<uint64_t> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+};
+
+}  // namespace psw

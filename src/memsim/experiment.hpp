@@ -1,0 +1,75 @@
+// Experiment harness: builds datasets, traces steady-state frames of either
+// parallel algorithm at a simulated processor count, and runs them through
+// a machine model. Every bench binary in bench/ is a thin driver over these
+// helpers; DESIGN.md maps paper figures to them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classify.hpp"
+#include "core/rle_volume.hpp"
+#include "memsim/mpsim.hpp"
+#include "parallel/options.hpp"
+#include "phantom/phantom.hpp"
+
+namespace psw {
+
+enum class Algo { kOld, kNew };
+const char* algo_name(Algo a);
+
+// A classified + encoded phantom volume ready to render.
+struct Dataset {
+  std::string name;
+  std::array<int, 3> dims{};
+  EncodedVolume volume;
+  size_t dense_bytes = 0;
+  double transparent_fraction = 0.0;
+};
+
+// Builds the MRI-brain (kind="mri") or CT-head (kind="ct") phantom at the
+// given dimensions, classifies with the matching preset, and encodes.
+Dataset make_dataset(const std::string& kind, const std::string& name, int nx, int ny,
+                     int nz);
+
+// Divides a paper dataset size by `divisor` (benches default to scaled
+// volumes so simulator sweeps finish quickly; --scale=full uses divisor 1).
+DatasetSpec scale_spec(const DatasetSpec& spec, int divisor);
+
+struct WorkloadOptions {
+  double yaw = 0.55;     // steady-state viewpoint (radians)
+  double pitch = 0.35;
+  double degrees_per_frame = 2.0;  // animation step during warm-up
+  int warmup_frames = 2;           // frames before the traced frame
+  ParallelOptions parallel;
+};
+
+// Traces one steady-state frame at `procs` simulated processors. For the
+// new algorithm, warm-up frames (untraced) populate the scanline profile so
+// the traced frame uses the predictively balanced contiguous partition.
+TraceSet trace_frame(Algo algo, const Dataset& data, int procs,
+                     const WorkloadOptions& opt = {});
+
+// Renders the same frame sequence and reports the renderer-level stats of
+// the traced frame (lock ops, steals, bounds) without capturing a trace.
+ParallelRenderStats frame_stats(Algo algo, const Dataset& data, int procs,
+                                const WorkloadOptions& opt = {});
+
+// Runs the machine model over a trace.
+SimResult simulate(const MachineConfig& machine, const TraceSet& traces,
+                   bool profiled_frame = false);
+
+struct SpeedupPoint {
+  int procs = 0;
+  double speedup = 0.0;
+  double cycles = 0.0;
+};
+
+// Simulated self-relative speedup curve T(1)/T(P) on the given machine.
+std::vector<SpeedupPoint> speedup_curve(Algo algo, const Dataset& data,
+                                        const MachineConfig& machine,
+                                        const std::vector<int>& proc_counts,
+                                        const WorkloadOptions& opt = {});
+
+}  // namespace psw

@@ -1,0 +1,73 @@
+#include "memsim/machine.hpp"
+
+namespace psw {
+
+MachineConfig MachineConfig::dash() {
+  MachineConfig m;
+  m.name = "DASH";
+  m.distributed = true;
+  m.procs_per_node = 4;
+  m.cache_bytes = 256u << 10;  // 256KB second-level cache
+  m.line_bytes = 16;           // the small line the paper blames (§3.4.3)
+  m.assoc = 1;                 // direct-mapped L2
+  m.local_miss = 30;           // 33MHz R3000-era cycle counts
+  m.remote_2hop = 100;
+  m.remote_3hop = 130;
+  m.upgrade = 40;
+  m.busy_per_access = 3.0;
+  m.home_occupancy = 18.0;
+  return m;
+}
+
+MachineConfig MachineConfig::challenge() {
+  MachineConfig m;
+  m.name = "Challenge";
+  m.distributed = false;  // centralized shared memory
+  m.procs_per_node = 16;
+  m.cache_bytes = 1u << 20;  // 1MB second-level cache
+  m.line_bytes = 128;
+  m.assoc = 1;
+  m.local_miss = 60;  // bus + memory at 150MHz
+  m.remote_2hop = 60;
+  m.remote_3hop = 60;
+  m.upgrade = 30;
+  m.busy_per_access = 3.0;
+  m.home_occupancy = 30.0;  // the shared bus is the contention point
+  return m;
+}
+
+MachineConfig MachineConfig::simulator() {
+  MachineConfig m;
+  m.name = "Simulator";
+  m.distributed = true;
+  m.procs_per_node = 1;
+  m.cache_bytes = 1u << 20;
+  m.line_bytes = 64;
+  m.assoc = 4;
+  m.local_miss = 70;  // exactly the §3.2 settings
+  m.remote_2hop = 210;
+  m.remote_3hop = 280;
+  m.upgrade = 100;
+  m.busy_per_access = 3.0;
+  m.home_occupancy = 24.0;
+  return m;
+}
+
+MachineConfig MachineConfig::origin2000() {
+  MachineConfig m;
+  m.name = "Origin2000";
+  m.distributed = true;
+  m.procs_per_node = 2;
+  m.cache_bytes = 4u << 20;  // 4MB second-level cache
+  m.line_bytes = 128;
+  m.assoc = 2;
+  m.local_miss = 80;  // 195MHz R10000-era costs
+  m.remote_2hop = 160;
+  m.remote_3hop = 220;
+  m.upgrade = 70;
+  m.busy_per_access = 3.0;
+  m.home_occupancy = 20.0;
+  return m;
+}
+
+}  // namespace psw

@@ -1,0 +1,58 @@
+// Machine models for the trace-driven simulator: the four cache-coherent
+// platforms of the paper (§3.2, §5.5.1). Latencies are uncontended costs in
+// processor cycles; the contention model inflates them per phase.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace psw {
+
+struct MachineConfig {
+  std::string name;
+
+  // Topology. `distributed` selects NUMA cost accounting; on a centralized
+  // machine every miss costs `local_miss`.
+  bool distributed = true;
+  int procs_per_node = 1;
+
+  // Per-processor cache (models the level closest to memory).
+  uint64_t cache_bytes = 1u << 20;
+  int line_bytes = 64;
+  int assoc = 4;
+
+  // Uncontended miss costs in cycles (§3.2: 70 local, 210 two-hop, 280
+  // three-hop on the simulated machine).
+  int local_miss = 70;
+  int remote_2hop = 210;
+  int remote_3hop = 280;
+  // Upgrade (write hit on a shared line): directory round trip.
+  int upgrade = 60;
+
+  // Busy model: cycles of computation attributed to each traced data
+  // reference (covers the arithmetic between references).
+  double busy_per_access = 3.0;
+  // Busy inflation on frames that run the §4.2 profiling code (10-15%).
+  double profile_overhead = 0.12;
+
+  // Contention model: cycles a miss occupies its home memory/directory;
+  // per-phase utilization inflates remote latencies (open-queue
+  // approximation, capped).
+  double home_occupancy = 24.0;
+  double max_utilization = 0.85;
+
+  // Pages are placed round-robin across node memories (§3.4.2).
+  int page_bytes = 4096;
+
+  int nodes(int procs) const {
+    return (procs + procs_per_node - 1) / procs_per_node;
+  }
+
+  // The four platforms of the paper.
+  static MachineConfig dash();        // 16B lines, 256KB, distributed, 4/node
+  static MachineConfig challenge();   // 128B lines, 1MB, centralized bus
+  static MachineConfig simulator();   // 64B lines, 1MB 4-way, 70/210/280
+  static MachineConfig origin2000();  // 128B lines, 4MB 2-way, 2/node
+};
+
+}  // namespace psw

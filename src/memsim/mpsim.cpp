@@ -1,0 +1,339 @@
+#include "memsim/mpsim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace psw {
+
+const char* miss_class_name(MissClass c) {
+  switch (c) {
+    case MissClass::kCold: return "cold";
+    case MissClass::kCapacity: return "capacity";
+    case MissClass::kConflict: return "conflict";
+    case MissClass::kTrueShare: return "true-sharing";
+    case MissClass::kFalseShare: return "false-sharing";
+  }
+  return "?";
+}
+
+uint64_t SimResult::total_accesses() const {
+  uint64_t t = 0;
+  for (const auto& p : proc) t += p.accesses;
+  return t;
+}
+uint64_t SimResult::total_hits() const {
+  uint64_t t = 0;
+  for (const auto& p : proc) t += p.hits;
+  return t;
+}
+uint64_t SimResult::misses_of(MissClass c) const {
+  uint64_t t = 0;
+  for (const auto& p : proc) t += p.misses[static_cast<int>(c)];
+  return t;
+}
+uint64_t SimResult::total_misses() const {
+  uint64_t t = 0;
+  for (const auto& p : proc) t += p.total_misses();
+  return t;
+}
+uint64_t SimResult::total_upgrades() const {
+  uint64_t t = 0;
+  for (const auto& p : proc) t += p.upgrades;
+  return t;
+}
+double SimResult::miss_rate(bool include_cold) const {
+  const uint64_t acc = total_accesses();
+  if (acc == 0) return 0.0;
+  uint64_t m = total_misses();
+  if (!include_cold) m -= misses_of(MissClass::kCold);
+  return static_cast<double>(m) / acc;
+}
+double SimResult::miss_rate_of(MissClass c) const {
+  const uint64_t acc = total_accesses();
+  return acc == 0 ? 0.0 : static_cast<double>(misses_of(c)) / acc;
+}
+double SimResult::remote_fraction() const {
+  uint64_t local = 0, remote = 0;
+  for (const auto& p : proc) {
+    local += p.local;
+    remote += p.remote2 + p.remote3;
+  }
+  return (local + remote) == 0 ? 0.0
+                               : static_cast<double>(remote) / (local + remote);
+}
+double SimResult::busy_sum() const {
+  double t = 0;
+  for (const auto& p : proc) t += p.busy_cycles;
+  return t;
+}
+double SimResult::mem_sum() const {
+  double t = 0;
+  for (const auto& p : proc) t += p.mem_cycles;
+  return t;
+}
+double SimResult::sync_sum() const {
+  double t = 0;
+  for (const auto& p : proc) t += p.sync_cycles;
+  return t;
+}
+
+MultiProcSim::MultiProcSim(const MachineConfig& config, int procs)
+    : cfg_(config),
+      procs_(procs),
+      nodes_(config.nodes(procs)),
+      words_per_line_(config.line_bytes / 4) {
+  assert(procs <= 64);
+  caches_.reserve(procs);
+  shadows_.reserve(procs);
+  for (int p = 0; p < procs; ++p) {
+    caches_.emplace_back(cfg_.cache_bytes, cfg_.line_bytes, cfg_.assoc);
+    shadows_.emplace_back(cfg_.cache_bytes, cfg_.line_bytes);
+  }
+}
+
+MultiProcSim::LineMeta& MultiProcSim::meta(uint64_t line_addr, int procs) {
+  LineMeta& m = lines_[line_addr];
+  if (m.fetch_version.empty()) {
+    m.word_version.assign(words_per_line_, 0);
+    m.word_writer.assign(words_per_line_, 255);
+    m.fetch_version.assign(procs, 0);
+  }
+  return m;
+}
+
+int MultiProcSim::miss_cost_and_site(int p, const LineMeta& m, uint64_t line_addr,
+                                     int* home_out) {
+  const uint64_t addr = line_addr * cfg_.line_bytes;
+  const int home = static_cast<int>((addr / cfg_.page_bytes) % nodes_);
+  *home_out = home;
+  if (!cfg_.distributed) return cfg_.local_miss;
+
+  const int my_node = p / cfg_.procs_per_node;
+  if (m.dirty && m.owner >= 0 && m.owner != p) {
+    const int owner_node = m.owner / cfg_.procs_per_node;
+    if (owner_node == my_node) return cfg_.local_miss;  // in-node snoop
+    if (home == my_node || owner_node == home) return cfg_.remote_2hop;
+    return cfg_.remote_3hop;
+  }
+  return home == my_node ? cfg_.local_miss : cfg_.remote_2hop;
+}
+
+void MultiProcSim::touch_line(int p, uint64_t line_addr, uint64_t addr, uint32_t size,
+                              bool write, ProcCounters& pc,
+                              std::vector<double>& node_occupancy,
+                              std::vector<std::vector<double>>& lat_by_home) {
+  ++pc.accesses;
+  (write ? pc.writes : pc.reads)++;
+
+  const SetAssocCache::Result res = caches_[p].access(line_addr);
+  const bool shadow_hit = shadows_[p].access(line_addr);
+
+  // Word span of this access within the line.
+  const uint64_t line_base = line_addr * cfg_.line_bytes;
+  const uint64_t lo = std::max(addr, line_base);
+  const uint64_t hi = std::min(addr + size, line_base + cfg_.line_bytes);
+  const int w0 = static_cast<int>((lo - line_base) / 4);
+  const int w1 = std::min(words_per_line_ - 1, static_cast<int>((hi - 1 - line_base) / 4));
+
+  LineMeta& m = meta(line_addr, procs_);
+  const uint64_t bit = 1ull << p;
+
+  if (res.evicted) {
+    // Keep the directory consistent with the replacement: the victim line
+    // leaves p's cache through capacity/conflict, not coherence.
+    LineMeta& victim = meta(res.evicted_line, procs_);
+    victim.sharers &= ~bit;
+    victim.invalidated &= ~bit;
+    if (victim.owner == p) {
+      victim.owner = -1;
+      victim.dirty = false;  // implicit writeback to home
+    }
+  }
+
+  if (res.hit) {
+    ++pc.hits;
+    if (write) {
+      const uint64_t others = m.sharers & ~bit;
+      if (others) {
+        // Upgrade: invalidate every other copy via the directory.
+        ++pc.upgrades;
+        pc.mem_cycles += cfg_.upgrade;
+        for (int q = 0; q < procs_; ++q) {
+          if (others & (1ull << q)) {
+            caches_[q].invalidate(line_addr);
+            m.invalidated |= (1ull << q);
+          }
+        }
+        m.sharers = bit;
+      }
+      m.dirty = true;
+      m.owner = static_cast<int8_t>(p);
+      ++m.version;
+      for (int w = w0; w <= w1; ++w) {
+        m.word_version[w] = m.version;
+        m.word_writer[w] = static_cast<uint8_t>(p);
+      }
+    }
+    return;
+  }
+
+  // ---- Miss: classify. ----
+  MissClass cls;
+  if (!(m.ever_accessed & bit)) {
+    cls = MissClass::kCold;
+  } else if (m.invalidated & bit) {
+    // Coherence miss: true sharing iff a word this access touches was
+    // written (by another processor) since p last fetched the line.
+    bool true_share = false;
+    for (int w = w0; w <= w1; ++w) {
+      if (m.word_version[w] > m.fetch_version[p] && m.word_writer[w] != p) {
+        true_share = true;
+        break;
+      }
+    }
+    cls = true_share ? MissClass::kTrueShare : MissClass::kFalseShare;
+  } else {
+    cls = shadow_hit ? MissClass::kConflict : MissClass::kCapacity;
+  }
+  ++pc.misses[static_cast<int>(cls)];
+
+  int home = 0;
+  const int cost = miss_cost_and_site(p, m, line_addr, &home);
+  pc.mem_cycles += cost;
+  lat_by_home[p][home] += cost;
+  node_occupancy[home] += cfg_.home_occupancy;
+  if (!cfg_.distributed || cost == cfg_.local_miss) {
+    ++pc.local;
+  } else if (cost == cfg_.remote_2hop) {
+    ++pc.remote2;
+  } else {
+    ++pc.remote3;
+  }
+
+  // ---- Protocol state update. ----
+  if (m.dirty && m.owner != p) {
+    // Owner writes back; line becomes clean-shared (read) or moves (write).
+    m.dirty = false;
+    m.owner = -1;
+  }
+  if (write) {
+    const uint64_t others = m.sharers & ~bit;
+    for (int q = 0; q < procs_; ++q) {
+      if (others & (1ull << q)) {
+        caches_[q].invalidate(line_addr);
+        m.invalidated |= (1ull << q);
+      }
+    }
+    m.sharers = bit;
+    m.dirty = true;
+    m.owner = static_cast<int8_t>(p);
+    ++m.version;
+    for (int w = w0; w <= w1; ++w) {
+      m.word_version[w] = m.version;
+      m.word_writer[w] = static_cast<uint8_t>(p);
+    }
+  } else {
+    m.sharers |= bit;
+  }
+  m.ever_accessed |= bit;
+  m.invalidated &= ~bit;  // p has a fresh copy now
+  m.fetch_version[p] = m.version;
+}
+
+SimResult MultiProcSim::run(const TraceSet& traces, const SimOptions& opt) {
+  assert(traces.procs() == procs_);
+  SimResult result;
+  result.machine = cfg_;
+  result.procs = procs_;
+  result.proc.assign(procs_, ProcCounters{});
+
+  for (int interval = 0; interval < traces.intervals(); ++interval) {
+    const bool warmup = interval < opt.warmup_intervals;
+    IntervalBreakdown ib;
+    ib.name = traces.interval_name(interval);
+    const bool profiled_interval =
+        opt.profiled_frame && ib.name.rfind("composite", 0) == 0;
+
+    std::vector<double> busy(procs_, 0), mem0(procs_, 0);
+    std::vector<double> node_occupancy(nodes_, 0);
+    std::vector<std::vector<double>> lat_by_home(
+        procs_, std::vector<double>(nodes_, 0));
+    // Warm-up intervals update the caches and directory but their
+    // statistics are discarded.
+    std::vector<ProcCounters> scratch(warmup ? procs_ : 0);
+
+    // Chunked round-robin interleave of the processors' streams.
+    std::vector<size_t> cursor(procs_), end(procs_);
+    for (int p = 0; p < procs_; ++p) {
+      const auto [b, e] = traces.interval_range(p, interval);
+      cursor[p] = b;
+      end[p] = e;
+    }
+    bool any = true;
+    while (any) {
+      any = false;
+      for (int p = 0; p < procs_; ++p) {
+        const size_t stop =
+            std::min(end[p], cursor[p] + static_cast<size_t>(opt.interleave_chunk));
+        if (cursor[p] < stop) any = true;
+        ProcCounters& pc = warmup ? scratch[p] : result.proc[p];
+        const double mem_before = pc.mem_cycles;
+        const TraceStream& s = traces.stream(p);
+        for (size_t i = cursor[p]; i < stop; ++i) {
+          const TraceRecord& r = s.records[i];
+          const uint64_t first_line = r.addr() >> __builtin_ctz(cfg_.line_bytes);
+          const uint64_t last_line =
+              (r.addr() + std::max<uint32_t>(1, r.size()) - 1) >>
+              __builtin_ctz(cfg_.line_bytes);
+          for (uint64_t line = first_line; line <= last_line; ++line) {
+            touch_line(p, line, r.addr(), r.size(), r.is_write(), pc, node_occupancy,
+                       lat_by_home);
+          }
+          double b = cfg_.busy_per_access;
+          if (profiled_interval) b *= 1.0 + cfg_.profile_overhead;
+          busy[p] += b;
+          pc.busy_cycles += b;
+        }
+        mem0[p] += pc.mem_cycles - mem_before;
+        cursor[p] = stop;
+      }
+    }
+
+    if (warmup) continue;
+
+    // Raw span, then one contention-inflation pass (open-queue style).
+    double span_raw = 0;
+    for (int p = 0; p < procs_; ++p) span_raw = std::max(span_raw, busy[p] + mem0[p]);
+    std::vector<double> factor(nodes_, 1.0);
+    double max_util = 0;
+    if (span_raw > 0) {
+      for (int n = 0; n < nodes_; ++n) {
+        const double util = std::min(cfg_.max_utilization, node_occupancy[n] / span_raw);
+        max_util = std::max(max_util, util);
+        factor[n] = 1.0 / (1.0 - util);
+      }
+    }
+    std::vector<double> mem(procs_, 0);
+    double span = 0;
+    for (int p = 0; p < procs_; ++p) {
+      mem[p] = mem0[p];
+      for (int n = 0; n < nodes_; ++n) mem[p] += lat_by_home[p][n] * (factor[n] - 1.0);
+      result.proc[p].mem_cycles += mem[p] - mem0[p];
+      span = std::max(span, busy[p] + mem[p]);
+    }
+    for (int p = 0; p < procs_; ++p) {
+      const double wait = span - (busy[p] + mem[p]);
+      result.proc[p].sync_cycles += wait;
+      ib.busy += busy[p];
+      ib.mem += mem[p];
+      ib.sync += wait;
+    }
+    ib.span_cycles = span;
+    ib.max_utilization = max_util;
+    result.intervals.push_back(ib);
+    result.total_cycles += span;
+  }
+  return result;
+}
+
+}  // namespace psw

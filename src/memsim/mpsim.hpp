@@ -1,0 +1,130 @@
+// Trace-driven multiprocessor cache + directory simulator with Woo-style
+// miss classification [13] and a busy/memory/synchronization cycle model.
+// This is the reproduction of the paper's simulation methodology (§3.2):
+// per-processor reference streams drive per-processor caches kept coherent
+// by an invalidation directory; misses are classified cold / capacity /
+// conflict / true-sharing / false-sharing and costed local / 2-hop / 3-hop
+// with round-robin page homes and a per-home contention model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "memsim/cache.hpp"
+#include "memsim/machine.hpp"
+#include "trace/sink.hpp"
+
+namespace psw {
+
+enum class MissClass : int {
+  kCold = 0,
+  kCapacity = 1,
+  kConflict = 2,
+  kTrueShare = 3,
+  kFalseShare = 4,
+};
+inline constexpr int kNumMissClasses = 5;
+const char* miss_class_name(MissClass c);
+
+struct ProcCounters {
+  uint64_t accesses = 0;  // line touches (records spanning two lines count twice)
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t hits = 0;
+  std::array<uint64_t, kNumMissClasses> misses{};
+  uint64_t upgrades = 0;
+  uint64_t local = 0, remote2 = 0, remote3 = 0;  // miss service location
+  double busy_cycles = 0;
+  double mem_cycles = 0;
+  double sync_cycles = 0;
+
+  uint64_t total_misses() const {
+    uint64_t t = 0;
+    for (uint64_t m : misses) t += m;
+    return t;
+  }
+};
+
+struct IntervalBreakdown {
+  std::string name;
+  double span_cycles = 0;  // max over processors (busy + memory)
+  double busy = 0, mem = 0, sync = 0;  // summed over processors
+  double max_utilization = 0;          // busiest home node
+};
+
+struct SimResult {
+  MachineConfig machine;
+  int procs = 0;
+  std::vector<ProcCounters> proc;
+  std::vector<IntervalBreakdown> intervals;
+  double total_cycles = 0;  // sum of interval spans
+
+  uint64_t total_accesses() const;
+  uint64_t total_hits() const;
+  uint64_t misses_of(MissClass c) const;
+  uint64_t total_misses() const;
+  uint64_t total_upgrades() const;
+  // Percentage of references missing, optionally excluding cold misses
+  // (the paper's Figure 7 omits cold misses).
+  double miss_rate(bool include_cold = true) const;
+  double miss_rate_of(MissClass c) const;
+  double remote_fraction() const;  // remote misses / all misses
+  double busy_sum() const;
+  double mem_sum() const;
+  double sync_sum() const;
+};
+
+struct SimOptions {
+  // Inflate busy cycles of "composite" intervals by the machine's
+  // profile_overhead (a frame that runs the §4.2 profiling code).
+  bool profiled_frame = false;
+  // Records interleaved round-robin in blocks of this many per processor.
+  int interleave_chunk = 64;
+  // Process (and warm caches/directory with) this many leading intervals
+  // without counting them in the results. Steady-state measurement: traces
+  // carry two identical frames and the first one is warm-up, so that
+  // cross-phase and cross-frame sharing shows up as coherence misses
+  // rather than cold misses.
+  int warmup_intervals = 0;
+};
+
+class MultiProcSim {
+ public:
+  MultiProcSim(const MachineConfig& config, int procs);
+
+  // Runs all intervals of the trace set (procs() must match). Callable
+  // once per instance (caches and directory are not reset).
+  SimResult run(const TraceSet& traces, const SimOptions& opt = {});
+
+ private:
+  struct LineMeta {
+    uint64_t sharers = 0;         // bitmask of caching processors
+    uint64_t ever_accessed = 0;   // bitmask
+    uint64_t invalidated = 0;     // bitmask: copy lost to an invalidation
+    int8_t owner = -1;            // processor with the dirty copy
+    bool dirty = false;
+    uint32_t version = 0;         // bumped per write access
+    std::vector<uint32_t> word_version;      // per 4-byte word
+    std::vector<uint8_t> word_writer;        // per 4-byte word
+    std::vector<uint32_t> fetch_version;     // per proc: version at last fetch
+  };
+
+  LineMeta& meta(uint64_t line_addr, int procs);
+  void touch_line(int p, uint64_t line_addr, uint64_t addr, uint32_t size, bool write,
+                  ProcCounters& pc, std::vector<double>& node_occupancy,
+                  std::vector<std::vector<double>>& lat_by_home);
+  int miss_cost_and_site(int p, const LineMeta& m, uint64_t line_addr, int* home_out);
+
+  MachineConfig cfg_;
+  int procs_;
+  int nodes_;
+  int words_per_line_;
+  std::vector<SetAssocCache> caches_;
+  std::vector<FullyAssocCache> shadows_;
+  std::unordered_map<uint64_t, LineMeta> lines_;
+};
+
+}  // namespace psw

@@ -1,0 +1,30 @@
+#include "parallel/animation.hpp"
+
+#include <algorithm>
+
+namespace psw {
+
+AnimationSummary run_animation(
+    const AnimationPath& path,
+    const std::function<ParallelRenderStats(int frame, const Camera&)>& render_frame) {
+  AnimationSummary summary;
+  summary.frames = path.frames;
+  for (int frame = 0; frame < path.frames; ++frame) {
+    const ParallelRenderStats stats = render_frame(frame, path.camera(frame));
+    summary.total_ms += stats.total_ms;
+    summary.worst_frame_ms = std::max(summary.worst_frame_ms, stats.total_ms);
+    summary.profiled_frames += stats.profiled ? 1 : 0;
+    summary.total_steals += stats.steals;
+    summary.mean_imbalance += stats.work_imbalance();
+  }
+  if (path.frames > 0) {
+    summary.mean_frame_ms = summary.total_ms / path.frames;
+    summary.mean_imbalance /= path.frames;
+    if (summary.total_ms > 0) {
+      summary.frames_per_second = 1e3 * path.frames / summary.total_ms;
+    }
+  }
+  return summary;
+}
+
+}  // namespace psw

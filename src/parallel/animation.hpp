@@ -1,0 +1,51 @@
+// Animation driver: renders a sequence of frames from a rotating viewpoint,
+// the workload the paper's algorithms target (§4.1: "most often volume
+// rendering is done as an animation ... the angle between successive
+// viewpoints is typically small").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/factorization.hpp"
+#include "parallel/options.hpp"
+
+namespace psw {
+
+struct AnimationPath {
+  std::array<int, 3> dims{};
+  double start_yaw = 0.0;
+  double pitch = 0.35;          // slight tilt so all three axes matter
+  double degrees_per_frame = 2.0;
+  int frames = 30;
+
+  Camera camera(int frame) const {
+    constexpr double kDeg = 3.14159265358979323846 / 180.0;
+    return Camera::orbit(dims, start_yaw + frame * degrees_per_frame * kDeg, pitch);
+  }
+
+  // Profile refresh interval in frames for a ~15-degree re-profiling
+  // cadence (§4.2).
+  int profile_interval() const {
+    return std::max(1, static_cast<int>(15.0 / std::max(0.1, degrees_per_frame)));
+  }
+};
+
+struct AnimationSummary {
+  int frames = 0;
+  double total_ms = 0.0;
+  double mean_frame_ms = 0.0;
+  double worst_frame_ms = 0.0;
+  double frames_per_second = 0.0;
+  int profiled_frames = 0;
+  uint64_t total_steals = 0;
+  double mean_imbalance = 0.0;
+};
+
+// Runs `render_frame(frame)` over the path and aggregates timing. The
+// callback returns the frame's ParallelRenderStats.
+AnimationSummary run_animation(
+    const AnimationPath& path,
+    const std::function<ParallelRenderStats(int frame, const Camera&)>& render_frame);
+
+}  // namespace psw

@@ -1,0 +1,6 @@
+#include "parallel/executor.hpp"
+
+// Executor implementations are header-only; this translation unit anchors
+// the vtable.
+
+namespace psw {}  // namespace psw

@@ -1,0 +1,71 @@
+// Execution strategy for the parallel renderers. A ThreadedExecutor runs
+// SPMD bodies on real threads; a SerialExecutor replays them one simulated
+// processor at a time, which is how the trace-driven cache and SVM
+// simulators observe each processor's reference stream deterministically.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/hook.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace psw {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  // Number of (real or simulated) processors.
+  virtual int procs() const = 0;
+
+  // Runs body(p) for every p; returns when all are done. For a threaded
+  // executor the return is a barrier; for a serial executor bodies run in
+  // processor order.
+  virtual void run(const std::function<void(int)>& body) = 0;
+
+  // True when bodies genuinely overlap in time. Renderers use this to
+  // decide whether work stealing and fused composite+warp phases (with
+  // point-to-point completion waits) are usable.
+  virtual bool concurrent() const = 0;
+
+  // Per-processor memory hook for the trace layer (null by default).
+  virtual MemoryHook* hook(int p) {
+    (void)p;
+    return nullptr;
+  }
+
+  // Phase annotation, forwarded to the trace layer so simulators can place
+  // synchronization interval boundaries.
+  virtual void begin_phase(const char* name) { (void)name; }
+};
+
+// Runs everything on the calling thread, processor by processor.
+class SerialExecutor : public Executor {
+ public:
+  explicit SerialExecutor(int procs) : procs_(procs) {}
+
+  int procs() const override { return procs_; }
+  bool concurrent() const override { return false; }
+  void run(const std::function<void(int)>& body) override {
+    for (int p = 0; p < procs_; ++p) body(p);
+  }
+
+ private:
+  int procs_;
+};
+
+// Real-thread executor owning a pool of `procs` workers.
+class ThreadedExecutor : public Executor {
+ public:
+  explicit ThreadedExecutor(int procs) : pool_(procs) {}
+
+  int procs() const override { return pool_.size(); }
+  bool concurrent() const override { return true; }
+  void run(const std::function<void(int)>& body) override { pool_.run(body); }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace psw

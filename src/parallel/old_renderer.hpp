@@ -1,0 +1,31 @@
+// The ORIGINAL parallel shear-warp algorithm (§3.1, Lacroute [5] / Singh et
+// al. [12]): compositing over interleaved chunks of intermediate-image
+// scanlines with task stealing; warp over round-robin square tiles of the
+// final image; a global barrier between the phases.
+#pragma once
+
+#include "core/renderer.hpp"
+#include "parallel/executor.hpp"
+#include "parallel/options.hpp"
+
+namespace psw {
+
+class OldParallelRenderer {
+ public:
+  explicit OldParallelRenderer(ParallelOptions options = {}) : options_(options) {}
+
+  // Renders one frame with the executor's processors. The output is
+  // bit-identical to SerialRenderer for any processor count: scanlines and
+  // final pixels each have exactly one writer.
+  ParallelRenderStats render(const EncodedVolume& volume, const Camera& camera,
+                             Executor& exec, ImageU8* out);
+
+  const ParallelOptions& options() const { return options_; }
+  const IntermediateImage& intermediate() const { return intermediate_; }
+
+ private:
+  ParallelOptions options_;
+  IntermediateImage intermediate_;
+};
+
+}  // namespace psw

@@ -1,0 +1,60 @@
+// Shared knobs and statistics for the two parallel renderers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compositor.hpp"
+
+namespace psw {
+
+struct ParallelOptions {
+  // Task size: scanlines per chunk. For the old algorithm this is the task
+  // granularity (§3.1, "determined empirically"); for the new algorithm it
+  // is the stealing unit only (§4.4).
+  int chunk_scanlines = 4;
+  // Old algorithm's warp phase: edge of the square final-image tiles.
+  int warp_tile = 32;
+  // Dynamic task stealing (disabled automatically on serial executors,
+  // where sequential bodies would mis-order the steals).
+  bool stealing = true;
+  // New algorithm: frames between profiled frames (the paper picks k so
+  // profiles recur every ~15 degrees of rotation).
+  int profile_every = 8;
+  // New algorithm: fuse composite+warp into one parallel region with
+  // point-to-point completion flags instead of a global barrier (§5.5.2).
+  // Only takes effect on concurrent executors.
+  bool fused_phases = true;
+};
+
+struct ParallelRenderStats {
+  double total_ms = 0.0;
+  double composite_ms = 0.0;
+  double warp_ms = 0.0;
+
+  CompositeStats composite;
+  std::vector<uint64_t> composite_work;  // per-processor work units
+  std::vector<uint64_t> warp_pixels;     // per-processor final pixels written
+  uint64_t steals = 0;
+  uint64_t lock_ops = 0;
+
+  // New algorithm only.
+  bool profiled = false;
+  std::vector<int> bounds;  // partition boundaries (P+1 entries)
+  int active_lo = 0, active_hi = 0;
+
+  // Max-over-mean deviation of per-processor composite work.
+  double work_imbalance() const {
+    if (composite_work.empty()) return 0.0;
+    uint64_t total = 0, worst = 0;
+    for (uint64_t w : composite_work) {
+      total += w;
+      worst = std::max(worst, w);
+    }
+    if (total == 0) return 0.0;
+    const double mean = static_cast<double>(total) / composite_work.size();
+    return static_cast<double>(worst) / mean - 1.0;
+  }
+};
+
+}  // namespace psw

@@ -1,0 +1,36 @@
+// Partition computation for the new parallel algorithm (§4.3): a cumulative
+// profile built with a (parallel) prefix operation, divided into P equal
+// cost shares by searching the cumulative array — so computing partitions
+// is not the serial bottleneck the naive approach suffers from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/executor.hpp"
+
+namespace psw {
+
+// Inclusive-prefix cumulative cost; out[i] = sum of cost[0..i-1], size n+1
+// (out[0] = 0, out[n] = total).
+std::vector<uint64_t> prefix_sum(const std::vector<uint32_t>& cost);
+
+// Two-pass parallel prefix (block sums, scan of block sums, local fix-up)
+// over the executor's processors. Equivalent to prefix_sum.
+std::vector<uint64_t> prefix_sum_parallel(const std::vector<uint32_t>& cost,
+                                          Executor& exec);
+
+// P+1 monotone boundaries over [0, n]: boundary p is the index whose
+// cumulative cost is closest to p/P of the total (§4.3), found by binary
+// search. Zero total cost degenerates to a uniform split.
+std::vector<int> balanced_partition(const std::vector<uint64_t>& cumulative, int procs);
+
+// Uniform split of [0, n] into P near-equal ranges.
+std::vector<int> uniform_partition(int n, int procs);
+
+// Largest absolute per-share deviation from perfect balance, as a fraction
+// of the mean share (diagnostics and tests).
+double partition_imbalance(const std::vector<uint64_t>& cumulative,
+                           const std::vector<int>& bounds);
+
+}  // namespace psw

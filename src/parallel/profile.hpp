@@ -1,0 +1,54 @@
+// Per-scanline work profiles (§4.2): the cost of compositing each
+// intermediate-image scanline, measured in work units (the analogue of the
+// paper's basic-block instruction counts), recorded on profiled frames and
+// used to predict the next frames' balanced partition.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace psw {
+
+class ScanlineProfile {
+ public:
+  // True when a usable profile exists for the given intermediate height.
+  bool valid_for(int height) const {
+    return valid_ && static_cast<int>(cost_.size()) == height;
+  }
+
+  // Starts recording a new profile for a frame with `height` scanlines.
+  void begin_frame(int height) {
+    cost_.assign(height, 0);
+    valid_ = false;
+  }
+  // Finishes the recording; the profile becomes the predictor.
+  void end_frame() {
+    valid_ = true;
+    frames_since_ = 0;
+  }
+
+  // Records the measured cost of one scanline. Each scanline is composited
+  // by exactly one processor per frame, so entries are written once.
+  void record(int v, uint32_t units) { cost_[v] = units; }
+  uint32_t* data() { return cost_.data(); }
+
+  const std::vector<uint32_t>& cost() const { return cost_; }
+  uint32_t cost_at(int v) const { return cost_[v]; }
+
+  void tick_frame() {
+    if (frames_since_ != std::numeric_limits<int>::max()) ++frames_since_;
+  }
+  int frames_since_profile() const { return frames_since_; }
+  void invalidate() {
+    valid_ = false;
+    frames_since_ = std::numeric_limits<int>::max();
+  }
+
+ private:
+  std::vector<uint32_t> cost_;
+  bool valid_ = false;
+  int frames_since_ = std::numeric_limits<int>::max();
+};
+
+}  // namespace psw

@@ -1,0 +1,124 @@
+// Per-processor task queues with work stealing, shared by both parallel
+// renderers. The old algorithm seeds each queue with interleaved chunks of
+// scanlines (§3.1); the new algorithm seeds one contiguous partition per
+// processor and steals chunks from the back (§4.4).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace psw {
+
+// A contiguous range of intermediate-image scanlines [lo, hi), tagged with
+// the processor whose partition it came from (for completion accounting).
+struct ScanlineRange {
+  int lo = 0;
+  int hi = 0;
+  int owner = 0;
+
+  int count() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+};
+
+class StealQueues {
+ public:
+  explicit StealQueues(int procs) : queues_(procs), lock_ops_(0), steals_(0) {}
+
+  int procs() const { return static_cast<int>(queues_.size()); }
+
+  // Seeds before the parallel region begins (no locking needed then, but we
+  // lock anyway for simplicity; the renderers call this single-threaded).
+  void push(int p, ScanlineRange range) {
+    if (range.empty()) return;
+    std::lock_guard<std::mutex> lock(queues_[p].mutex);
+    queues_[p].ranges.push_back(range);
+    queues_[p].approx_remaining.fetch_add(range.count(), std::memory_order_relaxed);
+  }
+
+  // Takes up to `chunk` scanlines from the front of p's own queue.
+  bool pop_own(int p, int chunk, ScanlineRange* out) {
+    Queue& q = queues_[p];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    lock_ops_.fetch_add(1, std::memory_order_relaxed);
+    if (q.ranges.empty()) return false;
+    ScanlineRange& front = q.ranges.front();
+    *out = {front.lo, std::min(front.hi, front.lo + chunk), front.owner};
+    front.lo = out->hi;
+    if (front.empty()) q.ranges.pop_front();
+    q.approx_remaining.fetch_sub(out->count(), std::memory_order_relaxed);
+    return true;
+  }
+
+  // Steals up to `chunk` scanlines from the back of the fullest victim
+  // queue. Returns false when every queue is empty.
+  bool steal(int thief, int chunk, ScanlineRange* out) {
+    const int n = procs();
+    // Pick the victim with the most remaining work (racy read is fine; it
+    // is only a heuristic).
+    int victim = -1, best = 0;
+    for (int i = 0; i < n; ++i) {
+      if (i == thief) continue;
+      const int remaining = queues_[i].approx_remaining.load(std::memory_order_relaxed);
+      if (remaining > best) {
+        best = remaining;
+        victim = i;
+      }
+    }
+    if (victim < 0) {
+      // Fall back to a scan; approx counters may lag.
+      for (int d = 1; d < n; ++d) {
+        const int i = (thief + d) % n;
+        if (try_steal_from(i, chunk, out)) {
+          steals_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+      return false;
+    }
+    if (try_steal_from(victim, chunk, out)) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    // Victim raced to empty; rescan everyone once.
+    for (int d = 1; d < n; ++d) {
+      const int i = (thief + d) % n;
+      if (try_steal_from(i, chunk, out)) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  uint64_t lock_ops() const { return lock_ops_.load(std::memory_order_relaxed); }
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<ScanlineRange> ranges;
+    std::atomic<int> approx_remaining{0};
+  };
+
+  bool try_steal_from(int victim, int chunk, ScanlineRange* out) {
+    Queue& q = queues_[victim];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    lock_ops_.fetch_add(1, std::memory_order_relaxed);
+    if (q.ranges.empty()) return false;
+    ScanlineRange& back = q.ranges.back();
+    *out = {std::max(back.lo, back.hi - chunk), back.hi, back.owner};
+    back.hi = out->lo;
+    if (back.empty()) q.ranges.pop_back();
+    q.approx_remaining.fetch_sub(out->count(), std::memory_order_relaxed);
+    return true;
+  }
+
+  std::vector<Queue> queues_;
+  std::atomic<uint64_t> lock_ops_;
+  std::atomic<uint64_t> steals_;
+};
+
+}  // namespace psw

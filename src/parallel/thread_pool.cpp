@@ -1,0 +1,58 @@
+#include "parallel/thread_pool.hpp"
+
+namespace psw {
+
+ThreadPool::ThreadPool(int num_threads) {
+  workers_.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run(const std::function<void(int)>& body) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  body_ = &body;
+  remaining_ = size();
+  first_error_ = nullptr;
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  body_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(int index) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(int)>* body;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      body = body_;
+    }
+    std::exception_ptr error;
+    try {
+      (*body)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace psw

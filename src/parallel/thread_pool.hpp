@@ -1,0 +1,43 @@
+// Fixed-size thread pool running "one body per worker" parallel regions —
+// the SPMD structure of the paper's renderers (P processes, barrier-joined
+// phases).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psw {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Runs body(t) on every worker t in [0, size()) and returns when all have
+  // finished (an implicit barrier). Exceptions from bodies are rethrown
+  // (the first one) after all workers finish.
+  void run(const std::function<void(int)>& body);
+
+ private:
+  void worker_loop(int index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* body_ = nullptr;
+  uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace psw

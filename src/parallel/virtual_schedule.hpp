@@ -1,0 +1,51 @@
+// Deterministic virtual-time scheduling for serial (tracing) executors.
+//
+// The paper's renderers rely on dynamic task stealing for load balance; on
+// real threads stealing is driven by wall-clock timing. When the renderers
+// execute under a SerialExecutor to produce per-processor traces, running
+// processor bodies to completion one after another would let processor 0
+// steal everything, so instead the compositing phase is scheduled here:
+// each virtual processor has a clock advanced by the work units of the
+// chunks it processes, and the next chunk always goes to the processor
+// with the smallest clock — exactly the schedule a timing-driven run with
+// uniform per-unit cost would produce, deterministically.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "parallel/steal_queue.hpp"
+
+namespace psw {
+
+// Drains `queues` with `procs` virtual processors. `process(p, range)`
+// executes the chunk on processor p (recording that processor's trace) and
+// returns its cost in work units. Stealing follows the same policy as the
+// threaded path (own queue front first, then steal from the fullest
+// victim's back).
+inline void virtual_time_schedule(
+    StealQueues& queues, int procs, int chunk, bool steal,
+    const std::function<uint32_t(int, const ScanlineRange&)>& process) {
+  std::vector<double> clock(procs, 0.0);
+  std::vector<bool> exhausted(procs, false);
+  int active = procs;
+  while (active > 0) {
+    int p = -1;
+    for (int q = 0; q < procs; ++q) {
+      if (!exhausted[q] && (p < 0 || clock[q] < clock[p])) p = q;
+    }
+    ScanlineRange r;
+    if (queues.pop_own(p, chunk, &r) || (steal && queues.steal(p, chunk, &r))) {
+      clock[p] += process(p, r);
+      // Zero-cost chunks must still advance time so empty partitions do
+      // not monopolize the argmin.
+      clock[p] += 1.0;
+    } else {
+      exhausted[p] = true;
+      --active;
+    }
+  }
+}
+
+}  // namespace psw

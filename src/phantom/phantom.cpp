@@ -1,0 +1,144 @@
+#include "phantom/phantom.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/vec.hpp"
+
+namespace psw {
+
+namespace {
+
+// Periodic value-noise lattice: smooth pseudo-random field used to perturb
+// tissue boundaries so runs are coherent but not perfectly ellipsoidal.
+class ValueNoise {
+ public:
+  ValueNoise(uint64_t seed, int period) : period_(period), lattice_(period * period * period) {
+    SplitMix64 rng(seed);
+    for (auto& v : lattice_) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+
+  float sample(double x, double y, double z) const {
+    const int x0 = wrap(static_cast<int>(std::floor(x)));
+    const int y0 = wrap(static_cast<int>(std::floor(y)));
+    const int z0 = wrap(static_cast<int>(std::floor(z)));
+    const double fx = smooth(x - std::floor(x));
+    const double fy = smooth(y - std::floor(y));
+    const double fz = smooth(z - std::floor(z));
+    double acc = 0.0;
+    for (int dz = 0; dz <= 1; ++dz) {
+      for (int dy = 0; dy <= 1; ++dy) {
+        for (int dx = 0; dx <= 1; ++dx) {
+          const double w = (dx ? fx : 1 - fx) * (dy ? fy : 1 - fy) * (dz ? fz : 1 - fz);
+          acc += w * lat(x0 + dx, y0 + dy, z0 + dz);
+        }
+      }
+    }
+    return static_cast<float>(acc);
+  }
+
+ private:
+  int wrap(int i) const { return ((i % period_) + period_) % period_; }
+  static double smooth(double t) { return t * t * (3.0 - 2.0 * t); }
+  float lat(int x, int y, int z) const {
+    return lattice_[(static_cast<size_t>(wrap(z)) * period_ + wrap(y)) * period_ + wrap(x)];
+  }
+
+  int period_;
+  std::vector<float> lattice_;
+};
+
+struct Ellipsoid {
+  Vec3 center;   // in normalized [0,1]^3 coordinates
+  Vec3 radius;   // semi-axes, normalized
+  // Signed normalized distance: <1 inside, >1 outside.
+  double level(const Vec3& p) const {
+    const double dx = (p.x - center.x) / radius.x;
+    const double dy = (p.y - center.y) / radius.y;
+    const double dz = (p.z - center.z) / radius.z;
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+  }
+};
+
+}  // namespace
+
+DensityVolume make_mri_brain(int nx, int ny, int nz, uint64_t seed) {
+  DensityVolume vol(nx, ny, nz, 0);
+  const ValueNoise folds(seed, 16);
+  const ValueNoise texture(seed ^ 0x9e3779b9ULL, 12);
+
+  const Ellipsoid scalp{{0.5, 0.5, 0.5}, {0.42, 0.46, 0.40}};
+  const Ellipsoid cortex{{0.5, 0.5, 0.5}, {0.36, 0.40, 0.34}};
+  const Ellipsoid white{{0.5, 0.5, 0.5}, {0.28, 0.32, 0.26}};
+  const Ellipsoid vent_l{{0.42, 0.48, 0.52}, {0.06, 0.12, 0.05}};
+  const Ellipsoid vent_r{{0.58, 0.48, 0.52}, {0.06, 0.12, 0.05}};
+  const Ellipsoid stem{{0.5, 0.78, 0.45}, {0.08, 0.16, 0.08}};
+
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const Vec3 p{(x + 0.5) / nx, (y + 0.5) / ny, (z + 0.5) / nz};
+        // Fold perturbation shifts the cortical boundary in and out,
+        // creating sulci-like grooves with long coherent runs.
+        const double fold = 0.05 * folds.sample(p.x * 10, p.y * 10, p.z * 10);
+        const double tex = texture.sample(p.x * 14, p.y * 14, p.z * 14);
+
+        double density = 0.0;
+        if (scalp.level(p) < 1.0 && cortex.level(p) + fold > 1.04) {
+          // Thin scalp/skin shell, mostly transparent after classification.
+          if (scalp.level(p) > 0.93) density = 60.0 + 6.0 * tex;
+        }
+        if (cortex.level(p) + fold < 1.0) density = 110.0 + 10.0 * tex;       // gray matter
+        if (white.level(p) + 0.6 * fold < 1.0) density = 170.0 + 8.0 * tex;   // white matter
+        if (stem.level(p) < 1.0) density = 150.0 + 8.0 * tex;                 // brain stem
+        if (vent_l.level(p) < 1.0 || vent_r.level(p) < 1.0) density = 40.0;   // CSF ventricles
+        vol.at(x, y, z) = static_cast<uint8_t>(std::clamp(density, 0.0, 255.0));
+      }
+    }
+  }
+  return vol;
+}
+
+DensityVolume make_ct_head(int nx, int ny, int nz, uint64_t seed) {
+  DensityVolume vol(nx, ny, nz, 0);
+  const ValueNoise bumps(seed, 16);
+  const ValueNoise texture(seed ^ 0x7f4a7c15ULL, 12);
+
+  const Ellipsoid skull_out{{0.5, 0.5, 0.52}, {0.40, 0.44, 0.38}};
+  const Ellipsoid skull_in{{0.5, 0.5, 0.52}, {0.345, 0.385, 0.325}};
+  const Ellipsoid sinus{{0.5, 0.30, 0.42}, {0.07, 0.10, 0.07}};
+  const Ellipsoid airway{{0.5, 0.38, 0.30}, {0.04, 0.12, 0.10}};
+  const Ellipsoid jaw{{0.5, 0.40, 0.18}, {0.20, 0.16, 0.10}};
+
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const Vec3 p{(x + 0.5) / nx, (y + 0.5) / ny, (z + 0.5) / nz};
+        const double bump = 0.03 * bumps.sample(p.x * 9, p.y * 9, p.z * 9);
+        const double tex = texture.sample(p.x * 13, p.y * 13, p.z * 13);
+
+        double density = 0.0;
+        const double lo = skull_out.level(p) + bump;
+        const double li = skull_in.level(p) + bump;
+        if (lo < 1.0) density = 90.0 + 8.0 * tex;            // soft tissue fills the head
+        if (lo < 1.0 && li > 1.0) density = 230.0 + 6.0 * tex;  // skull shell (bone)
+        if (jaw.level(p) + bump < 1.0) density = 225.0 + 6.0 * tex;  // mandible
+        if (sinus.level(p) < 1.0 || airway.level(p) < 1.0) density = 5.0;  // air cavities
+        vol.at(x, y, z) = static_cast<uint8_t>(std::clamp(density, 0.0, 255.0));
+      }
+    }
+  }
+  return vol;
+}
+
+double transparent_fraction(const DensityVolume& v, uint8_t threshold) {
+  if (v.empty()) return 1.0;
+  size_t transparent = 0;
+  const uint8_t* d = v.data();
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (d[i] < threshold) ++transparent;
+  }
+  return static_cast<double>(transparent) / static_cast<double>(v.size());
+}
+
+}  // namespace psw

@@ -1,0 +1,45 @@
+#include "phantom/resample.hpp"
+
+#include <cmath>
+
+namespace psw {
+
+DensityVolume resample(const DensityVolume& src, int nx, int ny, int nz) {
+  DensityVolume dst(nx, ny, nz, 0);
+  if (src.empty() || nx <= 0 || ny <= 0 || nz <= 0) return dst;
+
+  const double sx = nx > 1 ? static_cast<double>(src.nx() - 1) / (nx - 1) : 0.0;
+  const double sy = ny > 1 ? static_cast<double>(src.ny() - 1) / (ny - 1) : 0.0;
+  const double sz = nz > 1 ? static_cast<double>(src.nz() - 1) / (nz - 1) : 0.0;
+
+  for (int z = 0; z < nz; ++z) {
+    const double fz = z * sz;
+    const int z0 = static_cast<int>(fz);
+    const double wz = fz - z0;
+    for (int y = 0; y < ny; ++y) {
+      const double fy = y * sy;
+      const int y0 = static_cast<int>(fy);
+      const double wy = fy - y0;
+      for (int x = 0; x < nx; ++x) {
+        const double fx = x * sx;
+        const int x0 = static_cast<int>(fx);
+        const double wx = fx - x0;
+        double acc = 0.0;
+        for (int dz = 0; dz <= 1; ++dz) {
+          for (int dy = 0; dy <= 1; ++dy) {
+            for (int dx = 0; dx <= 1; ++dx) {
+              const double w =
+                  (dx ? wx : 1 - wx) * (dy ? wy : 1 - wy) * (dz ? wz : 1 - wz);
+              if (w == 0.0) continue;
+              acc += w * src.at_clamped(x0 + dx, y0 + dy, z0 + dz);
+            }
+          }
+        }
+        dst.at(x, y, z) = static_cast<uint8_t>(std::lround(std::clamp(acc, 0.0, 255.0)));
+      }
+    }
+  }
+  return dst;
+}
+
+}  // namespace psw

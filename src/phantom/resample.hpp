@@ -1,0 +1,14 @@
+// Trilinear volume resampling. The paper (§3.3) generated its 512^3 and
+// 640^3 data sets by up-sampling the 256^3 raw data along each dimension;
+// this tool reproduces that methodology.
+#pragma once
+
+#include "core/volume.hpp"
+
+namespace psw {
+
+// Resamples `src` to the given dimensions with trilinear interpolation
+// (sample positions are aligned so corners map to corners).
+DensityVolume resample(const DensityVolume& src, int nx, int ny, int nz);
+
+}  // namespace psw

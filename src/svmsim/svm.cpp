@@ -1,0 +1,235 @@
+#include "svmsim/svm.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace psw {
+
+double SvmResult::compute_sum() const {
+  double t = 0;
+  for (const auto& p : proc) t += p.compute;
+  return t;
+}
+double SvmResult::data_sum() const {
+  double t = 0;
+  for (const auto& p : proc) t += p.data_wait;
+  return t;
+}
+double SvmResult::lock_sum() const {
+  double t = 0;
+  for (const auto& p : proc) t += p.lock_wait;
+  return t;
+}
+double SvmResult::barrier_sum() const {
+  double t = 0;
+  for (const auto& p : proc) t += p.barrier_wait;
+  return t;
+}
+
+namespace {
+
+struct PageState {
+  uint32_t version = 0;
+  std::vector<uint32_t> fetched_version;  // per proc; copy valid iff == version
+  std::vector<int32_t> last_touch;        // interval of last access, per proc
+  std::vector<int32_t> last_write;        // interval of last write, per proc
+  std::vector<uint8_t> ever_fetched;      // per proc
+
+  explicit PageState(int procs)
+      : fetched_version(procs, 0),
+        last_touch(procs, -1),
+        last_write(procs, -1),
+        ever_fetched(procs, 0) {}
+};
+
+// Per-interval, per-processor cost pieces (cycles).
+struct IntervalCost {
+  std::vector<double> compute;
+  std::vector<double> data;
+  double max_io_util = 0;
+  uint64_t faults = 0, twins = 0, diffs = 0, multi_writer = 0;
+  std::string name;
+};
+
+}  // namespace
+
+SvmResult svm_simulate(const SvmConfig& cfg, const TraceSet& traces,
+                       const SvmRunOptions& opt) {
+  const int P = traces.procs();
+  const int nodes = cfg.nodes(P);
+  SvmResult result;
+  result.procs = P;
+  result.proc.assign(P, SvmProcBreakdown{});
+
+  std::unordered_map<uint64_t, PageState> pages;
+  auto page_state = [&](uint64_t g) -> PageState& {
+    auto it = pages.find(g);
+    if (it == pages.end()) it = pages.emplace(g, PageState(P)).first;
+    return it->second;
+  };
+  const int page_shift = __builtin_ctz(cfg.page_bytes);
+
+  // ---- Pass 1: protocol simulation per interval. ----
+  std::vector<IntervalCost> costs;
+  for (int interval = 0; interval < traces.intervals(); ++interval) {
+    IntervalCost ic;
+    ic.name = traces.interval_name(interval);
+    ic.compute.assign(P, 0);
+    ic.data.assign(P, 0);
+    std::vector<double> occupancy(nodes, 0);
+    std::vector<std::vector<double>> transfer_by_home(P, std::vector<double>(nodes, 0));
+    std::unordered_map<uint64_t, uint64_t> written;  // page -> writer mask
+
+    for (int p = 0; p < P; ++p) {
+      const auto [begin, end] = traces.interval_range(p, interval);
+      const TraceStream& s = traces.stream(p);
+      for (size_t i = begin; i < end; ++i) {
+        const TraceRecord& r = s.records[i];
+        ic.compute[p] += cfg.busy_per_access;
+        const uint64_t g = r.addr() >> page_shift;
+        PageState& ps = page_state(g);
+
+        if (ps.last_touch[p] != interval) {
+          ps.last_touch[p] = interval;
+          if (!ps.ever_fetched[p] || ps.fetched_version[p] != ps.version) {
+            // Remote page fault: fetch the page from its home.
+            ++ic.faults;
+            const int home = static_cast<int>(g % nodes);
+            ic.data[p] += cfg.fault_overhead + cfg.page_transfer;
+            transfer_by_home[p][home] += cfg.page_transfer;
+            occupancy[home] += cfg.page_transfer;
+            ps.ever_fetched[p] = 1;
+            ps.fetched_version[p] = ps.version;
+          }
+        }
+        if (r.is_write()) {
+          if (ps.last_write[p] != interval) {
+            ps.last_write[p] = interval;
+            ++ic.twins;
+            ic.compute[p] += cfg.twin_cost;  // write fault + twin copy
+            written[g] |= 1ull << p;
+          }
+        }
+      }
+    }
+
+    // Interval end: writers create diffs; write notices bump versions. A
+    // sole writer's copy stays valid; with multiple writers each copy is
+    // missing the others' diffs and is invalidated too — page-granularity
+    // false sharing, the §5.5.2 pathology of the old algorithm.
+    for (const auto& [g, mask] : written) {
+      PageState& ps = page_state(g);
+      ++ps.version;
+      const bool sole_writer = (mask & (mask - 1)) == 0;
+      for (int p = 0; p < P; ++p) {
+        if (mask & (1ull << p)) {
+          ++ic.diffs;
+          ic.compute[p] += cfg.diff_cost;
+          if (sole_writer) ps.fetched_version[p] = ps.version;
+        }
+      }
+      if (!sole_writer) ++ic.multi_writer;
+    }
+
+    // Contention: faults serialize on the home node's I/O bus.
+    double span_raw = 0;
+    for (int p = 0; p < P; ++p) span_raw = std::max(span_raw, ic.compute[p] + ic.data[p]);
+    if (span_raw > 0) {
+      for (int n = 0; n < nodes; ++n) {
+        const double util = std::min(cfg.max_utilization, occupancy[n] / span_raw);
+        ic.max_io_util = std::max(ic.max_io_util, util);
+        const double extra = 1.0 / (1.0 - util) - 1.0;
+        if (extra > 0) {
+          for (int p = 0; p < P; ++p) ic.data[p] += transfer_by_home[p][n] * extra;
+        }
+      }
+    }
+    costs.push_back(std::move(ic));
+  }
+
+  // ---- Pass 2: schedule intervals with barriers (or p2p sync). ----
+  // Lock time (task stealing) is charged to counted composite intervals.
+  int counted_composites = 0;
+  for (int i = opt.warmup_intervals; i < static_cast<int>(costs.size()); ++i) {
+    if (costs[i].name.rfind("composite", 0) == 0) ++counted_composites;
+  }
+  const double lock_per_proc_per_composite =
+      counted_composites > 0
+          ? static_cast<double>(opt.lock_ops) * cfg.lock_cost / (P * counted_composites)
+          : 0.0;
+
+  int i = 0;
+  while (i < static_cast<int>(costs.size())) {
+    const bool counted = i >= opt.warmup_intervals;
+    const bool fuse = opt.p2p_interphase_sync &&
+                      costs[i].name.rfind("composite", 0) == 0 &&
+                      i + 1 < static_cast<int>(costs.size()) &&
+                      costs[i + 1].name.rfind("warp", 0) == 0;
+    std::vector<double> own(P, 0);
+    std::vector<SvmProcBreakdown> delta(P);
+    double barrier_util = 0;
+
+    auto add_interval = [&](const IntervalCost& ic, bool composite) {
+      for (int p = 0; p < P; ++p) {
+        delta[p].compute += ic.compute[p];
+        delta[p].data_wait += ic.data[p];
+        if (composite) delta[p].lock_wait += lock_per_proc_per_composite;
+      }
+      barrier_util = std::max(barrier_util, ic.max_io_util);
+      if (counted) {
+        result.page_faults += ic.faults;
+        result.twins += ic.twins;
+        result.diffs += ic.diffs;
+        result.multi_writer_pages += ic.multi_writer;
+      }
+    };
+
+    double span = 0;
+    if (fuse) {
+      // Warp of p starts when p-1, p, p+1 finish compositing (§5.5.2).
+      const IntervalCost& comp = costs[i];
+      const IntervalCost& warp = costs[i + 1];
+      add_interval(comp, true);
+      add_interval(warp, false);
+      std::vector<double> comp_end(P), end(P);
+      for (int p = 0; p < P; ++p) {
+        comp_end[p] = comp.compute[p] + comp.data[p] + lock_per_proc_per_composite;
+      }
+      for (int p = 0; p < P; ++p) {
+        double start = comp_end[p];
+        if (p > 0) start = std::max(start, comp_end[p - 1]);
+        if (p + 1 < P) start = std::max(start, comp_end[p + 1]);
+        end[p] = start + warp.compute[p] + warp.data[p];
+        span = std::max(span, end[p]);
+      }
+      i += 2;
+    } else {
+      const IntervalCost& ic = costs[i];
+      add_interval(ic, ic.name.rfind("composite", 0) == 0);
+      for (int p = 0; p < P; ++p) {
+        span = std::max(span,
+                        delta[p].compute + delta[p].data_wait + delta[p].lock_wait);
+      }
+      i += 1;
+    }
+
+    // Barrier at the block end: contention on the I/O buses delays the
+    // synchronization messages themselves (§5.5.2).
+    const double barrier_eff =
+        cfg.barrier_base * (1.0 + cfg.barrier_contention * barrier_util);
+    if (counted) {
+      for (int p = 0; p < P; ++p) {
+        const double busy = delta[p].compute + delta[p].data_wait + delta[p].lock_wait;
+        delta[p].barrier_wait = (span - busy) + barrier_eff;
+        result.proc[p].compute += delta[p].compute;
+        result.proc[p].data_wait += delta[p].data_wait;
+        result.proc[p].lock_wait += delta[p].lock_wait;
+        result.proc[p].barrier_wait += delta[p].barrier_wait;
+      }
+      result.total_cycles += span + barrier_eff;
+    }
+  }
+  return result;
+}
+
+}  // namespace psw

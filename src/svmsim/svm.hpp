@@ -1,0 +1,83 @@
+// Page-based shared virtual memory simulator (§5.5.2): an all-software
+// home-based lazy release consistency (HLRC [10]) protocol over the same
+// per-processor reference traces the cache simulator uses. Coherence and
+// communication happen at page granularity between synchronization
+// intervals: writers twin/diff written pages; at each barrier, write
+// notices invalidate other processors' copies; the next access faults and
+// fetches the page from its home over the node's I/O bus.
+//
+// The execution-time breakdown matches the paper's Figures 21/22:
+// computation, data wait (remote page faults), lock (task stealing), and
+// barrier wait (imbalance + contention-delayed synchronization messages).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace psw {
+
+struct SvmConfig {
+  std::string name = "SVM";
+  // SMP nodes on a Myrinet-like interconnect: 4 processors per node, one
+  // network interface on each node's I/O bus (§5.5.2).
+  int procs_per_node = 4;
+  int page_bytes = 4096;
+
+  // Costs in 200MHz processor cycles.
+  double busy_per_access = 3.0;
+  double fault_overhead = 4000;     // software fault handling (~20us)
+  double page_transfer = 8000;      // 4KB over the 100MB/s I/O bus (~40us)
+  double twin_cost = 1500;          // write-protection fault + twin copy
+  double diff_cost = 1200;          // diff creation per written page
+  double barrier_base = 3000;       // uncontended barrier latency
+  double barrier_contention = 4.0;  // barrier inflation per unit I/O load
+  double lock_cost = 1500;          // per task-queue lock operation
+  double max_utilization = 0.90;
+
+  int nodes(int procs) const {
+    return (procs + procs_per_node - 1) / procs_per_node;
+  }
+};
+
+struct SvmProcBreakdown {
+  double compute = 0;
+  double data_wait = 0;     // page-fault waits
+  double lock_wait = 0;     // task stealing synchronization
+  double barrier_wait = 0;  // imbalance + barrier overhead
+  double total() const { return compute + data_wait + lock_wait + barrier_wait; }
+};
+
+struct SvmResult {
+  int procs = 0;
+  std::vector<SvmProcBreakdown> proc;
+  double total_cycles = 0;
+  uint64_t page_faults = 0;
+  uint64_t twins = 0;
+  uint64_t diffs = 0;
+  uint64_t multi_writer_pages = 0;  // pages diffed by >1 proc in an interval
+
+  double compute_sum() const;
+  double data_sum() const;
+  double lock_sum() const;
+  double barrier_sum() const;
+};
+
+struct SvmRunOptions {
+  // New algorithm (§5.5.2): the identical compositing/warp partition
+  // removes the inter-phase barrier; a processor's warp waits only on its
+  // neighbours' compositing.
+  bool p2p_interphase_sync = false;
+  // Task-queue lock operations of the measured frame (renderer stats);
+  // spread uniformly over processors.
+  uint64_t lock_ops = 0;
+  // Leading intervals processed for protocol warm-up without being counted.
+  int warmup_intervals = 0;
+};
+
+SvmResult svm_simulate(const SvmConfig& config, const TraceSet& traces,
+                       const SvmRunOptions& opt = {});
+
+}  // namespace psw

@@ -1,0 +1,29 @@
+#include "trace/sink.hpp"
+
+namespace psw {
+
+TraceSet::TraceSet(int procs) : streams_(procs), hooks_(procs) {
+  for (int p = 0; p < procs; ++p) hooks_[p].bind(this, p);
+}
+
+void TraceSet::begin_interval(const std::string& name) {
+  interval_names_.push_back(name);
+  for (auto& s : streams_) s.interval_start.push_back(s.records.size());
+}
+
+size_t TraceSet::total_records() const {
+  size_t total = 0;
+  for (const auto& s : streams_) total += s.records.size();
+  return total;
+}
+
+std::pair<size_t, size_t> TraceSet::interval_range(int p, int i) const {
+  const TraceStream& s = streams_[p];
+  const size_t begin = s.interval_start[i];
+  const size_t end = (i + 1 < static_cast<int>(s.interval_start.size()))
+                         ? s.interval_start[i + 1]
+                         : s.records.size();
+  return {begin, end};
+}
+
+}  // namespace psw

@@ -1,0 +1,107 @@
+// Per-processor data-reference traces. The renderers report every logical
+// data access (volume runs, voxel data, intermediate/final image pixels,
+// skip links, profile counters) through MemoryHook; a TraceSet captures one
+// stream per simulated processor, with synchronization-interval markers at
+// phase boundaries. This substitutes for the paper's Tango-Lite reference
+// generator (§3.2): data references only, no instruction fetches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hook.hpp"
+#include "parallel/executor.hpp"
+
+namespace psw {
+
+// One packed record: addr << 6 | size << 1 | is_write. Sizes are <= 32
+// bytes in practice (Rgba pixels are 16).
+class TraceRecord {
+ public:
+  TraceRecord() = default;
+  TraceRecord(uint64_t addr, uint32_t size, bool write)
+      : bits_((addr << 6) | (static_cast<uint64_t>(size & 31u) << 1) |
+              (write ? 1u : 0u)) {}
+
+  uint64_t addr() const { return bits_ >> 6; }
+  uint32_t size() const { return static_cast<uint32_t>((bits_ >> 1) & 31u); }
+  bool is_write() const { return bits_ & 1u; }
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+// The reference stream of one simulated processor, segmented into
+// synchronization intervals.
+struct TraceStream {
+  std::vector<TraceRecord> records;
+  // interval_start[i] is the index of the first record of interval i;
+  // an implicit final boundary is records.size().
+  std::vector<size_t> interval_start;
+};
+
+class TraceSet {
+ public:
+  explicit TraceSet(int procs);
+
+  int procs() const { return static_cast<int>(streams_.size()); }
+  const TraceStream& stream(int p) const { return streams_[p]; }
+  int intervals() const { return static_cast<int>(interval_names_.size()); }
+  const std::string& interval_name(int i) const { return interval_names_[i]; }
+
+  // Records boundaries in every stream simultaneously (phases are global
+  // barriers in the traced renderers).
+  void begin_interval(const std::string& name);
+
+  MemoryHook* hook(int p) { return &hooks_[p]; }
+
+  size_t total_records() const;
+  // Records of proc p in interval i as [begin, end) indices.
+  std::pair<size_t, size_t> interval_range(int p, int i) const;
+
+ private:
+  class ProcHook : public MemoryHook {
+   public:
+    void bind(TraceSet* set, int p) {
+      set_ = set;
+      proc_ = p;
+    }
+    void access(const void* addr, uint32_t bytes, bool write) override {
+      set_->streams_[proc_].records.emplace_back(
+          reinterpret_cast<uint64_t>(addr), bytes, write);
+    }
+
+   private:
+    TraceSet* set_ = nullptr;
+    int proc_ = 0;
+  };
+
+  std::vector<TraceStream> streams_;
+  std::vector<ProcHook> hooks_;
+  std::vector<std::string> interval_names_;
+};
+
+// Serial executor that wires each simulated processor's hook to a TraceSet
+// and forwards phase annotations as interval boundaries.
+class TracingExecutor : public Executor {
+ public:
+  explicit TracingExecutor(int procs) : procs_(procs), traces_(procs) {}
+
+  int procs() const override { return procs_; }
+  bool concurrent() const override { return false; }
+  void run(const std::function<void(int)>& body) override {
+    for (int p = 0; p < procs_; ++p) body(p);
+  }
+  MemoryHook* hook(int p) override { return traces_.hook(p); }
+  void begin_phase(const char* name) override { traces_.begin_interval(name); }
+
+  TraceSet& traces() { return traces_; }
+  const TraceSet& traces() const { return traces_; }
+
+ private:
+  int procs_;
+  TraceSet traces_;
+};
+
+}  // namespace psw

@@ -1,0 +1,46 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace psw {
+
+CliFlags::CliFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags_[arg.substr(2)] = "true";
+      } else {
+        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool CliFlags::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string CliFlags::get(const std::string& name, const std::string& def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+int CliFlags::get_int(const std::string& name, int def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::atoi(it->second.c_str());
+}
+
+double CliFlags::get_double(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::atof(it->second.c_str());
+}
+
+bool CliFlags::get_bool(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace psw

@@ -1,0 +1,29 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+// Flags have the form --name=value or --name (boolean true).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace psw {
+
+class CliFlags {
+ public:
+  CliFlags(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  int get_int(const std::string& name, int def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  // Non-flag positional arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace psw

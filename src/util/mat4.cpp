@@ -1,0 +1,142 @@
+#include "util/mat4.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace psw {
+
+Mat4::Mat4() {
+  m_.fill(0.0);
+  for (int i = 0; i < 4; ++i) at(i, i) = 1.0;
+}
+
+Mat4 Mat4::identity() { return Mat4{}; }
+
+Mat4 Mat4::translation(double tx, double ty, double tz) {
+  Mat4 r;
+  r.at(0, 3) = tx;
+  r.at(1, 3) = ty;
+  r.at(2, 3) = tz;
+  return r;
+}
+
+Mat4 Mat4::scale(double sx, double sy, double sz) {
+  Mat4 r;
+  r.at(0, 0) = sx;
+  r.at(1, 1) = sy;
+  r.at(2, 2) = sz;
+  return r;
+}
+
+Mat4 Mat4::rotation_x(double angle) {
+  Mat4 r;
+  const double c = std::cos(angle), s = std::sin(angle);
+  r.at(1, 1) = c;
+  r.at(1, 2) = -s;
+  r.at(2, 1) = s;
+  r.at(2, 2) = c;
+  return r;
+}
+
+Mat4 Mat4::rotation_y(double angle) {
+  Mat4 r;
+  const double c = std::cos(angle), s = std::sin(angle);
+  r.at(0, 0) = c;
+  r.at(0, 2) = s;
+  r.at(2, 0) = -s;
+  r.at(2, 2) = c;
+  return r;
+}
+
+Mat4 Mat4::rotation_z(double angle) {
+  Mat4 r;
+  const double c = std::cos(angle), s = std::sin(angle);
+  r.at(0, 0) = c;
+  r.at(0, 1) = -s;
+  r.at(1, 0) = s;
+  r.at(1, 1) = c;
+  return r;
+}
+
+Mat4 Mat4::axis_permutation(const std::array<int, 3>& perm) {
+  Mat4 r;
+  r.m_.fill(0.0);
+  for (int i = 0; i < 3; ++i) r.at(i, perm[i]) = 1.0;
+  r.at(3, 3) = 1.0;
+  return r;
+}
+
+Mat4 Mat4::operator*(const Mat4& o) const {
+  Mat4 r;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < 4; ++k) s += at(i, k) * o.at(k, j);
+      r.at(i, j) = s;
+    }
+  }
+  return r;
+}
+
+Vec3 Mat4::transform_point(const Vec3& p) const {
+  const double w = at(3, 0) * p.x + at(3, 1) * p.y + at(3, 2) * p.z + at(3, 3);
+  Vec3 r{at(0, 0) * p.x + at(0, 1) * p.y + at(0, 2) * p.z + at(0, 3),
+         at(1, 0) * p.x + at(1, 1) * p.y + at(1, 2) * p.z + at(1, 3),
+         at(2, 0) * p.x + at(2, 1) * p.y + at(2, 2) * p.z + at(2, 3)};
+  if (w != 1.0 && w != 0.0) {
+    r.x /= w;
+    r.y /= w;
+    r.z /= w;
+  }
+  return r;
+}
+
+Vec3 Mat4::transform_dir(const Vec3& d) const {
+  return {at(0, 0) * d.x + at(0, 1) * d.y + at(0, 2) * d.z,
+          at(1, 0) * d.x + at(1, 1) * d.y + at(1, 2) * d.z,
+          at(2, 0) * d.x + at(2, 1) * d.y + at(2, 2) * d.z};
+}
+
+bool Mat4::inverse(Mat4* out) const {
+  // Gauss-Jordan on [A | I].
+  double a[4][8];
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      a[i][j] = at(i, j);
+      a[i][j + 4] = (i == j) ? 1.0 : 0.0;
+    }
+  }
+  for (int col = 0; col < 4; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 4; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) return false;
+    if (pivot != col) {
+      for (int j = 0; j < 8; ++j) std::swap(a[pivot][j], a[col][j]);
+    }
+    const double inv = 1.0 / a[col][col];
+    for (int j = 0; j < 8; ++j) a[col][j] *= inv;
+    for (int r = 0; r < 4; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col];
+      if (f == 0.0) continue;
+      for (int j = 0; j < 8; ++j) a[r][j] -= f * a[col][j];
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) out->at(i, j) = a[i][j + 4];
+  }
+  return true;
+}
+
+bool Mat4::almost_equal(const Mat4& o, double tol) const {
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (std::abs(at(i, j) - o.at(i, j)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace psw

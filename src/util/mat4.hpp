@@ -1,0 +1,45 @@
+// 4x4 matrix with the operations needed by the shear-warp factorization:
+// multiplication, general inverse, rotations, translation, permutation.
+#pragma once
+
+#include <array>
+
+#include "util/vec.hpp"
+
+namespace psw {
+
+class Mat4 {
+ public:
+  // Identity by default.
+  Mat4();
+
+  static Mat4 identity();
+  static Mat4 translation(double tx, double ty, double tz);
+  static Mat4 scale(double sx, double sy, double sz);
+  // Rotations about the object-space axes, angle in radians.
+  static Mat4 rotation_x(double angle);
+  static Mat4 rotation_y(double angle);
+  static Mat4 rotation_z(double angle);
+  // Axis permutation matrix: output axis i takes input axis perm[i].
+  static Mat4 axis_permutation(const std::array<int, 3>& perm);
+
+  double& at(int r, int c) { return m_[r * 4 + c]; }
+  double at(int r, int c) const { return m_[r * 4 + c]; }
+
+  Mat4 operator*(const Mat4& o) const;
+  // Transform a point (w = 1), returning the xyz of the result.
+  Vec3 transform_point(const Vec3& p) const;
+  // Transform a direction (w = 0).
+  Vec3 transform_dir(const Vec3& d) const;
+
+  // General inverse via Gauss-Jordan elimination with partial pivoting.
+  // Returns false (and leaves *out* unspecified) if singular.
+  bool inverse(Mat4* out) const;
+
+  bool almost_equal(const Mat4& o, double tol = 1e-9) const;
+
+ private:
+  std::array<double, 16> m_;
+};
+
+}  // namespace psw

@@ -1,0 +1,34 @@
+// Deterministic, seedable random number generation (SplitMix64). Used by the
+// phantom generators and the property-based tests; determinism keeps
+// regression images and traces reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace psw {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() { return (next() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n).
+  uint64_t below(uint64_t n) { return n ? next() % n : 0; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace psw

@@ -1,0 +1,54 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace psw {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void TextTable::add_row_numeric(const std::string& label, const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> row;
+  row.push_back(label);
+  for (double v : values) row.push_back(fmt(v, precision));
+  add_row(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<size_t> width(ncols, 0);
+  auto measure = [&width](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) width[i] = std::max(width[i], row[i].size());
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  std::ostringstream out;
+  auto emit = [&out, &width](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << row[i];
+      if (i + 1 < row.size()) out << std::string(width[i] - row[i].size() + 2, ' ');
+    }
+    out << "\n";
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t i = 0; i < width.size(); ++i) total += width[i] + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+void TextTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace psw

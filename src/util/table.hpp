@@ -1,0 +1,31 @@
+// Aligned-column text tables: the bench binaries print every reproduced
+// figure/table as one of these so paper rows and measured rows line up.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace psw {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  // Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::string& label, const std::vector<double>& values,
+                       int precision = 2);
+
+  // Renders with column alignment and a separator under the header.
+  std::string to_string() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision.
+std::string fmt(double v, int precision = 2);
+
+}  // namespace psw

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "baseline/octree.hpp"
+#include "baseline/raycaster.hpp"
+#include "core/classify.hpp"
+#include "core/renderer.hpp"
+#include "phantom/phantom.hpp"
+#include "util/rng.hpp"
+
+namespace psw {
+namespace {
+
+TEST(MinMaxOctree, LeafRangesAreTight) {
+  DensityVolume vol(16, 16, 16, 10);
+  vol.at(5, 6, 7) = 200;
+  vol.at(0, 0, 0) = 3;
+  const MinMaxOctree tree(vol, 4);
+  const auto leaf1 = tree.leaf_range(5, 6, 7);
+  EXPECT_EQ(leaf1.max, 200);
+  const auto leaf0 = tree.leaf_range(0, 0, 0);
+  EXPECT_EQ(leaf0.min, 3);
+  const auto far_leaf = tree.leaf_range(15, 15, 15);
+  EXPECT_EQ(far_leaf.min, 10);
+  EXPECT_EQ(far_leaf.max, 10);
+}
+
+TEST(MinMaxOctree, RootCoversWholeVolume) {
+  DensityVolume vol(20, 12, 9, 50);  // non-power-of-two dims
+  vol.at(19, 11, 8) = 255;
+  vol.at(0, 5, 3) = 1;
+  const MinMaxOctree tree(vol, 4);
+  const auto root = tree.node_range(tree.levels() - 1, 0, 0, 0);
+  EXPECT_EQ(root.min, 1);
+  EXPECT_EQ(root.max, 255);
+}
+
+TEST(MinMaxOctree, NodeRangesContainChildren) {
+  SplitMix64 rng(9);
+  DensityVolume vol(24, 24, 24);
+  for (size_t i = 0; i < vol.size(); ++i) {
+    vol.data()[i] = static_cast<uint8_t>(rng.below(256));
+  }
+  const MinMaxOctree tree(vol, 4);
+  for (int z = 0; z < 24; z += 3) {
+    for (int y = 0; y < 24; y += 3) {
+      for (int x = 0; x < 24; x += 3) {
+        const auto leaf = tree.leaf_range(x, y, z);
+        for (int l = 1; l < tree.levels(); ++l) {
+          const auto node = tree.node_range(l, x, y, z);
+          ASSERT_LE(node.min, leaf.min);
+          ASSERT_GE(node.max, leaf.max);
+        }
+      }
+    }
+  }
+}
+
+TEST(MinMaxOctree, LargestEmptyLevelRespectsThreshold) {
+  DensityVolume vol(32, 32, 32, 0);
+  vol.at(20, 20, 20) = 100;
+  const MinMaxOctree tree(vol, 4);
+  // Around the opaque voxel, the leaf is not empty.
+  EXPECT_EQ(tree.largest_empty_level(20, 20, 20, 50), -1);
+  // A far corner should be empty at some level > 0.
+  EXPECT_GE(tree.largest_empty_level(0, 0, 0, 50), 0);
+  // With threshold 0 nothing is "empty" (max >= 0 always).
+  EXPECT_EQ(tree.largest_empty_level(0, 0, 0, 0), -1);
+}
+
+struct RaySceneFixture {
+  ClassifiedVolume classified;
+  std::unique_ptr<RayCaster> caster;
+  EncodedVolume encoded;
+
+  explicit RaySceneFixture(int n = 32) {
+    const DensityVolume density = make_mri_brain(n, n, n);
+    classified = classify(density, TransferFunction::mri_preset());
+    const uint8_t thresh = ClassifyOptions{}.alpha_threshold;
+    caster = std::make_unique<RayCaster>(classified, thresh);
+    encoded = EncodedVolume::build(classified, thresh);
+  }
+};
+
+TEST(RayCaster, ProducesNonEmptyImage) {
+  RaySceneFixture scene;
+  ImageU8 img;
+  const RayCastStats stats =
+      scene.caster->render(Camera::orbit({32, 32, 32}, 0.4, 0.2), &img);
+  EXPECT_GT(stats.rays, 0u);
+  EXPECT_GT(stats.samples_composited, 0u);
+  double energy = 0;
+  for (size_t i = 0; i < img.pixel_count(); ++i) energy += img.data()[i].a;
+  EXPECT_GT(energy, 1.0);
+}
+
+// Functional equivalence (§2): the ray caster and the shear warper render
+// the same classified volume to strongly correlated images.
+TEST(RayCaster, ImageCorrelatesWithShearWarp) {
+  RaySceneFixture scene;
+  const Camera cam = Camera::orbit({32, 32, 32}, 0.5, 0.3);
+  ImageU8 ray_img, sw_img;
+  scene.caster->render(cam, &ray_img);
+  SerialRenderer renderer;
+  renderer.render(scene.encoded, cam, &sw_img);
+  ASSERT_EQ(ray_img.width(), sw_img.width());
+  ASSERT_EQ(ray_img.height(), sw_img.height());
+  EXPECT_GT(image_correlation(ray_img, sw_img), 0.8);
+}
+
+TEST(RayCaster, OctreeDoesNotChangeImage) {
+  RaySceneFixture scene;
+  const Camera cam = Camera::orbit({32, 32, 32}, 1.2, -0.4);
+  ImageU8 with_tree, without_tree;
+  RayCastOptions opt;
+  opt.use_octree = true;
+  scene.caster->render(cam, &with_tree, opt);
+  opt.use_octree = false;
+  scene.caster->render(cam, &without_tree, opt);
+  EXPECT_LT(image_mad(with_tree, without_tree), 2e-3)
+      << "space leaping must only skip transparent samples";
+}
+
+TEST(RayCaster, OctreeReducesSteps) {
+  RaySceneFixture scene;
+  const Camera cam = Camera::orbit({32, 32, 32}, 0.9, 0.1);
+  ImageU8 img;
+  RayCastOptions opt;
+  opt.use_octree = true;
+  const RayCastStats fast = scene.caster->render(cam, &img, opt);
+  opt.use_octree = false;
+  const RayCastStats slow = scene.caster->render(cam, &img, opt);
+  EXPECT_LT(fast.steps, slow.steps);
+  EXPECT_GT(fast.space_leaps, 0u);
+}
+
+TEST(RayCaster, TraversalOnlyDoesNoCompositing) {
+  RaySceneFixture scene;
+  const Camera cam = Camera::orbit({32, 32, 32}, 0.9, 0.1);
+  ImageU8 img;
+  RayCastOptions opt;
+  opt.traversal_only = true;
+  const RayCastStats stats = scene.caster->render(cam, &img, opt);
+  EXPECT_EQ(stats.samples_composited, 0u);
+  EXPECT_GT(stats.steps, 0u);
+}
+
+// Early ray termination: an opaque wall in front hides everything behind.
+TEST(RayCaster, EarlyTerminationStopsAtOpaqueWall) {
+  const int n = 24;
+  ClassifiedVolume vol(n, n, n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      vol.at(x, y, 2) = {255, 255, 255, 255};
+      for (int z = 4; z < n; ++z) vol.at(x, y, z) = {255, 128, 0, 0};
+    }
+  }
+  const RayCaster caster(vol, 1);
+  ImageU8 img;
+  const RayCastStats stats = caster.render(Camera{}, &img);
+  // Rays must terminate near the wall rather than sampling the whole depth.
+  EXPECT_LT(stats.samples_composited, stats.rays * 8);
+  // Center pixel must be white (the wall), not the red filling behind it.
+  const Pixel8& center = img.at(img.width() / 2, img.height() / 2);
+  EXPECT_GT(center.g, 204);
+}
+
+}  // namespace
+}  // namespace psw

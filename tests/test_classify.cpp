@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/classify.hpp"
+#include "core/gradient.hpp"
+#include "core/transfer.hpp"
+#include "core/volume_io.hpp"
+#include "phantom/phantom.hpp"
+
+namespace psw {
+namespace {
+
+TEST(Ramp, InterpolatesBetweenControlPoints) {
+  const Ramp r({{0, 0.0f}, {100, 1.0f}});
+  EXPECT_FLOAT_EQ(r(0), 0.0f);
+  EXPECT_FLOAT_EQ(r(50), 0.5f);
+  EXPECT_FLOAT_EQ(r(100), 1.0f);
+  EXPECT_FLOAT_EQ(r(200), 1.0f);  // clamps past the last point
+  EXPECT_FLOAT_EQ(r(-5), 0.0f);   // clamps before the first
+}
+
+TEST(Ramp, PiecewiseSegments) {
+  const Ramp r({{0, 0.0f}, {50, 1.0f}, {100, 0.2f}});
+  EXPECT_FLOAT_EQ(r(25), 0.5f);
+  EXPECT_FLOAT_EQ(r(75), 0.6f);
+}
+
+TEST(TransferFunction, ThresholdPresetIsStep) {
+  const TransferFunction tf = TransferFunction::threshold_preset(100, 0.8f);
+  EXPECT_FLOAT_EQ(tf.opacity(50, 0), 0.0f);
+  EXPECT_FLOAT_EQ(tf.opacity(99, 0), 0.0f);
+  EXPECT_FLOAT_EQ(tf.opacity(100, 0), 0.8f);
+  EXPECT_FLOAT_EQ(tf.opacity(255, 0), 0.8f);
+}
+
+TEST(TransferFunction, MriPresetMonotoneOverTissueBands) {
+  const TransferFunction tf = TransferFunction::mri_preset();
+  // CSF transparent, gray translucent, white nearly opaque.
+  EXPECT_LT(tf.opacity(40, 0), 0.01f);
+  EXPECT_GT(tf.opacity(110, 0), 0.2f);
+  EXPECT_GT(tf.opacity(170, 0), tf.opacity(110, 0));
+}
+
+TEST(TransferFunction, GradientModulationSuppressesHomogeneous) {
+  TransferFunction tf;
+  tf.set_opacity_ramp(Ramp{{0, 0.0f}, {50, 1.0f}});
+  tf.set_gradient_ramp(Ramp{{0, 0.0f}, {64, 1.0f}});
+  tf.set_gradient_modulation(true);
+  EXPECT_FLOAT_EQ(tf.opacity(200, 0.0f), 0.0f);   // flat region -> transparent
+  EXPECT_GT(tf.opacity(200, 0.5f), 0.5f);          // boundary -> opaque
+}
+
+TEST(TransferFunction, ColorMapInterpolates) {
+  TransferFunction tf;
+  tf.set_color_map({Vec3{0, 0, 0}, Vec3{1, 0, 0}, Vec3{1, 1, 0}, Vec3{1, 1, 1}},
+                   {0, 85, 170, 255});
+  const Vec3 mid = tf.color(42.5f);
+  EXPECT_NEAR(mid.x, 0.5, 0.01);
+  EXPECT_NEAR(mid.y, 0.0, 0.01);
+}
+
+TEST(Gradient, FlatVolumeHasZeroGradient) {
+  DensityVolume v(8, 8, 8, 100);
+  EXPECT_EQ(gradient_at(v, 4, 4, 4).norm(), 0.0);
+  EXPECT_EQ(gradient_magnitude(v, 4, 4, 4), 0.0f);
+  EXPECT_EQ(surface_normal(v, 4, 4, 4).norm(), 0.0);
+}
+
+TEST(Gradient, StepEdgePointsAcrossIt) {
+  DensityVolume v(8, 8, 8, 0);
+  for (int z = 0; z < 8; ++z) {
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 4; x < 8; ++x) v.at(x, y, z) = 200;
+    }
+  }
+  const Vec3 g = gradient_at(v, 4, 4, 4);  // rising along +x
+  EXPECT_GT(g.x, 0.0);
+  EXPECT_EQ(g.y, 0.0);
+  EXPECT_EQ(g.z, 0.0);
+  // The surface normal points against the gradient (toward lower density).
+  EXPECT_LT(surface_normal(v, 4, 4, 4).x, 0.0);
+}
+
+TEST(Gradient, MagnitudeNormalizedToUnit) {
+  DensityVolume v(4, 4, 4, 0);
+  v.at(2, 1, 1) = 255;  // sharpest possible edges all around
+  for (int z = 0; z < 4; ++z) {
+    for (int y = 0; y < 4; ++y) {
+      for (int x = 0; x < 4; ++x) {
+        const float m = gradient_magnitude(v, x, y, z);
+        ASSERT_GE(m, 0.0f);
+        ASSERT_LE(m, 1.0f);
+      }
+    }
+  }
+}
+
+TEST(Classify, TransparentBelowThresholdIsZeroed) {
+  DensityVolume v(4, 4, 4, 0);
+  v.at(1, 1, 1) = 200;
+  const ClassifiedVolume c =
+      classify(v, TransferFunction::threshold_preset(100, 0.9f));
+  EXPECT_EQ(c.at(0, 0, 0).a, 0);
+  EXPECT_EQ(c.at(0, 0, 0).r, 0);  // fully zeroed, not just low-alpha
+  EXPECT_GT(c.at(1, 1, 1).a, 200);
+}
+
+TEST(Classify, ShadingBrightensLitFaces) {
+  // A density step along +x with light from +x: the lit boundary voxels
+  // should be brighter than ones shaded by ambient only.
+  DensityVolume v(12, 12, 12, 0);
+  for (int z = 0; z < 12; ++z) {
+    for (int y = 0; y < 12; ++y) {
+      for (int x = 0; x < 6; ++x) v.at(x, y, z) = 220;
+    }
+  }
+  ClassifyOptions lit;
+  lit.light_dir = {1, 0, 0};  // normal at the +x face points +x
+  ClassifyOptions unlit;
+  unlit.light_dir = {-1, 0, 0};
+  const TransferFunction tf = TransferFunction::threshold_preset(100, 0.9f);
+  const ClassifiedVolume cl = classify(v, tf, lit);
+  const ClassifiedVolume cu = classify(v, tf, unlit);
+  EXPECT_GT(cl.at(5, 6, 6).r, cu.at(5, 6, 6).r);
+}
+
+TEST(Classify, TransparentFractionMatchesPhantomExpectation) {
+  const DensityVolume v = make_mri_brain(40, 40, 40);
+  const ClassifyOptions copt;
+  const ClassifiedVolume c = classify(v, TransferFunction::mri_preset(), copt);
+  const double frac = classified_transparent_fraction(c, copt.alpha_threshold);
+  // The paper's medical volumes are 70-95% transparent (§2).
+  EXPECT_GE(frac, 0.70);
+  EXPECT_LE(frac, 0.97);
+}
+
+// ---- Volume I/O ----
+
+TEST(VolumeIO, RoundTrip) {
+  const DensityVolume v = make_ct_head(19, 17, 13);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "psw_vol_roundtrip.vol").string();
+  ASSERT_TRUE(write_volume(path, v));
+  DensityVolume back;
+  ASSERT_TRUE(read_volume(path, &back));
+  ASSERT_EQ(back.nx(), 19);
+  ASSERT_EQ(back.ny(), 17);
+  ASSERT_EQ(back.nz(), 13);
+  for (size_t i = 0; i < v.size(); ++i) ASSERT_EQ(v.data()[i], back.data()[i]);
+  std::filesystem::remove(path);
+}
+
+TEST(VolumeIO, RejectsBadMagic) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "psw_vol_bad.vol").string();
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOTAVOL\n4 4 4\n" << std::string(64, 'x');
+  }
+  DensityVolume out;
+  EXPECT_FALSE(read_volume(path, &out));
+  std::filesystem::remove(path);
+}
+
+TEST(VolumeIO, RejectsTruncatedPayload) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "psw_vol_trunc.vol").string();
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "PSWVOL1\n8 8 8\n" << std::string(100, 'x');  // needs 512 bytes
+  }
+  DensityVolume out;
+  EXPECT_FALSE(read_volume(path, &out));
+  std::filesystem::remove(path);
+}
+
+TEST(VolumeIO, MissingFileFails) {
+  DensityVolume out;
+  EXPECT_FALSE(read_volume("/nonexistent/file.vol", &out));
+  EXPECT_FALSE(read_raw_volume("/nonexistent/file.raw", 4, 4, 4, &out));
+}
+
+TEST(VolumeIO, RawReadOfKnownDims) {
+  const DensityVolume v = make_mri_brain(10, 11, 12);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "psw_vol.raw").string();
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(v.data()), v.size());
+  }
+  DensityVolume back;
+  ASSERT_TRUE(read_raw_volume(path, 10, 11, 12, &back));
+  for (size_t i = 0; i < v.size(); ++i) ASSERT_EQ(v.data()[i], back.data()[i]);
+  // Wrong (larger) dims must fail rather than silently zero-fill.
+  EXPECT_FALSE(read_raw_volume(path, 10, 11, 13, &back));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace psw

@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compositor.hpp"
+#include "core/intermediate_image.hpp"
+#include "core/reference.hpp"
+#include "core/rle_volume.hpp"
+#include "util/rng.hpp"
+
+namespace psw {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+ClassifiedVolume single_voxel_volume(int nx, int ny, int nz, int x, int y, int z,
+                                     uint8_t a = 255) {
+  ClassifiedVolume vol(nx, ny, nz);
+  vol.at(x, y, z) = {a, 255, 255, 255};
+  return vol;
+}
+
+TEST(IntermediateImage, SkipLinksStartWritable) {
+  IntermediateImage img(16, 4);
+  for (int v = 0; v < 4; ++v) EXPECT_EQ(img.next_writable(v, 0), 0);
+}
+
+TEST(IntermediateImage, MarkOpaqueSkipsPixel) {
+  IntermediateImage img(16, 2);
+  img.mark_opaque(3, 0);
+  EXPECT_EQ(img.next_writable(0, 0), 0);
+  EXPECT_EQ(img.next_writable(0, 3), 4);
+  // Other scanline unaffected.
+  EXPECT_EQ(img.next_writable(1, 3), 3);
+}
+
+TEST(IntermediateImage, SkipChainsCoalesce) {
+  IntermediateImage img(16, 1);
+  for (int u = 2; u <= 9; ++u) img.mark_opaque(u, 0);
+  EXPECT_EQ(img.next_writable(0, 2), 10);
+  // After path compression a second query is a single hop.
+  EXPECT_EQ(img.next_writable(0, 2), 10);
+  EXPECT_EQ(img.next_writable(0, 5), 10);
+}
+
+TEST(IntermediateImage, FullyOpaqueScanline) {
+  IntermediateImage img(8, 1);
+  for (int u = 0; u < 8; ++u) img.mark_opaque(u, 0);
+  EXPECT_TRUE(img.fully_opaque_from(0, 0));
+  EXPECT_EQ(img.next_writable(0, 0), 8);
+}
+
+TEST(IntermediateImage, ClearRowsResetsOnlyRange) {
+  IntermediateImage img(8, 3);
+  for (int v = 0; v < 3; ++v) img.mark_opaque(2, v);
+  img.clear_rows(1, 2);
+  EXPECT_EQ(img.next_writable(0, 2), 3);
+  EXPECT_EQ(img.next_writable(1, 2), 2);
+  EXPECT_EQ(img.next_writable(2, 2), 3);
+}
+
+// A single opaque voxel composites to the sheared position predicted by
+// the factorization geometry, with bilinear weights summing to 1.
+TEST(Compositor, SingleVoxelLandsAtShearedPosition) {
+  SplitMix64 rng(21);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int nx = 16, ny = 16, nz = 16;
+    const int x = 3 + static_cast<int>(rng.below(10));
+    const int y = 3 + static_cast<int>(rng.below(10));
+    const int z = 3 + static_cast<int>(rng.below(10));
+    const ClassifiedVolume vol = single_voxel_volume(nx, ny, nz, x, y, z);
+    const Camera cam = Camera::orbit({nx, ny, nz}, rng.uniform(0, 2 * kPi),
+                                     rng.uniform(-kPi / 2, kPi / 2));
+    const Factorization f = factorize(cam, {nx, ny, nz});
+    const RleVolume rle = RleVolume::encode(vol, f.principal_axis, 1);
+
+    IntermediateImage img(f.intermediate_width, f.intermediate_height);
+    composite_frame(rle, f, img);
+
+    // Expected continuous position.
+    const int coords[3] = {x, y, z};
+    const double k = coords[f.perm[2]];
+    const double u = coords[f.perm[0]] + f.offset_u(static_cast<int>(k));
+    const double v = coords[f.perm[1]] + f.offset_v(static_cast<int>(k));
+
+    double total_alpha = 0.0;
+    double weighted_u = 0.0, weighted_v = 0.0;
+    for (int vv = 0; vv < img.height(); ++vv) {
+      for (int uu = 0; uu < img.width(); ++uu) {
+        const float a = img.pixel(uu, vv).a;
+        if (a > 0) {
+          total_alpha += a;
+          weighted_u += a * uu;
+          weighted_v += a * vv;
+        }
+      }
+    }
+    ASSERT_GT(total_alpha, 0.5) << "voxel vanished";
+    EXPECT_NEAR(total_alpha, 1.0, 1e-4) << "bilinear weights must sum to 1";
+    EXPECT_NEAR(weighted_u / total_alpha, u, 1e-3);
+    EXPECT_NEAR(weighted_v / total_alpha, v, 1e-3);
+  }
+}
+
+// Front-to-back correctness: with two fully opaque voxels on the same
+// viewing ray, only the front one is visible.
+TEST(Compositor, FrontVoxelOccludesBackVoxel) {
+  const int n = 12;
+  ClassifiedVolume vol(n, n, n);
+  vol.at(5, 5, 2) = {255, 255, 0, 0};   // red, nearer the +z viewer? depends
+  vol.at(5, 5, 9) = {255, 0, 255, 0};   // green
+  const Camera cam;                      // identity: looks along +z, k=0 in front
+  const Factorization f = factorize(cam, {n, n, n});
+  const RleVolume rle = RleVolume::encode(vol, f.principal_axis, 1);
+  IntermediateImage img(f.intermediate_width, f.intermediate_height);
+  composite_frame(rle, f, img);
+  // With identity view, voxel (5,5,k) lands exactly at pixel (5,5).
+  const Rgba& px = img.pixel(5, 5);
+  EXPECT_NEAR(px.a, 1.0f, 1e-5);
+  EXPECT_GT(px.r, 0.9f) << "front (red) voxel must win";
+  EXPECT_LT(px.g, 0.01f) << "back (green) voxel must be occluded";
+}
+
+// Rotating the camera by pi about y must flip which voxel is in front.
+TEST(Compositor, ViewFromBehindSeesOtherVoxel) {
+  const int n = 12;
+  ClassifiedVolume vol(n, n, n);
+  vol.at(5, 5, 2) = {255, 255, 0, 0};  // red
+  vol.at(5, 5, 9) = {255, 0, 255, 0};  // green
+  const Camera cam = Camera::orbit({n, n, n}, kPi, 0.0);
+  const Factorization f = factorize(cam, {n, n, n});
+  EXPECT_EQ(f.principal_axis, 2);
+  EXPECT_FALSE(f.k_ascending);
+  const RleVolume rle = RleVolume::encode(vol, f.principal_axis, 1);
+  IntermediateImage img(f.intermediate_width, f.intermediate_height);
+  composite_frame(rle, f, img);
+  double red = 0, green = 0;
+  for (int v = 0; v < img.height(); ++v) {
+    for (int u = 0; u < img.width(); ++u) {
+      red += img.pixel(u, v).r;
+      green += img.pixel(u, v).g;
+    }
+  }
+  EXPECT_GT(green, 0.9);
+  EXPECT_LT(red, 0.01);
+}
+
+// Semi-transparent compositing follows the front-to-back over operator.
+TEST(Compositor, AlphaCompositingMatchesOverOperator) {
+  const int n = 8;
+  ClassifiedVolume vol(n, n, n);
+  vol.at(4, 4, 1) = {128, 255, 255, 255};  // ~0.502 alpha front
+  vol.at(4, 4, 5) = {255, 255, 255, 255};  // opaque back
+  const Camera cam;
+  const Factorization f = factorize(cam, {n, n, n});
+  const RleVolume rle = RleVolume::encode(vol, f.principal_axis, 1);
+  IntermediateImage img(f.intermediate_width, f.intermediate_height);
+  composite_frame(rle, f, img);
+  const float a1 = 128.0f / 255.0f;
+  const Rgba& px = img.pixel(4, 4);
+  EXPECT_NEAR(px.a, a1 + (1 - a1) * 1.0f, 1e-5);
+  EXPECT_NEAR(px.r, a1 * 1.0f + (1 - a1) * 1.0f, 1e-5);
+}
+
+// Early ray termination: once a pixel saturates, later slices must not
+// change it and the compositor must do less work than without saturation.
+TEST(Compositor, EarlyTerminationSkipsOccludedWork) {
+  const int n = 24;
+  ClassifiedVolume wall_front(n, n, n), wall_both(n, n, n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      wall_front.at(x, y, 1) = {255, 255, 255, 255};
+      wall_both.at(x, y, 1) = {255, 255, 255, 255};
+      for (int z = 4; z < n; ++z) wall_both.at(x, y, z) = {255, 128, 128, 128};
+    }
+  }
+  const Camera cam;
+  const Factorization f = factorize(cam, {n, n, n});
+  const RleVolume rle_front = RleVolume::encode(wall_front, f.principal_axis, 1);
+  const RleVolume rle_both = RleVolume::encode(wall_both, f.principal_axis, 1);
+
+  IntermediateImage img_front(f.intermediate_width, f.intermediate_height);
+  IntermediateImage img_both(f.intermediate_width, f.intermediate_height);
+  CompositeStats s_front, s_both;
+  for (int v = 0; v < img_front.height(); ++v) {
+    composite_scanline(rle_front, f, v, img_front, nullptr, &s_front);
+    composite_scanline(rle_both, f, v, img_both, nullptr, &s_both);
+  }
+  // The hidden voxels must not be composited: identical work modulo the
+  // per-slice scanline probes.
+  EXPECT_EQ(s_front.voxels_composited, s_both.voxels_composited);
+  // And the images must be identical.
+  for (int v = 0; v < img_front.height(); ++v) {
+    for (int u = 0; u < img_front.width(); ++u) {
+      ASSERT_EQ(img_front.pixel(u, v).r, img_both.pixel(u, v).r);
+      ASSERT_EQ(img_front.pixel(u, v).a, img_both.pixel(u, v).a);
+    }
+  }
+}
+
+TEST(Compositor, EmptyVolumeDoesNoWork) {
+  ClassifiedVolume vol(16, 16, 16);
+  const Camera cam = Camera::orbit({16, 16, 16}, 0.7, 0.3);
+  const Factorization f = factorize(cam, {16, 16, 16});
+  const RleVolume rle = RleVolume::encode(vol, f.principal_axis, 1);
+  IntermediateImage img(f.intermediate_width, f.intermediate_height);
+  CompositeStats stats;
+  for (int v = 0; v < img.height(); ++v) {
+    composite_scanline(rle, f, v, img, nullptr, &stats);
+  }
+  EXPECT_EQ(stats.voxels_composited, 0u);
+  EXPECT_EQ(stats.pixels_visited, 0u);
+}
+
+TEST(Compositor, ScanlineProvablyEmptyAgreesWithWork) {
+  const int n = 20;
+  ClassifiedVolume vol(n, n, n);
+  // Opaque block in the middle third.
+  for (int z = 0; z < n; ++z) {
+    for (int y = 8; y < 12; ++y) {
+      for (int x = 0; x < n; ++x) vol.at(x, y, z) = {200, 100, 100, 100};
+    }
+  }
+  SplitMix64 rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Camera cam = Camera::orbit({n, n, n}, rng.uniform(0, 2 * kPi),
+                                     rng.uniform(-1.0, 1.0));
+    const Factorization f = factorize(cam, {n, n, n});
+    const RleVolume rle = RleVolume::encode(vol, f.principal_axis, 1);
+    IntermediateImage img(f.intermediate_width, f.intermediate_height);
+    for (int v = 0; v < img.height(); ++v) {
+      CompositeStats stats;
+      composite_scanline(rle, f, v, img, nullptr, &stats);
+      if (scanline_provably_empty(rle, f, v)) {
+        EXPECT_EQ(stats.voxels_composited, 0u) << "v=" << v;
+      }
+    }
+  }
+}
+
+// The run-based compositor must match the dense reference bit-for-bit.
+class CompositorVsReference : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CompositorVsReference, BitExactMatch) {
+  const double yaw = std::get<0>(GetParam());
+  const double pitch = std::get<1>(GetParam());
+  const int nx = 19, ny = 17, nz = 23;
+
+  // Random blobby volume with ~70% transparency.
+  ClassifiedVolume vol(nx, ny, nz);
+  SplitMix64 rng(77);
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        if (rng.uniform() < 0.3) {
+          vol.at(x, y, z) = {static_cast<uint8_t>(32 + rng.below(224)),
+                             static_cast<uint8_t>(rng.below(256)),
+                             static_cast<uint8_t>(rng.below(256)),
+                             static_cast<uint8_t>(rng.below(256))};
+        }
+      }
+    }
+  }
+
+  const Camera cam = Camera::orbit({nx, ny, nz}, yaw, pitch);
+  const Factorization f = factorize(cam, {nx, ny, nz});
+  const RleVolume rle = RleVolume::encode(vol, f.principal_axis, 1);
+
+  IntermediateImage run_img(f.intermediate_width, f.intermediate_height);
+  composite_frame(rle, f, run_img);
+
+  IntermediateImage ref_img(f.intermediate_width, f.intermediate_height);
+  reference_composite(vol, f, 1, ref_img);
+
+  for (int v = 0; v < run_img.height(); ++v) {
+    for (int u = 0; u < run_img.width(); ++u) {
+      const Rgba& a = run_img.pixel(u, v);
+      const Rgba& b = ref_img.pixel(u, v);
+      ASSERT_EQ(a.r, b.r) << "u=" << u << " v=" << v;
+      ASSERT_EQ(a.g, b.g) << "u=" << u << " v=" << v;
+      ASSERT_EQ(a.b, b.b) << "u=" << u << " v=" << v;
+      ASSERT_EQ(a.a, b.a) << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Angles, CompositorVsReference,
+    ::testing::Combine(::testing::Values(0.0, 0.35, 1.1, 2.0, 3.5, 4.9),
+                       ::testing::Values(-0.9, -0.3, 0.0, 0.45, 1.2)));
+
+
+// Property sweep: random volume shapes, opacity densities and viewpoints
+// chosen to exercise all three principal axes; the run-based compositor
+// must match the dense reference everywhere.
+struct RandomVolumeCase {
+  int nx, ny, nz;
+  double density;
+  double yaw, pitch;
+};
+
+class CompositorRandomVolumes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompositorRandomVolumes, BitExactAgainstReference) {
+  SplitMix64 rng(1000 + GetParam());
+  const RandomVolumeCase c{
+      5 + static_cast<int>(rng.below(28)), 5 + static_cast<int>(rng.below(28)),
+      5 + static_cast<int>(rng.below(28)), rng.uniform(0.0, 1.0),
+      rng.uniform(0, 2 * kPi), rng.uniform(-1.4, 1.4)};
+
+  ClassifiedVolume vol(c.nx, c.ny, c.nz);
+  for (int z = 0; z < c.nz; ++z) {
+    for (int y = 0; y < c.ny; ++y) {
+      for (int x = 0; x < c.nx; ++x) {
+        if (rng.uniform() < c.density) {
+          vol.at(x, y, z) = {static_cast<uint8_t>(16 + rng.below(240)),
+                             static_cast<uint8_t>(rng.below(256)),
+                             static_cast<uint8_t>(rng.below(256)),
+                             static_cast<uint8_t>(rng.below(256))};
+        }
+      }
+    }
+  }
+
+  const Camera cam = Camera::orbit({c.nx, c.ny, c.nz}, c.yaw, c.pitch);
+  const Factorization f = factorize(cam, {c.nx, c.ny, c.nz});
+  const RleVolume rle = RleVolume::encode(vol, f.principal_axis, 1);
+
+  IntermediateImage run_img(f.intermediate_width, f.intermediate_height);
+  composite_frame(rle, f, run_img);
+  IntermediateImage ref_img(f.intermediate_width, f.intermediate_height);
+  reference_composite(vol, f, 1, ref_img);
+
+  for (int v = 0; v < run_img.height(); ++v) {
+    for (int u = 0; u < run_img.width(); ++u) {
+      const Rgba& a = run_img.pixel(u, v);
+      const Rgba& b = ref_img.pixel(u, v);
+      ASSERT_EQ(a.r, b.r) << "case " << GetParam() << " axis " << f.principal_axis
+                          << " u=" << u << " v=" << v;
+      ASSERT_EQ(a.a, b.a) << "case " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CompositorRandomVolumes, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace psw

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/factorization.hpp"
+#include "util/rng.hpp"
+
+namespace psw {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+const std::array<int, 3> kDims{64, 48, 32};
+
+TEST(Factorization, IdentityViewUsesZAxis) {
+  Camera cam;  // identity view looks along +z
+  const Factorization f = factorize(cam, kDims);
+  EXPECT_EQ(f.principal_axis, 2);
+  EXPECT_DOUBLE_EQ(f.shear_i, 0.0);
+  EXPECT_DOUBLE_EQ(f.shear_j, 0.0);
+  EXPECT_EQ(f.ni, 64);
+  EXPECT_EQ(f.nj, 48);
+  EXPECT_EQ(f.nk, 32);
+  EXPECT_TRUE(f.k_ascending);
+  // No shear: intermediate image is the volume face plus the +1 margin.
+  EXPECT_EQ(f.intermediate_width, 65);
+  EXPECT_EQ(f.intermediate_height, 49);
+}
+
+TEST(Factorization, QuarterTurnAroundYUsesXAxis) {
+  const Camera cam = Camera::orbit(kDims, kPi / 2, 0.0);
+  const Factorization f = factorize(cam, kDims);
+  EXPECT_EQ(f.principal_axis, 0);
+  EXPECT_NEAR(f.shear_i, 0.0, 1e-9);
+  EXPECT_NEAR(f.shear_j, 0.0, 1e-9);
+  EXPECT_EQ(f.nk, 64);
+}
+
+TEST(Factorization, ShearBoundedByOne) {
+  SplitMix64 rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Camera cam = Camera::orbit(kDims, rng.uniform(0, 2 * kPi),
+                                     rng.uniform(-kPi / 2, kPi / 2));
+    const Factorization f = factorize(cam, kDims);
+    EXPECT_LE(std::abs(f.shear_i), 1.0 + 1e-9);
+    EXPECT_LE(std::abs(f.shear_j), 1.0 + 1e-9);
+  }
+}
+
+TEST(Factorization, OffsetsNonNegativeAndInsideImage) {
+  SplitMix64 rng(12);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Camera cam = Camera::orbit(kDims, rng.uniform(0, 2 * kPi),
+                                     rng.uniform(-kPi / 2, kPi / 2));
+    const Factorization f = factorize(cam, kDims);
+    for (int k = 0; k < f.nk; ++k) {
+      const double ou = f.offset_u(k);
+      const double ov = f.offset_v(k);
+      ASSERT_GE(ou, -1e-9);
+      ASSERT_GE(ov, -1e-9);
+      // Last voxel of a scanline must land inside the intermediate image.
+      ASSERT_LE(ou + f.ni - 1, f.intermediate_width - 1 + 1e-9);
+      ASSERT_LE(ov + f.nj - 1, f.intermediate_height - 1 + 1e-9);
+    }
+  }
+}
+
+// The defining property of the factorization: all voxels along a viewing
+// ray shear to the same intermediate-image position.
+TEST(Factorization, ShearedCoordinateInvariantAlongViewDirection) {
+  SplitMix64 rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Camera cam = Camera::orbit(kDims, rng.uniform(0, 2 * kPi),
+                                     rng.uniform(-kPi / 2, kPi / 2));
+    const Factorization f = factorize(cam, kDims);
+    Mat4 inv;
+    ASSERT_TRUE(cam.view.inverse(&inv));
+    const Vec3 d = inv.transform_dir({0, 0, 1});
+
+    // Take a random object point and move it along d; its sheared (u, v)
+    // must not change.
+    const Vec3 p0{rng.uniform(0, kDims[0]), rng.uniform(0, kDims[1]),
+                  rng.uniform(0, kDims[2])};
+    const Vec3 p1 = p0 + d * rng.uniform(1.0, 20.0);
+    auto uv = [&](const Vec3& p) {
+      const double coords[3] = {p.x, p.y, p.z};
+      const double i = coords[f.perm[0]];
+      const double j = coords[f.perm[1]];
+      const double k = coords[f.perm[2]];
+      return std::pair<double, double>{i + f.trans_i + f.shear_i * k,
+                                       j + f.trans_j + f.shear_j * k};
+    };
+    const auto [u0, v0] = uv(p0);
+    const auto [u1, v1] = uv(p1);
+    EXPECT_NEAR(u0, u1, 1e-6);
+    EXPECT_NEAR(v0, v1, 1e-6);
+  }
+}
+
+// Warp consistency: warping the sheared position of any voxel must land on
+// the view-projected position of that voxel (up to the bounds translation,
+// which is a pure shift shared by all voxels).
+TEST(Factorization, WarpMatchesViewProjection) {
+  SplitMix64 rng(14);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Camera cam = Camera::orbit(kDims, rng.uniform(0, 2 * kPi),
+                                     rng.uniform(-kPi / 2, kPi / 2));
+    const Factorization f = factorize(cam, kDims);
+
+    // Compute the shared shift from one reference voxel.
+    auto uv_of = [&](const Vec3& p) {
+      const double coords[3] = {p.x, p.y, p.z};
+      return std::pair<double, double>{coords[f.perm[0]] + f.trans_i +
+                                           f.shear_i * coords[f.perm[2]],
+                                       coords[f.perm[1]] + f.trans_j +
+                                           f.shear_j * coords[f.perm[2]]};
+    };
+    const Vec3 ref{0, 0, 0};
+    const auto [ur, vr] = uv_of(ref);
+    const Vec3 warped_ref = f.warp.apply(ur, vr);
+    const Vec3 proj_ref = cam.view.transform_point(ref);
+    const double shift_x = warped_ref.x - proj_ref.x;
+    const double shift_y = warped_ref.y - proj_ref.y;
+
+    for (int s = 0; s < 10; ++s) {
+      const Vec3 p{rng.uniform(0, kDims[0]), rng.uniform(0, kDims[1]),
+                   rng.uniform(0, kDims[2])};
+      const auto [u, v] = uv_of(p);
+      const Vec3 w = f.warp.apply(u, v);
+      const Vec3 proj = cam.view.transform_point(p);
+      EXPECT_NEAR(w.x - proj.x, shift_x, 1e-6);
+      EXPECT_NEAR(w.y - proj.y, shift_y, 1e-6);
+    }
+  }
+}
+
+TEST(Factorization, FinalBoundsContainWarpedIntermediateCorners) {
+  SplitMix64 rng(15);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Camera cam = Camera::orbit(kDims, rng.uniform(0, 2 * kPi),
+                                     rng.uniform(-kPi / 2, kPi / 2));
+    const Factorization f = factorize(cam, kDims);
+    const double w = f.intermediate_width, h = f.intermediate_height;
+    for (const auto& [u, v] : {std::pair<double, double>{0, 0}, {w, 0}, {0, h}, {w, h}}) {
+      const Vec3 p = f.warp.apply(u, v);
+      EXPECT_GE(p.x, -1e-6);
+      EXPECT_GE(p.y, -1e-6);
+      EXPECT_LE(p.x, f.final_width + 1e-6);
+      EXPECT_LE(p.y, f.final_height + 1e-6);
+    }
+  }
+}
+
+TEST(Factorization, FixedImageSizeHonored) {
+  Camera cam = Camera::orbit(kDims, 0.3, 0.2);
+  cam.image_width = 100;
+  cam.image_height = 90;
+  const Factorization f = factorize(cam, kDims);
+  EXPECT_EQ(f.final_width, 100);
+  EXPECT_EQ(f.final_height, 90);
+}
+
+TEST(Factorization, SliceOrderCoversAllSlices) {
+  SplitMix64 rng(16);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Camera cam = Camera::orbit(kDims, rng.uniform(0, 2 * kPi),
+                                     rng.uniform(-kPi / 2, kPi / 2));
+    const Factorization f = factorize(cam, kDims);
+    std::vector<bool> seen(f.nk, false);
+    for (int t = 0; t < f.nk; ++t) {
+      const int k = f.slice(t);
+      ASSERT_GE(k, 0);
+      ASSERT_LT(k, f.nk);
+      ASSERT_FALSE(seen[k]);
+      seen[k] = true;
+    }
+  }
+}
+
+// Front-to-back order: the first traversed slice must be nearer the viewer
+// (smaller image-space depth) than the last.
+TEST(Factorization, SliceOrderIsFrontToBack) {
+  SplitMix64 rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Camera cam = Camera::orbit(kDims, rng.uniform(0, 2 * kPi),
+                                     rng.uniform(-kPi / 2, kPi / 2));
+    const Factorization f = factorize(cam, kDims);
+    auto slice_depth = [&](int k) {
+      double coords[3] = {0, 0, 0};
+      coords[f.perm[2]] = k;
+      return cam.view.transform_point({coords[0], coords[1], coords[2]}).z;
+    };
+    EXPECT_LT(slice_depth(f.slice(0)), slice_depth(f.slice(f.nk - 1)));
+  }
+}
+
+TEST(Affine2D, InverseRoundTrip) {
+  Affine2D a;
+  a.a00 = 1.5;
+  a.a01 = -0.4;
+  a.a10 = 0.7;
+  a.a11 = 2.0;
+  a.bx = 3.0;
+  a.by = -1.0;
+  const Affine2D inv = a.inverse();
+  SplitMix64 rng(18);
+  for (int i = 0; i < 20; ++i) {
+    const double u = rng.uniform(-10, 10), v = rng.uniform(-10, 10);
+    const Vec3 w = a.apply(u, v);
+    const Vec3 back = inv.apply(w.x, w.y);
+    EXPECT_NEAR(back.x, u, 1e-9);
+    EXPECT_NEAR(back.y, v, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace psw

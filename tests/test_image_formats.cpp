@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/image.hpp"
+#include "util/rng.hpp"
+
+namespace psw {
+namespace {
+
+TEST(Quantize8, ClampsAndRounds) {
+  EXPECT_EQ(quantize8({0, 0, 0, 0}), (Pixel8{0, 0, 0, 0}));
+  EXPECT_EQ(quantize8({1, 1, 1, 1}), (Pixel8{255, 255, 255, 255}));
+  EXPECT_EQ(quantize8({-0.5f, 2.0f, 0.5f, 0.25f}), (Pixel8{0, 255, 128, 64}));
+  // Round-half behaviour: 0.498 * 255 = 126.99 -> 127.
+  EXPECT_EQ(quantize8({0.498f, 0, 0, 0}).r, 127);
+}
+
+TEST(Quantize8, MonotoneInInput) {
+  uint8_t prev = 0;
+  for (int i = 0; i <= 100; ++i) {
+    const uint8_t q = quantize8({i / 100.0f, 0, 0, 0}).r;
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+  EXPECT_EQ(prev, 255);
+}
+
+TEST(ImageU8, ResizeAndClear) {
+  ImageU8 img(5, 3);
+  EXPECT_EQ(img.width(), 5);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.pixel_count(), 15u);
+  img.at(2, 1) = {1, 2, 3, 4};
+  img.clear();
+  EXPECT_EQ(img.at(2, 1), Pixel8{});
+}
+
+TEST(ImageU8, RowPointersAreContiguous) {
+  ImageU8 img(4, 4);
+  EXPECT_EQ(img.row(1), img.data() + 4);
+  EXPECT_EQ(img.row(3), img.data() + 12);
+}
+
+TEST(ImageU8, PpmWriteProducesReadableFile) {
+  ImageU8 img(9, 7);
+  SplitMix64 rng(5);
+  for (size_t i = 0; i < img.pixel_count(); ++i) {
+    img.data()[i] = Pixel8{static_cast<uint8_t>(rng.below(256)),
+                           static_cast<uint8_t>(rng.below(256)),
+                           static_cast<uint8_t>(rng.below(256)), 255};
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "psw_u8.ppm").string();
+  ASSERT_TRUE(write_ppm(path, img));
+  ImageRGBA back;
+  ASSERT_TRUE(read_ppm(path, &back));
+  ASSERT_EQ(back.width(), 9);
+  ASSERT_EQ(back.height(), 7);
+  // Values survive exactly (PPM stores the same 8-bit channels).
+  for (int y = 0; y < 7; ++y) {
+    for (int x = 0; x < 9; ++x) {
+      EXPECT_EQ(static_cast<int>(std::lround(back.at(x, y).r * 255)), img.at(x, y).r);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ImageU8Metrics, MadIsNormalized) {
+  ImageU8 a(2, 1), b(2, 1);
+  a.at(0, 0) = {255, 255, 255, 0};
+  // b all-zero: MAD should be 0.5 (half the pixels fully different).
+  EXPECT_NEAR(image_mad(a, b), 0.5, 1e-9);
+  EXPECT_EQ(image_mad(a, a), 0.0);
+}
+
+TEST(ImageU8Metrics, MadSizeMismatch) {
+  ImageU8 a(2, 2), b(3, 2);
+  EXPECT_GT(image_mad(a, b), 1e20);
+}
+
+TEST(ImageU8Metrics, CorrelationDetectsStructure) {
+  ImageU8 a(16, 16), b(16, 16), inv(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      const uint8_t v = static_cast<uint8_t>(x * 16);
+      a.at(x, y) = {v, v, v, 255};
+      b.at(x, y) = {static_cast<uint8_t>(v / 2), static_cast<uint8_t>(v / 2),
+                    static_cast<uint8_t>(v / 2), 255};
+      const uint8_t w = static_cast<uint8_t>(255 - v);
+      inv.at(x, y) = {w, w, w, 255};
+    }
+  }
+  EXPECT_NEAR(image_correlation(a, a), 1.0, 1e-12);
+  EXPECT_GT(image_correlation(a, b), 0.99);  // linear rescale
+  EXPECT_LT(image_correlation(a, inv), -0.99);
+}
+
+TEST(ImageU8Metrics, FlatImagesCorrelateTrivially) {
+  ImageU8 a(4, 4), b(4, 4);
+  EXPECT_EQ(image_correlation(a, b), 1.0);  // both constant
+  b.at(0, 0) = {255, 255, 255, 255};
+  EXPECT_EQ(image_correlation(a, b), 0.0);  // one constant
+}
+
+}  // namespace
+}  // namespace psw

@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include "memsim/cache.hpp"
+#include "memsim/experiment.hpp"
+#include "memsim/machine.hpp"
+#include "memsim/mpsim.hpp"
+#include "trace/sink.hpp"
+
+namespace psw {
+namespace {
+
+// ---- Cache model ----
+
+TEST(SetAssocCache, HitsAfterFill) {
+  SetAssocCache c(1024, 64, 2);  // 16 lines, 8 sets
+  EXPECT_FALSE(c.access(100).hit);
+  EXPECT_TRUE(c.access(100).hit);
+  EXPECT_TRUE(c.contains(100));
+}
+
+TEST(SetAssocCache, LruEvictionWithinSet) {
+  SetAssocCache c(2 * 64, 64, 2);  // one set, two ways
+  c.access(0);
+  c.access(1);
+  c.access(0);  // 1 is now LRU
+  const auto res = c.access(2);
+  EXPECT_TRUE(res.evicted);
+  EXPECT_EQ(res.evicted_line, 1u);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(SetAssocCache, ConflictInDirectMapped) {
+  SetAssocCache c(4 * 64, 64, 1);  // 4 sets, direct mapped
+  c.access(0);
+  const auto res = c.access(4);  // same set as 0 (line % 4)
+  EXPECT_TRUE(res.evicted);
+  EXPECT_EQ(res.evicted_line, 0u);
+}
+
+TEST(SetAssocCache, InvalidateRemovesLine) {
+  SetAssocCache c(1024, 64, 4);
+  c.access(7);
+  c.invalidate(7);
+  EXPECT_FALSE(c.contains(7));
+  EXPECT_FALSE(c.access(7).hit);
+}
+
+TEST(FullyAssocCache, LruOverWholeCapacity) {
+  FullyAssocCache c(3 * 64, 64);
+  EXPECT_FALSE(c.access(1));
+  EXPECT_FALSE(c.access(2));
+  EXPECT_FALSE(c.access(3));
+  EXPECT_TRUE(c.access(1));   // refresh 1; LRU is now 2
+  EXPECT_FALSE(c.access(4));  // evicts 2
+  EXPECT_FALSE(c.access(2));
+  EXPECT_TRUE(c.access(4));
+}
+
+// ---- Simulator on crafted traces ----
+
+struct CraftedTrace {
+  TraceSet set;
+  std::vector<int> scratch;
+  int* base;  // first 64-byte-aligned word, so word i sits at line i/16
+
+  explicit CraftedTrace(int procs, int words = 4096)
+      : set(procs), scratch(words + 16, 0) {
+    uint64_t a = reinterpret_cast<uint64_t>(scratch.data());
+    base = scratch.data() + ((64 - (a & 63)) & 63) / 4;
+    set.begin_interval("composite");
+  }
+  uint64_t addr(int word) const { return reinterpret_cast<uint64_t>(base + word); }
+  void read(int p, int word) { set.hook(p)->access(base + word, 4, false); }
+  void write(int p, int word) { set.hook(p)->access(base + word, 4, true); }
+};
+
+MachineConfig tiny_machine(int line_bytes = 64, uint64_t cache_bytes = 4096,
+                           int assoc = 2) {
+  MachineConfig m = MachineConfig::simulator();
+  m.cache_bytes = cache_bytes;
+  m.line_bytes = line_bytes;
+  m.assoc = assoc;
+  return m;
+}
+
+TEST(MultiProcSim, ColdMissThenHit) {
+  CraftedTrace t(1);
+  t.read(0, 0);
+  t.read(0, 1);  // same line
+  t.read(0, 0);
+  MultiProcSim sim(tiny_machine(), 1);
+  const SimResult r = sim.run(t.set);
+  EXPECT_EQ(r.total_accesses(), 3u);
+  EXPECT_EQ(r.misses_of(MissClass::kCold), 1u);
+  EXPECT_EQ(r.total_hits(), 2u);
+}
+
+TEST(MultiProcSim, CapacityMissOnWorkingSetOverflow) {
+  // Cache: 4096B = 64 lines of 64B. Stream far more lines than fit, twice.
+  CraftedTrace t(1, 64 * 200);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int line = 0; line < 200; ++line) t.read(0, line * 16);
+  }
+  MultiProcSim sim(tiny_machine(), 1);
+  const SimResult r = sim.run(t.set);
+  EXPECT_EQ(r.misses_of(MissClass::kCold), 200u);
+  // Second pass misses again: capacity (fully-assoc shadow also misses).
+  EXPECT_GE(r.misses_of(MissClass::kCapacity), 190u);
+  EXPECT_EQ(r.misses_of(MissClass::kTrueShare), 0u);
+}
+
+TEST(MultiProcSim, ConflictMissDetectedViaShadow) {
+  // Direct-mapped 4-line cache: two lines aliasing the same set ping-pong
+  // while the fully-associative shadow holds both.
+  MachineConfig m = tiny_machine(64, 4 * 64, 1);
+  CraftedTrace t(1, 64 * 32);
+  for (int round = 0; round < 10; ++round) {
+    t.read(0, 0);        // line 0
+    t.read(0, 4 * 16);   // line 4: same set, direct-mapped
+  }
+  MultiProcSim sim(m, 1);
+  const SimResult r = sim.run(t.set);
+  EXPECT_EQ(r.misses_of(MissClass::kCold), 2u);
+  EXPECT_GE(r.misses_of(MissClass::kConflict), 16u);
+  EXPECT_EQ(r.misses_of(MissClass::kCapacity), 0u);
+}
+
+TEST(MultiProcSim, TrueSharingMiss) {
+  CraftedTrace t(2);
+  t.read(0, 0);   // P0 caches the line
+  t.write(1, 0);  // P1 writes the same word -> invalidates P0
+  t.read(0, 0);   // P0 misses: true sharing
+  MultiProcSim sim(tiny_machine(), 2);
+  SimOptions opt;
+  opt.interleave_chunk = 1;  // enforce the intended cross-processor order
+  const SimResult r = sim.run(t.set, opt);
+  EXPECT_EQ(r.misses_of(MissClass::kTrueShare), 1u);
+  EXPECT_EQ(r.misses_of(MissClass::kFalseShare), 0u);
+}
+
+TEST(MultiProcSim, FalseSharingMiss) {
+  CraftedTrace t(2);
+  t.read(0, 0);   // P0 caches word 0 (line 0..15)
+  t.write(1, 8);  // P1 writes a *different* word of the same line
+  t.read(0, 0);   // P0 misses on its own word: false sharing
+  MultiProcSim sim(tiny_machine(), 2);
+  SimOptions opt;
+  opt.interleave_chunk = 1;
+  const SimResult r = sim.run(t.set, opt);
+  EXPECT_EQ(r.misses_of(MissClass::kFalseShare), 1u);
+  EXPECT_EQ(r.misses_of(MissClass::kTrueShare), 0u);
+}
+
+TEST(MultiProcSim, FalseSharingVanishesWithSmallLines) {
+  // The same pattern with 4-byte... smallest supported is word-granular
+  // lines: use 8B lines so word 0 and word 8 are on different lines.
+  CraftedTrace t(2);
+  t.read(0, 0);
+  t.write(1, 8);
+  t.read(0, 0);
+  MultiProcSim sim(tiny_machine(8), 2);
+  SimOptions opt;
+  opt.interleave_chunk = 1;
+  const SimResult r = sim.run(t.set, opt);
+  EXPECT_EQ(r.misses_of(MissClass::kFalseShare), 0u);
+  EXPECT_EQ(r.total_hits(), 1u);
+}
+
+TEST(MultiProcSim, UpgradeOnWriteToSharedLine) {
+  CraftedTrace t(2);
+  t.read(0, 0);
+  t.read(1, 0);    // both share the line
+  t.read(0, 400);  // filler so P0's re-read follows P1's write (round-robin)
+  t.write(1, 0);   // hit, but needs an upgrade; P0 invalidated
+  t.read(0, 0);    // true-sharing miss for P0
+  MultiProcSim sim(tiny_machine(), 2);
+  SimOptions opt;
+  opt.interleave_chunk = 1;
+  const SimResult r = sim.run(t.set, opt);
+  EXPECT_EQ(r.total_upgrades(), 1u);
+  EXPECT_EQ(r.misses_of(MissClass::kTrueShare), 1u);
+}
+
+TEST(MultiProcSim, CentralizedMachineHasNoRemoteMisses) {
+  CraftedTrace t(4, 4096);
+  for (int p = 0; p < 4; ++p) {
+    for (int w = 0; w < 256; ++w) t.read(p, w);
+  }
+  MultiProcSim sim(MachineConfig::challenge(), 4);
+  const SimResult r = sim.run(t.set);
+  EXPECT_DOUBLE_EQ(r.remote_fraction(), 0.0);
+}
+
+TEST(MultiProcSim, DistributedMachineHasRemoteMisses) {
+  CraftedTrace t(4, 1 << 16);  // spans many pages
+  for (int p = 0; p < 4; ++p) {
+    for (int w = 0; w < 4096; w += 16) t.read(p, w);
+  }
+  MultiProcSim sim(MachineConfig::simulator(), 4);
+  const SimResult r = sim.run(t.set);
+  EXPECT_GT(r.remote_fraction(), 0.3) << "round-robin pages must yield remote misses";
+}
+
+TEST(MultiProcSim, DirtyRemoteMissCostsThreeHops) {
+  MachineConfig m = MachineConfig::simulator();
+  CraftedTrace t(3, 1 << 16);
+  // P1 dirties a line whose home is some node; P2 reads it. With 1 proc
+  // per node and round-robin pages there must be some 3-hop misses when
+  // requester, home and owner all differ. Touch many pages to ensure it.
+  for (int w = 0; w < 4096; w += 16) t.write(1, w);
+  for (int w = 0; w < 4096; w += 16) t.read(2, w);
+  MultiProcSim sim(m, 3);
+  const SimResult r = sim.run(t.set);
+  uint64_t remote3 = 0;
+  for (const auto& p : r.proc) remote3 += p.remote3;
+  EXPECT_GT(remote3, 0u);
+}
+
+TEST(MultiProcSim, SyncWaitReflectsImbalance) {
+  TraceSet set(2);
+  std::vector<int> scratch(1 << 16, 0);
+  set.begin_interval("composite");
+  // P0 does 10x the work of P1.
+  for (int i = 0; i < 10000; ++i) set.hook(0)->access(&scratch[i % 1000], 4, false);
+  for (int i = 0; i < 1000; ++i) set.hook(1)->access(&scratch[i % 1000], 4, false);
+  MultiProcSim sim(tiny_machine(), 2);
+  const SimResult r = sim.run(set);
+  EXPECT_GT(r.proc[1].sync_cycles, r.proc[0].sync_cycles);
+  EXPECT_NEAR(r.proc[0].sync_cycles, 0.0, 1e-9);
+}
+
+TEST(MultiProcSim, IntervalsAccumulateTotalCycles) {
+  TraceSet set(1);
+  int x = 0;
+  set.begin_interval("composite");
+  set.hook(0)->access(&x, 4, false);
+  set.begin_interval("warp");
+  set.hook(0)->access(&x, 4, false);
+  MultiProcSim sim(tiny_machine(), 1);
+  const SimResult r = sim.run(set);
+  ASSERT_EQ(r.intervals.size(), 2u);
+  EXPECT_NEAR(r.total_cycles, r.intervals[0].span_cycles + r.intervals[1].span_cycles,
+              1e-9);
+}
+
+TEST(MultiProcSim, ProfiledFrameInflatesCompositeBusy) {
+  TraceSet set(1);
+  int x = 0;
+  set.begin_interval("composite");
+  for (int i = 0; i < 100; ++i) set.hook(0)->access(&x, 4, false);
+  MachineConfig m = tiny_machine();
+  SimOptions with, without;
+  with.profiled_frame = true;
+  MultiProcSim sim1(m, 1), sim2(m, 1);
+  const double busy_with = sim1.run(set, with).busy_sum();
+  const double busy_without = sim2.run(set, without).busy_sum();
+  EXPECT_NEAR(busy_with, busy_without * (1.0 + m.profile_overhead), 1e-6);
+}
+
+TEST(MultiProcSim, AccessSpanningTwoLinesTouchesBoth) {
+  MachineConfig m = tiny_machine(16);
+  TraceSet set(1);
+  alignas(64) static char buf[256];
+  set.begin_interval("composite");
+  set.hook(0)->access(buf + 12, 8, false);  // crosses a 16B boundary
+  MultiProcSim sim(m, 1);
+  const SimResult r = sim.run(set);
+  EXPECT_EQ(r.total_accesses(), 2u);
+  EXPECT_EQ(r.misses_of(MissClass::kCold), 2u);
+}
+
+// ---- Machine presets ----
+
+TEST(MachineConfig, PresetsMatchPaperParameters) {
+  const MachineConfig sim = MachineConfig::simulator();
+  EXPECT_EQ(sim.cache_bytes, 1u << 20);
+  EXPECT_EQ(sim.line_bytes, 64);
+  EXPECT_EQ(sim.assoc, 4);
+  EXPECT_EQ(sim.local_miss, 70);
+  EXPECT_EQ(sim.remote_2hop, 210);
+  EXPECT_EQ(sim.remote_3hop, 280);
+  EXPECT_EQ(sim.procs_per_node, 1);
+
+  const MachineConfig dash = MachineConfig::dash();
+  EXPECT_EQ(dash.line_bytes, 16);
+  EXPECT_EQ(dash.cache_bytes, 256u << 10);
+  EXPECT_EQ(dash.procs_per_node, 4);
+  EXPECT_TRUE(dash.distributed);
+
+  const MachineConfig chal = MachineConfig::challenge();
+  EXPECT_FALSE(chal.distributed);
+  EXPECT_EQ(chal.line_bytes, 128);
+
+  const MachineConfig origin = MachineConfig::origin2000();
+  EXPECT_EQ(origin.cache_bytes, 4u << 20);
+  EXPECT_EQ(origin.procs_per_node, 2);
+}
+
+TEST(MachineConfig, NodeCountRounding) {
+  const MachineConfig dash = MachineConfig::dash();
+  EXPECT_EQ(dash.nodes(1), 1);
+  EXPECT_EQ(dash.nodes(4), 1);
+  EXPECT_EQ(dash.nodes(5), 2);
+  EXPECT_EQ(dash.nodes(32), 8);
+}
+
+// ---- End-to-end: renderer traces through the simulator ----
+
+const Dataset& small_dataset() {
+  static const Dataset d = make_dataset("mri", "mri-32", 32, 32, 32);
+  return d;
+}
+
+TEST(Experiment, TraceFrameProducesTwoFramesOfIntervals) {
+  const TraceSet t = trace_frame(Algo::kOld, small_dataset(), 4);
+  EXPECT_EQ(t.intervals(), 4);  // composite+warp, twice (warm-up + measured)
+  EXPECT_GT(t.total_records(), 1000u);
+}
+
+TEST(Experiment, NewAlgorithmReducesSharingMisses) {
+  // The paper's core claim (Fig 16): the new partitioning slashes
+  // true-sharing misses at the composite/warp interface.
+  const int P = 8;
+  const MachineConfig m = MachineConfig::simulator();
+  const SimResult old_r = simulate(m, trace_frame(Algo::kOld, small_dataset(), P));
+  const SimResult new_r = simulate(m, trace_frame(Algo::kNew, small_dataset(), P));
+  EXPECT_LT(new_r.misses_of(MissClass::kTrueShare),
+            old_r.misses_of(MissClass::kTrueShare));
+}
+
+TEST(Experiment, SpeedupCurveIsSane) {
+  const auto curve = speedup_curve(Algo::kNew, small_dataset(),
+                                   MachineConfig::simulator(), {1, 2, 4, 8});
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_NEAR(curve[0].speedup, 1.0, 1e-9);
+  EXPECT_GT(curve[1].speedup, 1.2) << "2 procs must beat 1";
+  EXPECT_GT(curve[3].speedup, curve[1].speedup) << "8 procs must beat 2";
+  EXPECT_LE(curve[3].speedup, 8.1) << "no super-unitary efficiency expected";
+}
+
+TEST(Experiment, ScaleSpecDividesDimensions) {
+  const DatasetSpec full{"mri-512", 511, 511, 333};
+  const DatasetSpec scaled = scale_spec(full, 4);
+  EXPECT_EQ(scaled.nx, 127);
+  EXPECT_EQ(scaled.nz, 83);
+  EXPECT_EQ(scale_spec(full, 1).nx, 511);
+}
+
+}  // namespace
+}  // namespace psw

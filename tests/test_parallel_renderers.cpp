@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/classify.hpp"
+#include "core/renderer.hpp"
+#include "parallel/animation.hpp"
+#include "parallel/new_renderer.hpp"
+#include "parallel/old_renderer.hpp"
+#include "phantom/phantom.hpp"
+
+namespace psw {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct Scene {
+  EncodedVolume encoded;
+  std::array<int, 3> dims;
+};
+
+const Scene& test_scene() {
+  static const Scene scene = [] {
+    Scene s;
+    const int n = 40;
+    const DensityVolume density = make_mri_brain(n, n, n);
+    const ClassifiedVolume classified = classify(density, TransferFunction::mri_preset());
+    s.encoded = EncodedVolume::build(classified, ClassifyOptions{}.alpha_threshold);
+    s.dims = {n, n, n};
+    return s;
+  }();
+  return scene;
+}
+
+void expect_images_identical(const ImageU8& a, const ImageU8& b) {
+  ASSERT_EQ(a.width(), b.width());
+  ASSERT_EQ(a.height(), b.height());
+  for (size_t i = 0; i < a.pixel_count(); ++i) {
+    ASSERT_EQ(a.data()[i].r, b.data()[i].r) << "pixel " << i;
+    ASSERT_EQ(a.data()[i].g, b.data()[i].g) << "pixel " << i;
+    ASSERT_EQ(a.data()[i].b, b.data()[i].b) << "pixel " << i;
+    ASSERT_EQ(a.data()[i].a, b.data()[i].a) << "pixel " << i;
+  }
+}
+
+ImageU8 serial_reference(const Camera& cam) {
+  SerialRenderer renderer;
+  ImageU8 img;
+  renderer.render(test_scene().encoded, cam, &img);
+  return img;
+}
+
+// ---- Old parallel renderer ----
+
+class OldRendererProcs : public ::testing::TestWithParam<int> {};
+
+TEST_P(OldRendererProcs, SerialExecutorMatchesSerialRenderer) {
+  const int P = GetParam();
+  const Camera cam = Camera::orbit(test_scene().dims, 0.8, 0.3);
+  const ImageU8 want = serial_reference(cam);
+  SerialExecutor exec(P);
+  OldParallelRenderer renderer;
+  ImageU8 got;
+  renderer.render(test_scene().encoded, cam, exec, &got);
+  expect_images_identical(want, got);
+}
+
+TEST_P(OldRendererProcs, ThreadedMatchesSerialRenderer) {
+  const int P = GetParam();
+  const Camera cam = Camera::orbit(test_scene().dims, 2.1, -0.5);
+  const ImageU8 want = serial_reference(cam);
+  ThreadedExecutor exec(P);
+  OldParallelRenderer renderer;
+  ImageU8 got;
+  for (int round = 0; round < 3; ++round) {  // repeat to shake out races
+    renderer.render(test_scene().encoded, cam, exec, &got);
+    expect_images_identical(want, got);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, OldRendererProcs, ::testing::Values(1, 2, 3, 5, 8, 16));
+
+TEST(OldRenderer, ChunkSizeDoesNotChangeImage) {
+  const Camera cam = Camera::orbit(test_scene().dims, 1.0, 0.2);
+  const ImageU8 want = serial_reference(cam);
+  for (int chunk : {1, 2, 7, 64}) {
+    ParallelOptions opt;
+    opt.chunk_scanlines = chunk;
+    OldParallelRenderer renderer(opt);
+    SerialExecutor exec(4);
+    ImageU8 got;
+    renderer.render(test_scene().encoded, cam, exec, &got);
+    expect_images_identical(want, got);
+  }
+}
+
+TEST(OldRenderer, TileSizeDoesNotChangeImage) {
+  const Camera cam = Camera::orbit(test_scene().dims, 1.0, 0.2);
+  const ImageU8 want = serial_reference(cam);
+  for (int tile : {8, 16, 33, 128}) {
+    ParallelOptions opt;
+    opt.warp_tile = tile;
+    OldParallelRenderer renderer(opt);
+    SerialExecutor exec(4);
+    ImageU8 got;
+    renderer.render(test_scene().encoded, cam, exec, &got);
+    expect_images_identical(want, got);
+  }
+}
+
+TEST(OldRenderer, StealingOccursUnderThreads) {
+  const Camera cam = Camera::orbit(test_scene().dims, 0.4, 0.1);
+  ParallelOptions opt;
+  opt.chunk_scanlines = 1;
+  OldParallelRenderer renderer(opt);
+  ThreadedExecutor exec(8);
+  ImageU8 got;
+  uint64_t lock_ops = 0;
+  for (int round = 0; round < 3; ++round) {
+    const ParallelRenderStats stats =
+        renderer.render(test_scene().encoded, cam, exec, &got);
+    lock_ops += stats.lock_ops;
+  }
+  EXPECT_GT(lock_ops, 0u);
+}
+
+TEST(OldRenderer, WorkAccountingCoversAllScanlines) {
+  const Camera cam = Camera::orbit(test_scene().dims, 0.8, 0.3);
+  SerialExecutor exec(4);
+  OldParallelRenderer renderer;
+  ImageU8 got;
+  const ParallelRenderStats stats =
+      renderer.render(test_scene().encoded, cam, exec, &got);
+  SerialRenderer serial;
+  ImageU8 simg;
+  const RenderStats sstats = serial.render(test_scene().encoded, cam, &simg);
+  EXPECT_EQ(stats.composite.voxels_composited, sstats.composite.voxels_composited);
+  EXPECT_EQ(stats.composite.pixels_visited, sstats.composite.pixels_visited);
+}
+
+// ---- New parallel renderer ----
+
+struct NewRendererCase {
+  int procs;
+  bool fused;
+  bool stealing;
+};
+
+class NewRendererConfig : public ::testing::TestWithParam<NewRendererCase> {};
+
+TEST_P(NewRendererConfig, ThreadedMatchesSerialAcrossAnimation) {
+  const auto param = GetParam();
+  ParallelOptions opt;
+  opt.fused_phases = param.fused;
+  opt.stealing = param.stealing;
+  opt.profile_every = 3;
+  NewParallelRenderer renderer(opt);
+  ThreadedExecutor exec(param.procs);
+  for (int frame = 0; frame < 5; ++frame) {
+    const Camera cam = Camera::orbit(test_scene().dims, 0.25 * frame, 0.3);
+    const ImageU8 want = serial_reference(cam);
+    ImageU8 got;
+    renderer.render(test_scene().encoded, cam, exec, &got);
+    expect_images_identical(want, got);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, NewRendererConfig,
+    ::testing::Values(NewRendererCase{1, true, true}, NewRendererCase{2, true, true},
+                      NewRendererCase{4, true, true}, NewRendererCase{8, true, true},
+                      NewRendererCase{4, false, true}, NewRendererCase{4, true, false},
+                      NewRendererCase{16, true, true}, NewRendererCase{3, false, false}),
+    [](const auto& info) {
+      return "P" + std::to_string(info.param.procs) + (info.param.fused ? "F" : "S") +
+             (info.param.stealing ? "T" : "N");
+    });
+
+TEST(NewRenderer, SerialExecutorMatchesSerialRenderer) {
+  for (int P : {1, 2, 4, 8, 32}) {
+    NewParallelRenderer renderer;
+    SerialExecutor exec(P);
+    for (int frame = 0; frame < 3; ++frame) {
+      const Camera cam = Camera::orbit(test_scene().dims, 0.4 * frame + 0.2, -0.3);
+      const ImageU8 want = serial_reference(cam);
+      ImageU8 got;
+      renderer.render(test_scene().encoded, cam, exec, &got);
+      expect_images_identical(want, got);
+    }
+  }
+}
+
+TEST(NewRenderer, FirstFrameProfilesThenReuses) {
+  ParallelOptions opt;
+  opt.profile_every = 100;
+  NewParallelRenderer renderer(opt);
+  SerialExecutor exec(4);
+  ImageU8 img;
+  const Camera cam = Camera::orbit(test_scene().dims, 0.5, 0.2);
+  const ParallelRenderStats first = renderer.render(test_scene().encoded, cam, exec, &img);
+  EXPECT_TRUE(first.profiled);
+  const ParallelRenderStats second =
+      renderer.render(test_scene().encoded, cam, exec, &img);
+  EXPECT_FALSE(second.profiled);
+}
+
+TEST(NewRenderer, ProfileIntervalReprofiles) {
+  ParallelOptions opt;
+  opt.profile_every = 2;
+  NewParallelRenderer renderer(opt);
+  SerialExecutor exec(2);
+  ImageU8 img;
+  int profiled = 0;
+  for (int frame = 0; frame < 7; ++frame) {
+    const Camera cam = Camera::orbit(test_scene().dims, 0.1 * frame, 0.2);
+    profiled += renderer.render(test_scene().encoded, cam, exec, &img).profiled;
+  }
+  EXPECT_GE(profiled, 2);
+  EXPECT_LT(profiled, 7);
+}
+
+TEST(NewRenderer, PartitionsAreContiguousAndCover) {
+  NewParallelRenderer renderer;
+  SerialExecutor exec(8);
+  ImageU8 img;
+  const Camera cam = Camera::orbit(test_scene().dims, 0.8, 0.4);
+  ParallelRenderStats stats = renderer.render(test_scene().encoded, cam, exec, &img);
+  // Render a second frame so the profiled partition is exercised.
+  stats = renderer.render(test_scene().encoded, cam, exec, &img);
+  ASSERT_EQ(stats.bounds.size(), 9u);
+  EXPECT_EQ(stats.bounds.front(), 0);
+  for (size_t p = 1; p < stats.bounds.size(); ++p) {
+    EXPECT_GE(stats.bounds[p], stats.bounds[p - 1]);
+  }
+}
+
+TEST(NewRenderer, ProfiledPartitionImprovesBalance) {
+  ParallelOptions opt;
+  opt.stealing = false;  // isolate the initial-assignment balance
+  opt.profile_every = 100;
+  NewParallelRenderer renderer(opt);
+  SerialExecutor exec(8);
+  ImageU8 img;
+  const Camera cam = Camera::orbit(test_scene().dims, 0.8, 0.4);
+  const ParallelRenderStats first =
+      renderer.render(test_scene().encoded, cam, exec, &img);  // uniform partition
+  const ParallelRenderStats second =
+      renderer.render(test_scene().encoded, cam, exec, &img);  // profiled partition
+  EXPECT_LT(second.work_imbalance(), first.work_imbalance() + 1e-9);
+  EXPECT_LT(second.work_imbalance(), 0.35);
+}
+
+TEST(NewRenderer, ActiveRegionExcludesEmptyMargins) {
+  NewParallelRenderer renderer;
+  SerialExecutor exec(4);
+  ImageU8 img;
+  const Camera cam = Camera::orbit(test_scene().dims, 0.3, 0.2);
+  const ParallelRenderStats stats =
+      renderer.render(test_scene().encoded, cam, exec, &img);
+  // The brain phantom leaves empty margins: the active region must be a
+  // proper sub-range (Figure 10's observation).
+  EXPECT_GT(stats.active_lo, 0);
+  EXPECT_LT(stats.active_hi, renderer.intermediate().height());
+  EXPECT_LT(stats.active_lo, stats.active_hi);
+}
+
+TEST(NewRenderer, ResetForgetsProfile) {
+  NewParallelRenderer renderer;
+  SerialExecutor exec(2);
+  ImageU8 img;
+  const Camera cam = Camera::orbit(test_scene().dims, 0.5, 0.2);
+  renderer.render(test_scene().encoded, cam, exec, &img);
+  renderer.reset();
+  const ParallelRenderStats stats = renderer.render(test_scene().encoded, cam, exec, &img);
+  EXPECT_TRUE(stats.profiled);
+}
+
+TEST(NewRenderer, IntermediateSizeChangeAcrossFramesIsHandled) {
+  // Rotating sweeps the intermediate size through many values, including
+  // principal-axis switches; profiles must rescale without breaking.
+  NewParallelRenderer renderer;
+  ThreadedExecutor exec(4);
+  ImageU8 img;
+  for (int frame = 0; frame < 10; ++frame) {
+    const Camera cam = Camera::orbit(test_scene().dims, frame * (kPi / 10), 0.35);
+    const ImageU8 want = serial_reference(cam);
+    renderer.render(test_scene().encoded, cam, exec, &img);
+    expect_images_identical(want, img);
+  }
+}
+
+TEST(WarpXInterval, TelescopesAcrossPartitions) {
+  Affine2D warp;
+  warp.a00 = 0.9;
+  warp.a01 = 0.45;
+  warp.a10 = -0.4;
+  warp.a11 = 1.1;
+  warp.bx = 12;
+  warp.by = -3;
+  const Affine2D inv = warp.inverse();
+  const int W = 200;
+  const std::vector<double> bounds{-1e15, 40.0, 80.5, 120.0, 1e15};
+  for (int y = 0; y < 150; y += 7) {
+    std::vector<bool> covered(W, false);
+    for (size_t p = 0; p + 1 < bounds.size(); ++p) {
+      int x0, x1;
+      warp_x_interval(inv, y, bounds[p], bounds[p + 1], W, &x0, &x1);
+      for (int x = x0; x < x1; ++x) {
+        ASSERT_FALSE(covered[x]) << "x=" << x << " y=" << y << " double-owned";
+        covered[x] = true;
+      }
+    }
+    for (int x = 0; x < W; ++x) ASSERT_TRUE(covered[x]) << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(WarpXInterval, OwnershipMatchesInverseWarp) {
+  Affine2D warp;
+  warp.a00 = 1.2;
+  warp.a01 = -0.3;
+  warp.a10 = 0.5;
+  warp.a11 = 0.9;
+  warp.bx = 5;
+  warp.by = 2;
+  const Affine2D inv = warp.inverse();
+  const double v_lo = 25.0, v_hi = 60.0;
+  for (int y = 0; y < 100; y += 9) {
+    int x0, x1;
+    warp_x_interval(inv, y, v_lo, v_hi, 300, &x0, &x1);
+    for (int x = 0; x < 300; ++x) {
+      const double v = inv.apply(x, y).y;
+      const bool inside = v >= v_lo && v < v_hi;
+      const bool owned = x >= x0 && x < x1;
+      ASSERT_EQ(inside, owned) << "x=" << x << " y=" << y << " v=" << v;
+    }
+  }
+}
+
+TEST(Animation, SummaryAggregates) {
+  AnimationPath path;
+  path.dims = test_scene().dims;
+  path.frames = 4;
+  path.degrees_per_frame = 5.0;
+  NewParallelRenderer renderer;
+  SerialExecutor exec(2);
+  ImageU8 img;
+  const AnimationSummary summary =
+      run_animation(path, [&](int, const Camera& cam) {
+        return renderer.render(test_scene().encoded, cam, exec, &img);
+      });
+  EXPECT_EQ(summary.frames, 4);
+  EXPECT_GT(summary.total_ms, 0.0);
+  EXPECT_GE(summary.profiled_frames, 1);
+  EXPECT_EQ(path.profile_interval(), 3);
+}
+
+}  // namespace
+}  // namespace psw

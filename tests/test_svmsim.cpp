@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "memsim/experiment.hpp"
+#include "svmsim/svm.hpp"
+#include "trace/sink.hpp"
+
+namespace psw {
+namespace {
+
+// Page-aligned scratch arena for crafted traces.
+struct Arena {
+  std::vector<char> raw;
+  char* base;
+
+  explicit Arena(int pages) : raw(static_cast<size_t>(pages + 1) * 4096) {
+    const uint64_t a = reinterpret_cast<uint64_t>(raw.data());
+    base = raw.data() + ((4096 - (a & 4095)) & 4095);
+  }
+  void* at(int page, int offset = 0) { return base + page * 4096 + offset; }
+};
+
+SvmConfig cfg() { return SvmConfig{}; }
+
+TEST(SvmSim, ColdFaultOncePerPage) {
+  Arena arena(4);
+  TraceSet t(1);
+  t.begin_interval("composite");
+  for (int rep = 0; rep < 10; ++rep) {
+    t.hook(0)->access(arena.at(0, rep * 8), 4, false);
+    t.hook(0)->access(arena.at(1, rep * 8), 4, false);
+  }
+  const SvmResult r = svm_simulate(cfg(), t);
+  EXPECT_EQ(r.page_faults, 2u);
+}
+
+TEST(SvmSim, WriterInvalidatesReaderAtBarrier) {
+  Arena arena(2);
+  TraceSet t(2);
+  t.begin_interval("composite");
+  t.hook(0)->access(arena.at(0), 4, false);  // P0 fetches page 0
+  t.hook(1)->access(arena.at(0), 4, true);   // P1 writes page 0
+  t.begin_interval("warp");
+  t.hook(0)->access(arena.at(0), 4, false);  // P0 faults again (invalidated)
+  const SvmResult r = svm_simulate(cfg(), t);
+  // Faults: P0 cold, P1 cold (fetch before write), P0 after invalidation.
+  EXPECT_EQ(r.page_faults, 3u);
+  EXPECT_EQ(r.twins, 1u);
+  EXPECT_EQ(r.diffs, 1u);
+}
+
+TEST(SvmSim, WriterKeepsOwnCopyValid) {
+  Arena arena(2);
+  TraceSet t(1);
+  t.begin_interval("composite");
+  t.hook(0)->access(arena.at(0), 4, true);
+  t.begin_interval("warp");
+  t.hook(0)->access(arena.at(0), 4, false);  // own write: no new fault
+  const SvmResult r = svm_simulate(cfg(), t);
+  EXPECT_EQ(r.page_faults, 1u);
+}
+
+TEST(SvmSim, MultiWriterPageDetected) {
+  Arena arena(2);
+  TraceSet t(2);
+  t.begin_interval("composite");
+  t.hook(0)->access(arena.at(0, 0), 4, true);
+  t.hook(1)->access(arena.at(0, 2048), 4, true);  // same page, other half
+  const SvmResult r = svm_simulate(cfg(), t);
+  EXPECT_EQ(r.multi_writer_pages, 1u);
+  EXPECT_EQ(r.diffs, 2u);
+}
+
+TEST(SvmSim, PageFalseSharingCausesFaults) {
+  // Two procs write disjoint halves of one page each interval; under page
+  // granularity each one faults every interval (after warm-up).
+  Arena arena(2);
+  TraceSet t(2);
+  for (int frame = 0; frame < 3; ++frame) {
+    t.begin_interval("composite");
+    t.hook(0)->access(arena.at(0, 0), 4, true);
+    t.hook(1)->access(arena.at(0, 2048), 4, true);
+  }
+  SvmRunOptions opt;
+  opt.warmup_intervals = 1;
+  const SvmResult r = svm_simulate(cfg(), t, opt);
+  // Each counted interval: both procs fault on the falsely-shared page.
+  EXPECT_EQ(r.page_faults, 4u);
+}
+
+TEST(SvmSim, WarmupIntervalsNotCounted) {
+  Arena arena(2);
+  TraceSet t(1);
+  t.begin_interval("composite");
+  t.hook(0)->access(arena.at(0), 4, false);
+  t.begin_interval("composite");
+  t.hook(0)->access(arena.at(0), 4, false);
+  SvmRunOptions opt;
+  opt.warmup_intervals = 1;
+  const SvmResult r = svm_simulate(cfg(), t, opt);
+  EXPECT_EQ(r.page_faults, 0u);  // the only fault happened in warm-up
+  EXPECT_GT(r.total_cycles, 0.0);
+}
+
+TEST(SvmSim, BarrierWaitReflectsImbalance) {
+  Arena arena(8);
+  TraceSet t(2);
+  t.begin_interval("composite");
+  for (int i = 0; i < 10000; ++i) t.hook(0)->access(arena.at(0, (i * 4) % 4096), 4, false);
+  for (int i = 0; i < 100; ++i) t.hook(1)->access(arena.at(1, (i * 4) % 4096), 4, false);
+  const SvmResult r = svm_simulate(cfg(), t);
+  EXPECT_GT(r.proc[1].barrier_wait, r.proc[0].barrier_wait);
+}
+
+TEST(SvmSim, LockOpsChargedToLockBucket) {
+  Arena arena(2);
+  TraceSet t(2);
+  t.begin_interval("composite");
+  t.hook(0)->access(arena.at(0), 4, false);
+  t.hook(1)->access(arena.at(1), 4, false);
+  SvmRunOptions with, without;
+  with.lock_ops = 100;
+  const SvmResult r1 = svm_simulate(cfg(), t, with);
+  const SvmResult r0 = svm_simulate(cfg(), t, without);
+  EXPECT_GT(r1.lock_sum(), 0.0);
+  EXPECT_DOUBLE_EQ(r0.lock_sum(), 0.0);
+  EXPECT_NEAR(r1.lock_sum(), 100 * cfg().lock_cost, 1e-6);
+}
+
+TEST(SvmSim, P2pSyncNoWorseThanBarrier) {
+  // With p2p inter-phase sync the schedule can only improve: a proc's warp
+  // start is the max over three neighbours instead of all procs.
+  Arena arena(64);
+  TraceSet t(4);
+  t.begin_interval("composite");
+  for (int p = 0; p < 4; ++p) {
+    for (int i = 0; i < 100 * (p + 1); ++i) {
+      t.hook(p)->access(arena.at(p, (i * 4) % 4096), 4, p % 2 == 0);
+    }
+  }
+  t.begin_interval("warp");
+  for (int p = 0; p < 4; ++p) {
+    for (int i = 0; i < 50; ++i) t.hook(p)->access(arena.at(8 + p), 4, false);
+  }
+  SvmRunOptions barrier, p2p;
+  p2p.p2p_interphase_sync = true;
+  const SvmResult rb = svm_simulate(cfg(), t, barrier);
+  const SvmResult rp = svm_simulate(cfg(), t, p2p);
+  EXPECT_LE(rp.total_cycles, rb.total_cycles + 1e-6);
+}
+
+// ---- End to end: the paper's Figures 20-22 claims in miniature ----
+
+const Dataset& svm_dataset() {
+  // Large enough that a processor's partition spans multiple 4KB pages;
+  // below that, page-level false sharing dominates both algorithms.
+  static const Dataset d = make_dataset("mri", "mri-64", 64, 64, 64);
+  return d;
+}
+
+TEST(SvmSim, NewAlgorithmFaultsLessThanOld) {
+  const int P = 8;
+  SvmRunOptions opt;
+  opt.warmup_intervals = 2;
+  const SvmResult old_r = svm_simulate(cfg(), trace_frame(Algo::kOld, svm_dataset(), P), opt);
+  SvmRunOptions opt_new = opt;
+  opt_new.p2p_interphase_sync = true;
+  const SvmResult new_r = svm_simulate(cfg(), trace_frame(Algo::kNew, svm_dataset(), P), opt_new);
+  EXPECT_LT(new_r.page_faults, old_r.page_faults)
+      << "contiguous partitions must cut page-level communication";
+  EXPECT_LT(new_r.data_sum(), old_r.data_sum());
+  EXPECT_LT(new_r.total_cycles, old_r.total_cycles);
+}
+
+TEST(SvmSim, OldAlgorithmHasMultiWriterPages) {
+  const SvmResult r =
+      svm_simulate(cfg(), trace_frame(Algo::kOld, svm_dataset(), 8),
+                   SvmRunOptions{.warmup_intervals = 2});
+  EXPECT_GT(r.multi_writer_pages, 0u)
+      << "interleaved chunks must falsely share intermediate-image pages";
+}
+
+}  // namespace
+}  // namespace psw

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "util/cli.hpp"
+#include "util/image.hpp"
+#include "util/mat4.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/vec.hpp"
+
+namespace psw {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Vec3, BasicArithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ((a + b).x, 5);
+  EXPECT_EQ((b - a).z, 3);
+  EXPECT_EQ((a * 2.0).y, 4);
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+}
+
+TEST(Vec3, CrossProductOrthogonal) {
+  const Vec3 a{1, 2, 3}, b{-2, 1, 4};
+  const Vec3 c = a.cross(b);
+  EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+  EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+}
+
+TEST(Vec3, NormalizedHasUnitLength) {
+  const Vec3 v{3, 4, 12};
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-12);
+}
+
+TEST(Vec3, NormalizeZeroIsZero) {
+  EXPECT_EQ(Vec3{}.normalized().norm(), 0.0);
+}
+
+TEST(Mat4, IdentityTransformsPointsUnchanged) {
+  const Vec3 p{1.5, -2.0, 3.25};
+  const Vec3 q = Mat4::identity().transform_point(p);
+  EXPECT_DOUBLE_EQ(q.x, p.x);
+  EXPECT_DOUBLE_EQ(q.y, p.y);
+  EXPECT_DOUBLE_EQ(q.z, p.z);
+}
+
+TEST(Mat4, TranslationMovesPointsNotDirections) {
+  const Mat4 t = Mat4::translation(1, 2, 3);
+  const Vec3 p = t.transform_point({0, 0, 0});
+  EXPECT_DOUBLE_EQ(p.x, 1);
+  EXPECT_DOUBLE_EQ(p.y, 2);
+  EXPECT_DOUBLE_EQ(p.z, 3);
+  const Vec3 d = t.transform_dir({1, 0, 0});
+  EXPECT_DOUBLE_EQ(d.x, 1);
+  EXPECT_DOUBLE_EQ(d.y, 0);
+}
+
+TEST(Mat4, RotationYQuarterTurn) {
+  const Mat4 r = Mat4::rotation_y(kPi / 2);
+  const Vec3 p = r.transform_point({1, 0, 0});
+  EXPECT_NEAR(p.x, 0, 1e-12);
+  EXPECT_NEAR(p.z, -1, 1e-12);
+}
+
+TEST(Mat4, RotationsPreserveLength) {
+  SplitMix64 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Mat4 r = Mat4::rotation_y(rng.uniform(0, 2 * kPi)) *
+                   Mat4::rotation_x(rng.uniform(0, 2 * kPi)) *
+                   Mat4::rotation_z(rng.uniform(0, 2 * kPi));
+    const Vec3 p{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    EXPECT_NEAR(r.transform_point(p).norm(), p.norm(), 1e-9);
+  }
+}
+
+TEST(Mat4, InverseRoundTrip) {
+  SplitMix64 rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Mat4 m = Mat4::rotation_y(rng.uniform(0, 2 * kPi)) *
+                   Mat4::rotation_x(rng.uniform(0, 2 * kPi)) *
+                   Mat4::translation(rng.uniform(-3, 3), rng.uniform(-3, 3), 0.5);
+    Mat4 inv;
+    ASSERT_TRUE(m.inverse(&inv));
+    EXPECT_TRUE((m * inv).almost_equal(Mat4::identity(), 1e-9));
+    EXPECT_TRUE((inv * m).almost_equal(Mat4::identity(), 1e-9));
+  }
+}
+
+TEST(Mat4, SingularMatrixInverseFails) {
+  Mat4 m = Mat4::scale(1, 1, 0);
+  Mat4 inv;
+  EXPECT_FALSE(m.inverse(&inv));
+}
+
+TEST(Mat4, AxisPermutationMovesAxes) {
+  const Mat4 p = Mat4::axis_permutation({2, 0, 1});
+  const Vec3 q = p.transform_point({1, 2, 3});
+  EXPECT_DOUBLE_EQ(q.x, 3);
+  EXPECT_DOUBLE_EQ(q.y, 1);
+  EXPECT_DOUBLE_EQ(q.z, 2);
+}
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, UniformInRange) {
+  SplitMix64 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(SplitMix64, BelowRespectsBound) {
+  SplitMix64 rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(ImageIO, PpmRoundTrip) {
+  ImageRGBA img(17, 9);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      img.at(x, y) = Rgba{x / 16.0f, y / 8.0f, 0.25f, 1.0f};
+    }
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "psw_test_roundtrip.ppm").string();
+  ASSERT_TRUE(write_ppm(path, img));
+  ImageRGBA back;
+  ASSERT_TRUE(read_ppm(path, &back));
+  ASSERT_EQ(back.width(), img.width());
+  ASSERT_EQ(back.height(), img.height());
+  EXPECT_LT(image_mad(img, back), 1.0 / 255.0 + 1e-6);
+  std::filesystem::remove(path);
+}
+
+TEST(ImageIO, ReadMissingFileFails) {
+  ImageRGBA img;
+  EXPECT_FALSE(read_ppm("/nonexistent/path/file.ppm", &img));
+}
+
+TEST(ImageMetrics, IdenticalImagesCorrelatePerfectly) {
+  ImageRGBA img(8, 8);
+  SplitMix64 rng(3);
+  for (size_t i = 0; i < img.pixel_count(); ++i) {
+    img.data()[i] = Rgba{static_cast<float>(rng.uniform()), 0, 0, 1};
+  }
+  EXPECT_NEAR(image_correlation(img, img), 1.0, 1e-12);
+  EXPECT_EQ(image_mad(img, img), 0.0);
+}
+
+TEST(ImageMetrics, SizeMismatchIsLargeMad) {
+  ImageRGBA a(4, 4), b(5, 4);
+  EXPECT_GT(image_mad(a, b), 1e20);
+}
+
+TEST(Cli, ParsesFlagsAndPositional) {
+  const char* argv[] = {"prog", "--procs=8", "--verbose", "input.vol", "--scale=1.5"};
+  CliFlags flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_int("procs", 1), 8);
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(flags.get_double("scale", 0), 1.5);
+  EXPECT_EQ(flags.get("missing", "def"), "def");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "input.vol");
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row_numeric("beta", {2.5, 3.25}, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("3.25"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psw

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "parallel/virtual_schedule.hpp"
+#include "util/rng.hpp"
+
+namespace psw {
+namespace {
+
+TEST(VirtualSchedule, ProcessesEveryScanlineExactlyOnce) {
+  const int P = 4, N = 100;
+  StealQueues q(P);
+  for (int p = 0; p < P; ++p) q.push(p, {p * 25, (p + 1) * 25, p});
+  std::vector<int> count(N, 0);
+  virtual_time_schedule(q, P, 4, true, [&](int, const ScanlineRange& r) -> uint32_t {
+    for (int v = r.lo; v < r.hi; ++v) ++count[v];
+    return r.count();
+  });
+  for (int v = 0; v < N; ++v) ASSERT_EQ(count[v], 1) << "scanline " << v;
+}
+
+TEST(VirtualSchedule, BalancesUnevenCosts) {
+  // One partition is 50x more expensive per scanline; with stealing the
+  // *virtual time* per processor must end up roughly equal.
+  const int P = 4, N = 128;
+  StealQueues q(P);
+  for (int p = 0; p < P; ++p) q.push(p, {p * 32, (p + 1) * 32, p});
+  std::vector<double> clock(P, 0.0);
+  virtual_time_schedule(q, P, 2, true, [&](int p, const ScanlineRange& r) -> uint32_t {
+    uint32_t cost = 0;
+    for (int v = r.lo; v < r.hi; ++v) cost += v < 32 ? 500 : 10;  // partition 0 heavy
+    clock[p] += cost;
+    return cost;
+  });
+  const double total = clock[0] + clock[1] + clock[2] + clock[3];
+  const double mean = total / P;
+  for (int p = 0; p < P; ++p) {
+    EXPECT_LT(std::abs(clock[p] - mean), 0.35 * mean) << "proc " << p;
+  }
+}
+
+TEST(VirtualSchedule, NoStealingKeepsOwnership) {
+  const int P = 3;
+  StealQueues q(P);
+  for (int p = 0; p < P; ++p) q.push(p, {p * 10, (p + 1) * 10, p});
+  std::map<int, int> processed_by;  // scanline -> proc
+  virtual_time_schedule(q, P, 4, false, [&](int p, const ScanlineRange& r) -> uint32_t {
+    for (int v = r.lo; v < r.hi; ++v) processed_by[v] = p;
+    // Skew costs wildly; without stealing ownership must not move.
+    return p == 0 ? 1000 : 1;
+  });
+  ASSERT_EQ(processed_by.size(), 30u);
+  for (const auto& [v, p] : processed_by) EXPECT_EQ(p, v / 10);
+}
+
+TEST(VirtualSchedule, StealingMovesWorkFromSlowestProc) {
+  const int P = 2;
+  StealQueues q(P);
+  q.push(0, {0, 100, 0});  // proc 1 seeded empty
+  std::vector<int> chunks(P, 0);
+  virtual_time_schedule(q, P, 5, true, [&](int p, const ScanlineRange&) -> uint32_t {
+    ++chunks[p];
+    return 10;
+  });
+  EXPECT_GT(chunks[1], 5) << "idle processor must steal about half the chunks";
+  EXPECT_EQ(chunks[0] + chunks[1], 20);
+}
+
+TEST(VirtualSchedule, EmptyQueuesTerminate) {
+  StealQueues q(3);
+  int calls = 0;
+  virtual_time_schedule(q, 3, 4, true, [&](int, const ScanlineRange&) -> uint32_t {
+    ++calls;
+    return 1;
+  });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(VirtualSchedule, ZeroCostChunksStillTerminate) {
+  StealQueues q(2);
+  q.push(0, {0, 50, 0});
+  q.push(1, {50, 100, 1});
+  int calls = 0;
+  virtual_time_schedule(q, 2, 1, true, [&](int, const ScanlineRange&) -> uint32_t {
+    ++calls;
+    return 0;  // all chunks report zero cost
+  });
+  EXPECT_EQ(calls, 100);
+}
+
+TEST(VirtualSchedule, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    StealQueues q(3);
+    q.push(0, {0, 40, 0});
+    q.push(1, {40, 60, 1});
+    q.push(2, {60, 100, 2});
+    std::vector<std::pair<int, int>> log;  // (proc, chunk lo)
+    SplitMix64 rng(7);
+    std::vector<uint32_t> cost(100);
+    for (auto& c : cost) c = static_cast<uint32_t>(rng.below(50));
+    virtual_time_schedule(q, 3, 3, true, [&](int p, const ScanlineRange& r) -> uint32_t {
+      log.push_back({p, r.lo});
+      uint32_t total = 0;
+      for (int v = r.lo; v < r.hi; ++v) total += cost[v];
+      return total;
+    });
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace psw

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/factorization.hpp"
+#include "core/intermediate_image.hpp"
+#include "core/warp.hpp"
+#include "util/rng.hpp"
+
+namespace psw {
+namespace {
+
+// A factorization with a controlled warp for isolated warp tests.
+Factorization make_fact(int iw, int ih, const Affine2D& warp, int fw, int fh) {
+  Factorization f;
+  f.intermediate_width = iw;
+  f.intermediate_height = ih;
+  f.warp = warp;
+  f.final_width = fw;
+  f.final_height = fh;
+  return f;
+}
+
+TEST(Warp, IdentityWarpCopiesQuantized) {
+  IntermediateImage src(8, 8);
+  SplitMix64 rng(3);
+  for (int v = 0; v < 8; ++v) {
+    for (int u = 0; u < 8; ++u) {
+      src.pixel(u, v) = Rgba{static_cast<float>(rng.uniform()),
+                             static_cast<float>(rng.uniform()),
+                             static_cast<float>(rng.uniform()), 1.0f};
+    }
+  }
+  const Factorization f = make_fact(8, 8, Affine2D{}, 8, 8);
+  ImageU8 out(8, 8);
+  warp_frame(src, f, out);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      EXPECT_EQ(out.at(x, y), quantize8(src.pixel(x, y))) << x << "," << y;
+    }
+  }
+}
+
+TEST(Warp, TranslationShiftsContent) {
+  IntermediateImage src(8, 8);
+  src.pixel(2, 3) = Rgba{1, 0, 0, 1};
+  Affine2D warp;  // out = in + (3, 2)
+  warp.bx = 3;
+  warp.by = 2;
+  const Factorization f = make_fact(8, 8, warp, 12, 12);
+  ImageU8 out(12, 12);
+  warp_frame(src, f, out);
+  EXPECT_EQ(out.at(5, 5).r, 255);
+  EXPECT_EQ(out.at(2, 3).r, 0);
+}
+
+TEST(Warp, HalfPixelTranslationInterpolates) {
+  IntermediateImage src(8, 1);
+  src.pixel(3, 0) = Rgba{1, 1, 1, 1};
+  Affine2D warp;
+  warp.bx = 0.5;
+  const Factorization f = make_fact(8, 1, warp, 8, 1);
+  ImageU8 out(8, 1);
+  warp_frame(src, f, out);
+  // The unit impulse spreads evenly over pixels 3 and 4.
+  EXPECT_EQ(out.at(3, 0).r, 128);
+  EXPECT_EQ(out.at(4, 0).r, 128);
+}
+
+TEST(Warp, OutOfRangePixelsAreBackground) {
+  IntermediateImage src(4, 4);
+  for (int v = 0; v < 4; ++v) {
+    for (int u = 0; u < 4; ++u) src.pixel(u, v) = Rgba{1, 1, 1, 1};
+  }
+  Affine2D warp;
+  warp.bx = 10;  // content lands at x in [10, 14)
+  const Factorization f = make_fact(4, 4, warp, 20, 4);
+  ImageU8 out(20, 4);
+  warp_frame(src, f, out);
+  EXPECT_EQ(out.at(0, 0), Pixel8{});
+  EXPECT_EQ(out.at(19, 0), Pixel8{});
+  EXPECT_EQ(out.at(11, 1).r, 255);
+}
+
+TEST(Warp, RotationPreservesTotalEnergyApproximately) {
+  const int n = 32;
+  IntermediateImage src(n, n);
+  for (int v = 10; v < 22; ++v) {
+    for (int u = 10; u < 22; ++u) src.pixel(u, v) = Rgba{0.5f, 0.5f, 0.5f, 1.0f};
+  }
+  const double angle = 0.4;
+  Affine2D warp;
+  warp.a00 = std::cos(angle);
+  warp.a01 = -std::sin(angle);
+  warp.a10 = std::sin(angle);
+  warp.a11 = std::cos(angle);
+  warp.bx = 20;
+  warp.by = 5;
+  const Factorization f = make_fact(n, n, warp, 64, 64);
+  ImageU8 out(64, 64);
+  warp_frame(src, f, out);
+  double in_energy = 0, out_energy = 0;
+  for (int v = 0; v < n; ++v) {
+    for (int u = 0; u < n; ++u) in_energy += src.pixel(u, v).a;
+  }
+  for (size_t i = 0; i < out.pixel_count(); ++i) out_energy += out.data()[i].a / 255.0;
+  EXPECT_NEAR(out_energy, in_energy, in_energy * 0.05)
+      << "a rigid rotation must conserve alpha mass";
+}
+
+TEST(Warp, TilesComposeToFullFrame) {
+  const int n = 24;
+  IntermediateImage src(n, n);
+  SplitMix64 rng(9);
+  for (int v = 0; v < n; ++v) {
+    for (int u = 0; u < n; ++u) {
+      src.pixel(u, v) = Rgba{static_cast<float>(rng.uniform()), 0, 0,
+                             static_cast<float>(rng.uniform())};
+    }
+  }
+  Affine2D warp;
+  warp.a00 = 0.9;
+  warp.a01 = 0.3;
+  warp.a10 = -0.2;
+  warp.a11 = 1.1;
+  warp.bx = 8;
+  warp.by = 6;
+  const Factorization f = make_fact(n, n, warp, 48, 40);
+  ImageU8 whole(48, 40), tiled(48, 40);
+  warp_frame(src, f, whole);
+  const Affine2D inv = f.warp.inverse();
+  for (int ty = 0; ty < 40; ty += 16) {
+    for (int tx = 0; tx < 48; tx += 16) {
+      warp_tile(src, f, inv, tx, ty, 16, tiled);
+    }
+  }
+  for (size_t i = 0; i < whole.pixel_count(); ++i) {
+    ASSERT_EQ(whole.data()[i], tiled.data()[i]) << "pixel " << i;
+  }
+}
+
+TEST(Warp, ScanlineRangeRespected) {
+  IntermediateImage src(8, 8);
+  for (int v = 0; v < 8; ++v) {
+    for (int u = 0; u < 8; ++u) src.pixel(u, v) = Rgba{1, 1, 1, 1};
+  }
+  const Factorization f = make_fact(8, 8, Affine2D{}, 8, 8);
+  const Affine2D inv = f.warp.inverse();
+  ImageU8 out(8, 8);
+  WarpStats stats;
+  warp_scanline(src, f, inv, 3, 2, 6, out, nullptr, &stats);
+  EXPECT_EQ(stats.pixels_written, 4u);
+  EXPECT_EQ(out.at(1, 3), Pixel8{});       // outside [2, 6)
+  EXPECT_EQ(out.at(2, 3).r, 255);          // inside
+  EXPECT_EQ(out.at(2, 2), Pixel8{});       // other scanline untouched
+}
+
+TEST(Warp, StatsCountSamples) {
+  IntermediateImage src(4, 4);
+  src.pixel(1, 1) = Rgba{1, 0, 0, 1};
+  const Factorization f = make_fact(4, 4, Affine2D{}, 4, 4);
+  ImageU8 out(4, 4);
+  const WarpStats stats = warp_frame(src, f, out);
+  EXPECT_EQ(stats.pixels_written, 16u);
+  EXPECT_GT(stats.samples, 0u);
+}
+
+}  // namespace
+}  // namespace psw

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_serial_breakdown.dir/bench/fig02_serial_breakdown.cpp.o"
+  "CMakeFiles/fig02_serial_breakdown.dir/bench/fig02_serial_breakdown.cpp.o.d"
+  "bench/fig02_serial_breakdown"
+  "bench/fig02_serial_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_serial_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_speedup_old_platforms.dir/bench/fig04_speedup_old_platforms.cpp.o"
+  "CMakeFiles/fig04_speedup_old_platforms.dir/bench/fig04_speedup_old_platforms.cpp.o.d"
+  "bench/fig04_speedup_old_platforms"
+  "bench/fig04_speedup_old_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_speedup_old_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_breakdown_old.dir/bench/fig05_breakdown_old.cpp.o"
+  "CMakeFiles/fig05_breakdown_old.dir/bench/fig05_breakdown_old.cpp.o.d"
+  "bench/fig05_breakdown_old"
+  "bench/fig05_breakdown_old.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_breakdown_old.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

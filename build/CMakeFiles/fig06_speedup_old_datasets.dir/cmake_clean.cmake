@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_speedup_old_datasets.dir/bench/fig06_speedup_old_datasets.cpp.o"
+  "CMakeFiles/fig06_speedup_old_datasets.dir/bench/fig06_speedup_old_datasets.cpp.o.d"
+  "bench/fig06_speedup_old_datasets"
+  "bench/fig06_speedup_old_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_speedup_old_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

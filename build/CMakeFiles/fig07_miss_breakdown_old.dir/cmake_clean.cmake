@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_miss_breakdown_old.dir/bench/fig07_miss_breakdown_old.cpp.o"
+  "CMakeFiles/fig07_miss_breakdown_old.dir/bench/fig07_miss_breakdown_old.cpp.o.d"
+  "bench/fig07_miss_breakdown_old"
+  "bench/fig07_miss_breakdown_old.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_miss_breakdown_old.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_miss_breakdown_old.
+# This may be replaced when dependencies are built.

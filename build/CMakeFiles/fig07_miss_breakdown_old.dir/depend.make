@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_miss_breakdown_old.
+# This may be replaced when dependencies are built.

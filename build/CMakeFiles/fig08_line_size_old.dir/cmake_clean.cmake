@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_line_size_old.dir/bench/fig08_line_size_old.cpp.o"
+  "CMakeFiles/fig08_line_size_old.dir/bench/fig08_line_size_old.cpp.o.d"
+  "bench/fig08_line_size_old"
+  "bench/fig08_line_size_old.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_line_size_old.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_working_set_old.dir/bench/fig09_working_set_old.cpp.o"
+  "CMakeFiles/fig09_working_set_old.dir/bench/fig09_working_set_old.cpp.o.d"
+  "bench/fig09_working_set_old"
+  "bench/fig09_working_set_old.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_working_set_old.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_speedup_dash.dir/bench/fig12_speedup_dash.cpp.o"
+  "CMakeFiles/fig12_speedup_dash.dir/bench/fig12_speedup_dash.cpp.o.d"
+  "bench/fig12_speedup_dash"
+  "bench/fig12_speedup_dash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_speedup_dash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

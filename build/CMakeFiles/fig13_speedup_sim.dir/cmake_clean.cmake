@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_speedup_sim.dir/bench/fig13_speedup_sim.cpp.o"
+  "CMakeFiles/fig13_speedup_sim.dir/bench/fig13_speedup_sim.cpp.o.d"
+  "bench/fig13_speedup_sim"
+  "bench/fig13_speedup_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_speedup_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

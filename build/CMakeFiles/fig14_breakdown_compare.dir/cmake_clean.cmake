@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_breakdown_compare.dir/bench/fig14_breakdown_compare.cpp.o"
+  "CMakeFiles/fig14_breakdown_compare.dir/bench/fig14_breakdown_compare.cpp.o.d"
+  "bench/fig14_breakdown_compare"
+  "bench/fig14_breakdown_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_breakdown_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

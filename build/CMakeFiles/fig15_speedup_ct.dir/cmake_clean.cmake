@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_speedup_ct.dir/bench/fig15_speedup_ct.cpp.o"
+  "CMakeFiles/fig15_speedup_ct.dir/bench/fig15_speedup_ct.cpp.o.d"
+  "bench/fig15_speedup_ct"
+  "bench/fig15_speedup_ct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_speedup_ct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_miss_compare.dir/bench/fig16_miss_compare.cpp.o"
+  "CMakeFiles/fig16_miss_compare.dir/bench/fig16_miss_compare.cpp.o.d"
+  "bench/fig16_miss_compare"
+  "bench/fig16_miss_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_miss_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_line_size_compare.dir/bench/fig17_line_size_compare.cpp.o"
+  "CMakeFiles/fig17_line_size_compare.dir/bench/fig17_line_size_compare.cpp.o.d"
+  "bench/fig17_line_size_compare"
+  "bench/fig17_line_size_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_line_size_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_working_set_new.dir/bench/fig18_working_set_new.cpp.o"
+  "CMakeFiles/fig18_working_set_new.dir/bench/fig18_working_set_new.cpp.o.d"
+  "bench/fig18_working_set_new"
+  "bench/fig18_working_set_new.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_working_set_new.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_origin.dir/bench/fig19_origin.cpp.o"
+  "CMakeFiles/fig19_origin.dir/bench/fig19_origin.cpp.o.d"
+  "bench/fig19_origin"
+  "bench/fig19_origin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_origin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_svm_speedup.dir/bench/fig20_svm_speedup.cpp.o"
+  "CMakeFiles/fig20_svm_speedup.dir/bench/fig20_svm_speedup.cpp.o.d"
+  "bench/fig20_svm_speedup"
+  "bench/fig20_svm_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_svm_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_svm_breakdown_old.dir/bench/fig21_svm_breakdown_old.cpp.o"
+  "CMakeFiles/fig21_svm_breakdown_old.dir/bench/fig21_svm_breakdown_old.cpp.o.d"
+  "bench/fig21_svm_breakdown_old"
+  "bench/fig21_svm_breakdown_old.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_svm_breakdown_old.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_svm_breakdown_new.dir/bench/fig22_svm_breakdown_new.cpp.o"
+  "CMakeFiles/fig22_svm_breakdown_new.dir/bench/fig22_svm_breakdown_new.cpp.o.d"
+  "bench/fig22_svm_breakdown_new"
+  "bench/fig22_svm_breakdown_new.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_svm_breakdown_new.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/animation.cpp" "examples/CMakeFiles/animation.dir/animation.cpp.o" "gcc" "examples/CMakeFiles/animation.dir/animation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psw_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psw_phantom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_volume.dir/make_volume.cpp.o"
+  "CMakeFiles/make_volume.dir/make_volume.cpp.o.d"
+  "make_volume"
+  "make_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

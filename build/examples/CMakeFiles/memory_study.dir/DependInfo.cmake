@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/memory_study.cpp" "examples/CMakeFiles/memory_study.dir/memory_study.cpp.o" "gcc" "examples/CMakeFiles/memory_study.dir/memory_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psw_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psw_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psw_phantom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

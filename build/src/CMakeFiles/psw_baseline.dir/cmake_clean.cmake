@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psw_baseline.dir/baseline/octree.cpp.o"
+  "CMakeFiles/psw_baseline.dir/baseline/octree.cpp.o.d"
+  "CMakeFiles/psw_baseline.dir/baseline/raycaster.cpp.o"
+  "CMakeFiles/psw_baseline.dir/baseline/raycaster.cpp.o.d"
+  "libpsw_baseline.a"
+  "libpsw_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psw_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classify.cpp" "src/CMakeFiles/psw_core.dir/core/classify.cpp.o" "gcc" "src/CMakeFiles/psw_core.dir/core/classify.cpp.o.d"
+  "/root/repo/src/core/compositor.cpp" "src/CMakeFiles/psw_core.dir/core/compositor.cpp.o" "gcc" "src/CMakeFiles/psw_core.dir/core/compositor.cpp.o.d"
+  "/root/repo/src/core/factorization.cpp" "src/CMakeFiles/psw_core.dir/core/factorization.cpp.o" "gcc" "src/CMakeFiles/psw_core.dir/core/factorization.cpp.o.d"
+  "/root/repo/src/core/gradient.cpp" "src/CMakeFiles/psw_core.dir/core/gradient.cpp.o" "gcc" "src/CMakeFiles/psw_core.dir/core/gradient.cpp.o.d"
+  "/root/repo/src/core/intermediate_image.cpp" "src/CMakeFiles/psw_core.dir/core/intermediate_image.cpp.o" "gcc" "src/CMakeFiles/psw_core.dir/core/intermediate_image.cpp.o.d"
+  "/root/repo/src/core/reference.cpp" "src/CMakeFiles/psw_core.dir/core/reference.cpp.o" "gcc" "src/CMakeFiles/psw_core.dir/core/reference.cpp.o.d"
+  "/root/repo/src/core/renderer.cpp" "src/CMakeFiles/psw_core.dir/core/renderer.cpp.o" "gcc" "src/CMakeFiles/psw_core.dir/core/renderer.cpp.o.d"
+  "/root/repo/src/core/rle_volume.cpp" "src/CMakeFiles/psw_core.dir/core/rle_volume.cpp.o" "gcc" "src/CMakeFiles/psw_core.dir/core/rle_volume.cpp.o.d"
+  "/root/repo/src/core/transfer.cpp" "src/CMakeFiles/psw_core.dir/core/transfer.cpp.o" "gcc" "src/CMakeFiles/psw_core.dir/core/transfer.cpp.o.d"
+  "/root/repo/src/core/volume_io.cpp" "src/CMakeFiles/psw_core.dir/core/volume_io.cpp.o" "gcc" "src/CMakeFiles/psw_core.dir/core/volume_io.cpp.o.d"
+  "/root/repo/src/core/warp.cpp" "src/CMakeFiles/psw_core.dir/core/warp.cpp.o" "gcc" "src/CMakeFiles/psw_core.dir/core/warp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

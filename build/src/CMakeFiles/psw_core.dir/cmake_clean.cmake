@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psw_core.dir/core/classify.cpp.o"
+  "CMakeFiles/psw_core.dir/core/classify.cpp.o.d"
+  "CMakeFiles/psw_core.dir/core/compositor.cpp.o"
+  "CMakeFiles/psw_core.dir/core/compositor.cpp.o.d"
+  "CMakeFiles/psw_core.dir/core/factorization.cpp.o"
+  "CMakeFiles/psw_core.dir/core/factorization.cpp.o.d"
+  "CMakeFiles/psw_core.dir/core/gradient.cpp.o"
+  "CMakeFiles/psw_core.dir/core/gradient.cpp.o.d"
+  "CMakeFiles/psw_core.dir/core/intermediate_image.cpp.o"
+  "CMakeFiles/psw_core.dir/core/intermediate_image.cpp.o.d"
+  "CMakeFiles/psw_core.dir/core/reference.cpp.o"
+  "CMakeFiles/psw_core.dir/core/reference.cpp.o.d"
+  "CMakeFiles/psw_core.dir/core/renderer.cpp.o"
+  "CMakeFiles/psw_core.dir/core/renderer.cpp.o.d"
+  "CMakeFiles/psw_core.dir/core/rle_volume.cpp.o"
+  "CMakeFiles/psw_core.dir/core/rle_volume.cpp.o.d"
+  "CMakeFiles/psw_core.dir/core/transfer.cpp.o"
+  "CMakeFiles/psw_core.dir/core/transfer.cpp.o.d"
+  "CMakeFiles/psw_core.dir/core/volume_io.cpp.o"
+  "CMakeFiles/psw_core.dir/core/volume_io.cpp.o.d"
+  "CMakeFiles/psw_core.dir/core/warp.cpp.o"
+  "CMakeFiles/psw_core.dir/core/warp.cpp.o.d"
+  "libpsw_core.a"
+  "libpsw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

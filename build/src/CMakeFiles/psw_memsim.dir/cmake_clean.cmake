@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psw_memsim.dir/memsim/cache.cpp.o"
+  "CMakeFiles/psw_memsim.dir/memsim/cache.cpp.o.d"
+  "CMakeFiles/psw_memsim.dir/memsim/experiment.cpp.o"
+  "CMakeFiles/psw_memsim.dir/memsim/experiment.cpp.o.d"
+  "CMakeFiles/psw_memsim.dir/memsim/machine.cpp.o"
+  "CMakeFiles/psw_memsim.dir/memsim/machine.cpp.o.d"
+  "CMakeFiles/psw_memsim.dir/memsim/mpsim.cpp.o"
+  "CMakeFiles/psw_memsim.dir/memsim/mpsim.cpp.o.d"
+  "libpsw_memsim.a"
+  "libpsw_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psw_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

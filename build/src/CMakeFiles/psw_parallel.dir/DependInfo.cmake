@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/animation.cpp" "src/CMakeFiles/psw_parallel.dir/parallel/animation.cpp.o" "gcc" "src/CMakeFiles/psw_parallel.dir/parallel/animation.cpp.o.d"
+  "/root/repo/src/parallel/executor.cpp" "src/CMakeFiles/psw_parallel.dir/parallel/executor.cpp.o" "gcc" "src/CMakeFiles/psw_parallel.dir/parallel/executor.cpp.o.d"
+  "/root/repo/src/parallel/new_renderer.cpp" "src/CMakeFiles/psw_parallel.dir/parallel/new_renderer.cpp.o" "gcc" "src/CMakeFiles/psw_parallel.dir/parallel/new_renderer.cpp.o.d"
+  "/root/repo/src/parallel/old_renderer.cpp" "src/CMakeFiles/psw_parallel.dir/parallel/old_renderer.cpp.o" "gcc" "src/CMakeFiles/psw_parallel.dir/parallel/old_renderer.cpp.o.d"
+  "/root/repo/src/parallel/partition.cpp" "src/CMakeFiles/psw_parallel.dir/parallel/partition.cpp.o" "gcc" "src/CMakeFiles/psw_parallel.dir/parallel/partition.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/psw_parallel.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/psw_parallel.dir/parallel/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/psw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

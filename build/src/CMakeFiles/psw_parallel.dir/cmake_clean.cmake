@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psw_parallel.dir/parallel/animation.cpp.o"
+  "CMakeFiles/psw_parallel.dir/parallel/animation.cpp.o.d"
+  "CMakeFiles/psw_parallel.dir/parallel/executor.cpp.o"
+  "CMakeFiles/psw_parallel.dir/parallel/executor.cpp.o.d"
+  "CMakeFiles/psw_parallel.dir/parallel/new_renderer.cpp.o"
+  "CMakeFiles/psw_parallel.dir/parallel/new_renderer.cpp.o.d"
+  "CMakeFiles/psw_parallel.dir/parallel/old_renderer.cpp.o"
+  "CMakeFiles/psw_parallel.dir/parallel/old_renderer.cpp.o.d"
+  "CMakeFiles/psw_parallel.dir/parallel/partition.cpp.o"
+  "CMakeFiles/psw_parallel.dir/parallel/partition.cpp.o.d"
+  "CMakeFiles/psw_parallel.dir/parallel/thread_pool.cpp.o"
+  "CMakeFiles/psw_parallel.dir/parallel/thread_pool.cpp.o.d"
+  "libpsw_parallel.a"
+  "libpsw_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psw_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

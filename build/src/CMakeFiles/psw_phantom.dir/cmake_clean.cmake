@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psw_phantom.dir/phantom/phantom.cpp.o"
+  "CMakeFiles/psw_phantom.dir/phantom/phantom.cpp.o.d"
+  "CMakeFiles/psw_phantom.dir/phantom/resample.cpp.o"
+  "CMakeFiles/psw_phantom.dir/phantom/resample.cpp.o.d"
+  "libpsw_phantom.a"
+  "libpsw_phantom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psw_phantom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

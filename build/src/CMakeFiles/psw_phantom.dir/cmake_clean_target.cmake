@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsw_phantom.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psw_svmsim.dir/svmsim/svm.cpp.o"
+  "CMakeFiles/psw_svmsim.dir/svmsim/svm.cpp.o.d"
+  "libpsw_svmsim.a"
+  "libpsw_svmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psw_svmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

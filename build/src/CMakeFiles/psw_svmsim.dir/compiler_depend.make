@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for psw_svmsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for psw_svmsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psw_trace.dir/trace/sink.cpp.o"
+  "CMakeFiles/psw_trace.dir/trace/sink.cpp.o.d"
+  "libpsw_trace.a"
+  "libpsw_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psw_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/psw_util.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/psw_util.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/image.cpp" "src/CMakeFiles/psw_util.dir/util/image.cpp.o" "gcc" "src/CMakeFiles/psw_util.dir/util/image.cpp.o.d"
+  "/root/repo/src/util/mat4.cpp" "src/CMakeFiles/psw_util.dir/util/mat4.cpp.o" "gcc" "src/CMakeFiles/psw_util.dir/util/mat4.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/psw_util.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/psw_util.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psw_util.dir/util/cli.cpp.o"
+  "CMakeFiles/psw_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/psw_util.dir/util/image.cpp.o"
+  "CMakeFiles/psw_util.dir/util/image.cpp.o.d"
+  "CMakeFiles/psw_util.dir/util/mat4.cpp.o"
+  "CMakeFiles/psw_util.dir/util/mat4.cpp.o.d"
+  "CMakeFiles/psw_util.dir/util/table.cpp.o"
+  "CMakeFiles/psw_util.dir/util/table.cpp.o.d"
+  "libpsw_util.a"
+  "libpsw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

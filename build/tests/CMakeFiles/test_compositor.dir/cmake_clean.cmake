@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compositor.dir/test_compositor.cpp.o"
+  "CMakeFiles/test_compositor.dir/test_compositor.cpp.o.d"
+  "test_compositor"
+  "test_compositor.pdb"
+  "test_compositor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compositor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

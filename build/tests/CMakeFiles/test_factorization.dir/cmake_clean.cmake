@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_factorization.dir/test_factorization.cpp.o"
+  "CMakeFiles/test_factorization.dir/test_factorization.cpp.o.d"
+  "test_factorization"
+  "test_factorization.pdb"
+  "test_factorization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_factorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_image_formats.dir/test_image_formats.cpp.o"
+  "CMakeFiles/test_image_formats.dir/test_image_formats.cpp.o.d"
+  "test_image_formats"
+  "test_image_formats.pdb"
+  "test_image_formats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_image_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_infra.dir/test_parallel_infra.cpp.o"
+  "CMakeFiles/test_parallel_infra.dir/test_parallel_infra.cpp.o.d"
+  "test_parallel_infra"
+  "test_parallel_infra.pdb"
+  "test_parallel_infra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

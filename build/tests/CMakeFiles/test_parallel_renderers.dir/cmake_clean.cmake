@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_renderers.dir/test_parallel_renderers.cpp.o"
+  "CMakeFiles/test_parallel_renderers.dir/test_parallel_renderers.cpp.o.d"
+  "test_parallel_renderers"
+  "test_parallel_renderers.pdb"
+  "test_parallel_renderers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_renderers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phantom.dir/test_phantom.cpp.o"
+  "CMakeFiles/test_phantom.dir/test_phantom.cpp.o.d"
+  "test_phantom"
+  "test_phantom.pdb"
+  "test_phantom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phantom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

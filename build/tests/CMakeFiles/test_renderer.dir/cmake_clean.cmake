@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_renderer.dir/test_renderer.cpp.o"
+  "CMakeFiles/test_renderer.dir/test_renderer.cpp.o.d"
+  "test_renderer"
+  "test_renderer.pdb"
+  "test_renderer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_renderer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rle.dir/test_rle.cpp.o"
+  "CMakeFiles/test_rle.dir/test_rle.cpp.o.d"
+  "test_rle"
+  "test_rle.pdb"
+  "test_rle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svmsim.dir/test_svmsim.cpp.o"
+  "CMakeFiles/test_svmsim.dir/test_svmsim.cpp.o.d"
+  "test_svmsim"
+  "test_svmsim.pdb"
+  "test_svmsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

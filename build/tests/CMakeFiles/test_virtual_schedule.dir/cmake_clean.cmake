@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtual_schedule.dir/test_virtual_schedule.cpp.o"
+  "CMakeFiles/test_virtual_schedule.dir/test_virtual_schedule.cpp.o.d"
+  "test_virtual_schedule"
+  "test_virtual_schedule.pdb"
+  "test_virtual_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtual_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

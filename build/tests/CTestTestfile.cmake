@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_phantom[1]_include.cmake")
+include("/root/repo/build/tests/test_rle[1]_include.cmake")
+include("/root/repo/build/tests/test_factorization[1]_include.cmake")
+include("/root/repo/build/tests/test_compositor[1]_include.cmake")
+include("/root/repo/build/tests/test_renderer[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_infra[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_renderers[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_memsim[1]_include.cmake")
+include("/root/repo/build/tests/test_svmsim[1]_include.cmake")
+include("/root/repo/build/tests/test_image_formats[1]_include.cmake")
+include("/root/repo/build/tests/test_virtual_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_warp[1]_include.cmake")
+include("/root/repo/build/tests/test_classify[1]_include.cmake")

@@ -68,7 +68,10 @@ class Context {
     }
     const DatasetSpec scaled = scale_spec(*spec, divisor_);
     std::string name = std::string(spec->name);
-    if (divisor_ > 1) name += "/" + std::to_string(divisor_);
+    if (divisor_ > 1) {
+      name += '/';
+      name += std::to_string(divisor_);
+    }
     std::fprintf(stderr, "[bench] building %s (%dx%dx%d)...\n", name.c_str(), scaled.nx,
                  scaled.ny, scaled.nz);
     Dataset d = make_dataset(kind, name, scaled.nx, scaled.ny, scaled.nz);

@@ -6,7 +6,7 @@
 namespace psw {
 namespace {
 
-double svm_cycles(bench::Context& ctx, Algo algo, const Dataset& data, int procs) {
+double svm_cycles(bench::Context&, Algo algo, const Dataset& data, int procs) {
   const TraceSet traces = trace_frame(algo, data, procs);
   SvmRunOptions opt;
   opt.warmup_intervals = traces.intervals() / 2;

@@ -5,6 +5,9 @@
 // is cheap).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/classify.hpp"
 #include "core/compositor.hpp"
 #include "core/reference.hpp"
@@ -56,6 +59,65 @@ void BM_CompositeFrame(benchmark::State& state) {
   state.SetLabel("run-based");
 }
 BENCHMARK(BM_CompositeFrame)->Unit(benchmark::kMillisecond);
+
+// The acceptance kernel: segment-batched SIMD fast path, no hook, no stats
+// — what a real-time render pays per frame for the compositing phase.
+void BM_CompositeScanline(benchmark::State& state) {
+  const auto& s = scene();
+  const RleVolume& rle = s.encoded.for_axis(s.fact.principal_axis);
+  IntermediateImage img(s.fact.intermediate_width, s.fact.intermediate_height);
+  for (auto _ : state) {
+    img.clear();
+    uint32_t work = 0;
+    for (int v = 0; v < img.height(); ++v) {
+      work += composite_scanline_segmented(rle, s.fact, v, img);
+    }
+    benchmark::DoNotOptimize(work);
+  }
+  state.SetLabel("segment-batched fast path");
+}
+BENCHMARK(BM_CompositeScanline)->Unit(benchmark::kMillisecond);
+
+// The seed kernel: per-pixel probing, hook policy compiled away (NullHook).
+void BM_CompositeScanlineReference(benchmark::State& state) {
+  const auto& s = scene();
+  const RleVolume& rle = s.encoded.for_axis(s.fact.principal_axis);
+  IntermediateImage img(s.fact.intermediate_width, s.fact.intermediate_height);
+  for (auto _ : state) {
+    img.clear();
+    uint32_t work = 0;
+    for (int v = 0; v < img.height(); ++v) {
+      work += composite_scanline_reference(rle, s.fact, v, img);
+    }
+    benchmark::DoNotOptimize(work);
+  }
+  state.SetLabel("per-pixel reference kernel (NullHook)");
+}
+BENCHMARK(BM_CompositeScanlineReference)->Unit(benchmark::kMillisecond);
+
+// The traced kernel: per-pixel with a live hook, the simulator's workload
+// generator. The gap to the reference kernel is the cost of reporting.
+void BM_CompositeScanlineHooked(benchmark::State& state) {
+  struct CountingHook final : MemoryHook {
+    uint64_t accesses = 0;
+    void access(const void*, uint32_t, bool) override { ++accesses; }
+  };
+  const auto& s = scene();
+  const RleVolume& rle = s.encoded.for_axis(s.fact.principal_axis);
+  IntermediateImage img(s.fact.intermediate_width, s.fact.intermediate_height);
+  CountingHook hook;
+  for (auto _ : state) {
+    img.clear();
+    uint32_t work = 0;
+    for (int v = 0; v < img.height(); ++v) {
+      work += composite_scanline(rle, s.fact, v, img, &hook);
+    }
+    benchmark::DoNotOptimize(work);
+    benchmark::DoNotOptimize(hook.accesses);
+  }
+  state.SetLabel("per-pixel kernel, SimHook attached");
+}
+BENCHMARK(BM_CompositeScanlineHooked)->Unit(benchmark::kMillisecond);
 
 void BM_CompositeFrameDenseReference(benchmark::State& state) {
   const auto& s = scene();
@@ -127,4 +189,26 @@ BENCHMARK(BM_ScanlineProvablyEmpty)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace psw
 
-BENCHMARK_MAIN();
+// `kernels --json <path>` writes the google-benchmark JSON report to <path>
+// (the BENCH_kernels.json artifact) on top of the console output; all other
+// flags pass through to the benchmark library untouched.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, fmt_flag;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (std::string(args[i]) == "--json" && i + 1 < args.size()) {
+      out_flag = std::string("--benchmark_out=") + args[i + 1];
+      fmt_flag = "--benchmark_out_format=json";
+      args.erase(args.begin() + i, args.begin() + i + 2);
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+      break;
+    }
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -34,3 +34,12 @@ psw_bench(fig22_svm_breakdown_new psw_memsim psw_svmsim)
 psw_bench(ablation_partitioning psw_memsim psw_svmsim)
 psw_bench(ext_scaling psw_memsim)
 psw_bench(kernels psw_core psw_phantom psw_parallel benchmark::benchmark)
+
+# `cmake --build build --target bench_kernels_json` regenerates the
+# committed kernel-benchmark report at the repo root.
+add_custom_target(bench_kernels_json
+  COMMAND kernels --json ${CMAKE_SOURCE_DIR}/BENCH_kernels.json
+  DEPENDS kernels
+  WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench
+  COMMENT "Running kernel benchmarks -> BENCH_kernels.json"
+  VERBATIM)

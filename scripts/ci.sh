@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Continuous-integration driver: a warnings-as-errors release build with the
+# full test suite, the same suite again under ASan+UBSan, and a smoke run of
+# the kernel benchmarks (JSON report, to catch bit-rot in the --json path).
+# Usage: scripts/ci.sh [build-root]   (default: ./ci-build)
+set -euo pipefail
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+out=${1:-"$root/ci-build"}
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+echo "==> Release build (-Werror) + tests"
+cmake -B "$out/release" -S "$root" -DCMAKE_BUILD_TYPE=Release -DPSW_WERROR=ON
+cmake --build "$out/release" -j "$jobs"
+ctest --test-dir "$out/release" --output-on-failure -j "$jobs"
+
+echo "==> ASan+UBSan build + tests"
+cmake -B "$out/sanitize" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPSW_WERROR=ON -DPSW_SANITIZE=ON
+cmake --build "$out/sanitize" -j "$jobs"
+ctest --test-dir "$out/sanitize" --output-on-failure -j "$jobs"
+
+echo "==> Kernel benchmark smoke run (JSON report)"
+(cd "$out/release/bench" && ./kernels --json "$out/BENCH_kernels.json" \
+  --benchmark_min_time=0.01s >/dev/null)
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/BENCH_kernels.json"
+
+echo "CI OK"

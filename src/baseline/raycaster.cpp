@@ -30,6 +30,18 @@ RayCaster::RayCaster(const ClassifiedVolume& volume, uint8_t alpha_threshold)
 
 RayCastStats RayCaster::render(const Camera& camera, ImageU8* out,
                                const RayCastOptions& opt) const {
+  // One dispatch per frame; the march loop below is compiled per variant.
+  if (opt.use_octree) {
+    return opt.traversal_only ? render_impl<true, true>(camera, out, opt)
+                              : render_impl<true, false>(camera, out, opt);
+  }
+  return opt.traversal_only ? render_impl<false, true>(camera, out, opt)
+                            : render_impl<false, false>(camera, out, opt);
+}
+
+template <bool kUseOctree, bool kTraversalOnly>
+RayCastStats RayCaster::render_impl(const Camera& camera, ImageU8* out,
+                                    const RayCastOptions& opt) const {
   RayCastStats stats;
   WallTimer timer;
 
@@ -99,7 +111,7 @@ RayCastStats RayCaster::render(const Camera& camera, ImageU8* out,
         const int iy = static_cast<int>(sy);
         const int iz = static_cast<int>(sz);
 
-        if (opt.use_octree) {
+        if constexpr (kUseOctree) {
           const int lvl = octree_.largest_empty_level(ix, iy, iz, alpha_threshold_);
           if (lvl >= 0) {
             // Skip to where the ray exits this empty node.
@@ -124,7 +136,7 @@ RayCastStats RayCaster::render(const Camera& camera, ImageU8* out,
           }
         }
 
-        if (!opt.traversal_only) {
+        if constexpr (!kTraversalOnly) {
           // Opacity-weighted trilinear resampling of classified voxels —
           // the same resampling operator the shear warper applies.
           const int x1 = std::min(ix + 1, volume_.nx() - 1);

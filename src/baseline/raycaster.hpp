@@ -37,11 +37,17 @@ class RayCaster {
   RayCaster(const ClassifiedVolume& volume, uint8_t alpha_threshold);
 
   // Renders with the same framing the shear warper would use for `camera`
-  // (so outputs are directly comparable).
+  // (so outputs are directly comparable). Dispatches once per call to a
+  // kernel specialized on the octree/traversal-only options, so the
+  // per-sample loop carries no option branches.
   RayCastStats render(const Camera& camera, ImageU8* out,
                       const RayCastOptions& opt = {}) const;
 
  private:
+  template <bool kUseOctree, bool kTraversalOnly>
+  RayCastStats render_impl(const Camera& camera, ImageU8* out,
+                           const RayCastOptions& opt) const;
+
   const ClassifiedVolume& volume_;
   uint8_t alpha_threshold_;
   DensityVolume opacity_;  // per-voxel opacity, input to the octree

@@ -6,6 +6,20 @@
 // because that is the task granularity of both parallel algorithms (§3.1,
 // §4.1). Pixels of a scanline are composited in front-to-back slice order,
 // preserving early ray termination.
+//
+// Two kernels implement the phase and produce bit-identical pixels, stats
+// and work counts (see DESIGN.md "Kernel dispatch and fast path"):
+//  - the per-pixel reference kernel, templated on the hook policy; its
+//    SimHook instantiation emits the exact reference stream the simulators
+//    replay, its NullHook instantiation is the branch-free baseline;
+//  - the segment-batched fast path, which intersects the non-transparent
+//    segments of the two source scanlines with the image's writable runs
+//    and composites each overlap in a tight SIMD inner loop. It traces
+//    nothing, so it only serves hook-free (real-time) rendering.
+// composite_scanline dispatches once per call: SimHook kernel when a hook
+// is attached, fast path otherwise (reference kernel if the build sets
+// PSW_REFERENCE_KERNEL, the A/B switch used by the golden tests and the
+// kernel benchmarks).
 #pragma once
 
 #include <cstdint>
@@ -38,6 +52,18 @@ struct CompositeStats {
 uint32_t composite_scanline(const RleVolume& rle, const Factorization& f, int v,
                             IntermediateImage& img, MemoryHook* hook = nullptr,
                             CompositeStats* stats = nullptr);
+
+// The per-pixel reference kernel, always available for A/B comparison
+// regardless of the dispatch default. Bit-identical to the fast path.
+uint32_t composite_scanline_reference(const RleVolume& rle, const Factorization& f,
+                                      int v, IntermediateImage& img,
+                                      MemoryHook* hook = nullptr,
+                                      CompositeStats* stats = nullptr);
+
+// The segment-batched SIMD fast path (hook-free by construction).
+uint32_t composite_scanline_segmented(const RleVolume& rle, const Factorization& f,
+                                      int v, IntermediateImage& img,
+                                      CompositeStats* stats = nullptr);
 
 // Traversal-only variant: performs all run/skip-link traversal and
 // addressing but skips the resample/composite arithmetic (and therefore

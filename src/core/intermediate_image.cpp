@@ -25,30 +25,13 @@ void IntermediateImage::clear_rows(int v0, int v1) {
 }
 
 int IntermediateImage::next_writable(int v, int u, MemoryHook* hook) {
-  int32_t* s = skip_.data() + static_cast<size_t>(v) * width_;
-  const int start = u;
-  while (u < width_) {
-    hook_read(hook, s + u, sizeof(int32_t));
-    if (s[u] == 0) break;
-    u += s[u];
-  }
-  // Path compression: point every link on the path at the destination.
-  int cur = start;
-  while (cur < u && s[cur] > 0) {
-    const int nxt = cur + s[cur];
-    if (s[cur] != u - cur) {
-      s[cur] = u - cur;
-      hook_write(hook, s + cur, sizeof(int32_t));
-    }
-    cur = nxt;
-  }
-  return u;
+  if (hook) return next_writable(v, u, SimHook{hook});
+  return next_writable(v, u, NullHook{});
 }
 
 void IntermediateImage::mark_opaque(int u, int v, MemoryHook* hook) {
-  int32_t* s = skip_.data() + static_cast<size_t>(v) * width_;
-  s[u] = 1;
-  hook_write(hook, s + u, sizeof(int32_t));
+  if (hook) return mark_opaque(u, v, SimHook{hook});
+  mark_opaque(u, v, NullHook{});
 }
 
 }  // namespace psw

@@ -1,5 +1,6 @@
 #include "core/rle_volume.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace psw {
@@ -51,75 +52,40 @@ size_t RleVolume::storage_bytes() const {
 }
 
 void RleVolume::decode_scanline(int k, int j, ClassifiedVoxel* out) const {
-  std::memset(out, 0, sizeof(ClassifiedVoxel) * ni_);
-  const uint16_t* run = runs_at(k, j);
-  const size_t nruns = runs_in_scanline(k, j);
-  const ClassifiedVoxel* vox = voxels_at(k, j);
-  int pos = 0;
-  bool opaque = false;
-  for (size_t ri = 0; ri < nruns; ++ri) {
-    const int len = run[ri];
-    if (opaque) {
-      for (int t = 0; t < len; ++t) out[pos + t] = *vox++;
-    }
-    pos += len;
-    opaque = !opaque;
+  std::fill(out, out + ni_, ClassifiedVoxel{});
+  SegmentCursor cur(*this, k, j);
+  VoxelSegment seg;
+  while (cur.next(&seg)) {
+    std::memcpy(out + seg.start, seg.vox,
+                sizeof(ClassifiedVoxel) * (seg.end - seg.start));
   }
 }
 
-RunCursor::RunCursor(const RleVolume& vol, int k, int j, MemoryHook* hook) {
-  ni_ = vol.ni();
-  if (j < 0 || j >= vol.nj() || k < 0 || k >= vol.nk()) return;  // null cursor
+SegmentCursor::SegmentCursor(const RleVolume& vol, int k, int j) {
+  if (j < 0 || j >= vol.nj() || k < 0 || k >= vol.nk()) return;  // no segments
+  if (vol.scanline_empty(k, j)) return;
   runs_ = vol.runs_at(k, j);
   num_runs_ = vol.runs_in_scanline(k, j);
-  voxels_ = vol.voxels_at(k, j);
-  hook_ = hook;
-  ni_ = vol.ni();
-  empty_ = vol.scanline_empty(k, j);
-  run_idx_ = 0;
-  run_start_ = 0;
-  run_len_ = num_runs_ > 0 ? runs_[0] : ni_;
-  voxels_before_ = 0;
-  run_opaque_ = false;
-  hook_read(hook_, runs_, sizeof(uint16_t));
+  vox_ = vol.voxels_at(k, j);
 }
 
-void RunCursor::advance_to(int i) {
-  while (i >= run_start_ + run_len_ && run_idx_ + 1 < num_runs_) {
-    if (run_opaque_) voxels_before_ += run_len_;
-    run_start_ += run_len_;
-    ++run_idx_;
-    run_len_ = runs_[run_idx_];
-    run_opaque_ = !run_opaque_;
-    hook_read(hook_, runs_ + run_idx_, sizeof(uint16_t));
+bool SegmentCursor::next(VoxelSegment* out) {
+  while (idx_ < num_runs_) {
+    const int len = runs_[idx_];
+    const int start = pos_;
+    const bool opaque = opaque_;
+    pos_ += len;
+    opaque_ = !opaque_;
+    ++idx_;
+    if (opaque && len > 0) {
+      out->start = start;
+      out->end = start + len;
+      out->vox = vox_;
+      vox_ += len;
+      return true;
+    }
   }
-}
-
-const ClassifiedVoxel* RunCursor::at(int i) {
-  if (runs_ == nullptr || i < 0 || i >= ni_) return nullptr;
-  advance_to(i);
-  if (!run_opaque_ || i < run_start_ || i >= run_start_ + run_len_) return nullptr;
-  const ClassifiedVoxel* v = voxels_ + voxels_before_ + (i - run_start_);
-  hook_read(hook_, v, sizeof(ClassifiedVoxel));
-  return v;
-}
-
-int RunCursor::next_nontransparent(int i) const {
-  if (runs_ == nullptr) return ni_ == 0 ? 0 : ni_;
-  if (i < 0) i = 0;
-  // Scan forward from the current run without mutating state.
-  size_t idx = run_idx_;
-  int start = run_start_;
-  int len = run_len_;
-  bool opaque = run_opaque_;
-  while (true) {
-    if (opaque && i < start + len) return std::max(i, start);
-    if (idx + 1 >= num_runs_) return ni_;
-    start += len;
-    ++idx;
-    len = runs_[idx];
-    opaque = !opaque;
-  }
+  return false;
 }
 
 EncodedVolume EncodedVolume::build(const ClassifiedVolume& vol, uint8_t alpha_threshold) {

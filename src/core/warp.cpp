@@ -5,10 +5,13 @@
 
 namespace psw {
 
-void warp_scanline(const IntermediateImage& src, const Factorization& f,
-                   const Affine2D& inv, int y, int x0, int x1, ImageU8& out,
-                   MemoryHook* hook, WarpStats* stats) {
-  (void)f;
+namespace {
+
+// Hook-templated kernel: the NullHook instantiation carries no per-access
+// branch; the SimHook instantiation reports every sample and pixel write.
+template <class Hook>
+void warp_scanline_impl(const IntermediateImage& src, const Affine2D& inv, int y,
+                        int x0, int x1, ImageU8& out, Hook hook, WarpStats* stats) {
   const int sw = src.width(), sh = src.height();
   Pixel8* dst = out.row(y);
   for (int x = x0; x < x1; ++x) {
@@ -19,7 +22,7 @@ void warp_scanline(const IntermediateImage& src, const Factorization& f,
     const int v0 = static_cast<int>(std::floor(v));
     if (u0 < -1 || u0 >= sw || v0 < -1 || v0 >= sh) {
       dst[x] = Pixel8{};
-      hook_write(hook, dst + x, sizeof(Pixel8));
+      hook.write(dst + x, sizeof(Pixel8));
       if (stats) ++stats->pixels_written;
       continue;
     }
@@ -29,7 +32,7 @@ void warp_scanline(const IntermediateImage& src, const Factorization& f,
     auto sample = [&](int su, int sv, float w) {
       if (w == 0.0f || su < 0 || su >= sw || sv < 0 || sv >= sh) return;
       const Rgba& p = src.pixel(su, sv);
-      hook_read(hook, &p, sizeof(Rgba));
+      hook.read(&p, sizeof(Rgba));
       r += w * p.r;
       g += w * p.g;
       b += w * p.b;
@@ -41,8 +44,22 @@ void warp_scanline(const IntermediateImage& src, const Factorization& f,
     sample(u0, v0 + 1, (1 - fu) * fv);
     sample(u0 + 1, v0 + 1, fu * fv);
     dst[x] = quantize8(Rgba{r, g, b, a});
-    hook_write(hook, dst + x, sizeof(Pixel8));
+    hook.write(dst + x, sizeof(Pixel8));
     if (stats) ++stats->pixels_written;
+  }
+}
+
+}  // namespace
+
+void warp_scanline(const IntermediateImage& src, const Factorization& f,
+                   const Affine2D& inv, int y, int x0, int x1, ImageU8& out,
+                   MemoryHook* hook, WarpStats* stats) {
+  (void)f;
+  // Dispatch once per scanline call, not once per access.
+  if (hook) {
+    warp_scanline_impl(src, inv, y, x0, x1, out, SimHook{hook}, stats);
+  } else {
+    warp_scanline_impl(src, inv, y, x0, x1, out, NullHook{}, stats);
   }
 }
 

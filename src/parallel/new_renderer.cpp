@@ -128,6 +128,20 @@ ParallelRenderStats NewParallelRenderer::render(const EncodedVolume& volume,
   auto retire = [&](int owner, int count) {
     if (remaining[owner].fetch_sub(count, std::memory_order_acq_rel) == count) {
       done[owner].store(true, std::memory_order_release);
+      done[owner].notify_all();
+    }
+  };
+
+  // Point-to-point completion wait: a short bounded spin covers the common
+  // case (the producer is scanlines away from finishing), then the waiter
+  // parks on the futex-backed atomic instead of burning a core yielding.
+  auto wait_done = [&](int q) {
+    constexpr int kSpins = 4096;
+    for (int spin = 0; spin < kSpins; ++spin) {
+      if (done[q].load(std::memory_order_acquire)) return;
+    }
+    while (!done[q].load(std::memory_order_acquire)) {
+      done[q].wait(false, std::memory_order_acquire);
     }
   };
 
@@ -172,9 +186,7 @@ ParallelRenderStats NewParallelRenderer::render(const EncodedVolume& volume,
     if (fused) {
       // Point-to-point sync replacing the global barrier (§5.5.2): wait
       // only for the partitions whose scanlines this warp region reads.
-      for (int q = std::max(0, p - 1); q <= std::min(P - 1, p + 1); ++q) {
-        while (!done[q].load(std::memory_order_acquire)) std::this_thread::yield();
-      }
+      for (int q = std::max(0, p - 1); q <= std::min(P - 1, p + 1); ++q) wait_done(q);
     }
     WallTimer timer;
     // Final pixels whose inverse-warped v falls in my partition; the

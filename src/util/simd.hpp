@@ -1,0 +1,120 @@
+// Minimal portable 4-lane float SIMD wrapper for the compositing fast path.
+//
+// Backends: SSE2 (x86) and NEON (AArch64) via intrinsics, selected by the
+// CMake feature probe (PSW_SIMD_SSE2 / PSW_SIMD_NEON compile definitions;
+// PSW_FORCE_SCALAR_SIMD overrides both), with a scalar fallback that
+// performs the same IEEE operations in the same order. Every backend is
+// bit-exact with the scalar code: only lane-wise mul/add are used, no FMA
+// contraction, no approximate reciprocals — which is what lets the
+// SIMD-accumulating kernel stay bit-identical to the dense reference
+// renderer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#if defined(PSW_FORCE_SCALAR_SIMD)
+// scalar fallback
+#elif defined(PSW_SIMD_SSE2) || defined(__SSE2__)
+#define PSW_SIMD_BACKEND_SSE2 1
+#include <emmintrin.h>
+#elif defined(PSW_SIMD_NEON) || defined(__ARM_NEON)
+#define PSW_SIMD_BACKEND_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace psw::simd {
+
+#if defined(PSW_SIMD_BACKEND_SSE2)
+
+struct f32x4 {
+  __m128 v;
+};
+
+inline f32x4 zero() { return {_mm_setzero_ps()}; }
+inline f32x4 set1(float x) { return {_mm_set1_ps(x)}; }
+inline f32x4 loadu(const float* p) { return {_mm_loadu_ps(p)}; }
+inline void storeu(float* p, f32x4 x) { _mm_storeu_ps(p, x.v); }
+inline f32x4 add(f32x4 a, f32x4 b) { return {_mm_add_ps(a.v, b.v)}; }
+inline f32x4 mul(f32x4 a, f32x4 b) { return {_mm_mul_ps(a.v, b.v)}; }
+// Four unsigned bytes -> four float lanes [p[0], p[1], p[2], p[3]].
+inline f32x4 from_u8x4(const uint8_t* p) {
+  uint32_t packed;
+  std::memcpy(&packed, p, 4);
+  const __m128i b = _mm_cvtsi32_si128(static_cast<int>(packed));
+  const __m128i z = _mm_setzero_si128();
+  const __m128i w = _mm_unpacklo_epi16(_mm_unpacklo_epi8(b, z), z);
+  return {_mm_cvtepi32_ps(w)};
+}
+inline f32x4 broadcast0(f32x4 x) {
+  return {_mm_shuffle_ps(x.v, x.v, _MM_SHUFFLE(0, 0, 0, 0))};
+}
+inline float lane3(f32x4 x) {
+  return _mm_cvtss_f32(_mm_shuffle_ps(x.v, x.v, _MM_SHUFFLE(3, 3, 3, 3)));
+}
+// (a, r, g, b) -> (r, g, b, 1): aligns a ClassifiedVoxel's channels with
+// the Rgba pixel layout, with a unit lane so the opacity sum rides along.
+inline f32x4 rgb1_from_argb(f32x4 x) {
+  const __m128 one = _mm_set1_ps(1.0f);
+  const __m128 b1 = _mm_shuffle_ps(x.v, one, _MM_SHUFFLE(0, 0, 3, 3));  // b b 1 1
+  return {_mm_shuffle_ps(x.v, b1, _MM_SHUFFLE(2, 0, 2, 1))};            // r g b 1
+}
+
+#elif defined(PSW_SIMD_BACKEND_NEON)
+
+struct f32x4 {
+  float32x4_t v;
+};
+
+inline f32x4 zero() { return {vdupq_n_f32(0.0f)}; }
+inline f32x4 set1(float x) { return {vdupq_n_f32(x)}; }
+inline f32x4 loadu(const float* p) { return {vld1q_f32(p)}; }
+inline void storeu(float* p, f32x4 x) { vst1q_f32(p, x.v); }
+inline f32x4 add(f32x4 a, f32x4 b) { return {vaddq_f32(a.v, b.v)}; }
+inline f32x4 mul(f32x4 a, f32x4 b) { return {vmulq_f32(a.v, b.v)}; }
+inline f32x4 from_u8x4(const uint8_t* p) {
+  uint32_t packed;
+  std::memcpy(&packed, p, 4);
+  const uint8x8_t b = vreinterpret_u8_u32(vdup_n_u32(packed));
+  const uint32x4_t w = vmovl_u16(vget_low_u16(vmovl_u8(b)));
+  return {vcvtq_f32_u32(w)};
+}
+inline f32x4 broadcast0(f32x4 x) { return {vdupq_laneq_f32(x.v, 0)}; }
+inline float lane3(f32x4 x) { return vgetq_lane_f32(x.v, 3); }
+inline f32x4 rgb1_from_argb(f32x4 x) {
+  const float32x4_t rot = vextq_f32(x.v, x.v, 1);  // r g b a
+  return {vsetq_lane_f32(1.0f, rot, 3)};           // r g b 1
+}
+
+#else  // scalar fallback — identical operations in identical order
+
+struct f32x4 {
+  float v[4];
+};
+
+inline f32x4 zero() { return {{0.0f, 0.0f, 0.0f, 0.0f}}; }
+inline f32x4 set1(float x) { return {{x, x, x, x}}; }
+inline f32x4 loadu(const float* p) { return {{p[0], p[1], p[2], p[3]}}; }
+inline void storeu(float* p, f32x4 x) {
+  p[0] = x.v[0];
+  p[1] = x.v[1];
+  p[2] = x.v[2];
+  p[3] = x.v[3];
+}
+inline f32x4 add(f32x4 a, f32x4 b) {
+  return {{a.v[0] + b.v[0], a.v[1] + b.v[1], a.v[2] + b.v[2], a.v[3] + b.v[3]}};
+}
+inline f32x4 mul(f32x4 a, f32x4 b) {
+  return {{a.v[0] * b.v[0], a.v[1] * b.v[1], a.v[2] * b.v[2], a.v[3] * b.v[3]}};
+}
+inline f32x4 from_u8x4(const uint8_t* p) {
+  return {{static_cast<float>(p[0]), static_cast<float>(p[1]),
+           static_cast<float>(p[2]), static_cast<float>(p[3])}};
+}
+inline f32x4 broadcast0(f32x4 x) { return set1(x.v[0]); }
+inline float lane3(f32x4 x) { return x.v[3]; }
+inline f32x4 rgb1_from_argb(f32x4 x) { return {{x.v[1], x.v[2], x.v[3], 1.0f}}; }
+
+#endif
+
+}  // namespace psw::simd

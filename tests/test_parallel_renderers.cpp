@@ -172,8 +172,11 @@ INSTANTIATE_TEST_SUITE_P(
                       NewRendererCase{4, false, true}, NewRendererCase{4, true, false},
                       NewRendererCase{16, true, true}, NewRendererCase{3, false, false}),
     [](const auto& info) {
-      return "P" + std::to_string(info.param.procs) + (info.param.fused ? "F" : "S") +
-             (info.param.stealing ? "T" : "N");
+      std::string name = "P";
+      name += std::to_string(info.param.procs);
+      name += info.param.fused ? 'F' : 'S';
+      name += info.param.stealing ? 'T' : 'N';
+      return name;
     });
 
 TEST(NewRenderer, SerialExecutorMatchesSerialRenderer) {

@@ -23,7 +23,7 @@ TEST(VirtualSchedule, ProcessesEveryScanlineExactlyOnce) {
 TEST(VirtualSchedule, BalancesUnevenCosts) {
   // One partition is 50x more expensive per scanline; with stealing the
   // *virtual time* per processor must end up roughly equal.
-  const int P = 4, N = 128;
+  const int P = 4;
   StealQueues q(P);
   for (int p = 0; p < P; ++p) q.push(p, {p * 32, (p + 1) * 32, p});
   std::vector<double> clock(P, 0.0);

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Continuous-integration driver: a warnings-as-errors release build with the
-# full test suite, the same suite again under ASan+UBSan, and a smoke run of
-# the kernel benchmarks (JSON report, to catch bit-rot in the --json path).
+# full test suite, the same suite again under ASan+UBSan, the threading
+# tests under TSan, clang-tidy (when available), the trace race-checker
+# over both renderers, and a smoke run of the kernel benchmarks (JSON
+# report, to catch bit-rot in the --json path).
 # Usage: scripts/ci.sh [build-root]   (default: ./ci-build)
 set -euo pipefail
 
@@ -16,9 +18,27 @@ ctest --test-dir "$out/release" --output-on-failure -j "$jobs"
 
 echo "==> ASan+UBSan build + tests"
 cmake -B "$out/sanitize" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DPSW_WERROR=ON -DPSW_SANITIZE=ON
+  -DPSW_WERROR=ON -DPSW_SANITIZE=address
 cmake --build "$out/sanitize" -j "$jobs"
 ctest --test-dir "$out/sanitize" --output-on-failure -j "$jobs"
+
+echo "==> TSan build + threading tests"
+# TSan is incompatible with ASan, hence its own tree. Only the tests that
+# exercise real threads matter here; the serial/tracing suites are covered
+# above and would only slow this stage down.
+cmake -B "$out/tsan" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPSW_WERROR=ON -DPSW_SANITIZE=thread
+cmake --build "$out/tsan" -j "$jobs" \
+  --target test_parallel_infra test_parallel_renderers test_fastpath
+"$out/tsan/tests/test_parallel_infra"
+"$out/tsan/tests/test_parallel_renderers"
+"$out/tsan/tests/test_fastpath"
+
+echo "==> clang-tidy"
+"$root/scripts/lint.sh" "$out/lint"
+
+echo "==> Trace-level race check (both renderers, MRI+CT, 1/4/16 procs)"
+"$out/release/tools/racecheck" --size=32 --procs=1,4,16
 
 echo "==> Kernel benchmark smoke run (JSON report)"
 (cd "$out/release/bench" && ./kernels --json "$out/BENCH_kernels.json" \

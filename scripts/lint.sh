@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# clang-tidy over the library and tool sources, using the checks pinned in
+# .clang-tidy. Skips gracefully (exit 0 with a notice) when clang-tidy is
+# not installed, so scripts/ci.sh works on minimal toolchains; the GitHub
+# workflow installs it and gets the real run.
+# Usage: scripts/lint.sh [build-dir]   (default: ./lint-build)
+set -euo pipefail
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+out=${1:-"$root/lint-build"}
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+tidy=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "lint: $tidy not found, skipping (install clang-tidy to run locally)"
+  exit 0
+fi
+
+cmake -B "$out" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+mapfile -t sources < <(find "$root/src" "$root/tools" -name '*.cpp' | sort)
+echo "lint: checking ${#sources[@]} files with $tidy"
+printf '%s\n' "${sources[@]}" | xargs -P "$jobs" -n 4 "$tidy" -p "$out" --quiet
+
+echo "lint OK"

@@ -1,0 +1,75 @@
+// Shadow memory for the race detector: one cell per `granularity`-byte
+// aligned slice of the traced address space, held in a hash map so only
+// touched slices cost memory (a 512³ frame touches tens of MB of distinct
+// addresses; at the default 4-byte granularity that is a few million cells,
+// each 24 bytes).
+//
+// Cell state follows FastTrack (Flanagan & Freund, PLDI 2009): the last
+// write is a single epoch — here a segment id from the SyncGraph plus the
+// record index for reporting — because writes to a race-free location are
+// totally ordered; reads keep a single epoch in the common same-processor
+// or ordered case and inflate to a per-processor vector only when
+// genuinely concurrent reads accumulate.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace psw {
+
+struct ShadowEpoch {
+  int32_t seg = -1;   // SyncGraph segment id, -1 = none
+  uint32_t rec = 0;   // record index within the segment's stream
+
+  bool valid() const { return seg >= 0; }
+};
+
+struct ShadowCell {
+  ShadowEpoch write;
+  ShadowEpoch read;   // last read while reads are totally ordered
+  int32_t read_vec = -1;  // index into ShadowMap::read_vectors, -1 = unused
+};
+
+class ShadowMap {
+ public:
+  explicit ShadowMap(uint32_t granularity) : granularity_(granularity) {
+    shift_ = 0;
+    while ((granularity >> (shift_ + 1)) != 0) ++shift_;
+  }
+
+  uint32_t granularity() const { return granularity_; }
+  size_t cells() const { return cells_.size(); }
+
+  // Cell keys spanned by [addr, addr + size).
+  uint64_t first_key(uint64_t addr) const { return addr >> shift_; }
+  uint64_t last_key(uint64_t addr, uint32_t size) const {
+    return (addr + (size > 0 ? size - 1 : 0)) >> shift_;
+  }
+  // Byte range shadowed by a cell key, for reporting.
+  std::pair<uint64_t, uint64_t> key_range(uint64_t key) const {
+    return {key << shift_, (key + 1) << shift_};
+  }
+
+  ShadowCell& cell(uint64_t key) { return cells_[key]; }
+
+  // Per-processor read epochs of a cell whose reads went concurrent.
+  std::vector<ShadowEpoch>& inflate_reads(ShadowCell* c, int procs) {
+    if (c->read_vec < 0) {
+      c->read_vec = static_cast<int32_t>(read_vectors_.size());
+      read_vectors_.emplace_back(procs);
+    }
+    return read_vectors_[c->read_vec];
+  }
+  std::vector<ShadowEpoch>* reads_of(const ShadowCell& c) {
+    return c.read_vec < 0 ? nullptr : &read_vectors_[c.read_vec];
+  }
+
+ private:
+  uint32_t granularity_;
+  uint32_t shift_;
+  std::unordered_map<uint64_t, ShadowCell> cells_;
+  std::vector<std::vector<ShadowEpoch>> read_vectors_;
+};
+
+}  // namespace psw

@@ -1,0 +1,102 @@
+#include "analyze/sync_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace psw {
+
+namespace {
+
+void join_into(std::vector<int32_t>* dst, const std::vector<int32_t>& src) {
+  for (size_t q = 0; q < dst->size(); ++q) (*dst)[q] = std::max((*dst)[q], src[q]);
+}
+
+}  // namespace
+
+SyncGraph::SyncGraph(const TraceSet& traces) : procs_(traces.procs()) {
+  // The currently open (not yet finalized) segment of each processor.
+  struct Open {
+    size_t start = 0;
+    std::vector<int32_t> vc;
+  };
+  std::vector<Open> open(procs_);
+  for (int p = 0; p < procs_; ++p) {
+    open[p].vc.assign(procs_, -1);
+    open[p].vc[p] = 0;
+  }
+  starts_.assign(procs_, {});
+  ids_.assign(procs_, {});
+
+  // Finalizes p's open segment at stream position `pos` (no-op when the
+  // segment would be empty) and opens the next one with the same clock,
+  // own component advanced.
+  auto cut = [&](int p, size_t pos) {
+    assert(pos >= open[p].start && "sync event positions regressed");
+    if (pos == open[p].start) return;
+    const int id = static_cast<int>(seg_proc_.size());
+    seg_proc_.push_back(p);
+    seg_ordinal_.push_back(open[p].vc[p]);
+    seg_begin_.push_back(open[p].start);
+    seg_end_.push_back(pos);
+    vc_.push_back(open[p].vc);
+    order_.push_back(id);
+    starts_[p].push_back(open[p].start);
+    ids_[p].push_back(id);
+    open[p].start = pos;
+    ++open[p].vc[p];
+  };
+
+  // Clock of everything strictly before p's current open segment: the open
+  // clock with the own component stepped back to the last finalized
+  // ordinal. Used for release snapshots and barrier joins.
+  auto before_open = [&](int p) {
+    std::vector<int32_t> vc = open[p].vc;
+    --vc[p];
+    return vc;
+  };
+
+  std::unordered_map<uint64_t, std::vector<std::vector<int32_t>>> released;
+
+  for (const SyncEvent& e : traces.sync_events()) {
+    switch (e.kind) {
+      case SyncEvent::Kind::kBarrier: {
+        for (int p = 0; p < procs_; ++p) cut(p, e.pos[p]);
+        std::vector<int32_t> join(procs_, -1);
+        for (int p = 0; p < procs_; ++p) join_into(&join, before_open(p));
+        for (int p = 0; p < procs_; ++p) join_into(&open[p].vc, join);
+        break;
+      }
+      case SyncEvent::Kind::kRelease: {
+        cut(e.a, e.pos[0]);
+        released[e.token].push_back(before_open(e.a));
+        break;
+      }
+      case SyncEvent::Kind::kAcquire: {
+        cut(e.a, e.pos[0]);
+        for (const auto& snap : released[e.token]) join_into(&open[e.a].vc, snap);
+        break;
+      }
+      case SyncEvent::Kind::kEdge: {
+        cut(e.a, e.pos[0]);
+        const std::vector<int32_t> snap = before_open(e.a);
+        cut(e.b, e.pos[1]);
+        join_into(&open[e.b].vc, snap);
+        break;
+      }
+    }
+  }
+
+  // Close the trailing segments. They have no successors, so appending
+  // them last keeps `order_` topological.
+  for (int p = 0; p < procs_; ++p) cut(p, traces.stream(p).records.size());
+}
+
+int SyncGraph::segment_at(int p, size_t rec) const {
+  const auto& starts = starts_[p];
+  const auto it = std::upper_bound(starts.begin(), starts.end(), rec);
+  assert(it != starts.begin() && "record not covered by any segment");
+  return ids_[p][static_cast<size_t>(it - starts.begin()) - 1];
+}
+
+}  // namespace psw

@@ -1,0 +1,74 @@
+// Happens-before structure of a TraceSet.
+//
+// Each processor's reference stream is cut into *segments* at every
+// synchronization event that touches it (global barriers, point-to-point
+// release/acquire positions). Segments are the unit of ordering: records
+// within a segment are ordered only by program order on their own
+// processor, and two records on different processors are ordered iff their
+// segments are, via the vector clocks computed here (one logical clock per
+// processor, FastTrack-style: a segment's clock holds, for every processor
+// q, the highest segment ordinal of q that happens-before it).
+//
+// Building is a single pass over the events in recorded order, which is
+// valid because the tracing executor is serial: stream positions referenced
+// by successive events are monotone per processor, and a release is always
+// recorded before any acquire that reads it. The same pass emits a replay
+// order for the detector — segments listed in a linearisation consistent
+// with happens-before.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace psw {
+
+class SyncGraph {
+ public:
+  explicit SyncGraph(const TraceSet& traces);
+
+  int procs() const { return procs_; }
+  int segments() const { return static_cast<int>(seg_proc_.size()); }
+
+  int segment_proc(int seg) const { return seg_proc_[seg]; }
+  // Ordinal of the segment within its processor's stream.
+  int segment_ordinal(int seg) const { return seg_ordinal_[seg]; }
+  // Record range [begin, end) of proc segment_proc(seg) covered by seg.
+  std::pair<size_t, size_t> segment_range(int seg) const {
+    return {seg_begin_[seg], seg_end_[seg]};
+  }
+
+  // Segment id covering record index `rec` of proc p's stream.
+  int segment_at(int p, size_t rec) const;
+
+  // True when every record of segment a happens-before every record of
+  // segment b. Same-processor segments are ordered by ordinal (program
+  // order); a segment is ordered before itself for the detector's purposes
+  // (same-processor accesses never race).
+  bool ordered(int a, int b) const {
+    if (seg_proc_[a] == seg_proc_[b]) return seg_ordinal_[a] <= seg_ordinal_[b];
+    return seg_ordinal_[a] <= vc_[b][seg_proc_[a]];
+  }
+  bool concurrent(int a, int b) const { return !ordered(a, b) && !ordered(b, a); }
+
+  // All segments, in a topological order of happens-before; replaying
+  // records segment-by-segment in this order keeps the detector's shadow
+  // state (last writer / readers) causally consistent.
+  const std::vector<int>& replay_order() const { return order_; }
+
+ private:
+  int procs_ = 0;
+  std::vector<int> seg_proc_;
+  std::vector<int> seg_ordinal_;
+  std::vector<size_t> seg_begin_, seg_end_;
+  std::vector<std::vector<int32_t>> vc_;  // per segment, indexed by proc
+  std::vector<int> order_;
+  // Per proc: start position and global id of each of its segments,
+  // in stream order (for segment_at).
+  std::vector<std::vector<size_t>> starts_;
+  std::vector<std::vector<int>> ids_;
+};
+
+}  // namespace psw

@@ -86,6 +86,10 @@ class IntermediateImage {
     return next_writable(v, from, hook) >= width_;
   }
 
+  // Base of the skip-link array (one int32 per pixel, scanline-major), for
+  // address-region registration in the trace analyzers.
+  const int32_t* skip_data() const { return skip_.data(); }
+
   // Writable-run query for the segment-batched fast path: first index in
   // [u, limit) whose pixel is opaque, or `limit` if the whole range is
   // writable. Does not follow or compress links (a marked pixel always has

@@ -1,5 +1,8 @@
 #include "memsim/experiment.hpp"
 
+#include <cstdlib>
+#include <stdexcept>
+
 #include "parallel/new_renderer.hpp"
 #include "parallel/old_renderer.hpp"
 
@@ -18,9 +21,61 @@ Camera warmup_camera(const WorkloadOptions& opt, const std::array<int, 3>& dims,
   return Camera::orbit(dims, yaw, opt.pitch);
 }
 
+// Traced frames plus the renderer's address regions, captured while the
+// renderer (and its intermediate image / profile) is still alive.
+struct TracedRun {
+  TraceSet traces;
+  RegionRegistry regions;
+};
+
+TracedRun run_traced(Algo algo, const Dataset& data, int procs,
+                     const WorkloadOptions& opt) {
+  const Camera cam = Camera::orbit(data.dims, opt.yaw, opt.pitch);
+  ImageU8 out;
+  // Two identical frames are traced; the simulator treats the first as
+  // cache/directory warm-up so the second measures steady state, where the
+  // cross-phase and cross-frame sharing behaviour the paper studies is
+  // visible as coherence misses.
+  if (algo == Algo::kOld) {
+    OldParallelRenderer renderer(opt.parallel);
+    SerialExecutor warm(procs);
+    renderer.render(data.volume, cam, warm, &out);
+    TracingExecutor traced(procs);
+    renderer.render(data.volume, cam, traced, &out);
+    renderer.render(data.volume, cam, traced, &out);
+    TracedRun run{std::move(traced.traces()), {}};
+    register_render_regions(&run.regions, data.volume, renderer.intermediate(), out,
+                            nullptr);
+    return run;
+  }
+  NewParallelRenderer renderer(opt.parallel);
+  SerialExecutor warm(procs);
+  for (int frame = 0; frame < std::max(1, opt.warmup_frames); ++frame) {
+    renderer.render(data.volume, warmup_camera(opt, data.dims, frame, opt.warmup_frames),
+                    warm, &out);
+  }
+  TracingExecutor traced(procs);
+  renderer.render(data.volume, cam, traced, &out);
+  renderer.render(data.volume, cam, traced, &out);
+  TracedRun run{std::move(traced.traces()), {}};
+  register_render_regions(&run.regions, data.volume, renderer.intermediate(), out,
+                          &renderer.profile());
+  return run;
+}
+
 }  // namespace
 
 const char* algo_name(Algo a) { return a == Algo::kOld ? "old" : "new"; }
+
+bool default_verify_traces() {
+  // Read once at first use. getenv is not thread-safe against concurrent
+  // setenv, but nothing in this codebase mutates the environment.
+  static const bool enabled = [] {
+    const char* v = std::getenv("PSW_VERIFY_TRACES");  // NOLINT(concurrency-mt-unsafe)
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return enabled;
+}
 
 Dataset make_dataset(const std::string& kind, const std::string& name, int nx, int ny,
                      int nz) {
@@ -50,31 +105,25 @@ DatasetSpec scale_spec(const DatasetSpec& spec, int divisor) {
 
 TraceSet trace_frame(Algo algo, const Dataset& data, int procs,
                      const WorkloadOptions& opt) {
-  const Camera cam = Camera::orbit(data.dims, opt.yaw, opt.pitch);
-  ImageU8 out;
-  // Two identical frames are traced; the simulator treats the first as
-  // cache/directory warm-up so the second measures steady state, where the
-  // cross-phase and cross-frame sharing behaviour the paper studies is
-  // visible as coherence misses.
-  if (algo == Algo::kOld) {
-    OldParallelRenderer renderer(opt.parallel);
-    SerialExecutor warm(procs);
-    renderer.render(data.volume, cam, warm, &out);
-    TracingExecutor traced(procs);
-    renderer.render(data.volume, cam, traced, &out);
-    renderer.render(data.volume, cam, traced, &out);
-    return std::move(traced.traces());
+  TracedRun run = run_traced(algo, data, procs, opt);
+  if (opt.verify_race_free) {
+    RaceCheckOptions ropt;
+    ropt.granularity = opt.race_granularity;
+    const RaceReport report = check_races(run.traces, run.regions, ropt);
+    if (!report.clean()) {
+      throw std::runtime_error(std::string("data race in ") + algo_name(algo) +
+                               " renderer trace (" + data.name + "):\n" +
+                               report.summary(run.traces));
+    }
   }
-  NewParallelRenderer renderer(opt.parallel);
-  SerialExecutor warm(procs);
-  for (int frame = 0; frame < std::max(1, opt.warmup_frames); ++frame) {
-    renderer.render(data.volume, warmup_camera(opt, data.dims, frame, opt.warmup_frames),
-                    warm, &out);
-  }
-  TracingExecutor traced(procs);
-  renderer.render(data.volume, cam, traced, &out);
-  renderer.render(data.volume, cam, traced, &out);
-  return std::move(traced.traces());
+  return std::move(run.traces);
+}
+
+RaceReport check_frame_races(Algo algo, const Dataset& data, int procs,
+                             const WorkloadOptions& opt,
+                             const RaceCheckOptions& ropt) {
+  const TracedRun run = run_traced(algo, data, procs, opt);
+  return check_races(run.traces, run.regions, ropt);
 }
 
 ParallelRenderStats frame_stats(Algo algo, const Dataset& data, int procs,

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/race_check.hpp"
 #include "core/classify.hpp"
 #include "core/rle_volume.hpp"
 #include "memsim/mpsim.hpp"
@@ -15,6 +16,11 @@
 #include "phantom/phantom.hpp"
 
 namespace psw {
+
+// True when the PSW_VERIFY_TRACES environment variable is set (non-empty,
+// not "0"): every trace_frame() call then race-checks the captured streams
+// before handing them to a simulator.
+bool default_verify_traces();
 
 enum class Algo { kOld, kNew };
 const char* algo_name(Algo a);
@@ -43,6 +49,10 @@ struct WorkloadOptions {
   double degrees_per_frame = 2.0;  // animation step during warm-up
   int warmup_frames = 2;           // frames before the traced frame
   ParallelOptions parallel;
+  // Race-check the traced frames before returning them (throws on a race).
+  // Defaults on when PSW_VERIFY_TRACES is set in the environment.
+  bool verify_race_free = default_verify_traces();
+  uint32_t race_granularity = 4;  // shadow-cell bytes for the verification pass
 };
 
 // Traces one steady-state frame at `procs` simulated processors. For the
@@ -55,6 +65,14 @@ TraceSet trace_frame(Algo algo, const Dataset& data, int procs,
 // the traced frame (lock ops, steals, bounds) without capturing a trace.
 ParallelRenderStats frame_stats(Algo algo, const Dataset& data, int procs,
                                 const WorkloadOptions& opt = {});
+
+// Traces the same frame sequence as trace_frame() and race-checks it,
+// returning the report instead of throwing. The renderer's data structures
+// (volume, intermediate/final images, profile) are registered as named
+// regions so findings carry their owning structure.
+RaceReport check_frame_races(Algo algo, const Dataset& data, int procs,
+                             const WorkloadOptions& opt = {},
+                             const RaceCheckOptions& ropt = {});
 
 // Runs the machine model over a trace.
 SimResult simulate(const MachineConfig& machine, const TraceSet& traces,

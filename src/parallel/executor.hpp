@@ -4,6 +4,7 @@
 // simulators observe each processor's reference stream deterministically.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 
@@ -36,8 +37,36 @@ class Executor {
   }
 
   // Phase annotation, forwarded to the trace layer so simulators can place
-  // synchronization interval boundaries.
-  virtual void begin_phase(const char* name) { (void)name; }
+  // synchronization interval boundaries. `barrier` records whether the
+  // boundary is a global barrier (orders everything before it on every
+  // processor before everything after it) or a mere label whose ordering
+  // is carried by point-to-point sync_release/sync_acquire edges instead
+  // (the new renderer's fused composite→warp transition, §5.5.2).
+  virtual void begin_phase(const char* name, bool barrier = true) {
+    (void)name;
+    (void)barrier;
+  }
+
+  // Point-to-point synchronization annotations for the trace layer; no-ops
+  // everywhere else. sync_release(p, t) marks a release point on p's stream
+  // under token t (e.g. retiring a chunk of partition t's scanlines);
+  // sync_acquire(p, t) orders every prior release under t before p's
+  // subsequent references (e.g. the fused warp's neighbour completion
+  // wait). sync_edge is the immediate form: everything `from` has
+  // referenced so far happens-before everything `to` references from now
+  // on. The race detector (src/analyze) consumes these.
+  virtual void sync_release(int proc, uint64_t token) {
+    (void)proc;
+    (void)token;
+  }
+  virtual void sync_acquire(int proc, uint64_t token) {
+    (void)proc;
+    (void)token;
+  }
+  virtual void sync_edge(int from_proc, int to_proc) {
+    (void)from_proc;
+    (void)to_proc;
+  }
 };
 
 // Runs everything on the calling thread, processor by processor.

@@ -117,6 +117,12 @@ ParallelRenderStats NewParallelRenderer::render(const EncodedVolume& volume,
 
   const bool steal = options_.stealing;
   const bool fused = options_.fused_phases && exec.concurrent();
+  // With fused phases requested, the composite→warp transition is ordered
+  // by per-partition completion flags, not a global barrier — annotate the
+  // trace with the matching point-to-point edges (release at every retire,
+  // acquire at the neighbour wait) so the race detector checks the
+  // synchronization actually claimed, not a stronger one.
+  const bool p2p_sync = options_.fused_phases;
   stats.composite_work.assign(P, 0);
   stats.warp_pixels.assign(P, 0);
   std::vector<CompositeStats> comp_stats(P);
@@ -125,7 +131,8 @@ ParallelRenderStats NewParallelRenderer::render(const EncodedVolume& volume,
   out->resize(f.final_width, f.final_height);
   const Affine2D inv = f.warp.inverse();
 
-  auto retire = [&](int owner, int count) {
+  auto retire = [&](int self, int owner, int count) {
+    if (p2p_sync) exec.sync_release(self, static_cast<uint64_t>(owner));
     if (remaining[owner].fetch_sub(count, std::memory_order_acq_rel) == count) {
       done[owner].store(true, std::memory_order_release);
       done[owner].notify_all();
@@ -159,7 +166,7 @@ ParallelRenderStats NewParallelRenderer::render(const EncodedVolume& volume,
       }
     }
     stats.composite_work[p] += chunk_work;
-    retire(r.owner, r.count());
+    retire(p, r.owner, r.count());
     return chunk_work;
   };
 
@@ -167,7 +174,7 @@ ParallelRenderStats NewParallelRenderer::render(const EncodedVolume& volume,
     // Clear the never-composited rows of my partition once per frame.
     intermediate_.clear_rows(bounds[p], std::min(bounds[p + 1], act_lo));
     intermediate_.clear_rows(std::max(bounds[p], act_hi), bounds[p + 1]);
-    retire(p, 1);
+    retire(p, p, 1);
   };
 
   auto composite_body = [&](int p) {
@@ -187,6 +194,13 @@ ParallelRenderStats NewParallelRenderer::render(const EncodedVolume& volume,
       // Point-to-point sync replacing the global barrier (§5.5.2): wait
       // only for the partitions whose scanlines this warp region reads.
       for (int q = std::max(0, p - 1); q <= std::min(P - 1, p + 1); ++q) wait_done(q);
+    }
+    if (p2p_sync) {
+      // Acquire the completion of every chunk retired against the waited
+      // partitions (including chunks other processors stole from them).
+      for (int q = std::max(0, p - 1); q <= std::min(P - 1, p + 1); ++q) {
+        exec.sync_acquire(p, static_cast<uint64_t>(q));
+      }
     }
     WallTimer timer;
     // Final pixels whose inverse-warped v falls in my partition; the
@@ -244,9 +258,12 @@ ParallelRenderStats NewParallelRenderer::render(const EncodedVolume& volume,
     exec.run(warp_body);
   } else {
     // Tracing path: emulate the timing-driven stealing deterministically.
+    // When fused phases are requested the boundary is not a barrier — the
+    // warp's ordering comes from the sync_acquire edges above, so the race
+    // detector verifies the neighbour-wait claim rather than assuming it.
     for (int p = 0; p < P; ++p) clear_inactive_rows(p);
     virtual_time_schedule(queues, P, chunk, steal, process_chunk);
-    exec.begin_phase("warp");
+    exec.begin_phase("warp", /*barrier=*/!p2p_sync);
     exec.run(warp_body);
   }
 

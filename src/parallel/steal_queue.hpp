@@ -2,6 +2,14 @@
 // renderers. The old algorithm seeds each queue with interleaved chunks of
 // scanlines (§3.1); the new algorithm seeds one contiguous partition per
 // processor and steals chunks from the back (§4.4).
+//
+// Memory-ordering audit: every atomic here is memory_order_relaxed on
+// purpose. Queue *contents* are ordered by the per-queue mutex; the atomics
+// fall into two classes that need no ordering of their own:
+//   - approx_remaining: a victim-selection heuristic. A stale read can only
+//     pick a worse victim; correctness is restored by the locked rescan.
+//   - lock_ops_ / steals_: statistics, read after the parallel region has
+//     joined (the executor's run() return is a barrier).
 #pragma once
 
 #include <atomic>
@@ -35,6 +43,7 @@ class StealQueues {
     if (range.empty()) return;
     std::lock_guard<std::mutex> lock(queues_[p].mutex);
     queues_[p].ranges.push_back(range);
+    // relaxed: heuristic counter, mutated under the queue mutex anyway.
     queues_[p].approx_remaining.fetch_add(range.count(), std::memory_order_relaxed);
   }
 
@@ -42,12 +51,13 @@ class StealQueues {
   bool pop_own(int p, int chunk, ScanlineRange* out) {
     Queue& q = queues_[p];
     std::lock_guard<std::mutex> lock(q.mutex);
-    lock_ops_.fetch_add(1, std::memory_order_relaxed);
+    lock_ops_.fetch_add(1, std::memory_order_relaxed);  // relaxed: statistic
     if (q.ranges.empty()) return false;
     ScanlineRange& front = q.ranges.front();
     *out = {front.lo, std::min(front.hi, front.lo + chunk), front.owner};
     front.lo = out->hi;
     if (front.empty()) q.ranges.pop_front();
+    // relaxed: heuristic counter, mutated under the queue mutex anyway.
     q.approx_remaining.fetch_sub(out->count(), std::memory_order_relaxed);
     return true;
   }
@@ -56,8 +66,9 @@ class StealQueues {
   // queue. Returns false when every queue is empty.
   bool steal(int thief, int chunk, ScanlineRange* out) {
     const int n = procs();
-    // Pick the victim with the most remaining work (racy read is fine; it
-    // is only a heuristic).
+    // Pick the victim with the most remaining work. relaxed: racy read is
+    // fine — a stale value only picks a worse victim, and the locked rescan
+    // below recovers when the chosen one turns out empty.
     int victim = -1, best = 0;
     for (int i = 0; i < n; ++i) {
       if (i == thief) continue;
@@ -72,27 +83,28 @@ class StealQueues {
       for (int d = 1; d < n; ++d) {
         const int i = (thief + d) % n;
         if (try_steal_from(i, chunk, out)) {
-          steals_.fetch_add(1, std::memory_order_relaxed);
+          steals_.fetch_add(1, std::memory_order_relaxed);  // relaxed: statistic
           return true;
         }
       }
       return false;
     }
     if (try_steal_from(victim, chunk, out)) {
-      steals_.fetch_add(1, std::memory_order_relaxed);
+      steals_.fetch_add(1, std::memory_order_relaxed);  // relaxed: statistic
       return true;
     }
     // Victim raced to empty; rescan everyone once.
     for (int d = 1; d < n; ++d) {
       const int i = (thief + d) % n;
       if (try_steal_from(i, chunk, out)) {
-        steals_.fetch_add(1, std::memory_order_relaxed);
+        steals_.fetch_add(1, std::memory_order_relaxed);  // relaxed: statistic
         return true;
       }
     }
     return false;
   }
 
+  // relaxed: statistics, only read after the parallel region has joined.
   uint64_t lock_ops() const { return lock_ops_.load(std::memory_order_relaxed); }
   uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
 
@@ -106,12 +118,13 @@ class StealQueues {
   bool try_steal_from(int victim, int chunk, ScanlineRange* out) {
     Queue& q = queues_[victim];
     std::lock_guard<std::mutex> lock(q.mutex);
-    lock_ops_.fetch_add(1, std::memory_order_relaxed);
+    lock_ops_.fetch_add(1, std::memory_order_relaxed);  // relaxed: statistic
     if (q.ranges.empty()) return false;
     ScanlineRange& back = q.ranges.back();
     *out = {std::max(back.lo, back.hi - chunk), back.hi, back.owner};
     back.hi = out->lo;
     if (back.empty()) q.ranges.pop_back();
+    // relaxed: heuristic counter, mutated under the queue mutex anyway.
     q.approx_remaining.fetch_sub(out->count(), std::memory_order_relaxed);
     return true;
   }

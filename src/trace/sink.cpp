@@ -1,14 +1,53 @@
 #include "trace/sink.hpp"
 
+#include <algorithm>
+
 namespace psw {
 
 TraceSet::TraceSet(int procs) : streams_(procs), hooks_(procs) {
   for (int p = 0; p < procs; ++p) hooks_[p].bind(this, p);
 }
 
-void TraceSet::begin_interval(const std::string& name) {
+void TraceSet::begin_interval(const std::string& name, bool barrier) {
   interval_names_.push_back(name);
   for (auto& s : streams_) s.interval_start.push_back(s.records.size());
+  if (barrier) sync_barrier();
+}
+
+void TraceSet::sync_barrier() {
+  SyncEvent e;
+  e.kind = SyncEvent::Kind::kBarrier;
+  e.pos.reserve(streams_.size());
+  for (const auto& s : streams_) e.pos.push_back(s.records.size());
+  sync_events_.push_back(std::move(e));
+}
+
+void TraceSet::sync_release(int proc, uint64_t token) {
+  SyncEvent e;
+  e.kind = SyncEvent::Kind::kRelease;
+  e.a = proc;
+  e.token = token;
+  e.pos.push_back(streams_[proc].records.size());
+  sync_events_.push_back(std::move(e));
+}
+
+void TraceSet::sync_acquire(int proc, uint64_t token) {
+  SyncEvent e;
+  e.kind = SyncEvent::Kind::kAcquire;
+  e.a = proc;
+  e.token = token;
+  e.pos.push_back(streams_[proc].records.size());
+  sync_events_.push_back(std::move(e));
+}
+
+void TraceSet::sync_edge(int from_proc, int to_proc) {
+  SyncEvent e;
+  e.kind = SyncEvent::Kind::kEdge;
+  e.a = from_proc;
+  e.b = to_proc;
+  e.pos.push_back(streams_[from_proc].records.size());
+  e.pos.push_back(streams_[to_proc].records.size());
+  sync_events_.push_back(std::move(e));
 }
 
 size_t TraceSet::total_records() const {
@@ -24,6 +63,12 @@ std::pair<size_t, size_t> TraceSet::interval_range(int p, int i) const {
                          ? s.interval_start[i + 1]
                          : s.records.size();
   return {begin, end};
+}
+
+int TraceSet::interval_of(int p, size_t rec) const {
+  const auto& starts = streams_[p].interval_start;
+  const auto it = std::upper_bound(starts.begin(), starts.end(), rec);
+  return static_cast<int>(it - starts.begin()) - 1;
 }
 
 }  // namespace psw

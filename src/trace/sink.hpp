@@ -4,8 +4,16 @@
 // stream per simulated processor, with synchronization-interval markers at
 // phase boundaries. This substitutes for the paper's Tango-Lite reference
 // generator (§3.2): data references only, no instruction fetches.
+//
+// Beyond the interval markers the set also records synchronization
+// *structure*: global barriers (interval boundaries, executor run()
+// returns) and point-to-point release/acquire pairs (the new renderer's
+// neighbour completion waits, §5.5.2). The race detector in src/analyze
+// rebuilds the happens-before relation from these events; the machine
+// simulators ignore them.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -15,17 +23,25 @@
 
 namespace psw {
 
-// One packed record: addr << 6 | size << 1 | is_write. Sizes are <= 32
-// bytes in practice (Rgba pixels are 16).
+// One packed record: addr << 11 | size << 1 | is_write. The size field is
+// 10 bits (up to 1023 bytes per access; the kernels' largest access is a
+// 16-byte Rgba pixel), leaving 53 address bits — enough for user-space
+// virtual addresses on x86-64 and AArch64.
 class TraceRecord {
  public:
+  static constexpr uint32_t kSizeBits = 10;
+  static constexpr uint32_t kMaxSize = (1u << kSizeBits) - 1;
+
   TraceRecord() = default;
   TraceRecord(uint64_t addr, uint32_t size, bool write)
-      : bits_((addr << 6) | (static_cast<uint64_t>(size & 31u) << 1) |
-              (write ? 1u : 0u)) {}
+      : bits_((addr << (kSizeBits + 1)) |
+              (static_cast<uint64_t>(size & kMaxSize) << 1) | (write ? 1u : 0u)) {
+    assert(size <= kMaxSize && "access wider than the TraceRecord size field");
+    assert(addr < (uint64_t{1} << (63 - kSizeBits)) && "address overflows the record");
+  }
 
-  uint64_t addr() const { return bits_ >> 6; }
-  uint32_t size() const { return static_cast<uint32_t>((bits_ >> 1) & 31u); }
+  uint64_t addr() const { return bits_ >> (kSizeBits + 1); }
+  uint32_t size() const { return static_cast<uint32_t>((bits_ >> 1) & kMaxSize); }
   bool is_write() const { return bits_ & 1u; }
 
  private:
@@ -41,6 +57,24 @@ struct TraceStream {
   std::vector<size_t> interval_start;
 };
 
+// One synchronization event, recorded in program order. Positions are
+// stream record counts at the time of the event, so an event splits each
+// referenced stream into a before and an after part.
+struct SyncEvent {
+  enum class Kind : uint8_t {
+    kBarrier,  // global: pos holds one position per processor
+    kRelease,  // proc a releases under `token` at pos[0]
+    kAcquire,  // proc a acquires every prior release under `token` at pos[0]
+    kEdge,     // direct edge: records of a before pos[0] precede records of
+               // b from pos[1] on
+  };
+  Kind kind = Kind::kBarrier;
+  int a = -1;
+  int b = -1;
+  uint64_t token = 0;
+  std::vector<size_t> pos;
+};
+
 class TraceSet {
  public:
   explicit TraceSet(int procs);
@@ -50,15 +84,29 @@ class TraceSet {
   int intervals() const { return static_cast<int>(interval_names_.size()); }
   const std::string& interval_name(int i) const { return interval_names_[i]; }
 
-  // Records boundaries in every stream simultaneously (phases are global
-  // barriers in the traced renderers).
-  void begin_interval(const std::string& name);
+  // Records boundaries in every stream simultaneously (phases are global in
+  // the traced renderers). A `barrier` boundary carries ordering: all
+  // records before it, on every processor, happen-before all records after
+  // it. A non-barrier boundary only labels the interval (the new
+  // renderer's fused composite→warp transition, whose ordering comes from
+  // point-to-point edges instead).
+  void begin_interval(const std::string& name, bool barrier = true);
+
+  // Synchronization annotations (see SyncEvent).
+  void sync_barrier();
+  void sync_release(int proc, uint64_t token);
+  void sync_acquire(int proc, uint64_t token);
+  void sync_edge(int from_proc, int to_proc);
+  const std::vector<SyncEvent>& sync_events() const { return sync_events_; }
 
   MemoryHook* hook(int p) { return &hooks_[p]; }
 
   size_t total_records() const;
   // Records of proc p in interval i as [begin, end) indices.
   std::pair<size_t, size_t> interval_range(int p, int i) const;
+  // Interval containing record index `rec` of proc p (-1 before the first
+  // boundary).
+  int interval_of(int p, size_t rec) const;
 
  private:
   class ProcHook : public MemoryHook {
@@ -80,10 +128,11 @@ class TraceSet {
   std::vector<TraceStream> streams_;
   std::vector<ProcHook> hooks_;
   std::vector<std::string> interval_names_;
+  std::vector<SyncEvent> sync_events_;
 };
 
 // Serial executor that wires each simulated processor's hook to a TraceSet
-// and forwards phase annotations as interval boundaries.
+// and forwards phase and synchronization annotations into the streams.
 class TracingExecutor : public Executor {
  public:
   explicit TracingExecutor(int procs) : procs_(procs), traces_(procs) {}
@@ -92,9 +141,23 @@ class TracingExecutor : public Executor {
   bool concurrent() const override { return false; }
   void run(const std::function<void(int)>& body) override {
     for (int p = 0; p < procs_; ++p) body(p);
+    // run() returning is a global barrier on a threaded executor; record it
+    // so the happens-before graph matches the claimed concurrent schedule.
+    traces_.sync_barrier();
   }
   MemoryHook* hook(int p) override { return traces_.hook(p); }
-  void begin_phase(const char* name) override { traces_.begin_interval(name); }
+  void begin_phase(const char* name, bool barrier = true) override {
+    traces_.begin_interval(name, barrier);
+  }
+  void sync_release(int proc, uint64_t token) override {
+    traces_.sync_release(proc, token);
+  }
+  void sync_acquire(int proc, uint64_t token) override {
+    traces_.sync_acquire(proc, token);
+  }
+  void sync_edge(int from_proc, int to_proc) override {
+    traces_.sync_edge(from_proc, to_proc);
+  }
 
   TraceSet& traces() { return traces_; }
   const TraceSet& traces() const { return traces_; }

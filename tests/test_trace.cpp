@@ -19,6 +19,36 @@ TEST(TraceRecord, PacksAndUnpacks) {
   EXPECT_EQ(r2.size(), 4u);
 }
 
+// Regression: the size field is 10 bits; accesses of 32+ bytes used to wrap
+// modulo 32 through a 5-bit field, silently corrupting traced sizes.
+TEST(TraceRecord, WideAccessesDoNotTruncate) {
+  const TraceRecord r32(0x2000, 32, true);
+  EXPECT_EQ(r32.size(), 32u);
+  const TraceRecord r512(0x3000, 512, false);
+  EXPECT_EQ(r512.size(), 512u);
+  const TraceRecord rmax(0x7ffffffff000ULL, TraceRecord::kMaxSize, true);
+  EXPECT_EQ(rmax.size(), TraceRecord::kMaxSize);
+  EXPECT_EQ(rmax.addr(), 0x7ffffffff000ULL);
+  EXPECT_TRUE(rmax.is_write());
+}
+
+TEST(TraceSet, RecordsSyncEvents) {
+  TraceSet set(2);
+  set.begin_interval("a");  // barrier boundary
+  int x = 0;
+  set.hook(0)->access(&x, 4, true);
+  set.begin_interval("b", /*barrier=*/false);  // label only
+  set.sync_release(0, 3);
+  set.sync_acquire(1, 3);
+  ASSERT_EQ(set.sync_events().size(), 3u);
+  EXPECT_EQ(set.sync_events()[0].kind, SyncEvent::Kind::kBarrier);
+  EXPECT_EQ(set.sync_events()[1].kind, SyncEvent::Kind::kRelease);
+  EXPECT_EQ(set.sync_events()[1].a, 0);
+  EXPECT_EQ(set.sync_events()[1].pos[0], 1u);
+  EXPECT_EQ(set.sync_events()[2].kind, SyncEvent::Kind::kAcquire);
+  EXPECT_EQ(set.intervals(), 2);  // the non-barrier boundary still labels
+}
+
 TEST(TraceSet, HooksRecordPerProcessor) {
   TraceSet set(3);
   set.begin_interval("a");

@@ -15,7 +15,7 @@ namespace psw {
 namespace {
 
 int run(int argc, char** argv) {
-  bench::Context ctx(argc, argv);
+  bench::Context ctx(argc, argv, {"p"});
   bench::header("Ablations", "partitioning design choices",
                 "profiled-contiguous beats uniform-contiguous on balance; "
                 "chunked stealing slashes lock traffic vs per-scanline "

@@ -21,7 +21,14 @@ namespace psw::bench {
 
 class Context {
  public:
-  Context(int argc, char** argv) : flags_(argc, argv) {
+  // `extra_flags`: flags the binary reads beyond the shared --scale/--procs;
+  // anything else on the command line is a hard error (typos must not
+  // silently fall back to defaults).
+  Context(int argc, char** argv, std::vector<std::string> extra_flags = {})
+      : flags_(argc, argv) {
+    extra_flags.push_back("scale");
+    extra_flags.push_back("procs");
+    flags_.require_known(extra_flags);
     const std::string scale = flags_.get("scale", "half");
     divisor_ = scale == "full" ? 1 : (scale == "quarter" ? 4 : 2);
     const std::string procs = flags_.get("procs", "1,2,4,8,16,32");

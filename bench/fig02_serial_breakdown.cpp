@@ -9,7 +9,7 @@ namespace psw {
 namespace {
 
 int run(int argc, char** argv) {
-  bench::Context ctx(argc, argv);
+  bench::Context ctx(argc, argv, {"frames"});
   bench::header("Figure 2", "serial time breakdown, ray caster vs shear warper",
                 "the ray caster's time is dominated by looping/traversal; the "
                 "shear warper is ~4-7x faster overall and compositing-dominated");

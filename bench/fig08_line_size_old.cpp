@@ -6,7 +6,7 @@ namespace psw {
 namespace {
 
 int run(int argc, char** argv) {
-  bench::Context ctx(argc, argv);
+  bench::Context ctx(argc, argv, {"p"});
   bench::header("Figure 8", "old-algorithm miss breakdown vs line size (32 procs)",
                 "miss rates (cold, capacity and true-sharing) drop quickly as "
                 "lines grow to 256B — the parallel program keeps the serial "

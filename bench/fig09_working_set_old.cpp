@@ -9,7 +9,7 @@ namespace psw {
 namespace {
 
 int run(int argc, char** argv) {
-  bench::Context ctx(argc, argv);
+  bench::Context ctx(argc, argv, {"p"});
   bench::header("Figure 9", "old-algorithm miss rate vs cache size (32 procs)",
                 "a knee at a cache size that grows roughly with n^2 of the "
                 "volume; past the knee the curve flattens at the sharing floor");

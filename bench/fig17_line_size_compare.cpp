@@ -6,7 +6,7 @@ namespace psw {
 namespace {
 
 int run(int argc, char** argv) {
-  bench::Context ctx(argc, argv);
+  bench::Context ctx(argc, argv, {"p"});
   bench::header("Figure 17", "miss rate vs line size, old vs new (32 procs)",
                 "the new algorithm benefits even more from longer cache lines "
                 "because each processor works on more contiguous scanlines of "

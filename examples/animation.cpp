@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace psw;
   const CliFlags flags(argc, argv);
+  flags.require_known({"size", "threads", "frames", "step", "save-every"});
   const int n = flags.get_int("size", 128);
   const int threads = flags.get_int("threads", 4);
   const int save_every = flags.get_int("save-every", 0);

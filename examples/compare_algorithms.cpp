@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace psw;
   const CliFlags flags(argc, argv);
+  flags.require_known({"size", "threads", "procs"});
   const int n = flags.get_int("size", 96);
   const int threads = flags.get_int("threads", 8);
   const int sim_procs = flags.get_int("procs", 16);

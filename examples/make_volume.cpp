@@ -23,6 +23,7 @@ bool parse_dims(const std::string& s, int* x, int* y, int* z) {
 int main(int argc, char** argv) {
   using namespace psw;
   const CliFlags flags(argc, argv);
+  flags.require_known({"out", "in", "raw-dims", "size", "kind", "seed", "resample"});
   const std::string out_path = flags.get("out", "volume.vol");
 
   DensityVolume volume;

@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace psw;
   const CliFlags flags(argc, argv);
+  flags.require_known({"algo", "size", "procs", "sweep"});
   const Algo algo = flags.get("algo", "new") == "old" ? Algo::kOld : Algo::kNew;
   const int n = flags.get_int("size", 96);
   const int procs = flags.get_int("procs", 16);

@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace psw;
   const CliFlags flags(argc, argv);
+  flags.require_known({"size", "yaw", "pitch", "out"});
   const int n = flags.get_int("size", 128);
   const double yaw = flags.get_double("yaw", 0.6);
   const double pitch = flags.get_double("pitch", 0.3);

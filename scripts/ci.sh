@@ -29,10 +29,11 @@ echo "==> TSan build + threading tests"
 cmake -B "$out/tsan" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPSW_WERROR=ON -DPSW_SANITIZE=thread
 cmake --build "$out/tsan" -j "$jobs" \
-  --target test_parallel_infra test_parallel_renderers test_fastpath
+  --target test_parallel_infra test_parallel_renderers test_fastpath test_serve loadgen
 "$out/tsan/tests/test_parallel_infra"
 "$out/tsan/tests/test_parallel_renderers"
 "$out/tsan/tests/test_fastpath"
+"$out/tsan/tests/test_serve"
 
 echo "==> clang-tidy"
 "$root/scripts/lint.sh" "$out/lint"
@@ -44,5 +45,14 @@ echo "==> Kernel benchmark smoke run (JSON report)"
 (cd "$out/release/bench" && ./kernels --json "$out/BENCH_kernels.json" \
   --benchmark_min_time=0.01s >/dev/null)
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/BENCH_kernels.json"
+
+echo "==> Frame-serving smoke run (loadgen, small volume, 2 sessions)"
+"$out/release/tools/loadgen" --sessions=2 --threads=2 --frames=6 --size=32 \
+  --volumes=2 --json="$out/BENCH_serve.json"
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+assert d['results']['failed'] == 0, d" "$out/BENCH_serve.json"
+# Same shape under TSan to exercise the queue/cache/scheduler concurrency.
+"$out/tsan/tools/loadgen" --sessions=2 --threads=2 --frames=4 --size=24 \
+  --volumes=2 --json=
 
 echo "CI OK"

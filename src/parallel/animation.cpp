@@ -8,7 +8,10 @@ AnimationSummary run_animation(
     const AnimationPath& path,
     const std::function<ParallelRenderStats(int frame, const Camera&)>& render_frame) {
   AnimationSummary summary;
-  summary.frames = path.frames;
+  // A zero- (or negative-) frame path yields the well-defined empty summary:
+  // all counters zero, no division by the frame count below.
+  summary.frames = std::max(0, path.frames);
+  if (summary.frames == 0) return summary;
   for (int frame = 0; frame < path.frames; ++frame) {
     const ParallelRenderStats stats = render_frame(frame, path.camera(frame));
     summary.total_ms += stats.total_ms;
@@ -17,12 +20,10 @@ AnimationSummary run_animation(
     summary.total_steals += stats.steals;
     summary.mean_imbalance += stats.work_imbalance();
   }
-  if (path.frames > 0) {
-    summary.mean_frame_ms = summary.total_ms / path.frames;
-    summary.mean_imbalance /= path.frames;
-    if (summary.total_ms > 0) {
-      summary.frames_per_second = 1e3 * path.frames / summary.total_ms;
-    }
+  summary.mean_frame_ms = summary.total_ms / summary.frames;
+  summary.mean_imbalance /= summary.frames;
+  if (summary.total_ms > 0) {
+    summary.frames_per_second = 1e3 * summary.frames / summary.total_ms;
   }
   return summary;
 }

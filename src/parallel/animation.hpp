@@ -43,7 +43,9 @@ struct AnimationSummary {
 };
 
 // Runs `render_frame(frame)` over the path and aggregates timing. The
-// callback returns the frame's ParallelRenderStats.
+// callback returns the frame's ParallelRenderStats. A path with zero (or
+// negative) frames never invokes the callback and returns the all-zero
+// empty summary.
 AnimationSummary run_animation(
     const AnimationPath& path,
     const std::function<ParallelRenderStats(int frame, const Camera&)>& render_frame);

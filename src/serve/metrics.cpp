@@ -1,0 +1,88 @@
+#include "serve/metrics.hpp"
+
+#include "util/json.hpp"
+
+namespace psw::serve {
+
+const char* to_string(ServeStatus s) {
+  switch (s) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kQueueFull: return "queue-full";
+    case ServeStatus::kDeadlineMissed: return "deadline-missed";
+    case ServeStatus::kShutdown: return "shutdown";
+    case ServeStatus::kError: return "error";
+  }
+  return "?";
+}
+
+void ServiceMetrics::note_queue_depth(int64_t depth) {
+  int64_t prev = queue_depth_max.load(std::memory_order_relaxed);
+  while (depth > prev && !queue_depth_max.compare_exchange_weak(
+                             prev, depth, std::memory_order_relaxed)) {
+  }
+}
+
+bool ServiceMetrics::reconciles() const {
+  const uint64_t sub = submitted.load();
+  const uint64_t acc = accepted.load();
+  const uint64_t rej = rejected_queue_full.load() + rejected_deadline.load() +
+                       rejected_shutdown.load();
+  const uint64_t done = completed.load() + shed_deadline.load() + shed_shutdown.load() +
+                        failed.load();
+  return sub == acc + rej && acc == done && queue_depth.load() == 0;
+}
+
+std::string ServiceMetrics::to_json(const CacheStats& cache) const {
+  JsonWriter w;
+  write_json(w, cache);
+  return w.str();
+}
+
+void ServiceMetrics::write_json(JsonWriter& w, const CacheStats& cache) const {
+  w.begin_object();
+  w.key("admission").begin_object()
+      .field("submitted", submitted.load())
+      .field("accepted", accepted.load())
+      .field("rejected_queue_full", rejected_queue_full.load())
+      .field("rejected_deadline", rejected_deadline.load())
+      .field("rejected_shutdown", rejected_shutdown.load())
+      .end_object();
+  w.key("completion").begin_object()
+      .field("completed", completed.load())
+      .field("shed_deadline", shed_deadline.load())
+      .field("shed_shutdown", shed_shutdown.load())
+      .field("failed", failed.load())
+      .end_object();
+  w.key("scheduler").begin_object()
+      .field("batches", batches.load())
+      .field("batched_frames", batched_frames.load())
+      .field("profiled_frames", profiled_frames.load())
+      .field("sessions_created", sessions_created.load())
+      .field("sessions_evicted", sessions_evicted.load())
+      .field("queue_depth", static_cast<int64_t>(queue_depth.load()))
+      .field("queue_depth_max", static_cast<int64_t>(queue_depth_max.load()))
+      .end_object();
+  w.key("latency_ms").begin_object();
+  w.key("queue_wait");
+  queue_wait.write_json(w);
+  w.key("classify_build");
+  classify.write_json(w);
+  w.key("composite");
+  composite.write_json(w);
+  w.key("warp");
+  warp.write_json(w);
+  w.key("total");
+  total.write_json(w);
+  w.end_object();
+  w.key("volume_cache").begin_object()
+      .field("hits", cache.hits)
+      .field("misses", cache.misses)
+      .field("evictions", cache.evictions)
+      .field("resident_bytes", cache.bytes)
+      .field("budget_bytes", cache.budget_bytes)
+      .field("hit_rate", cache.hit_rate())
+      .end_object();
+  w.end_object();
+}
+
+}  // namespace psw::serve

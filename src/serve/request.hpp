@@ -1,0 +1,89 @@
+// Request/response types of the frame-serving subsystem. A RenderRequest
+// names a session, the volume it is watching (by cache key, not by pointer
+// — classified state is shared through the VolumeCache) and a camera for
+// one frame; the service answers with a FrameResult carrying the frame and
+// its per-stage latency breakdown.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+
+#include "core/classify.hpp"
+#include "core/factorization.hpp"
+#include "util/image.hpp"
+
+namespace psw::serve {
+
+using Clock = std::chrono::steady_clock;
+
+// Typed admission/completion outcome. Degradation under load is explicit:
+// a full queue or an expired deadline rejects/sheds with one of these
+// instead of stalling the submitter (§ DESIGN "Frame-serving subsystem").
+enum class ServeStatus {
+  kOk = 0,
+  kQueueFull,       // rejected at admission: bounded queue at capacity
+  kDeadlineMissed,  // rejected at admission or shed at dispatch: deadline past
+  kShutdown,        // shed: service stopped before the request was scheduled
+  kError,           // processing failed (e.g. the volume builder threw)
+};
+
+const char* to_string(ServeStatus s);
+
+// Identifies one classified+encoded volume in the cache: phantom kind and
+// dimensions, transfer-function preset, and the full classification options
+// (shading and alpha threshold change the encoded runs, so they are part of
+// identity).
+struct VolumeKey {
+  std::string kind = "mri";  // "mri" | "ct" (default phantom builder)
+  int nx = 64, ny = 64, nz = 64;
+  int tf_preset = 0;  // 0 = mri_preset, 1 = ct_preset
+  ClassifyOptions classify;
+  uint64_t seed = 0;  // 0 = the phantom generator's default seed
+
+  // Canonical string form: exact (floats rendered with full precision),
+  // used as the cache map key and in telemetry.
+  std::string canonical() const;
+};
+
+struct RenderRequest {
+  uint64_t session_id = 0;
+  VolumeKey volume;
+  Camera camera;
+  // Latest acceptable dispatch time; default (epoch) means "no deadline".
+  Clock::time_point deadline{};
+
+  bool has_deadline() const { return deadline != Clock::time_point{}; }
+};
+
+// Per-frame latency breakdown recorded by the scheduler.
+struct FrameTiming {
+  double queue_wait_ms = 0.0;  // submit -> dispatch
+  double classify_ms = 0.0;    // volume build on a cache miss (0 on a hit)
+  double composite_ms = 0.0;
+  double warp_ms = 0.0;
+  double total_ms = 0.0;  // submit -> completion
+  bool cache_hit = false;
+  bool profiled = false;  // the renderer re-profiled on this frame (§4.2)
+};
+
+struct FrameResult {
+  ServeStatus status = ServeStatus::kOk;
+  ImageU8 image;  // empty unless status == kOk
+  FrameTiming timing;
+  uint64_t frame_seq = 0;  // service-wide completion sequence number
+};
+
+// submit()'s answer. When `admission` is not kOk the request was rejected
+// synchronously and `result` is invalid; otherwise `result` resolves to a
+// FrameResult whose own status may still be kDeadlineMissed/kShutdown if
+// the request was shed before dispatch.
+struct Ticket {
+  ServeStatus admission = ServeStatus::kOk;
+  std::future<FrameResult> result;
+
+  bool accepted() const { return admission == ServeStatus::kOk; }
+};
+
+}  // namespace psw::serve

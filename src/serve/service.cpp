@@ -1,0 +1,205 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace psw::serve {
+
+namespace {
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+}  // namespace
+
+RenderService::RenderService(ServiceOptions options, VolumeCache::Builder builder)
+    : options_(options),
+      cache_(options.cache_bytes, options.cache_shards, std::move(builder)),
+      sessions_(options.max_sessions, options.parallel),
+      exec_(std::max(1, options.worker_threads)) {
+  options_.worker_threads = exec_.procs();
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+RenderService::~RenderService() { stop(); }
+
+Ticket RenderService::submit(RenderRequest request) {
+  Ticket ticket;
+  metrics_.submitted.fetch_add(1);
+  const Clock::time_point now = Clock::now();
+  if (request.has_deadline() && now > request.deadline) {
+    metrics_.rejected_deadline.fetch_add(1);
+    ticket.admission = ServeStatus::kDeadlineMissed;
+    return ticket;
+  }
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueued = now;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      metrics_.rejected_shutdown.fetch_add(1);
+      ticket.admission = ServeStatus::kShutdown;
+      return ticket;
+    }
+    if (total_queued_ >= options_.queue_capacity) {
+      metrics_.rejected_queue_full.fetch_add(1);
+      ticket.admission = ServeStatus::kQueueFull;
+      return ticket;
+    }
+    ticket.result = pending.promise.get_future();
+    auto& q = queues_[pending.request.session_id];
+    if (q.empty()) rotation_.push_back(pending.request.session_id);
+    q.push_back(std::move(pending));
+    ++total_queued_;
+    metrics_.accepted.fetch_add(1);
+    metrics_.queue_depth.fetch_add(1);
+    metrics_.note_queue_depth(total_queued_);
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+void RenderService::shed(Pending& p, ServeStatus status) {
+  if (status == ServeStatus::kDeadlineMissed) {
+    metrics_.shed_deadline.fetch_add(1);
+  } else {
+    metrics_.shed_shutdown.fetch_add(1);
+  }
+  FrameResult result;
+  result.status = status;
+  result.timing.queue_wait_ms = ms_between(p.enqueued, Clock::now());
+  p.promise.set_value(std::move(result));
+}
+
+void RenderService::process(Pending& p) {
+  const Clock::time_point dispatched = Clock::now();
+  if (p.request.has_deadline() && dispatched > p.request.deadline) {
+    shed(p, ServeStatus::kDeadlineMissed);
+    return;
+  }
+  try {
+    render_one(p, dispatched);
+  } catch (...) {
+    // The scheduler thread must survive a failing request (a throwing
+    // builder, allocation failure): answer with the typed error.
+    metrics_.failed.fetch_add(1);
+    FrameResult result;
+    result.status = ServeStatus::kError;
+    result.timing.queue_wait_ms = ms_between(p.enqueued, dispatched);
+    p.promise.set_value(std::move(result));
+  }
+}
+
+void RenderService::render_one(Pending& p, Clock::time_point dispatched) {
+  FrameResult result;
+  result.timing.queue_wait_ms = ms_between(p.enqueued, dispatched);
+  metrics_.queue_wait.record_ms(result.timing.queue_wait_ms);
+
+  SessionState& session = sessions_.acquire(p.request.session_id);
+  metrics_.sessions_created.store(sessions_.created());
+  metrics_.sessions_evicted.store(sessions_.evicted());
+
+  // Consult the cache every frame: the LRU must see which volumes are live,
+  // and the hit/miss counters then measure per-frame sharing, not just
+  // first-touch binding.
+  double build_ms = 0.0;
+  const std::string canonical = p.request.volume.canonical();
+  std::shared_ptr<const EncodedVolume> volume = cache_.get(p.request.volume, &build_ms);
+  result.timing.cache_hit = build_ms == 0.0;
+  result.timing.classify_ms = build_ms;
+  if (build_ms > 0.0) metrics_.classify.record_ms(build_ms);
+  if (session.volume_key != canonical) {
+    // New volume for this session: the old profile describes a different
+    // dataset (or transfer function), so partition prediction restarts.
+    session.renderer.reset();
+    session.volume_key = canonical;
+  }
+  session.volume = std::move(volume);
+
+  const ParallelRenderStats stats =
+      session.renderer.render(*session.volume, p.request.camera, exec_, &result.image);
+  ++session.frames_rendered;
+
+  result.timing.composite_ms = stats.composite_ms;
+  result.timing.warp_ms = stats.warp_ms;
+  result.timing.profiled = stats.profiled;
+  result.timing.total_ms = ms_between(p.enqueued, Clock::now());
+  metrics_.composite.record_ms(stats.composite_ms);
+  metrics_.warp.record_ms(stats.warp_ms);
+  metrics_.total.record_ms(result.timing.total_ms);
+  if (stats.profiled) metrics_.profiled_frames.fetch_add(1);
+  result.status = ServeStatus::kOk;
+  result.frame_seq = metrics_.completed.fetch_add(1) + 1;
+  p.promise.set_value(std::move(result));
+}
+
+void RenderService::scheduler_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || total_queued_ > 0; });
+      if (stopping_) {
+        // Shed everything still queued with the typed shutdown status.
+        for (auto& [sid, q] : queues_) {
+          for (Pending& p : q) shed(p, ServeStatus::kShutdown);
+          metrics_.queue_depth.fetch_sub(static_cast<int64_t>(q.size()));
+          total_queued_ -= static_cast<int64_t>(q.size());
+        }
+        queues_.clear();
+        rotation_.clear();
+        drain_cv_.notify_all();
+        return;
+      }
+      // Round-robin: serve the session at the head of the rotation, taking
+      // up to batch_max of its consecutive frames so its renderer's profile
+      // carries across them, then move it to the back.
+      const uint64_t sid = rotation_.front();
+      rotation_.pop_front();
+      auto it = queues_.find(sid);
+      auto& q = it->second;
+      const int take =
+          std::min<int>(std::max(1, options_.batch_max), static_cast<int>(q.size()));
+      batch.reserve(static_cast<size_t>(take));
+      for (int i = 0; i < take; ++i) {
+        batch.push_back(std::move(q.front()));
+        q.pop_front();
+      }
+      if (q.empty()) {
+        queues_.erase(it);
+      } else {
+        rotation_.push_back(sid);
+      }
+      total_queued_ -= take;
+      in_flight_ = take;
+      metrics_.queue_depth.fetch_sub(take);
+    }
+    metrics_.batches.fetch_add(1);
+    metrics_.batched_frames.fetch_add(batch.size() - 1);
+    for (Pending& p : batch) process(p);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_ = 0;
+      if (total_queued_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+void RenderService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [this] { return total_queued_ == 0 && in_flight_ == 0; });
+}
+
+void RenderService::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+}  // namespace psw::serve

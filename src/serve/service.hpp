@@ -1,0 +1,98 @@
+// RenderService: the multi-session frame-serving subsystem. Sits above the
+// existing renderers and thread pool and accepts concurrent RenderRequests
+// through a bounded multi-producer queue with admission control (typed
+// reject when full, typed shed when a deadline has already passed — the
+// service degrades by dropping frames, never by stalling submitters). A
+// scheduler thread drains the queue onto one shared ThreadedExecutor,
+// batching consecutive same-session frames so each session's
+// NewParallelRenderer reuses its §4.2 partition profile exactly as in the
+// single-animation case, and round-robins sessions between batches for
+// fairness. Classified RLE volumes are shared across sessions through a
+// sharded byte-budgeted LRU VolumeCache; ServiceMetrics records admission
+// outcomes, queue depth and per-stage latency histograms.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parallel/executor.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request.hpp"
+#include "serve/session_table.hpp"
+#include "serve/volume_cache.hpp"
+
+namespace psw::serve {
+
+struct ServiceOptions {
+  int worker_threads = 4;          // render pool size (one ThreadedExecutor)
+  int queue_capacity = 64;         // bounded admission queue, total requests
+  int batch_max = 4;               // max same-session frames per dispatch batch
+  uint64_t cache_bytes = 256u << 20;  // volume-cache byte budget
+  int cache_shards = 8;
+  int max_sessions = 64;           // session-state LRU capacity
+  ParallelOptions parallel;        // forwarded to per-session renderers
+};
+
+class RenderService {
+ public:
+  explicit RenderService(ServiceOptions options = {},
+                         VolumeCache::Builder builder = {});
+  ~RenderService();
+
+  RenderService(const RenderService&) = delete;
+  RenderService& operator=(const RenderService&) = delete;
+
+  // Thread-safe. Rejection is synchronous and typed (see Ticket); an
+  // accepted request's future resolves when the frame is rendered or shed.
+  Ticket submit(RenderRequest request);
+
+  // Blocks until the queue is empty and no batch is in flight.
+  void drain();
+
+  // Sheds all still-queued requests with kShutdown and joins the scheduler.
+  // Idempotent; called by the destructor. Call drain() first for a
+  // graceful wind-down.
+  void stop();
+
+  const ServiceOptions& options() const { return options_; }
+  const ServiceMetrics& metrics() const { return metrics_; }
+  CacheStats cache_stats() const { return cache_.stats(); }
+  std::string metrics_json() const { return metrics_.to_json(cache_.stats()); }
+
+ private:
+  struct Pending {
+    RenderRequest request;
+    std::promise<FrameResult> promise;
+    Clock::time_point enqueued;
+  };
+
+  void scheduler_loop();
+  void process(Pending& p);
+  void render_one(Pending& p, Clock::time_point dispatched);
+  void shed(Pending& p, ServeStatus status);
+
+  ServiceOptions options_;
+  ServiceMetrics metrics_;
+  VolumeCache cache_;
+  SessionTable sessions_;   // scheduler thread only
+  ThreadedExecutor exec_;   // scheduler thread only
+
+  std::mutex stop_mutex_;  // serializes stop() callers around the join
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable drain_cv_;
+  std::map<uint64_t, std::deque<Pending>> queues_;  // per-session FIFO
+  std::deque<uint64_t> rotation_;  // sessions with pending work, RR order
+  int64_t total_queued_ = 0;
+  int64_t in_flight_ = 0;
+  bool stopping_ = false;
+
+  std::thread scheduler_;
+};
+
+}  // namespace psw::serve

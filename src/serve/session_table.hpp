@@ -1,0 +1,59 @@
+// Per-session rendering state: the cached encoded volume the session is
+// orbiting and a NewParallelRenderer instance whose ScanlineProfile carries
+// the §4.2 partition profile from frame to frame. Keeping the renderer per
+// session (and batching a session's frames consecutively in the scheduler)
+// is what preserves the paper's profile-reuse semantics under multi-session
+// load: successive small-angle frames of one orbit repartition from the
+// profile instead of re-measuring.
+//
+// The table is owned and accessed by the scheduler thread only; it needs no
+// locking (the service serializes all rendering through that thread).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/rle_volume.hpp"
+#include "parallel/new_renderer.hpp"
+
+namespace psw::serve {
+
+struct SessionState {
+  uint64_t id = 0;
+  std::string volume_key;  // canonical key currently bound (empty = none)
+  std::shared_ptr<const EncodedVolume> volume;
+  NewParallelRenderer renderer;
+  uint64_t frames_rendered = 0;
+
+  explicit SessionState(uint64_t sid, ParallelOptions opt)
+      : id(sid), renderer(opt) {}
+};
+
+class SessionTable {
+ public:
+  SessionTable(int max_sessions, ParallelOptions renderer_options)
+      : max_sessions_(max_sessions < 1 ? 1 : max_sessions),
+        renderer_options_(renderer_options) {}
+
+  // Finds or creates the session and marks it most recently used. Creating
+  // beyond the capacity evicts the least recently used session (its profile
+  // and volume reference are dropped; a later request re-creates it fresh).
+  SessionState& acquire(uint64_t id);
+
+  size_t size() const { return index_.size(); }
+  uint64_t created() const { return created_; }
+  uint64_t evicted() const { return evicted_; }
+
+ private:
+  int max_sessions_;
+  ParallelOptions renderer_options_;
+  std::list<SessionState> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<SessionState>::iterator> index_;
+  uint64_t created_ = 0;
+  uint64_t evicted_ = 0;
+};
+
+}  // namespace psw::serve

@@ -1,0 +1,103 @@
+#include "serve/volume_cache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/transfer.hpp"
+#include "phantom/phantom.hpp"
+#include "util/timer.hpp"
+
+namespace psw::serve {
+
+std::string VolumeKey::canonical() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s:%dx%dx%d:tf=%d:at=%d:amb=%.9g:dif=%.9g:light=%.9g,%.9g,%.9g:seed=%llu",
+                kind.c_str(), nx, ny, nz, tf_preset, classify.alpha_threshold,
+                static_cast<double>(classify.ambient), static_cast<double>(classify.diffuse),
+                classify.light_dir.x, classify.light_dir.y, classify.light_dir.z,
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+VolumeCache::Builder VolumeCache::phantom_builder() {
+  return [](const VolumeKey& key) {
+    DensityVolume density =
+        key.kind == "ct"
+            ? (key.seed ? make_ct_head(key.nx, key.ny, key.nz, key.seed)
+                        : make_ct_head(key.nx, key.ny, key.nz))
+            : (key.seed ? make_mri_brain(key.nx, key.ny, key.nz, key.seed)
+                        : make_mri_brain(key.nx, key.ny, key.nz));
+    const TransferFunction tf =
+        key.tf_preset == 1 ? TransferFunction::ct_preset() : TransferFunction::mri_preset();
+    const ClassifiedVolume classified = classify(density, tf, key.classify);
+    return std::make_shared<const EncodedVolume>(
+        EncodedVolume::build(classified, key.classify.alpha_threshold));
+  };
+}
+
+VolumeCache::VolumeCache(uint64_t byte_budget, int shards, Builder builder)
+    : budget_(byte_budget),
+      shard_budget_(byte_budget / std::max(1, shards)),
+      builder_(builder ? std::move(builder) : phantom_builder()) {
+  shards_.reserve(static_cast<size_t>(std::max(1, shards)));
+  for (int i = 0; i < std::max(1, shards); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+VolumeCache::Shard& VolumeCache::shard_for(const std::string& canonical) {
+  return *shards_[std::hash<std::string>{}(canonical) % shards_.size()];
+}
+
+void VolumeCache::evict_locked(Shard& s, uint64_t shard_budget) {
+  while (s.bytes > shard_budget && !s.lru.empty()) {
+    const Entry& victim = s.lru.back();
+    s.bytes -= victim.bytes;
+    s.index.erase(victim.key);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+}
+
+std::shared_ptr<const EncodedVolume> VolumeCache::get(const VolumeKey& key,
+                                                      double* build_ms) {
+  if (build_ms) *build_ms = 0.0;
+  const std::string canonical = key.canonical();
+  Shard& s = shard_for(canonical);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(canonical);
+  if (it != s.index.end()) {
+    s.lru.splice(s.lru.begin(), s.lru, it->second);  // touch
+    ++s.hits;
+    return it->second->volume;
+  }
+  ++s.misses;
+  WallTimer timer;
+  std::shared_ptr<const EncodedVolume> volume = builder_(key);
+  if (build_ms) *build_ms = timer.millis();
+  const uint64_t bytes = volume->storage_bytes();
+  s.lru.push_front(Entry{canonical, volume, bytes});
+  s.index[canonical] = s.lru.begin();
+  s.bytes += bytes;
+  // A single entry larger than the shard budget is admitted (and will be
+  // the first evicted on the next insert): rejecting it would livelock
+  // sessions that legitimately need one big volume.
+  evict_locked(s, std::max(shard_budget_, bytes));
+  return volume;
+}
+
+CacheStats VolumeCache::stats() const {
+  CacheStats out;
+  out.budget_bytes = budget_;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    out.hits += s->hits;
+    out.misses += s->misses;
+    out.evictions += s->evictions;
+    out.bytes += s->bytes;
+  }
+  return out;
+}
+
+}  // namespace psw::serve

@@ -1,0 +1,78 @@
+// Sharded LRU cache of classified, run-length-encoded volumes. Classifying
+// and encoding is by far the most expensive per-session setup (§2: the
+// preprocessing the shear-warp algorithm amortizes over an animation), so
+// sessions share encoded volumes through this cache instead of rebuilding
+// them. Entries are handed out as shared_ptr: eviction drops the cache's
+// reference, sessions already holding the volume keep rendering from it.
+#pragma once
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rle_volume.hpp"
+#include "serve/request.hpp"
+
+namespace psw::serve {
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes = 0;        // resident encoded bytes across shards
+  uint64_t budget_bytes = 0;
+  double hit_rate() const {
+    const uint64_t n = hits + misses;
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+class VolumeCache {
+ public:
+  // Builds the encoded volume for a key on a miss. The default builder
+  // generates the phantom named by key.kind, classifies it with the keyed
+  // transfer-function preset and options, and encodes all three axes.
+  using Builder = std::function<std::shared_ptr<const EncodedVolume>(const VolumeKey&)>;
+
+  VolumeCache(uint64_t byte_budget, int shards = 8, Builder builder = {});
+
+  // Returns the cached volume for `key`, building it on a miss (the build
+  // runs under the shard lock, so concurrent requests for one key build
+  // once). On a miss, `*build_ms` (if non-null) receives the build time;
+  // it is 0.0 on a hit.
+  std::shared_ptr<const EncodedVolume> get(const VolumeKey& key,
+                                           double* build_ms = nullptr);
+
+  CacheStats stats() const;
+  uint64_t byte_budget() const { return budget_; }
+
+  static Builder phantom_builder();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const EncodedVolume> volume;
+    uint64_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    uint64_t bytes = 0;
+    uint64_t hits = 0, misses = 0, evictions = 0;
+  };
+
+  Shard& shard_for(const std::string& canonical);
+  void evict_locked(Shard& s, uint64_t shard_budget);
+
+  uint64_t budget_;
+  uint64_t shard_budget_;
+  Builder builder_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace psw::serve

@@ -1,5 +1,7 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 namespace psw {
@@ -35,6 +37,28 @@ int CliFlags::get_int(const std::string& name, int def) const {
 double CliFlags::get_double(const std::string& name, double def) const {
   const auto it = flags_.find(name);
   return it == flags_.end() ? def : std::atof(it->second.c_str());
+}
+
+std::string CliFlags::unknown_flag_error(const std::vector<std::string>& known) const {
+  std::string unknown;
+  for (const auto& [name, value] : flags_) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      if (!unknown.empty()) unknown += ", ";
+      unknown += "--" + name;
+    }
+  }
+  if (unknown.empty()) return "";
+  std::string msg = "unknown flag(s): " + unknown + "\nknown flags:";
+  for (const auto& name : known) msg += " --" + name;
+  msg += '\n';
+  return msg;
+}
+
+void CliFlags::require_known(const std::vector<std::string>& known) const {
+  const std::string err = unknown_flag_error(known);
+  if (err.empty()) return;
+  std::fputs(err.c_str(), stderr);
+  std::exit(2);
 }
 
 bool CliFlags::get_bool(const std::string& name, bool def) const {

@@ -21,6 +21,15 @@ class CliFlags {
   // Non-flag positional arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  // Strict validation: a typo'd --flag must not silently fall back to the
+  // default. Returns "" when every parsed flag is in `known`, otherwise a
+  // message naming the unknown flags and listing the known set.
+  std::string unknown_flag_error(const std::vector<std::string>& known) const;
+
+  // Convenience for binaries: prints unknown_flag_error to stderr and exits
+  // with status 2 when validation fails.
+  void require_known(const std::vector<std::string>& known) const;
+
  private:
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <set>
 
+#include "parallel/animation.hpp"
 #include "parallel/executor.hpp"
 #include "parallel/partition.hpp"
 #include "parallel/profile.hpp"
@@ -229,6 +230,50 @@ TEST(ScanlineProfile, LifecycleAndStaleness) {
   EXPECT_EQ(prof.frames_since_profile(), 2);
   prof.invalidate();
   EXPECT_FALSE(prof.valid_for(10));
+}
+
+TEST(Animation, ZeroFramePathYieldsEmptySummary) {
+  AnimationPath path;
+  path.frames = 0;
+  int calls = 0;
+  const AnimationSummary s = run_animation(path, [&](int, const Camera&) {
+    ++calls;
+    return ParallelRenderStats{};
+  });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(s.frames, 0);
+  EXPECT_EQ(s.mean_frame_ms, 0.0);
+  EXPECT_EQ(s.frames_per_second, 0.0);
+  EXPECT_EQ(s.mean_imbalance, 0.0);
+  EXPECT_EQ(s.total_ms, 0.0);
+
+  path.frames = -3;  // negative counts clamp to the same empty summary
+  const AnimationSummary neg = run_animation(path, [&](int, const Camera&) {
+    ++calls;
+    return ParallelRenderStats{};
+  });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(neg.frames, 0);
+  EXPECT_EQ(neg.frames_per_second, 0.0);
+}
+
+TEST(Animation, AggregatesFrameStats) {
+  AnimationPath path;
+  path.frames = 4;
+  const AnimationSummary s = run_animation(path, [&](int frame, const Camera&) {
+    ParallelRenderStats stats;
+    stats.total_ms = 10.0 + frame;  // 10, 11, 12, 13
+    stats.profiled = frame == 0;
+    stats.steals = 2;
+    return stats;
+  });
+  EXPECT_EQ(s.frames, 4);
+  EXPECT_DOUBLE_EQ(s.total_ms, 46.0);
+  EXPECT_DOUBLE_EQ(s.mean_frame_ms, 11.5);
+  EXPECT_DOUBLE_EQ(s.worst_frame_ms, 13.0);
+  EXPECT_NEAR(s.frames_per_second, 1e3 * 4 / 46.0, 1e-9);
+  EXPECT_EQ(s.profiled_frames, 1);
+  EXPECT_EQ(s.total_steals, 8u);
 }
 
 }  // namespace

@@ -1,0 +1,376 @@
+// Frame-serving subsystem tests: served frames are bit-identical to direct
+// renderer output, the volume cache's LRU honours its byte budget,
+// deadline and queue-full degradation is typed, and the telemetry counters
+// reconcile under a multi-threaded smoke load.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/classify.hpp"
+#include "parallel/new_renderer.hpp"
+#include "phantom/phantom.hpp"
+#include "serve/service.hpp"
+#include "util/json.hpp"
+
+namespace psw::serve {
+namespace {
+
+uint64_t pixel_hash(const ImageU8& img) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  const auto* bytes = reinterpret_cast<const uint8_t*>(img.data());
+  for (size_t i = 0; i < img.pixel_count() * sizeof(Pixel8); ++i) {
+    h = (h ^ bytes[i]) * 1099511628211ull;
+  }
+  return h ^ (static_cast<uint64_t>(img.width()) << 32) ^
+         static_cast<uint64_t>(img.height());
+}
+
+VolumeKey small_key(int n = 40) {
+  VolumeKey key;
+  key.kind = "mri";
+  key.nx = key.ny = key.nz = n;
+  return key;
+}
+
+Camera orbit_frame(const VolumeKey& key, int frame) {
+  return Camera::orbit({key.nx, key.ny, key.nz}, 0.4 + 0.05 * frame, 0.3);
+}
+
+TEST(Serve, FramesBitIdenticalToDirectRenderer) {
+  const VolumeKey key = small_key();
+  const int kFrames = 6;
+
+  ServiceOptions opt;
+  opt.worker_threads = 3;
+  opt.parallel.profile_every = 3;
+  RenderService service(opt);
+
+  std::vector<uint64_t> served;
+  for (int f = 0; f < kFrames; ++f) {
+    RenderRequest req;
+    req.session_id = 7;
+    req.volume = key;
+    req.camera = orbit_frame(key, f);
+    Ticket t = service.submit(req);
+    ASSERT_TRUE(t.accepted());
+    FrameResult r = t.result.get();
+    ASSERT_EQ(r.status, ServeStatus::kOk);
+    served.push_back(pixel_hash(r.image));
+  }
+
+  // Direct path: same options, same frame sequence, own renderer instance.
+  const DensityVolume density = make_mri_brain(key.nx, key.ny, key.nz);
+  const ClassifiedVolume classified =
+      classify(density, TransferFunction::mri_preset(), key.classify);
+  const EncodedVolume volume =
+      EncodedVolume::build(classified, key.classify.alpha_threshold);
+  NewParallelRenderer renderer(opt.parallel);
+  ThreadedExecutor exec(opt.worker_threads);
+  ImageU8 direct;
+  for (int f = 0; f < kFrames; ++f) {
+    renderer.render(volume, orbit_frame(key, f), exec, &direct);
+    EXPECT_EQ(pixel_hash(direct), served[f]) << "frame " << f;
+  }
+}
+
+// Builder producing volumes with a controllable encoded footprint: n^3
+// phantoms so distinct sizes give distinct (monotone) byte counts.
+VolumeCache::Builder counting_builder(std::atomic<int>* builds) {
+  return [builds](const VolumeKey& key) {
+    builds->fetch_add(1);
+    const DensityVolume density = make_mri_brain(key.nx, key.ny, key.nz);
+    const ClassifiedVolume classified =
+        classify(density, TransferFunction::mri_preset(), key.classify);
+    return std::make_shared<const EncodedVolume>(
+        EncodedVolume::build(classified, key.classify.alpha_threshold));
+  };
+}
+
+TEST(VolumeCacheTest, LruEvictionRespectsByteBudget) {
+  std::atomic<int> builds{0};
+  // Budget sized to hold roughly two 24^3 encodings but not three.
+  const VolumeKey a = small_key(24);
+  VolumeKey b = small_key(24);
+  b.seed = 2;
+  VolumeKey c = small_key(24);
+  c.seed = 3;
+
+  VolumeCache probe(1u << 30, 1, counting_builder(&builds));
+  const uint64_t one = probe.get(a)->storage_bytes();
+  ASSERT_GT(one, 0u);
+  builds = 0;
+
+  VolumeCache cache(2 * one + one / 2, 1, counting_builder(&builds));
+  cache.get(a);
+  cache.get(b);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.get(c);  // exceeds the budget -> evicts LRU (a)
+  const CacheStats after = cache.stats();
+  EXPECT_GE(after.evictions, 1u);
+  EXPECT_LE(after.bytes, cache.byte_budget());
+  EXPECT_EQ(builds.load(), 3);
+
+  // b and c stayed resident; a was the LRU victim and rebuilds.
+  cache.get(b);
+  cache.get(c);
+  EXPECT_EQ(builds.load(), 3);
+  cache.get(a);
+  EXPECT_EQ(builds.load(), 4);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(VolumeCacheTest, SecondGetIsASharedHit) {
+  std::atomic<int> builds{0};
+  VolumeCache cache(1u << 30, 4, counting_builder(&builds));
+  double ms = -1.0;
+  auto v1 = cache.get(small_key(20), &ms);
+  EXPECT_GT(ms, 0.0);  // miss: built
+  auto v2 = cache.get(small_key(20), &ms);
+  EXPECT_EQ(ms, 0.0);  // hit
+  EXPECT_EQ(v1.get(), v2.get());
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Serve, DeadlineAlreadyPassedIsTypedRejection) {
+  ServiceOptions opt;
+  opt.worker_threads = 1;
+  RenderService service(opt);
+  RenderRequest req;
+  req.session_id = 1;
+  req.volume = small_key(16);
+  req.camera = orbit_frame(req.volume, 0);
+  req.deadline = Clock::now() - std::chrono::milliseconds(5);
+  Ticket t = service.submit(req);
+  EXPECT_FALSE(t.accepted());
+  EXPECT_EQ(t.admission, ServeStatus::kDeadlineMissed);
+  EXPECT_EQ(service.metrics().rejected_deadline.load(), 1u);
+  EXPECT_EQ(service.metrics().accepted.load(), 0u);
+}
+
+TEST(Serve, DeadlineExpiringInQueueIsShedWithTypedError) {
+  // A slow builder keeps the scheduler busy on the first request while the
+  // second request's deadline expires in the queue.
+  std::atomic<int> builds{0};
+  auto slow = [&](const VolumeKey& key) {
+    if (builds.fetch_add(1) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+    return VolumeCache::phantom_builder()(key);
+  };
+  ServiceOptions opt;
+  opt.worker_threads = 1;
+  RenderService service(opt, slow);
+
+  RenderRequest first;
+  first.session_id = 1;
+  first.volume = small_key(16);
+  first.camera = orbit_frame(first.volume, 0);
+  Ticket t1 = service.submit(first);
+  ASSERT_TRUE(t1.accepted());
+
+  RenderRequest second = first;
+  second.session_id = 2;  // different session: not batched behind first
+  second.deadline = Clock::now() + std::chrono::milliseconds(20);
+  Ticket t2 = service.submit(second);
+  ASSERT_TRUE(t2.accepted());
+
+  EXPECT_EQ(t1.result.get().status, ServeStatus::kOk);
+  const FrameResult shed = t2.result.get();
+  EXPECT_EQ(shed.status, ServeStatus::kDeadlineMissed);
+  EXPECT_TRUE(shed.image.empty());
+  EXPECT_EQ(service.metrics().shed_deadline.load(), 1u);
+}
+
+TEST(Serve, QueueFullIsTypedRejection) {
+  // Stall the scheduler with a slow first build, then overfill the queue.
+  auto slow = [](const VolumeKey& key) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return VolumeCache::phantom_builder()(key);
+  };
+  ServiceOptions opt;
+  opt.worker_threads = 1;
+  opt.queue_capacity = 3;
+  RenderService service(opt, slow);
+
+  std::vector<Ticket> accepted;
+  int queue_full = 0;
+  for (int i = 0; i < 8; ++i) {
+    RenderRequest req;
+    req.session_id = 1 + static_cast<uint64_t>(i);
+    req.volume = small_key(16);
+    req.camera = orbit_frame(req.volume, i);
+    Ticket t = service.submit(req);
+    if (t.accepted()) {
+      accepted.push_back(std::move(t));
+    } else {
+      EXPECT_EQ(t.admission, ServeStatus::kQueueFull);
+      ++queue_full;
+    }
+  }
+  EXPECT_GT(queue_full, 0);
+  EXPECT_EQ(service.metrics().rejected_queue_full.load(),
+            static_cast<uint64_t>(queue_full));
+  for (Ticket& t : accepted) {
+    EXPECT_EQ(t.result.get().status, ServeStatus::kOk);
+  }
+  service.drain();
+  EXPECT_TRUE(service.metrics().reconciles());
+}
+
+TEST(Serve, StopShedsQueuedRequestsWithShutdownStatus) {
+  auto slow = [](const VolumeKey& key) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return VolumeCache::phantom_builder()(key);
+  };
+  ServiceOptions opt;
+  opt.worker_threads = 1;
+  opt.queue_capacity = 16;
+  auto service = std::make_unique<RenderService>(opt, slow);
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    RenderRequest req;
+    req.session_id = 1 + static_cast<uint64_t>(i);
+    req.volume = small_key(16);
+    req.camera = orbit_frame(req.volume, i);
+    tickets.push_back(service->submit(req));
+    ASSERT_TRUE(tickets.back().accepted());
+  }
+  service->stop();
+  int ok = 0, shutdown = 0;
+  for (Ticket& t : tickets) {
+    const ServeStatus s = t.result.get().status;
+    (s == ServeStatus::kOk ? ok : shutdown) += 1;
+    if (s != ServeStatus::kOk) {
+      EXPECT_EQ(s, ServeStatus::kShutdown);
+    }
+  }
+  EXPECT_EQ(ok + shutdown, 4);
+  EXPECT_GT(shutdown, 0);  // at most one batch ran before the stop landed
+  EXPECT_TRUE(service->metrics().reconciles());
+  // Submitting after stop is a typed rejection, not a hang.
+  RenderRequest late;
+  late.session_id = 99;
+  late.volume = small_key(16);
+  late.camera = orbit_frame(late.volume, 0);
+  EXPECT_EQ(service->submit(late).admission, ServeStatus::kShutdown);
+}
+
+TEST(Serve, MetricsReconcileUnderConcurrentLoad) {
+  ServiceOptions opt;
+  opt.worker_threads = 2;
+  opt.queue_capacity = 8;  // small: force queue-full rejections
+  opt.batch_max = 3;
+  RenderService service(opt);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 12;
+  std::atomic<uint64_t> ok{0}, rejected{0}, shed{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        RenderRequest req;
+        req.session_id = 1 + static_cast<uint64_t>(t);
+        req.volume = small_key(24);
+        req.camera = orbit_frame(req.volume, i);
+        if (i % 3 == 2) {
+          // A mix of tight deadlines: some will be shed in the queue.
+          req.deadline = Clock::now() + std::chrono::microseconds(500);
+        }
+        Ticket ticket = service.submit(req);
+        if (!ticket.accepted()) {
+          rejected.fetch_add(1);
+          continue;
+        }
+        const FrameResult r = ticket.result.get();
+        (r.status == ServeStatus::kOk ? ok : shed).fetch_add(1);
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  service.drain();
+
+  const ServiceMetrics& m = service.metrics();
+  EXPECT_EQ(m.submitted.load(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(m.submitted.load(),
+            m.accepted.load() + m.rejected_queue_full.load() +
+                m.rejected_deadline.load() + m.rejected_shutdown.load());
+  EXPECT_EQ(m.accepted.load(), m.completed.load() + m.shed_deadline.load() +
+                                   m.shed_shutdown.load() + m.failed.load());
+  EXPECT_EQ(m.completed.load(), ok.load());
+  EXPECT_EQ(m.shed_deadline.load() + m.shed_shutdown.load(), shed.load());
+  EXPECT_EQ(m.rejected_queue_full.load() + m.rejected_deadline.load(),
+            rejected.load());
+  EXPECT_EQ(m.failed.load(), 0u);
+  EXPECT_TRUE(m.reconciles());
+  EXPECT_EQ(m.queue_depth.load(), 0);
+  EXPECT_GE(m.queue_depth_max.load(), 1);
+  EXPECT_EQ(m.total.count(), m.completed.load());
+
+  // The JSON export is well-formed enough to round-trip the key counters.
+  const std::string json = service.metrics_json();
+  EXPECT_NE(json.find("\"submitted\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ms\""), std::string::npos);
+}
+
+TEST(Serve, SameSessionFramesBatchAndReuseProfile) {
+  ServiceOptions opt;
+  opt.worker_threads = 2;
+  opt.batch_max = 4;
+  opt.parallel.profile_every = 100;  // profile only when invalid
+  RenderService service(opt);
+
+  // Submit a burst for one session; the first frame profiles, later frames
+  // ride the profile (no re-profiling within the burst).
+  std::vector<Ticket> tickets;
+  for (int f = 0; f < 8; ++f) {
+    RenderRequest req;
+    req.session_id = 5;
+    req.volume = small_key(32);
+    req.camera = orbit_frame(req.volume, f);
+    tickets.push_back(service.submit(req));
+    ASSERT_TRUE(tickets.back().accepted());
+  }
+  int profiled = 0;
+  for (Ticket& t : tickets) {
+    const FrameResult r = t.result.get();
+    ASSERT_EQ(r.status, ServeStatus::kOk);
+    profiled += r.timing.profiled ? 1 : 0;
+  }
+  EXPECT_EQ(profiled, 1);
+  EXPECT_GE(service.metrics().batched_frames.load(), 1u);
+
+  // A second session on the same key shares the cached volume: no rebuild.
+  const CacheStats before = service.cache_stats();
+  RenderRequest other;
+  other.session_id = 6;
+  other.volume = small_key(32);
+  other.camera = orbit_frame(other.volume, 0);
+  Ticket t = service.submit(other);
+  ASSERT_TRUE(t.accepted());
+  const FrameResult r = t.result.get();
+  ASSERT_EQ(r.status, ServeStatus::kOk);
+  EXPECT_TRUE(r.timing.cache_hit);
+  EXPECT_EQ(service.cache_stats().misses, before.misses);
+}
+
+TEST(SessionTableTest, EvictsLeastRecentlyUsed) {
+  SessionTable table(2, ParallelOptions{});
+  table.acquire(1);
+  table.acquire(2);
+  table.acquire(1);  // touch 1 -> LRU order: 1, 2
+  table.acquire(3);  // evicts 2
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.created(), 3u);
+  EXPECT_EQ(table.evicted(), 1u);
+  table.acquire(2);  // re-created
+  EXPECT_EQ(table.created(), 4u);
+}
+
+}  // namespace
+}  // namespace psw::serve

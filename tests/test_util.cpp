@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
+#include <vector>
 
 #include "util/cli.hpp"
+#include "util/histogram.hpp"
 #include "util/image.hpp"
+#include "util/json.hpp"
 #include "util/mat4.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -171,6 +176,65 @@ TEST(Cli, ParsesFlagsAndPositional) {
   EXPECT_EQ(flags.get("missing", "def"), "def");
   ASSERT_EQ(flags.positional().size(), 1u);
   EXPECT_EQ(flags.positional()[0], "input.vol");
+}
+
+TEST(Cli, UnknownFlagValidation) {
+  const char* argv[] = {"prog", "--procs=8", "--verbsoe", "input.vol"};
+  CliFlags flags(4, const_cast<char**>(argv));
+  // The typo is reported along with the known set; positionals are exempt.
+  const std::string err = flags.unknown_flag_error({"procs", "verbose"});
+  EXPECT_NE(err.find("--verbsoe"), std::string::npos);
+  EXPECT_NE(err.find("--verbose"), std::string::npos);
+  EXPECT_EQ(err.find("input.vol"), std::string::npos);
+  EXPECT_EQ(flags.unknown_flag_error({"procs", "verbsoe"}), "");
+}
+
+TEST(Json, WriterProducesWellFormedNesting) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "a \"quoted\"\nstring");
+  w.field("count", uint64_t{42});
+  w.field("ratio", 0.5);
+  w.field("bad", std::nan(""));
+  w.key("list").begin_array().value(1).value(2).end_array();
+  w.key("empty").begin_object().end_object();
+  w.end_object();
+  const std::string s = w.str();
+  EXPECT_NE(s.find("\"a \\\"quoted\\\"\\nstring\""), std::string::npos);
+  EXPECT_NE(s.find("\"count\": 42"), std::string::npos);
+  EXPECT_NE(s.find("\"bad\": null"), std::string::npos);
+  EXPECT_NE(s.find("\"empty\": {}"), std::string::npos);
+  // Balanced braces/brackets.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'), std::count(s.begin(), s.end(), '}'));
+  EXPECT_EQ(std::count(s.begin(), s.end(), '['), std::count(s.begin(), s.end(), ']'));
+}
+
+TEST(Histogram, QuantilesBracketRecordedValues) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile_ms(0.5), 0.0);
+  for (int i = 1; i <= 100; ++i) h.record_ms(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.mean_ms(), 50.5, 1e-9);
+  EXPECT_EQ(h.max_ms(), 100.0);
+  // Geometric buckets have ~19% resolution; quantiles must land near the
+  // exact order statistics.
+  EXPECT_NEAR(h.quantile_ms(0.50), 50.0, 50.0 * 0.25);
+  EXPECT_NEAR(h.quantile_ms(0.95), 95.0, 95.0 * 0.25);
+  EXPECT_LE(h.quantile_ms(0.99), h.max_ms());
+  EXPECT_GE(h.quantile_ms(1.0), h.quantile_ms(0.5));
+}
+
+TEST(Histogram, ConcurrentRecordingKeepsTotals) {
+  LatencyHistogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 1000; ++i) h.record_ms(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), 4000u);
+  EXPECT_NEAR(h.sum_ms(), 4000.0, 1e-6);
 }
 
 TEST(Table, AlignsColumns) {

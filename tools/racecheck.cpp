@@ -37,6 +37,8 @@ std::vector<int> parse_procs(const std::string& list) {
 
 int main(int argc, char** argv) {
   const psw::CliFlags flags(argc, argv);
+  flags.require_known({"algo", "data", "procs", "size", "fused", "stealing",
+                       "granularity", "max-findings"});
   const std::string algo_sel = flags.get("algo", "both");
   const std::string data_sel = flags.get("data", "both");
   const std::vector<int> procs = parse_procs(flags.get("procs", "1,4,16"));

@@ -29,11 +29,15 @@ echo "==> TSan build + threading tests"
 cmake -B "$out/tsan" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPSW_WERROR=ON -DPSW_SANITIZE=thread
 cmake --build "$out/tsan" -j "$jobs" \
-  --target test_parallel_infra test_parallel_renderers test_fastpath test_serve loadgen
+  --target test_parallel_infra test_parallel_renderers test_fastpath test_serve \
+  test_net loadgen netbench
 "$out/tsan/tests/test_parallel_infra"
 "$out/tsan/tests/test_parallel_renderers"
 "$out/tsan/tests/test_fastpath"
 "$out/tsan/tests/test_serve"
+# test_net under TSan covers the poll loop, the completion queue handoff and
+# the drop-oldest backpressure path with real sockets.
+"$out/tsan/tests/test_net"
 
 echo "==> clang-tidy"
 "$root/scripts/lint.sh" "$out/lint"
@@ -54,5 +58,16 @@ assert d['results']['failed'] == 0, d" "$out/BENCH_serve.json"
 # Same shape under TSan to exercise the queue/cache/scheduler concurrency.
 "$out/tsan/tools/loadgen" --sessions=2 --threads=2 --frames=4 --size=24 \
   --volumes=2 --json=
+
+echo "==> Network frame-delivery smoke run (netbench, loopback)"
+# Exits non-zero on any protocol error or failed frame; the JSON check pins
+# the codec's headline guarantee (wire bytes well under raw RGBA).
+"$out/release/tools/netbench" --sessions=2 --threads=2 --frames=12 --size=40 \
+  --json="$out/BENCH_net.json"
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); r=d['results']; \
+assert r['protocol_errors'] == 0 and r['failures'] == 0, d; \
+assert r['wire_ratio'] <= 0.6, d" "$out/BENCH_net.json"
+# Server connection handling + backpressure under TSan through real sockets.
+"$out/tsan/tools/netbench" --sessions=2 --threads=2 --frames=6 --size=32 --json=
 
 echo "CI OK"

@@ -1,0 +1,247 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace psw::net {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+void set_error(std::string* error, std::string what) {
+  if (error) *error = std::move(what);
+}
+
+}  // namespace
+
+bool NetClient::connect(const std::string& host, uint16_t port, std::string* error) {
+  close();
+  fd_ = tcp_connect(host, port, error, options_.recv_buffer_bytes);
+  if (!fd_.valid()) return false;
+  if (options_.recv_timeout_ms > 0) {
+    set_recv_timeout_ms(fd_.get(), options_.recv_timeout_ms);
+  }
+
+  HelloMsg hello;
+  hello.version = kProtocolVersion;
+  hello.name = "pswvr-netclient";
+  std::vector<uint8_t> payload;
+  hello.encode(&payload);
+  if (!send_msg(MsgType::kHello, payload, error)) return false;
+
+  WireMessage msg;
+  if (!recv_msg(&msg, error)) return false;
+  HelloMsg ack;
+  if (msg.type != MsgType::kHelloAck || !HelloMsg::decode(msg.payload, &ack)) {
+    set_error(error, "handshake failed: unexpected reply");
+    close();
+    return false;
+  }
+  server_name_ = ack.name;
+  return true;
+}
+
+void NetClient::close() {
+  fd_.reset();
+  in_.clear();
+  in_off_ = 0;
+  server_name_.clear();
+  stream_decoders_.clear();
+  session_decoders_.clear();
+  request_sessions_.clear();
+}
+
+bool NetClient::render(const RenderRequestMsg& request, ImageU8* image,
+                       FrameMsg* meta, std::string* error) {
+  std::vector<uint8_t> payload;
+  request.encode(&payload);
+  if (!send_msg(MsgType::kRenderRequest, payload, error)) return false;
+  request_sessions_[request.request_id] = request.session_id;
+
+  for (;;) {
+    Event event;
+    if (!next_event(&event, error)) return false;
+    switch (event.kind) {
+      case Event::Kind::kFrame:
+        if (event.frame.request_id != request.request_id) continue;
+        if (image) *image = std::move(event.image);
+        if (meta) *meta = event.frame;
+        return true;
+      case Event::Kind::kError:
+        if (event.error.request_id != 0 &&
+            event.error.request_id != request.request_id) {
+          continue;
+        }
+        set_error(error, "server error (" +
+                             std::to_string(event.error.status) +
+                             "): " + event.error.message);
+        return false;
+      case Event::Kind::kStreamEnd:
+        continue;  // not ours; a concurrent stream finishing is fine
+    }
+  }
+}
+
+bool NetClient::open_stream(const StreamRequestMsg& request, std::string* error) {
+  std::vector<uint8_t> payload;
+  request.encode(&payload);
+  if (!send_msg(MsgType::kStreamRequest, payload, error)) return false;
+  stream_decoders_[request.stream_id].reset();
+  return true;
+}
+
+bool NetClient::next_event(Event* out, std::string* error) {
+  WireMessage msg;
+  if (!recv_msg(&msg, error)) return false;
+  return decode_event(msg, out, error);
+}
+
+bool NetClient::decode_event(const WireMessage& msg, Event* out, std::string* error) {
+  switch (msg.type) {
+    case MsgType::kFrame: {
+      FrameMsg frame;
+      if (!FrameMsg::decode(msg.payload, &frame)) {
+        set_error(error, "malformed frame message");
+        return false;
+      }
+      FrameDecoder& decoder =
+          frame.stream_id != 0
+              ? stream_decoders_[frame.stream_id]
+              : session_decoders_[request_sessions_.count(frame.request_id)
+                                      ? request_sessions_[frame.request_id]
+                                      : 0];
+      out->kind = Event::Kind::kFrame;
+      const CodecStatus status =
+          decoder.decode(frame.encoded.data(), frame.encoded.size(), &out->image);
+      if (status != CodecStatus::kOk) {
+        set_error(error, std::string("frame decode failed: ") + to_string(status));
+        return false;
+      }
+      frame.encoded.clear();
+      out->frame = std::move(frame);
+      return true;
+    }
+    case MsgType::kStreamEnd: {
+      StreamEndMsg end;
+      if (!StreamEndMsg::decode(msg.payload, &end)) {
+        set_error(error, "malformed stream-end message");
+        return false;
+      }
+      stream_decoders_.erase(end.stream_id);
+      out->kind = Event::Kind::kStreamEnd;
+      out->end = end;
+      return true;
+    }
+    case MsgType::kError: {
+      ErrorMsg err;
+      if (!ErrorMsg::decode(msg.payload, &err)) {
+        set_error(error, "malformed error message");
+        return false;
+      }
+      out->kind = Event::Kind::kError;
+      out->error = std::move(err);
+      return true;
+    }
+    default:
+      set_error(error, std::string("unexpected message: ") + to_string(msg.type));
+      return false;
+  }
+}
+
+bool NetClient::fetch_metrics(std::string* json, std::string* error) {
+  if (!send_msg(MsgType::kMetricsRequest, {}, error)) return false;
+  // Frames from concurrent streams may be interleaved ahead of the reply;
+  // skip them (their decoders still see every frame, keeping deltas valid).
+  for (;;) {
+    WireMessage msg;
+    if (!recv_msg(&msg, error)) return false;
+    if (msg.type == MsgType::kMetricsReply) {
+      MetricsReplyMsg reply;
+      if (!MetricsReplyMsg::decode(msg.payload, &reply)) {
+        set_error(error, "malformed metrics reply");
+        return false;
+      }
+      if (json) *json = std::move(reply.json);
+      return true;
+    }
+    Event event;
+    if (!decode_event(msg, &event, error)) return false;
+  }
+}
+
+bool NetClient::send_bye(std::string* error) {
+  return send_msg(MsgType::kBye, {}, error);
+}
+
+bool NetClient::send_msg(MsgType type, const std::vector<uint8_t>& payload,
+                         std::string* error) {
+  if (!fd_.valid()) {
+    set_error(error, "not connected");
+    return false;
+  }
+  std::vector<uint8_t> wire;
+  encode_message(type, payload, &wire);
+  size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n =
+        ::send(fd_.get(), wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    set_error(error, std::string("send: ") + std::strerror(errno));
+    close();
+    return false;
+  }
+  bytes_sent_ += wire.size();
+  return true;
+}
+
+bool NetClient::recv_msg(WireMessage* msg, std::string* error) {
+  if (!fd_.valid()) {
+    set_error(error, "not connected");
+    return false;
+  }
+  for (;;) {
+    size_t consumed = 0;
+    const WireStatus status = decode_message(in_.data() + in_off_,
+                                             in_.size() - in_off_, msg, &consumed);
+    if (status == WireStatus::kOk) {
+      in_off_ += consumed;
+      // Compact once the parsed prefix dominates the buffer.
+      if (in_off_ > 0 && in_off_ * 2 >= in_.size()) {
+        in_.erase(in_.begin(), in_.begin() + in_off_);
+        in_off_ = 0;
+      }
+      return true;
+    }
+    if (status != WireStatus::kNeedMore) {
+      set_error(error, std::string("wire error: ") + to_string(status));
+      close();
+      return false;
+    }
+    uint8_t buf[kReadChunk];
+    const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      in_.insert(in_.end(), buf, buf + n);
+      bytes_received_ += static_cast<uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      set_error(error, "receive timeout");
+      close();
+      return false;
+    }
+    set_error(error, n == 0 ? "connection closed by server"
+                            : std::string("recv: ") + std::strerror(errno));
+    close();
+    return false;
+  }
+}
+
+}  // namespace psw::net

@@ -1,0 +1,92 @@
+// Blocking client for the psw wire protocol. One connection, one thread:
+// connect() performs the hello handshake, render() is a synchronous
+// request/reply, open_stream()+next_event() consume an animation stream.
+// The client owns the decode side of the frame codec — a FrameDecoder per
+// stream and per one-shot session, mirroring the server's encoder chains,
+// so delta frames always decode against the right previous frame.
+//
+// Used by tools/netclient, tools/netbench and tests/test_net; the library
+// never prints or exits — failures come back as false + *error, and
+// server-sent kError replies surface as FrameEvent::kError with the typed
+// ServeStatus preserved.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/frame_codec.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "util/image.hpp"
+
+namespace psw::net {
+
+struct NetClientOptions {
+  // Blocking-read timeout; a server that goes quiet longer than this fails
+  // the read instead of hanging the caller. 0 disables the timeout.
+  double recv_timeout_ms = 30'000.0;
+  // Kernel SO_RCVBUF (set before connect); 0 keeps the OS default.
+  int recv_buffer_bytes = 0;
+};
+
+class NetClient {
+ public:
+  // One decoded server-to-client message.
+  struct Event {
+    enum class Kind { kFrame, kStreamEnd, kError };
+    Kind kind = Kind::kFrame;
+    FrameMsg frame;   // kFrame: header fields (encoded blob already consumed)
+    ImageU8 image;    // kFrame: the decoded image
+    StreamEndMsg end;    // kStreamEnd
+    ErrorMsg error;      // kError
+  };
+
+  explicit NetClient(NetClientOptions options = {}) : options_(options) {}
+
+  // Connects and completes the hello handshake.
+  bool connect(const std::string& host, uint16_t port, std::string* error);
+  void close();
+  bool connected() const { return fd_.valid(); }
+
+  // Synchronous one-shot render: sends the request and reads until the
+  // matching frame (or error reply) arrives. Frames for other requests
+  // arriving in between are decoded and discarded.
+  bool render(const RenderRequestMsg& request, ImageU8* image, FrameMsg* meta,
+              std::string* error);
+
+  bool open_stream(const StreamRequestMsg& request, std::string* error);
+
+  // Blocks for the next frame / stream-end / error event.
+  bool next_event(Event* out, std::string* error);
+
+  // Server metrics document (service + net JSON).
+  bool fetch_metrics(std::string* json, std::string* error);
+
+  // Polite goodbye; the server flushes pending output and closes.
+  bool send_bye(std::string* error);
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+  const std::string& server_name() const { return server_name_; }
+
+ private:
+  bool send_msg(MsgType type, const std::vector<uint8_t>& payload,
+                std::string* error);
+  bool recv_msg(WireMessage* msg, std::string* error);
+  bool decode_event(const WireMessage& msg, Event* out, std::string* error);
+
+  NetClientOptions options_;
+  UniqueFd fd_;
+  std::vector<uint8_t> in_;
+  size_t in_off_ = 0;
+  std::string server_name_;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+  std::map<uint64_t, FrameDecoder> stream_decoders_;   // by stream_id
+  std::map<uint64_t, FrameDecoder> session_decoders_;  // one-shot, by request session
+  std::map<uint64_t, uint64_t> request_sessions_;      // request_id -> session_id
+};
+
+}  // namespace psw::net

@@ -1,0 +1,561 @@
+#include "net/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+namespace psw::net {
+
+namespace {
+
+constexpr double kDeg = 3.14159265358979323846 / 180.0;
+constexpr size_t kReadChunk = 64 * 1024;
+constexpr size_t kMaxStreamsPerConnection = 16;
+
+double ms_since(serve::Clock::time_point t) {
+  return std::chrono::duration<double, std::milli>(serve::Clock::now() - t).count();
+}
+
+}  // namespace
+
+// Callbacks capture this by shared_ptr: a completion firing after stop()
+// (or after ~NetServer) lands in a closed queue, never in freed memory.
+struct NetServer::CompletionQueue {
+  std::mutex mutex;
+  std::deque<CompletionItem> items;
+  bool closed = false;
+  int wake_fd = -1;  // write end of the poll loop's self-pipe
+
+  ~CompletionQueue() { retire_wake_fd(); }
+
+  void push(CompletionItem&& item) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (closed) return;
+    items.push_back(std::move(item));
+    wake_locked();
+  }
+
+  void wake() {
+    std::lock_guard<std::mutex> lock(mutex);
+    wake_locked();
+  }
+
+  // Caller holds `mutex` (which is what makes the wake_fd handoff in
+  // NetServer::stop() safe against concurrent pushers).
+  void wake_locked() {
+    if (wake_fd < 0) return;
+    const uint8_t byte = 1;
+    // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
+  }
+
+  void close_and_clear() {
+    std::lock_guard<std::mutex> lock(mutex);
+    closed = true;
+    items.clear();
+  }
+
+  // Called once the poll thread is joined: the read end is about to go
+  // away, so writing to the pipe after this would raise SIGPIPE.
+  void retire_wake_fd() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (wake_fd >= 0) ::close(wake_fd);
+    wake_fd = -1;
+  }
+};
+
+NetServer::NetServer(serve::RenderService& service, NetServerOptions options)
+    : service_(service),
+      options_(options),
+      queue_(std::make_shared<CompletionQueue>()) {
+  options_.stream_window = std::max(1, options_.stream_window);
+  options_.max_pending_frames = std::max<size_t>(1, options_.max_pending_frames);
+}
+
+NetServer::~NetServer() { stop(); }
+
+bool NetServer::start(std::string* error) {
+  if (thread_.joinable()) {
+    if (error) *error = "server already started";
+    return false;
+  }
+  listener_ = tcp_listen(options_.bind_address, options_.port, options_.backlog, error);
+  if (!listener_.valid()) return false;
+  port_ = local_port(listener_.get());
+  set_nonblocking(listener_.get(), true);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    if (error) *error = std::string("pipe: ") + std::strerror(errno);
+    listener_.reset();
+    return false;
+  }
+  set_nonblocking(pipe_fds[0], true);
+  set_nonblocking(pipe_fds[1], true);
+  wake_rd_.reset(pipe_fds[0]);
+  queue_->wake_fd = pipe_fds[1];
+
+  stopping_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { poll_loop(); });
+  return true;
+}
+
+void NetServer::stop() {
+  queue_->close_and_clear();
+  stopping_.store(true, std::memory_order_release);
+  queue_->wake();
+  if (thread_.joinable()) thread_.join();
+  queue_->retire_wake_fd();  // before the read end closes below
+  conns_.clear();
+  listener_.reset();
+  wake_rd_.reset();
+}
+
+std::string NetServer::metrics_json() const {
+  std::string out = "{\n\"service\": ";
+  out += service_.metrics_json();
+  out += ",\n\"net\": ";
+  out += metrics_.to_json();
+  out += "\n}";
+  return out;
+}
+
+void NetServer::poll_loop() {
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> ids;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    fds.clear();
+    ids.clear();
+    fds.push_back({listener_.get(), POLLIN, 0});
+    fds.push_back({wake_rd_.get(), POLLIN, 0});
+    for (auto& [id, conn] : conns_) {
+      short events = POLLIN;
+      if (conn.out.size() > conn.out_off) events |= POLLOUT;
+      fds.push_back({conn.fd.get(), events, 0});
+      ids.push_back(id);
+    }
+    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
+    if (stopping_.load(std::memory_order_acquire)) break;
+
+    if (fds[1].revents & POLLIN) {
+      uint8_t sink[64];
+      while (::read(wake_rd_.get(), sink, sizeof(sink)) > 0) {
+      }
+    }
+    drain_completions();
+    if (fds[0].revents & POLLIN) accept_ready();
+
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const auto it = conns_.find(ids[i]);
+      if (it == conns_.end()) continue;
+      Connection& conn = it->second;
+      const short revents = fds[i + 2].revents;
+      if (revents & (POLLERR | POLLNVAL)) {
+        conn.closing = true;
+        conn.out.clear();
+        conn.out_off = 0;
+        continue;
+      }
+      if (revents & (POLLIN | POLLHUP)) read_ready(conn);
+    }
+
+    // Opportunistic flush for every connection with queued bytes (replies
+    // generated this iteration go out without waiting for the next poll),
+    // then finish connections that have flushed their goodbye.
+    std::vector<uint64_t> done;
+    for (auto& [id, conn] : conns_) {
+      write_ready(conn);
+      if (conn.closing && conn.out.size() == conn.out_off) done.push_back(id);
+    }
+    for (const uint64_t id : done) close_connection(id);
+    harvest_idle();
+  }
+  // Poll thread owns the connections; drop them on the way out so their
+  // fds close on this thread.
+  conns_.clear();
+}
+
+void NetServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: back to poll
+    if (conns_.size() >= static_cast<size_t>(options_.max_connections)) {
+      metrics_.connections_rejected.fetch_add(1);
+      ::close(fd);
+      continue;
+    }
+    set_nonblocking(fd, true);
+    if (options_.socket_send_buffer_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.socket_send_buffer_bytes,
+                   sizeof(options_.socket_send_buffer_bytes));
+    }
+    Connection conn;
+    conn.id = next_conn_id_++;
+    conn.fd.reset(fd);
+    conn.last_activity = serve::Clock::now();
+    metrics_.connections_accepted.fetch_add(1);
+    conns_.emplace(conn.id, std::move(conn));
+  }
+}
+
+void NetServer::read_ready(Connection& conn) {
+  uint8_t buf[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.in.insert(conn.in.end(), buf, buf + n);
+      metrics_.bytes_in.fetch_add(static_cast<uint64_t>(n));
+      conn.last_activity = serve::Clock::now();
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EOF or hard error: nothing more will arrive; flush what we owe and go.
+    conn.closing = true;
+    break;
+  }
+
+  size_t off = 0;
+  while (!conn.closing) {
+    WireMessage msg;
+    size_t consumed = 0;
+    const WireStatus status =
+        decode_message(conn.in.data() + off, conn.in.size() - off, &msg, &consumed);
+    if (status == WireStatus::kNeedMore) break;
+    if (status != WireStatus::kOk) {
+      // A framing error loses message boundaries; the only safe answer is a
+      // typed goodbye and a close.
+      metrics_.protocol_errors.fetch_add(1);
+      send_error(conn, 0, serve::ServeStatus::kError,
+                 std::string("wire error: ") + to_string(status));
+      conn.closing = true;
+      break;
+    }
+    off += consumed;
+    if (!handle_message(conn, msg)) {
+      conn.closing = true;
+      break;
+    }
+  }
+  if (off > 0) conn.in.erase(conn.in.begin(), conn.in.begin() + off);
+}
+
+void NetServer::write_ready(Connection& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n = ::send(conn.fd.get(), conn.out.data() + conn.out_off,
+                             conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<size_t>(n);
+      metrics_.bytes_out.fetch_add(static_cast<uint64_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Peer is gone; drop the backlog so the cleanup pass reaps us.
+    conn.out.clear();
+    conn.out_off = 0;
+    conn.closing = true;
+    return;
+  }
+  if (conn.out_off == conn.out.size()) {
+    conn.out.clear();
+    conn.out_off = 0;
+    // Sending drained a full buffer: streams gated on it can encode again.
+    pump_streams(conn);
+  }
+}
+
+bool NetServer::handle_message(Connection& conn, const WireMessage& msg) {
+  if (!conn.got_hello && msg.type != MsgType::kHello) {
+    metrics_.protocol_errors.fetch_add(1);
+    send_error(conn, 0, serve::ServeStatus::kError, "expected hello first");
+    return false;
+  }
+  switch (msg.type) {
+    case MsgType::kHello: {
+      HelloMsg hello;
+      if (!HelloMsg::decode(msg.payload, &hello)) break;
+      conn.got_hello = true;
+      HelloMsg ack;
+      ack.version = kProtocolVersion;
+      ack.name = "pswvr-netserve";
+      std::vector<uint8_t> payload;
+      ack.encode(&payload);
+      send_message(conn, MsgType::kHelloAck, payload);
+      return true;
+    }
+    case MsgType::kRenderRequest: {
+      RenderRequestMsg req;
+      if (!RenderRequestMsg::decode(msg.payload, &req)) break;
+      handle_render_request(conn, req);
+      return true;
+    }
+    case MsgType::kStreamRequest: {
+      StreamRequestMsg req;
+      if (!StreamRequestMsg::decode(msg.payload, &req)) break;
+      handle_stream_request(conn, req);
+      return true;
+    }
+    case MsgType::kMetricsRequest: {
+      MetricsReplyMsg reply;
+      reply.json = metrics_json();
+      std::vector<uint8_t> payload;
+      reply.encode(&payload);
+      send_message(conn, MsgType::kMetricsReply, payload);
+      return true;
+    }
+    case MsgType::kBye:
+      return false;  // flush pending output, then close
+    default:
+      break;  // server-to-client types arriving here are protocol errors
+  }
+  metrics_.protocol_errors.fetch_add(1);
+  send_error(conn, 0, serve::ServeStatus::kError,
+             std::string("bad message: ") + to_string(msg.type));
+  return false;
+}
+
+void NetServer::handle_render_request(Connection& conn, const RenderRequestMsg& req) {
+  metrics_.requests_received.fetch_add(1);
+  serve::RenderRequest render;
+  render.session_id = req.session_id;
+  render.volume = req.volume;
+  render.camera = req.camera;
+  if (req.deadline_ms > 0) {
+    render.deadline = serve::Clock::now() + std::chrono::microseconds(static_cast<int64_t>(
+                                                req.deadline_ms * 1e3));
+  }
+  auto queue = queue_;
+  const uint64_t conn_id = conn.id;
+  const uint64_t request_id = req.request_id;
+  const uint64_t session_id = req.session_id;
+  const serve::ServeStatus admission = service_.submit_async(
+      std::move(render), [queue, conn_id, request_id, session_id](serve::FrameResult r) {
+        CompletionItem item;
+        item.conn_id = conn_id;
+        item.request_id = request_id;
+        item.session_id = session_id;
+        item.result = std::move(r);
+        queue->push(std::move(item));
+      });
+  if (admission != serve::ServeStatus::kOk) {
+    send_error(conn, request_id, admission, to_string(admission));
+    return;
+  }
+  ++conn.outstanding_requests;
+}
+
+void NetServer::handle_stream_request(Connection& conn, const StreamRequestMsg& req) {
+  if (conn.streams.size() >= kMaxStreamsPerConnection ||
+      conn.streams.count(req.stream_id) != 0) {
+    metrics_.protocol_errors.fetch_add(1);
+    send_error(conn, req.stream_id, serve::ServeStatus::kError,
+               conn.streams.count(req.stream_id) ? "duplicate stream id"
+                                                 : "too many streams");
+    return;
+  }
+  metrics_.streams_opened.fetch_add(1);
+  Stream stream;
+  stream.request = req;
+  auto [it, inserted] = conn.streams.emplace(req.stream_id, std::move(stream));
+  pump_one_stream(conn, it->second);
+  if (it->second.ended) conn.streams.erase(it);
+}
+
+void NetServer::drain_completions() {
+  std::deque<CompletionItem> items;
+  {
+    std::lock_guard<std::mutex> lock(queue_->mutex);
+    items.swap(queue_->items);
+  }
+  for (CompletionItem& item : items) apply_completion(std::move(item));
+}
+
+void NetServer::apply_completion(CompletionItem&& item) {
+  const auto cit = conns_.find(item.conn_id);
+  if (cit == conns_.end()) {
+    metrics_.orphaned_completions.fetch_add(1);
+    return;
+  }
+  Connection& conn = cit->second;
+
+  if (item.stream_id == 0) {
+    // One-shot request/reply.
+    --conn.outstanding_requests;
+    if (item.result.status != serve::ServeStatus::kOk) {
+      send_error(conn, item.request_id, item.result.status,
+                 to_string(item.result.status));
+      return;
+    }
+    FrameMsg frame;
+    frame.request_id = item.request_id;
+    frame.render_ms = item.result.timing.composite_ms + item.result.timing.warp_ms;
+    frame.total_ms = item.result.timing.total_ms;
+    frame.cache_hit = item.result.timing.cache_hit ? 1 : 0;
+    conn.session_encoders[item.session_id].encode(item.result.image, &frame.encoded);
+    metrics_.frames_sent.fetch_add(1);
+    metrics_.frame_raw_bytes.fetch_add(item.result.image.pixel_count() * 4);
+    metrics_.frame_wire_bytes.fetch_add(frame.encoded.size());
+    std::vector<uint8_t> payload;
+    frame.encode(&payload);
+    send_message(conn, MsgType::kFrame, payload);
+    return;
+  }
+
+  const auto sit = conn.streams.find(item.stream_id);
+  if (sit == conn.streams.end()) {
+    metrics_.orphaned_completions.fetch_add(1);
+    return;
+  }
+  Stream& stream = sit->second;
+  --stream.in_flight;
+  if (item.result.status == serve::ServeStatus::kOk) {
+    stream.ready.push_back(std::move(item));
+    // Backpressure: a slow consumer gets the newest frames; the oldest
+    // rendered-but-undelivered frame is shed, before it ever reaches the
+    // encoder (so the delta chain only contains delivered frames).
+    while (stream.ready.size() > options_.max_pending_frames) {
+      stream.ready.pop_front();
+      ++stream.dropped;
+      ++stream.pending_dropped;
+      metrics_.frames_dropped.fetch_add(1);
+    }
+  } else {
+    // The service shed or failed this frame: it will never be delivered.
+    ++stream.dropped;
+    ++stream.pending_dropped;
+    metrics_.frames_dropped.fetch_add(1);
+  }
+  pump_one_stream(conn, stream);
+  if (stream.ended) conn.streams.erase(sit);
+}
+
+void NetServer::pump_streams(Connection& conn) {
+  for (auto it = conn.streams.begin(); it != conn.streams.end();) {
+    pump_one_stream(conn, it->second);
+    it = it->second.ended ? conn.streams.erase(it) : std::next(it);
+  }
+}
+
+void NetServer::pump_one_stream(Connection& conn, Stream& stream) {
+  if (stream.ended) return;
+  const StreamRequestMsg& req = stream.request;
+
+  // Keep up to stream_window frames inside the render service. kQueueFull
+  // is transient (retried on the next pump); any other admission failure
+  // (shutdown) means the remaining frames will never render.
+  while (stream.in_flight < static_cast<uint32_t>(options_.stream_window) &&
+         stream.next_submit < req.frames) {
+    serve::RenderRequest render;
+    render.session_id = req.session_id;
+    render.volume = req.volume;
+    render.camera = Camera::orbit(
+        {req.volume.nx, req.volume.ny, req.volume.nz},
+        req.start_yaw + stream.next_submit * req.step_deg * kDeg, req.pitch);
+    auto queue = queue_;
+    const uint64_t conn_id = conn.id;
+    const uint64_t stream_id = req.stream_id;
+    const uint64_t session_id = req.session_id;
+    const uint32_t seq = stream.next_submit;
+    const serve::ServeStatus admission = service_.submit_async(
+        std::move(render),
+        [queue, conn_id, stream_id, session_id, seq](serve::FrameResult r) {
+          CompletionItem item;
+          item.conn_id = conn_id;
+          item.stream_id = stream_id;
+          item.session_id = session_id;
+          item.seq = seq;
+          item.result = std::move(r);
+          queue->push(std::move(item));
+        });
+    if (admission == serve::ServeStatus::kOk) {
+      ++stream.in_flight;
+      ++stream.next_submit;
+      continue;
+    }
+    if (admission == serve::ServeStatus::kQueueFull) break;
+    const uint32_t remaining = req.frames - stream.next_submit;
+    stream.dropped += remaining;
+    stream.pending_dropped += remaining;
+    metrics_.frames_dropped.fetch_add(remaining);
+    stream.next_submit = req.frames;
+    break;
+  }
+
+  // Encode and enqueue ready frames while the send buffer has room.
+  while (!stream.ready.empty() && !send_buffer_full(conn)) {
+    CompletionItem item = std::move(stream.ready.front());
+    stream.ready.pop_front();
+    FrameMsg frame;
+    frame.stream_id = req.stream_id;
+    frame.seq = item.seq;
+    frame.dropped_before = stream.pending_dropped;
+    stream.pending_dropped = 0;
+    frame.render_ms = item.result.timing.composite_ms + item.result.timing.warp_ms;
+    frame.total_ms = item.result.timing.total_ms;
+    frame.cache_hit = item.result.timing.cache_hit ? 1 : 0;
+    stream.encoder.encode(item.result.image, &frame.encoded);
+    ++stream.sent;
+    metrics_.frames_sent.fetch_add(1);
+    metrics_.frame_raw_bytes.fetch_add(item.result.image.pixel_count() * 4);
+    metrics_.frame_wire_bytes.fetch_add(frame.encoded.size());
+    std::vector<uint8_t> payload;
+    frame.encode(&payload);
+    send_message(conn, MsgType::kFrame, payload);
+  }
+
+  if (stream.next_submit >= req.frames && stream.in_flight == 0 &&
+      stream.ready.empty()) {
+    StreamEndMsg end;
+    end.stream_id = req.stream_id;
+    end.frames_sent = stream.sent;
+    end.frames_dropped = stream.dropped;
+    std::vector<uint8_t> payload;
+    end.encode(&payload);
+    send_message(conn, MsgType::kStreamEnd, payload);
+    metrics_.streams_completed.fetch_add(1);
+    stream.ended = true;
+  }
+}
+
+void NetServer::send_message(Connection& conn, MsgType type,
+                             const std::vector<uint8_t>& payload) {
+  encode_message(type, payload, &conn.out);
+}
+
+void NetServer::send_error(Connection& conn, uint64_t request_id,
+                           serve::ServeStatus status, const std::string& message) {
+  ErrorMsg err;
+  err.request_id = request_id;
+  err.status = static_cast<uint16_t>(status);
+  err.message = message;
+  std::vector<uint8_t> payload;
+  err.encode(&payload);
+  send_message(conn, MsgType::kError, payload);
+  metrics_.errors_sent.fetch_add(1);
+}
+
+void NetServer::close_connection(uint64_t conn_id) {
+  if (conns_.erase(conn_id) > 0) metrics_.connections_closed.fetch_add(1);
+}
+
+void NetServer::harvest_idle() {
+  if (options_.idle_timeout_ms <= 0) return;
+  std::vector<uint64_t> idle;
+  for (auto& [id, conn] : conns_) {
+    const bool quiet = conn.streams.empty() && conn.outstanding_requests == 0 &&
+                       conn.out.size() == conn.out_off;
+    if (quiet && ms_since(conn.last_activity) > options_.idle_timeout_ms) {
+      idle.push_back(id);
+    }
+  }
+  for (const uint64_t id : idle) {
+    metrics_.idle_timeouts.fetch_add(1);
+    close_connection(id);
+  }
+}
+
+}  // namespace psw::net

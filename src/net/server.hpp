@@ -1,0 +1,165 @@
+// Poll-driven TCP front end over RenderService: the layer that lets frames
+// leave the process. One thread runs a poll() loop over a single acceptor
+// plus all client connections (non-blocking sockets, no thread per
+// connection); render work is bridged onto the service with submit_async
+// completion callbacks, which hand finished frames back to the poll thread
+// through a wakeup-pipe-signalled completion queue. The poll thread is the
+// only code that touches connection state, so the server needs no locks
+// beyond that queue.
+//
+// Backpressure is explicit and counted: each streaming session keeps at
+// most `max_pending_frames` rendered-but-unsent frames — when a new frame
+// completes against a full queue the *oldest undelivered* frame is dropped
+// (the client wants the newest view, not a growing backlog of stale ones)
+// and the drop is reported in the next delivered frame's `dropped_before`.
+// Dropping happens before encoding, so the delta codec's
+// previous-frame chain only ever contains frames that were actually sent.
+// Encoded bytes per connection are bounded by `max_send_buffer_bytes`;
+// connections with nothing outstanding are closed after `idle_timeout_ms`.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame_codec.hpp"
+#include "net/metrics.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "serve/service.hpp"
+
+namespace psw::net {
+
+struct NetServerOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; see NetServer::port() for the result
+  int backlog = 16;
+  int max_connections = 64;
+  // Stream flow control: frames of one stream concurrently inside the
+  // render service, and rendered frames queued per stream awaiting encode
+  // before drop-oldest kicks in.
+  int stream_window = 4;
+  size_t max_pending_frames = 4;
+  // Encoded-bytes bound per connection; encoding pauses (and the pending
+  // queue starts shedding) when a slow reader lets this fill up.
+  size_t max_send_buffer_bytes = 8u << 20;
+  // Kernel SO_SNDBUF per accepted connection; 0 keeps the OS default.
+  // Tests shrink it so loopback can't hide a slow consumer.
+  int socket_send_buffer_bytes = 0;
+  double idle_timeout_ms = 30'000.0;  // 0 disables idle harvesting
+};
+
+class NetServer {
+ public:
+  // The service must outlive the server. The server stops itself (and
+  // waits out in-flight completion callbacks) on destruction.
+  NetServer(serve::RenderService& service, NetServerOptions options = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Binds, listens and starts the poll thread. False (with *error) when the
+  // address is unavailable.
+  bool start(std::string* error = nullptr);
+
+  // Closes the acceptor and every connection and joins the poll thread.
+  // Completion callbacks still in flight inside the render service remain
+  // safe after stop(): they land in the (now closed) queue and are counted
+  // as orphaned. Idempotent.
+  void stop();
+
+  bool running() const { return thread_.joinable(); }
+  uint16_t port() const { return port_; }
+  const NetServerOptions& options() const { return options_; }
+  const NetMetrics& metrics() const { return metrics_; }
+
+  // One JSON object combining the render service's metrics with the
+  // network layer's (the document netserve flushes on shutdown).
+  std::string metrics_json() const;
+
+ private:
+  struct CompletionItem {
+    uint64_t conn_id = 0;
+    uint64_t stream_id = 0;   // 0 for one-shot requests
+    uint64_t request_id = 0;  // 0 for stream frames
+    uint64_t session_id = 0;
+    uint32_t seq = 0;
+    serve::FrameResult result;
+  };
+
+  // Callbacks capture this queue by shared_ptr, so a callback firing after
+  // stop() (or even after the server is destroyed) writes into a closed
+  // queue instead of freed memory.
+  struct CompletionQueue;
+
+  struct Stream {
+    StreamRequestMsg request;
+    uint32_t next_submit = 0;
+    uint32_t in_flight = 0;
+    uint32_t sent = 0;
+    uint32_t dropped = 0;
+    uint32_t pending_dropped = 0;  // reported in the next frame's header
+    bool ended = false;
+    std::deque<CompletionItem> ready;  // rendered, awaiting encode+send
+    FrameEncoder encoder;
+  };
+
+  struct Connection {
+    uint64_t id = 0;
+    UniqueFd fd;
+    std::vector<uint8_t> in;
+    std::vector<uint8_t> out;
+    size_t out_off = 0;
+    bool got_hello = false;
+    bool closing = false;  // flush `out`, then close
+    int outstanding_requests = 0;
+    serve::Clock::time_point last_activity;
+    std::map<uint64_t, Stream> streams;
+    // One-shot requests from one connection share a per-session delta chain
+    // (replies for a session are sent in submit order, so the chain is
+    // well-defined on the client too).
+    std::map<uint64_t, FrameEncoder> session_encoders;
+  };
+
+  void poll_loop();
+  void accept_ready();
+  void read_ready(Connection& conn);
+  void write_ready(Connection& conn);
+  bool handle_message(Connection& conn, const WireMessage& msg);
+  void handle_render_request(Connection& conn, const RenderRequestMsg& req);
+  void handle_stream_request(Connection& conn, const StreamRequestMsg& req);
+  void drain_completions();
+  void apply_completion(CompletionItem&& item);
+  // Submits due stream frames and encodes ready frames into `out`.
+  void pump_streams(Connection& conn);
+  void pump_one_stream(Connection& conn, Stream& stream);
+  void send_message(Connection& conn, MsgType type,
+                    const std::vector<uint8_t>& payload);
+  void send_error(Connection& conn, uint64_t request_id, serve::ServeStatus status,
+                  const std::string& message);
+  void close_connection(uint64_t conn_id);
+  void harvest_idle();
+  bool send_buffer_full(const Connection& conn) const {
+    return conn.out.size() - conn.out_off >= options_.max_send_buffer_bytes;
+  }
+
+  serve::RenderService& service_;
+  NetServerOptions options_;
+  NetMetrics metrics_;
+
+  UniqueFd listener_;
+  UniqueFd wake_rd_;  // read end of the self-pipe; write end lives in queue_
+  uint16_t port_ = 0;
+  std::shared_ptr<CompletionQueue> queue_;
+  std::atomic<bool> stopping_{false};
+  std::map<uint64_t, Connection> conns_;
+  uint64_t next_conn_id_ = 1;
+  std::thread thread_;
+};
+
+}  // namespace psw::net

@@ -1,0 +1,213 @@
+// Versioned binary wire protocol for the network frame-delivery subsystem.
+//
+// Every message on the wire is one frame:
+//
+//   offset  size  field
+//   0       4     magic "PSWN"
+//   4       2     protocol version (little-endian, currently 1)
+//   6       2     message type (MsgType)
+//   8       4     payload length (bytes; <= kMaxPayload)
+//   12      4     CRC-32 of the payload bytes
+//   16      n     payload
+//
+// All integers are explicit little-endian; doubles travel as the
+// little-endian bytes of their IEEE-754 representation (bit-exact, which
+// the served-frame bit-identity guarantee depends on). Decoding is total:
+// malformed, truncated or corrupt input yields a typed WireStatus, never a
+// crash, and an incomplete frame yields kNeedMore so a stream reader can
+// simply retry with more bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/factorization.hpp"
+#include "serve/request.hpp"
+
+namespace psw::net {
+
+inline constexpr uint32_t kMagic = 0x4E575350u;  // "PSWN" as LE bytes
+inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr size_t kHeaderSize = 16;
+// Upper bound on one payload: a 2048^2 RGBA frame plus codec overhead fits
+// comfortably; anything larger is a corrupt length field, not real data.
+inline constexpr uint32_t kMaxPayload = 32u << 20;
+
+enum class MsgType : uint16_t {
+  kHello = 1,           // client -> server: version + client name
+  kHelloAck = 2,        // server -> client: version + server name
+  kRenderRequest = 3,   // client -> server: one frame of one session
+  kFrame = 4,           // server -> client: encoded frame (reply or stream)
+  kStreamRequest = 5,   // client -> server: open a pushed animation stream
+  kStreamEnd = 6,       // server -> client: stream finished (sent/dropped)
+  kMetricsRequest = 7,  // client -> server: ask for the metrics JSON
+  kMetricsReply = 8,    // server -> client: metrics JSON string
+  kError = 9,           // server -> client: typed failure for one request
+  kBye = 10,            // either side: orderly close
+};
+
+bool valid_msg_type(uint16_t t);
+const char* to_string(MsgType t);
+
+// Decode outcome. kNeedMore is the only non-terminal status: everything
+// else means the stream is unrecoverable (a framing error implies we no
+// longer know where the next message starts) and the connection should be
+// closed.
+enum class WireStatus {
+  kOk = 0,
+  kNeedMore,     // incomplete header or payload: feed more bytes
+  kBadMagic,     // first four bytes are not "PSWN"
+  kBadVersion,   // version field != kProtocolVersion
+  kBadType,      // type field names no known MsgType
+  kOversized,    // length field exceeds kMaxPayload
+  kBadCrc,       // payload checksum mismatch
+};
+
+const char* to_string(WireStatus s);
+
+struct WireMessage {
+  MsgType type = MsgType::kBye;
+  std::vector<uint8_t> payload;
+};
+
+// Appends one framed message to `out`.
+void encode_message(MsgType type, const uint8_t* payload, size_t payload_size,
+                    std::vector<uint8_t>* out);
+void encode_message(MsgType type, const std::vector<uint8_t>& payload,
+                    std::vector<uint8_t>* out);
+
+// Attempts to decode one message from the front of [data, data+size).
+// kOk: fills *out, *consumed = header + payload bytes.
+// kNeedMore: nothing consumed; call again with more bytes.
+// Any error: *consumed is 0 and the caller should drop the connection.
+WireStatus decode_message(const uint8_t* data, size_t size, WireMessage* out,
+                          size_t* consumed);
+
+// --- little-endian primitive helpers -------------------------------------
+
+void put_u8(std::vector<uint8_t>* out, uint8_t v);
+void put_u16(std::vector<uint8_t>* out, uint16_t v);
+void put_u32(std::vector<uint8_t>* out, uint32_t v);
+void put_u64(std::vector<uint8_t>* out, uint64_t v);
+void put_i32(std::vector<uint8_t>* out, int32_t v);
+void put_f32(std::vector<uint8_t>* out, float v);
+void put_f64(std::vector<uint8_t>* out, double v);
+// Length-prefixed (u32) byte string.
+void put_string(std::vector<uint8_t>* out, const std::string& v);
+
+// Bounds-checked sequential reader over a payload. Any overrun sets a
+// sticky failure flag and makes every subsequent read return zero, so
+// decoders can read the whole struct and check ok() once at the end.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& payload)
+      : ByteReader(payload.data(), payload.size()) {}
+
+  uint8_t read_u8();
+  uint16_t read_u16();
+  uint32_t read_u32();
+  uint64_t read_u64();
+  int32_t read_i32();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  // Copies `n` raw bytes into `dst`; fails (and copies nothing) on overrun.
+  bool read_bytes(void* dst, size_t n);
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - off_; }
+  // True when the payload was consumed exactly (decoders use this to reject
+  // trailing garbage).
+  bool exhausted() const { return ok_ && off_ == size_; }
+
+ private:
+  bool take(size_t n, const uint8_t** p);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t off_ = 0;
+  bool ok_ = true;
+};
+
+// --- message payloads -----------------------------------------------------
+// Each payload struct has encode() appending its wire form and a decode()
+// that returns false on truncated/trailing/invalid input (typed rejection;
+// the caller answers with kError or closes).
+
+struct HelloMsg {
+  uint16_t version = kProtocolVersion;
+  std::string name;
+
+  void encode(std::vector<uint8_t>* out) const;
+  static bool decode(const std::vector<uint8_t>& payload, HelloMsg* out);
+};
+
+struct RenderRequestMsg {
+  uint64_t request_id = 0;  // echoed in the kFrame / kError reply
+  uint64_t session_id = 0;
+  serve::VolumeKey volume;
+  Camera camera;
+  double deadline_ms = 0.0;  // relative to server receipt; 0 = none
+
+  void encode(std::vector<uint8_t>* out) const;
+  static bool decode(const std::vector<uint8_t>& payload, RenderRequestMsg* out);
+};
+
+struct StreamRequestMsg {
+  uint64_t stream_id = 0;  // client-chosen, echoed on every pushed frame
+  uint64_t session_id = 0;
+  serve::VolumeKey volume;
+  // Orbit animation parameters (frame f renders Camera::orbit at
+  // start_yaw + f * step_deg).
+  double start_yaw = 0.0;
+  double pitch = 0.35;
+  double step_deg = 2.0;
+  uint32_t frames = 30;
+
+  void encode(std::vector<uint8_t>* out) const;
+  static bool decode(const std::vector<uint8_t>& payload, StreamRequestMsg* out);
+};
+
+struct FrameMsg {
+  uint64_t request_id = 0;  // one-shot replies; 0 for stream frames
+  uint64_t stream_id = 0;   // stream frames; 0 for one-shot replies
+  uint32_t seq = 0;         // frame index within the stream / request
+  uint32_t dropped_before = 0;  // frames shed by backpressure since the last
+                                // delivered frame of this stream
+  double render_ms = 0.0;       // server-side composite+warp time
+  double total_ms = 0.0;        // server-side submit->completion time
+  uint8_t cache_hit = 0;
+  std::vector<uint8_t> encoded;  // frame-codec blob (see frame_codec.hpp)
+
+  void encode(std::vector<uint8_t>* out) const;
+  static bool decode(const std::vector<uint8_t>& payload, FrameMsg* out);
+};
+
+struct StreamEndMsg {
+  uint64_t stream_id = 0;
+  uint32_t frames_sent = 0;
+  uint32_t frames_dropped = 0;
+
+  void encode(std::vector<uint8_t>* out) const;
+  static bool decode(const std::vector<uint8_t>& payload, StreamEndMsg* out);
+};
+
+struct ErrorMsg {
+  uint64_t request_id = 0;  // 0 when the error is connection-level
+  uint16_t status = 0;      // serve::ServeStatus for admission failures
+  std::string message;
+
+  void encode(std::vector<uint8_t>* out) const;
+  static bool decode(const std::vector<uint8_t>& payload, ErrorMsg* out);
+};
+
+struct MetricsReplyMsg {
+  std::string json;
+
+  void encode(std::vector<uint8_t>* out) const;
+  static bool decode(const std::vector<uint8_t>& payload, MetricsReplyMsg* out);
+};
+
+}  // namespace psw::net

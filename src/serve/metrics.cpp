@@ -46,6 +46,7 @@ void ServiceMetrics::write_json(JsonWriter& w, const CacheStats& cache) const {
       .field("rejected_queue_full", rejected_queue_full.load())
       .field("rejected_deadline", rejected_deadline.load())
       .field("rejected_shutdown", rejected_shutdown.load())
+      .field("async_submitted", async_submitted.load())
       .end_object();
   w.key("completion").begin_object()
       .field("completed", completed.load())

@@ -28,6 +28,9 @@ struct ServiceMetrics {
   std::atomic<uint64_t> rejected_queue_full{0};
   std::atomic<uint64_t> rejected_deadline{0};
   std::atomic<uint64_t> rejected_shutdown{0};
+  // Of `submitted`, how many arrived through the callback form
+  // (submit_async — the network front end's path).
+  std::atomic<uint64_t> async_submitted{0};
 
   // Completion: every accepted request eventually increments exactly one of
   // {completed, shed_deadline, shed_shutdown, failed}.

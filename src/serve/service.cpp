@@ -25,6 +25,15 @@ RenderService::RenderService(ServiceOptions options, VolumeCache::Builder builde
 RenderService::~RenderService() { stop(); }
 
 Ticket RenderService::submit(RenderRequest request) {
+  return admit(std::move(request), {});
+}
+
+ServeStatus RenderService::submit_async(RenderRequest request, Completion done) {
+  metrics_.async_submitted.fetch_add(1);
+  return admit(std::move(request), std::move(done)).admission;
+}
+
+Ticket RenderService::admit(RenderRequest request, Completion done) {
   Ticket ticket;
   metrics_.submitted.fetch_add(1);
   const Clock::time_point now = Clock::now();
@@ -35,6 +44,7 @@ Ticket RenderService::submit(RenderRequest request) {
   }
   Pending pending;
   pending.request = std::move(request);
+  pending.done = std::move(done);
   pending.enqueued = now;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -48,7 +58,7 @@ Ticket RenderService::submit(RenderRequest request) {
       ticket.admission = ServeStatus::kQueueFull;
       return ticket;
     }
-    ticket.result = pending.promise.get_future();
+    if (!pending.done) ticket.result = pending.promise.get_future();
     auto& q = queues_[pending.request.session_id];
     if (q.empty()) rotation_.push_back(pending.request.session_id);
     q.push_back(std::move(pending));
@@ -61,6 +71,14 @@ Ticket RenderService::submit(RenderRequest request) {
   return ticket;
 }
 
+void RenderService::deliver(Pending& p, FrameResult&& result) {
+  if (p.done) {
+    p.done(std::move(result));
+  } else {
+    p.promise.set_value(std::move(result));
+  }
+}
+
 void RenderService::shed(Pending& p, ServeStatus status) {
   if (status == ServeStatus::kDeadlineMissed) {
     metrics_.shed_deadline.fetch_add(1);
@@ -70,7 +88,7 @@ void RenderService::shed(Pending& p, ServeStatus status) {
   FrameResult result;
   result.status = status;
   result.timing.queue_wait_ms = ms_between(p.enqueued, Clock::now());
-  p.promise.set_value(std::move(result));
+  deliver(p, std::move(result));
 }
 
 void RenderService::process(Pending& p) {
@@ -88,7 +106,7 @@ void RenderService::process(Pending& p) {
     FrameResult result;
     result.status = ServeStatus::kError;
     result.timing.queue_wait_ms = ms_between(p.enqueued, dispatched);
-    p.promise.set_value(std::move(result));
+    deliver(p, std::move(result));
   }
 }
 
@@ -132,7 +150,7 @@ void RenderService::render_one(Pending& p, Clock::time_point dispatched) {
   if (stats.profiled) metrics_.profiled_frames.fetch_add(1);
   result.status = ServeStatus::kOk;
   result.frame_seq = metrics_.completed.fetch_add(1) + 1;
-  p.promise.set_value(std::move(result));
+  deliver(p, std::move(result));
 }
 
 void RenderService::scheduler_loop() {

@@ -15,6 +15,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -51,6 +52,15 @@ class RenderService {
   // accepted request's future resolves when the frame is rendered or shed.
   Ticket submit(RenderRequest request);
 
+  // Callback form for event-driven callers (the network front end): no
+  // future is allocated. Returns the typed admission outcome; when kOk the
+  // callback fires exactly once — from the scheduler thread — with the
+  // rendered frame or a typed shed/error result. The callback must not
+  // throw and must not block (it runs on the only thread that dispatches
+  // frames); hand the result off to your own queue and return.
+  using Completion = std::function<void(FrameResult)>;
+  ServeStatus submit_async(RenderRequest request, Completion done);
+
   // Blocks until the queue is empty and no batch is in flight.
   void drain();
 
@@ -67,14 +77,21 @@ class RenderService {
  private:
   struct Pending {
     RenderRequest request;
-    std::promise<FrameResult> promise;
+    std::promise<FrameResult> promise;  // unused when `done` is set
+    Completion done;
     Clock::time_point enqueued;
   };
+
+  // Shared admission path: validates the deadline, reserves queue space and
+  // enqueues. `done` empty means promise/future delivery.
+  Ticket admit(RenderRequest request, Completion done);
 
   void scheduler_loop();
   void process(Pending& p);
   void render_one(Pending& p, Clock::time_point dispatched);
   void shed(Pending& p, ServeStatus status);
+  // Routes a finished/shed result to the pending callback or promise.
+  static void deliver(Pending& p, FrameResult&& result);
 
   ServiceOptions options_;
   ServiceMetrics metrics_;

@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for the network
+// wire protocol's payload integrity check. Table-driven, one byte per
+// step; incremental use chains the running value through `seed`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace psw {
+
+// CRC-32 of `size` bytes at `data`. Pass a previous return value as `seed`
+// to extend a running checksum; the default corresponds to a fresh start.
+uint32_t crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace psw

@@ -39,6 +39,23 @@ void LatencyHistogram::record_ms(double ms) {
   }
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (this == &other) return;
+  for (int b = 0; b < kBuckets; ++b) {
+    const uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_ms_.fetch_add(other.sum_ms_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  const double other_max = other.max_ms_.load(std::memory_order_relaxed);
+  double prev = max_ms_.load(std::memory_order_relaxed);
+  while (other_max > prev &&
+         !max_ms_.compare_exchange_weak(prev, other_max, std::memory_order_relaxed)) {
+  }
+}
+
 double LatencyHistogram::mean_ms() const {
   const uint64_t n = count();
   return n == 0 ? 0.0 : sum_ms() / static_cast<double>(n);

@@ -26,6 +26,13 @@ class LatencyHistogram {
 
   void record_ms(double ms);
 
+  // Adds `other`'s samples into this histogram (bucket-wise; count/sum add,
+  // max takes the larger). Lets per-connection histograms recorded without
+  // any shared lock aggregate into service-wide quantiles at export time.
+  // `other` should be quiescent or a snapshot copy; concurrent recording
+  // into *this* stays safe (all updates are atomic RMWs).
+  void merge(const LatencyHistogram& other);
+
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum_ms() const { return sum_ms_.load(std::memory_order_relaxed); }
   double mean_ms() const;

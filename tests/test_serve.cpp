@@ -359,6 +359,69 @@ TEST(Serve, SameSessionFramesBatchAndReuseProfile) {
   EXPECT_EQ(service.cache_stats().misses, before.misses);
 }
 
+TEST(Serve, SubmitAsyncDeliversCallbackOnSchedulerThread) {
+  ServiceOptions opt;
+  opt.worker_threads = 2;
+  RenderService service(opt);
+
+  std::promise<FrameResult> got;
+  RenderRequest req;
+  req.session_id = 3;
+  req.volume = small_key(24);
+  req.camera = orbit_frame(req.volume, 0);
+  const ServeStatus admission = service.submit_async(
+      req, [&](FrameResult r) { got.set_value(std::move(r)); });
+  ASSERT_EQ(admission, ServeStatus::kOk);
+  const FrameResult r = got.get_future().get();
+  EXPECT_EQ(r.status, ServeStatus::kOk);
+  EXPECT_FALSE(r.image.empty());
+  EXPECT_EQ(service.metrics().async_submitted.load(), 1u);
+
+  // The callback result is bit-identical to the future-based path.
+  Ticket t = service.submit(req);
+  ASSERT_TRUE(t.accepted());
+  EXPECT_EQ(pixel_hash(t.result.get().image), pixel_hash(r.image));
+}
+
+TEST(Serve, SubmitAsyncShedsWithTypedStatusOnStop) {
+  auto slow = [](const VolumeKey& key) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return VolumeCache::phantom_builder()(key);
+  };
+  ServiceOptions opt;
+  opt.worker_threads = 1;
+  auto service = std::make_unique<RenderService>(opt, slow);
+  std::atomic<int> callbacks{0};
+  std::atomic<int> shutdown_results{0};
+  for (int i = 0; i < 4; ++i) {
+    RenderRequest req;
+    req.session_id = 1 + static_cast<uint64_t>(i);
+    req.volume = small_key(16);
+    req.camera = orbit_frame(req.volume, i);
+    ASSERT_EQ(service->submit_async(req,
+                                    [&](FrameResult r) {
+                                      callbacks.fetch_add(1);
+                                      if (r.status == ServeStatus::kShutdown) {
+                                        shutdown_results.fetch_add(1);
+                                      }
+                                    }),
+              ServeStatus::kOk);
+  }
+  service->stop();
+  // Every accepted async request got exactly one callback, rendered or shed.
+  EXPECT_EQ(callbacks.load(), 4);
+  EXPECT_GT(shutdown_results.load(), 0);
+  EXPECT_TRUE(service->metrics().reconciles());
+  // After stop, admission is a synchronous typed rejection; the callback
+  // must never fire.
+  RenderRequest late;
+  late.session_id = 9;
+  late.volume = small_key(16);
+  late.camera = orbit_frame(late.volume, 0);
+  EXPECT_EQ(service->submit_async(late, [&](FrameResult) { ADD_FAILURE(); }),
+            ServeStatus::kShutdown);
+}
+
 TEST(SessionTableTest, EvictsLeastRecentlyUsed) {
   SessionTable table(2, ParallelOptions{});
   table.acquire(1);

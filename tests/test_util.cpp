@@ -4,10 +4,12 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <thread>
 #include <vector>
 
 #include "util/cli.hpp"
+#include "util/crc32.hpp"
 #include "util/histogram.hpp"
 #include "util/image.hpp"
 #include "util/json.hpp"
@@ -196,6 +198,8 @@ TEST(Json, WriterProducesWellFormedNesting) {
   w.field("count", uint64_t{42});
   w.field("ratio", 0.5);
   w.field("bad", std::nan(""));
+  w.field("pos_inf", std::numeric_limits<double>::infinity());
+  w.field("neg_inf", -std::numeric_limits<double>::infinity());
   w.key("list").begin_array().value(1).value(2).end_array();
   w.key("empty").begin_object().end_object();
   w.end_object();
@@ -203,6 +207,13 @@ TEST(Json, WriterProducesWellFormedNesting) {
   EXPECT_NE(s.find("\"a \\\"quoted\\\"\\nstring\""), std::string::npos);
   EXPECT_NE(s.find("\"count\": 42"), std::string::npos);
   EXPECT_NE(s.find("\"bad\": null"), std::string::npos);
+  // Non-finite doubles must never reach the output as "inf"/"nan" tokens:
+  // they would make the whole report unparseable.
+  EXPECT_NE(s.find("\"pos_inf\": null"), std::string::npos);
+  EXPECT_NE(s.find("\"neg_inf\": null"), std::string::npos);
+  EXPECT_EQ(s.find(": inf"), std::string::npos);
+  EXPECT_EQ(s.find(": -inf"), std::string::npos);
+  EXPECT_EQ(s.find(": nan"), std::string::npos);
   EXPECT_NE(s.find("\"empty\": {}"), std::string::npos);
   // Balanced braces/brackets.
   EXPECT_EQ(std::count(s.begin(), s.end(), '{'), std::count(s.begin(), s.end(), '}'));
@@ -235,6 +246,55 @@ TEST(Histogram, ConcurrentRecordingKeepsTotals) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(h.count(), 4000u);
   EXPECT_NEAR(h.sum_ms(), 4000.0, 1e-6);
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording) {
+  // Recording a stream into one histogram must equal recording its halves
+  // into two histograms and merging: identical buckets, count, sum, max,
+  // and therefore identical quantiles.
+  LatencyHistogram combined, lo, hi;
+  SplitMix64 rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const double ms = std::exp2(rng.uniform(-12, 14));  // spans many buckets
+    combined.record_ms(ms);
+    (i % 2 == 0 ? lo : hi).record_ms(ms);
+  }
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), combined.count());
+  EXPECT_NEAR(lo.sum_ms(), combined.sum_ms(), 1e-9 * combined.sum_ms());
+  EXPECT_EQ(lo.max_ms(), combined.max_ms());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(lo.quantile_ms(q), combined.quantile_ms(q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, MergeIntoEmptyAndWithEmpty) {
+  LatencyHistogram a, b, empty;
+  a.record_ms(3.0);
+  a.record_ms(7.0);
+  b.merge(a);  // into empty
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.max_ms(), 7.0);
+  b.merge(empty);  // merging an empty histogram is a no-op
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.sum_ms(), 10.0, 1e-12);
+  b.merge(b);  // self-merge is a no-op, not a doubling
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Crc32, KnownAnswerAndIncremental) {
+  // The standard CRC-32 check value over "123456789".
+  const char* check = "123456789";
+  EXPECT_EQ(crc32(check, 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+  // Chaining through `seed` equals one pass over the concatenation.
+  const uint32_t first = crc32(check, 4);
+  EXPECT_EQ(crc32(check + 4, 5, first), 0xCBF43926u);
+  // Sensitivity: a single flipped bit changes the checksum.
+  char flipped[9];
+  std::copy(check, check + 9, flipped);
+  flipped[3] ^= 0x01;
+  EXPECT_NE(crc32(flipped, 9), 0xCBF43926u);
 }
 
 TEST(Table, AlignsColumns) {

@@ -20,6 +20,7 @@
 
 #include "parallel/animation.hpp"
 #include "serve/service.hpp"
+#include "shutdown.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
@@ -120,6 +121,18 @@ int main(int argc, char** argv) {
   opt.parallel.profile_every = cadence.profile_interval();
   RenderService service(opt);
 
+  // Ctrl-C drains instead of killing the run: the watcher stops the service
+  // (shedding queued frames with kShutdown, which unblocks submitters
+  // waiting on futures), the loops below notice the flag and stop
+  // submitting, and the normal reporting path still writes the JSON.
+  tools::install_shutdown_handler();
+  std::thread shutdown_watcher([&service] {
+    if (tools::wait_for_shutdown()) {
+      std::fprintf(stderr, "\nloadgen: interrupted, draining for the report\n");
+      service.stop();
+    }
+  });
+
   std::printf("loadgen: %d sessions x %d frames, %s loop, %d render threads, "
               "%d-voxel volumes (%d distinct), queue=%d, batch=%d\n",
               sessions, frames, mode.c_str(), opt.worker_threads, size, volumes,
@@ -136,7 +149,7 @@ int main(int argc, char** argv) {
     for (int s = 0; s < sessions; ++s) {
       drivers.emplace_back([&, s] {
         const VolumeKey key = key_for_session(s, volumes, size);
-        for (int f = 0; f < frames; ++f) {
+        for (int f = 0; f < frames && !tools::shutdown_requested(); ++f) {
           Ticket t = service.submit(request_for_frame(s, f, key, step, deadline_ms));
           if (!t.accepted()) {
             per_session[s].count_admission(t.admission);
@@ -158,8 +171,8 @@ int main(int argc, char** argv) {
     tickets.reserve(static_cast<size_t>(sessions) * frames);
     WallTimer pace;
     int submitted = 0;
-    for (int f = 0; f < frames; ++f) {
-      for (int s = 0; s < sessions; ++s) {
+    for (int f = 0; f < frames && !tools::shutdown_requested(); ++f) {
+      for (int s = 0; s < sessions && !tools::shutdown_requested(); ++s) {
         const double due_ms = interval_ms * submitted++;
         const double ahead_ms = due_ms - pace.millis();
         if (ahead_ms > 0.05) {
@@ -177,6 +190,8 @@ int main(int argc, char** argv) {
     for (Ticket& t : tickets) outcome.count_result(t.result.get().status);
   }
   service.drain();
+  tools::release_waiters();
+  shutdown_watcher.join();
   const double wall_ms = wall.millis();
 
   const ServiceMetrics& m = service.metrics();

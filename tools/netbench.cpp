@@ -1,0 +1,279 @@
+// Loopback benchmark for the network frame-delivery path: an in-process
+// NetServer over a RenderService on an ephemeral 127.0.0.1 port, with one
+// NetClient per session driving it through real sockets. Reports latency
+// quantiles (client round-trip in request mode, service end-to-end in
+// stream mode), bytes-on-the-wire vs raw RGBA, and drop counts, as text
+// and as BENCH_net.json. Exits non-zero on any protocol error or failed
+// frame, so CI can use it as a smoke gate.
+//
+//   ./tools/netbench [--mode=stream|request] [--sessions=4] [--frames=30]
+//                    [--size=48] [--threads=4] [--kind=mri] [--step=2.0]
+//                    [--window=4] [--pending=4] [--json=BENCH_net.json]
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/factorization.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "util/cli.hpp"
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+using namespace psw;
+
+namespace {
+
+constexpr double kDeg = 3.14159265358979323846 / 180.0;
+
+struct SessionResult {
+  LatencyHistogram latency;
+  uint64_t frames = 0;
+  uint64_t dropped = 0;
+  uint64_t failures = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  std::string error;
+};
+
+net::RenderRequestMsg one_shot(uint64_t session, int frame, const std::string& kind,
+                               int size, double step_deg) {
+  net::RenderRequestMsg req;
+  req.request_id = static_cast<uint64_t>(frame) + 1;
+  req.session_id = session;
+  req.volume.kind = kind;
+  req.volume.tf_preset = kind == "ct" ? 1 : 0;
+  req.volume.nx = req.volume.ny = req.volume.nz = size;
+  req.camera = Camera::orbit({size, size, size},
+                             0.13 * static_cast<double>(session) +
+                                 frame * step_deg * kDeg,
+                             0.35);
+  return req;
+}
+
+void run_request_session(uint16_t port, uint64_t session, int frames,
+                         const std::string& kind, int size, double step,
+                         SessionResult* out) {
+  net::NetClient client;
+  std::string error;
+  if (!client.connect("127.0.0.1", port, &error)) {
+    out->failures += static_cast<uint64_t>(frames);
+    out->error = error;
+    return;
+  }
+  for (int f = 0; f < frames; ++f) {
+    ImageU8 image;
+    net::FrameMsg meta;
+    WallTimer rtt;
+    if (!client.render(one_shot(session, f, kind, size, step), &image, &meta,
+                       &error)) {
+      ++out->failures;
+      out->error = error;
+      continue;
+    }
+    out->latency.record_ms(rtt.millis());
+    ++out->frames;
+  }
+  out->bytes_sent = client.bytes_sent();
+  out->bytes_received = client.bytes_received();
+  client.send_bye(nullptr);
+}
+
+void run_stream_session(uint16_t port, uint64_t session, int frames,
+                        const std::string& kind, int size, double step,
+                        SessionResult* out) {
+  net::NetClient client;
+  std::string error;
+  if (!client.connect("127.0.0.1", port, &error)) {
+    out->failures += static_cast<uint64_t>(frames);
+    out->error = error;
+    return;
+  }
+  net::StreamRequestMsg req;
+  req.stream_id = session;
+  req.session_id = session;
+  req.volume.kind = kind;
+  req.volume.tf_preset = kind == "ct" ? 1 : 0;
+  req.volume.nx = req.volume.ny = req.volume.nz = size;
+  req.start_yaw = 0.13 * static_cast<double>(session);
+  req.step_deg = step;
+  req.frames = static_cast<uint32_t>(frames);
+  if (!client.open_stream(req, &error)) {
+    out->failures += static_cast<uint64_t>(frames);
+    out->error = error;
+    return;
+  }
+  for (;;) {
+    net::NetClient::Event event;
+    if (!client.next_event(&event, &error)) {
+      ++out->failures;
+      out->error = error;
+      break;
+    }
+    if (event.kind == net::NetClient::Event::Kind::kError) {
+      ++out->failures;
+      out->error = event.error.message;
+      break;
+    }
+    if (event.kind == net::NetClient::Event::Kind::kStreamEnd) {
+      out->dropped = event.end.frames_dropped;
+      break;
+    }
+    // Client-side RTT is meaningless for server-paced frames; use the
+    // service's end-to-end latency carried in the frame header.
+    out->latency.record_ms(event.frame.total_ms);
+    ++out->frames;
+  }
+  out->bytes_sent = client.bytes_sent();
+  out->bytes_received = client.bytes_received();
+  client.send_bye(nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  flags.require_known({"mode", "sessions", "frames", "size", "threads", "kind",
+                       "step", "window", "pending", "json"});
+  const std::string mode = flags.get("mode", "stream");
+  const int sessions = flags.get_int("sessions", 4);
+  const int frames = flags.get_int("frames", 30);
+  const int size = flags.get_int("size", 48);
+  const std::string kind = flags.get("kind", "mri");
+  const double step = flags.get_double("step", 2.0);
+  const std::string json_path = flags.get("json", "BENCH_net.json");
+
+  if (mode != "stream" && mode != "request") {
+    std::fprintf(stderr, "--mode must be stream or request (got '%s')\n",
+                 mode.c_str());
+    return 2;
+  }
+
+  serve::ServiceOptions sopt;
+  sopt.worker_threads = flags.get_int("threads", 4);
+  net::NetServerOptions nopt;
+  nopt.port = 0;  // ephemeral: the bench never collides with a real server
+  nopt.stream_window = flags.get_int("window", 4);
+  nopt.max_pending_frames = static_cast<size_t>(flags.get_int("pending", 4));
+
+  serve::RenderService service(sopt);
+  net::NetServer server(service, nopt);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "netbench: cannot start server: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::printf("netbench: %d %s sessions x %d frames, %d-voxel %s volume, "
+              "%d render threads, loopback port %u\n",
+              sessions, mode.c_str(), frames, size, kind.c_str(),
+              sopt.worker_threads, server.port());
+
+  std::vector<SessionResult> results(static_cast<size_t>(sessions));
+  WallTimer wall;
+  {
+    std::vector<std::thread> drivers;
+    drivers.reserve(static_cast<size_t>(sessions));
+    for (int s = 0; s < sessions; ++s) {
+      SessionResult* out = &results[static_cast<size_t>(s)];
+      const uint64_t session = static_cast<uint64_t>(s) + 1;
+      drivers.emplace_back([=, &server] {
+        if (mode == "request") {
+          run_request_session(server.port(), session, frames, kind, size, step, out);
+        } else {
+          run_stream_session(server.port(), session, frames, kind, size, step, out);
+        }
+      });
+    }
+    for (auto& d : drivers) d.join();
+  }
+  const double wall_ms = wall.millis();
+
+  LatencyHistogram latency;
+  uint64_t frames_ok = 0, dropped = 0, failures = 0;
+  uint64_t bytes_sent = 0, bytes_received = 0;
+  for (const SessionResult& r : results) {
+    latency.merge(r.latency);
+    frames_ok += r.frames;
+    dropped += r.dropped;
+    failures += r.failures;
+    bytes_sent += r.bytes_sent;
+    bytes_received += r.bytes_received;
+    if (!r.error.empty()) {
+      std::fprintf(stderr, "netbench: session error: %s\n", r.error.c_str());
+    }
+  }
+
+  server.stop();
+  service.drain();
+  const net::NetMetrics& m = server.metrics();
+  const uint64_t protocol_errors = m.protocol_errors.load();
+  const double fps = wall_ms > 0 ? 1e3 * static_cast<double>(frames_ok) / wall_ms : 0.0;
+
+  std::printf("\n%llu frames delivered in %.0f ms -> %.1f frames/sec aggregate "
+              "(%llu dropped, %llu failed)\n",
+              static_cast<unsigned long long>(frames_ok), wall_ms, fps,
+              static_cast<unsigned long long>(dropped),
+              static_cast<unsigned long long>(failures));
+  std::printf("latency (%s): p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max %.1f ms\n",
+              mode == "request" ? "client round-trip" : "service end-to-end",
+              latency.quantile_ms(0.50), latency.quantile_ms(0.95),
+              latency.quantile_ms(0.99), latency.max_ms());
+  std::printf("codec: %llu raw RGBA bytes -> %llu on the wire (ratio %.3f)\n",
+              static_cast<unsigned long long>(m.frame_raw_bytes.load()),
+              static_cast<unsigned long long>(m.frame_wire_bytes.load()),
+              m.wire_ratio());
+  std::printf("socket traffic: %llu B client->server, %llu B server->client, "
+              "%llu protocol errors\n",
+              static_cast<unsigned long long>(bytes_sent),
+              static_cast<unsigned long long>(bytes_received),
+              static_cast<unsigned long long>(protocol_errors));
+
+  if (!json_path.empty()) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("config").begin_object()
+        .field("mode", mode)
+        .field("sessions", sessions)
+        .field("frames_per_session", frames)
+        .field("volume_size", size)
+        .field("kind", kind)
+        .field("step_deg", step)
+        .field("threads", sopt.worker_threads)
+        .field("stream_window", nopt.stream_window)
+        .field("max_pending_frames", static_cast<uint64_t>(nopt.max_pending_frames))
+        .end_object();
+    w.key("results").begin_object()
+        .field("wall_ms", wall_ms)
+        .field("frames_delivered", frames_ok)
+        .field("frames_per_second", fps)
+        .field("frames_dropped", dropped)
+        .field("failures", failures)
+        .field("protocol_errors", protocol_errors)
+        .field("client_bytes_sent", bytes_sent)
+        .field("client_bytes_received", bytes_received)
+        .field("frame_raw_bytes", m.frame_raw_bytes.load())
+        .field("frame_wire_bytes", m.frame_wire_bytes.load())
+        .field("wire_ratio", m.wire_ratio());
+    w.key("latency");
+    latency.write_json(w);
+    w.end_object();
+    w.key("net");
+    m.write_json(w);
+    w.end_object();
+    std::string body = w.str();
+    body += '\n';
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "netbench: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  return (failures != 0 || protocol_errors != 0) ? 1 : 0;
+}

@@ -1,0 +1,161 @@
+// Command-line client for netserve. Three modes:
+//   render  — N one-shot render requests along an orbit (round-trip timed)
+//   stream  — one server-paced animation stream, frames counted as they land
+//   metrics — fetch and print the server's combined metrics document
+//
+//   ./tools/netclient --host=127.0.0.1 --port=7420 [--mode=render|stream|metrics]
+//                     [--frames=8] [--size=64] [--kind=mri|ct] [--session=1]
+//                     [--step=2.0] [--ppm=] [--timeout-ms=30000]
+#include <cstdio>
+#include <string>
+
+#include "core/factorization.hpp"
+#include "net/client.hpp"
+#include "util/cli.hpp"
+#include "util/image.hpp"
+#include "util/timer.hpp"
+
+using namespace psw;
+
+namespace {
+
+constexpr double kDeg = 3.14159265358979323846 / 180.0;
+
+net::RenderRequestMsg request_for_frame(uint64_t session, int frame,
+                                        const std::string& kind, int size,
+                                        double step_deg) {
+  net::RenderRequestMsg req;
+  req.request_id = static_cast<uint64_t>(frame) + 1;
+  req.session_id = session;
+  req.volume.kind = kind;
+  req.volume.tf_preset = kind == "ct" ? 1 : 0;
+  req.volume.nx = req.volume.ny = req.volume.nz = size;
+  req.camera = Camera::orbit({size, size, size}, frame * step_deg * kDeg, 0.35);
+  return req;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  flags.require_known({"host", "port", "mode", "frames", "size", "kind",
+                       "session", "step", "ppm", "timeout-ms"});
+  const std::string host = flags.get("host", "127.0.0.1");
+  const uint16_t port = static_cast<uint16_t>(flags.get_int("port", 7420));
+  const std::string mode = flags.get("mode", "render");
+  const int frames = flags.get_int("frames", 8);
+  const int size = flags.get_int("size", 64);
+  const std::string kind = flags.get("kind", "mri");
+  const uint64_t session = static_cast<uint64_t>(flags.get_int("session", 1));
+  const double step = flags.get_double("step", 2.0);
+  const std::string ppm_path = flags.get("ppm", "");
+
+  if (mode != "render" && mode != "stream" && mode != "metrics") {
+    std::fprintf(stderr, "--mode must be render, stream or metrics (got '%s')\n",
+                 mode.c_str());
+    return 2;
+  }
+  if (kind != "mri" && kind != "ct") {
+    std::fprintf(stderr, "--kind must be mri or ct (got '%s')\n", kind.c_str());
+    return 2;
+  }
+
+  net::NetClientOptions copt;
+  copt.recv_timeout_ms = flags.get_double("timeout-ms", 30'000.0);
+  net::NetClient client(copt);
+  std::string error;
+  if (!client.connect(host, port, &error)) {
+    std::fprintf(stderr, "netclient: connect %s:%u failed: %s\n", host.c_str(),
+                 port, error.c_str());
+    return 1;
+  }
+  std::printf("netclient: connected to %s (%s:%u)\n",
+              client.server_name().c_str(), host.c_str(), port);
+
+  ImageU8 last;
+  int received = 0;
+  uint64_t dropped = 0;
+  WallTimer wall;
+
+  if (mode == "metrics") {
+    std::string json;
+    if (!client.fetch_metrics(&json, &error)) {
+      std::fprintf(stderr, "netclient: metrics failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("%s\n", json.c_str());
+    client.send_bye(nullptr);
+    return 0;
+  }
+
+  if (mode == "render") {
+    for (int f = 0; f < frames; ++f) {
+      const net::RenderRequestMsg req = request_for_frame(session, f, kind, size, step);
+      net::FrameMsg meta;
+      WallTimer rtt;
+      if (!client.render(req, &last, &meta, &error)) {
+        std::fprintf(stderr, "netclient: frame %d failed: %s\n", f, error.c_str());
+        return 1;
+      }
+      std::printf("frame %3d: %3dx%-3d rtt %6.1f ms (render %5.1f ms, %s)\n", f,
+                  last.width(), last.height(), rtt.millis(), meta.render_ms,
+                  meta.cache_hit ? "cache hit" : "cache miss");
+      ++received;
+    }
+  } else {
+    net::StreamRequestMsg req;
+    req.stream_id = 1;
+    req.session_id = session;
+    req.volume.kind = kind;
+    req.volume.tf_preset = kind == "ct" ? 1 : 0;
+    req.volume.nx = req.volume.ny = req.volume.nz = size;
+    req.step_deg = step;
+    req.frames = static_cast<uint32_t>(frames);
+    if (!client.open_stream(req, &error)) {
+      std::fprintf(stderr, "netclient: open stream failed: %s\n", error.c_str());
+      return 1;
+    }
+    for (;;) {
+      net::NetClient::Event event;
+      if (!client.next_event(&event, &error)) {
+        std::fprintf(stderr, "netclient: stream failed: %s\n", error.c_str());
+        return 1;
+      }
+      if (event.kind == net::NetClient::Event::Kind::kError) {
+        std::fprintf(stderr, "netclient: server error (%u): %s\n",
+                     event.error.status, event.error.message.c_str());
+        return 1;
+      }
+      if (event.kind == net::NetClient::Event::Kind::kStreamEnd) {
+        std::printf("stream end: %u sent, %u dropped by server\n",
+                    event.end.frames_sent, event.end.frames_dropped);
+        dropped = event.end.frames_dropped;
+        break;
+      }
+      last = std::move(event.image);
+      ++received;
+      if (event.frame.dropped_before > 0) {
+        std::printf("frame seq %3u: (%u dropped before this one)\n",
+                    event.frame.seq, event.frame.dropped_before);
+      }
+    }
+  }
+
+  const double wall_ms = wall.millis();
+  std::printf("netclient: %d frames in %.0f ms (%.1f fps), %llu B sent, "
+              "%llu B received, %llu dropped\n",
+              received, wall_ms,
+              wall_ms > 0 ? 1e3 * received / wall_ms : 0.0,
+              static_cast<unsigned long long>(client.bytes_sent()),
+              static_cast<unsigned long long>(client.bytes_received()),
+              static_cast<unsigned long long>(dropped));
+  if (!ppm_path.empty() && last.width() > 0) {
+    if (write_ppm(ppm_path, last)) {
+      std::printf("netclient: wrote %s\n", ppm_path.c_str());
+    } else {
+      std::fprintf(stderr, "netclient: cannot write %s\n", ppm_path.c_str());
+    }
+  }
+  client.send_bye(nullptr);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// SIGINT/SIGTERM latch shared by the long-running tools (netserve, loadgen).
+// The handler is async-signal-safe: it sets a flag and writes one byte to a
+// self-pipe. Anything that must react — netserve's main thread, loadgen's
+// watcher that sheds blocked submitters via RenderService::stop() — blocks
+// in wait_for_shutdown() on the read end, so reports are always flushed on
+// Ctrl-C instead of the process dying mid-write.
+#pragma once
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+
+namespace psw::tools {
+
+namespace detail {
+inline volatile std::sig_atomic_t g_shutdown = 0;
+inline int g_pipe[2] = {-1, -1};
+
+inline void on_signal(int) {
+  g_shutdown = 1;
+  if (g_pipe[1] >= 0) {
+    const unsigned char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(g_pipe[1], &byte, 1);
+  }
+}
+}  // namespace detail
+
+// Install handlers for SIGINT and SIGTERM. Call once, early in main().
+inline void install_shutdown_handler() {
+  if (detail::g_pipe[0] < 0) {
+    [[maybe_unused]] const int rc = ::pipe(detail::g_pipe);
+  }
+  struct sigaction sa = {};
+  sa.sa_handler = detail::on_signal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+inline bool shutdown_requested() { return detail::g_shutdown != 0; }
+
+// Blocks until a signal arrives or release_waiters() is called. Returns
+// shutdown_requested() so a watcher can tell the two apart.
+inline bool wait_for_shutdown() {
+  unsigned char byte;
+  while (::read(detail::g_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  return shutdown_requested();
+}
+
+// Unblocks wait_for_shutdown() without signalling shutdown (normal exit of
+// the main workload, so the watcher thread can be joined).
+inline void release_waiters() {
+  if (detail::g_pipe[1] >= 0) {
+    const unsigned char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(detail::g_pipe[1], &byte, 1);
+  }
+}
+
+}  // namespace psw::tools

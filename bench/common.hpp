@@ -6,11 +6,15 @@
 //                               dimensions / 2, so full sweeps run in
 //                               seconds on one host core)
 //   --procs=1,2,4,8,16,32       processor counts for sweeps
+//   --prepare-threads=N         threads for dataset preparation (classify +
+//                               encode; default: host concurrency). Output
+//                               is bit-identical across thread counts.
 #pragma once
 
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "memsim/experiment.hpp"
@@ -28,9 +32,12 @@ class Context {
       : flags_(argc, argv) {
     extra_flags.push_back("scale");
     extra_flags.push_back("procs");
+    extra_flags.push_back("prepare-threads");
     flags_.require_known(extra_flags);
     const std::string scale = flags_.get("scale", "half");
     divisor_ = scale == "full" ? 1 : (scale == "quarter" ? 4 : 2);
+    const unsigned hw = std::thread::hardware_concurrency();
+    prepare_.threads = flags_.get_int("prepare-threads", hw > 0 ? static_cast<int>(hw) : 1);
     const std::string procs = flags_.get("procs", "1,2,4,8,16,32");
     size_t pos = 0;
     while (pos < procs.size()) {
@@ -44,6 +51,7 @@ class Context {
   int divisor() const { return divisor_; }
   const std::vector<int>& procs() const { return procs_; }
   const CliFlags& flags() const { return flags_; }
+  const PrepareOptions& prepare_options() const { return prepare_; }
 
   // Scales a machine's cache capacity with the dataset divisor (by
   // divisor^2, the growth rate of the algorithm's plane working set, §3.4.4)
@@ -81,13 +89,14 @@ class Context {
     }
     std::fprintf(stderr, "[bench] building %s (%dx%dx%d)...\n", name.c_str(), scaled.nx,
                  scaled.ny, scaled.nz);
-    Dataset d = make_dataset(kind, name, scaled.nx, scaled.ny, scaled.nz);
+    Dataset d = make_dataset(kind, name, scaled.nx, scaled.ny, scaled.nz, prepare_);
     return cache_.emplace(key, std::move(d)).first->second;
   }
 
  private:
   CliFlags flags_;
   int divisor_ = 2;
+  PrepareOptions prepare_;
   std::vector<int> procs_;
   std::map<std::string, Dataset> cache_;
 };

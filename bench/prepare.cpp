@@ -1,0 +1,214 @@
+// Volume-preparation benchmark: times the full classify + 3-axis encode
+// pipeline three ways on the MRI/CT phantoms —
+//   seed      the pre-optimization path (verbatim copy in seed_baseline.hpp):
+//             double gradient fetch per voxel, no transparency skip,
+//             per-voxel index rebuild in the encoder;
+//   serial    today's serial path (fused gradient, per-density transparency
+//             skip table, stride-walking chunk encoder);
+//   parallel  the slab/chunk-parallel pipeline at each --threads value.
+// Every variant's output is content-hashed and compared against the seed
+// hashes; the run fails (exit 1) on any mismatch, so the speedups reported
+// are for bit-identical outputs by construction.
+//
+//   ./bench/prepare [--kinds=mri,ct] [--sizes=128,256] [--threads=1,2,4,8]
+//                   [--repeat=1] [--json=BENCH_prepare.json]
+//
+// Sizes name the paper dataset classes (mri-256 is 256x256x167, ct-256 is
+// 256^3); a size with no matching spec benches a cube of that edge.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/seed_baseline.hpp"
+#include "core/classify.hpp"
+#include "parallel/prepare.hpp"
+#include "phantom/phantom.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace psw;
+
+std::vector<int> parse_int_list(const std::string& csv) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    out.push_back(std::atoi(csv.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> parse_str_list(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    out.push_back(csv.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+DatasetSpec spec_for(const std::string& kind, int size_class) {
+  const std::string want = kind + "-" + std::to_string(size_class);
+  if (kind == "mri") {
+    for (const auto& s : kMriSpecs) {
+      if (want == s.name) return s;
+    }
+  } else {
+    for (const auto& s : kCtSpecs) {
+      if (want == s.name) return s;
+    }
+  }
+  return {"", size_class, size_class, size_class};  // no spec: bench a cube
+}
+
+struct SeedResult {
+  double classify_ms = 0.0;
+  double encode_ms = 0.0;
+  double total_ms = 0.0;
+  uint64_t classified_hash = 0;
+  uint64_t encoded_hash = 0;
+};
+
+SeedResult run_seed(const DensityVolume& density, const TransferFunction& tf,
+                    const ClassifyOptions& copt) {
+  SeedResult r;
+  WallTimer t;
+  const ClassifiedVolume classified = bench::seed::classify(density, tf, copt);
+  r.classify_ms = t.millis();
+  std::array<bench::seed::SeedRle, 3> rle;
+  for (int c = 0; c < 3; ++c) {
+    rle[c] = bench::seed::encode(classified, c, copt.alpha_threshold);
+  }
+  r.total_ms = t.millis();
+  r.encode_ms = r.total_ms - r.classify_ms;
+  r.classified_hash = classified_content_hash(classified);
+  r.encoded_hash = bench::seed::encoded_content_hash(
+      rle, {density.nx(), density.ny(), density.nz()}, copt.alpha_threshold);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  flags.require_known({"kinds", "sizes", "threads", "repeat", "json"});
+  const auto kinds = parse_str_list(flags.get("kinds", "mri,ct"));
+  const auto sizes = parse_int_list(flags.get("sizes", "128,256"));
+  const auto threads = parse_int_list(flags.get("threads", "1,2,4,8"));
+  const int repeat = std::max(1, flags.get_int("repeat", 1));
+  const std::string json_path = flags.get("json", "BENCH_prepare.json");
+
+  std::printf("Volume preparation: seed vs serial vs parallel pipeline\n");
+  std::printf("(all variants hash-checked bit-identical against the seed output)\n\n");
+
+  bool all_identical = true;
+  JsonWriter w;
+  w.begin_object();
+  w.key("datasets").begin_array();
+
+  for (const std::string& kind : kinds) {
+    for (int size : sizes) {
+      const DatasetSpec spec = spec_for(kind, size);
+      const DensityVolume density = kind == "ct"
+                                        ? make_ct_head(spec.nx, spec.ny, spec.nz)
+                                        : make_mri_brain(spec.nx, spec.ny, spec.nz);
+      const TransferFunction tf = kind == "ct" ? TransferFunction::ct_preset()
+                                               : TransferFunction::mri_preset();
+      const ClassifyOptions copt;
+      std::printf("%s-%d (%dx%dx%d)\n", kind.c_str(), size, spec.nx, spec.ny, spec.nz);
+      std::printf("  %-14s %12s %12s %12s %9s  %s\n", "variant", "classify ms",
+                  "encode ms", "total ms", "speedup", "identical");
+
+      // Best-of-repeat for every variant (phantom generation excluded).
+      SeedResult seed = run_seed(density, tf, copt);
+      for (int r = 1; r < repeat; ++r) {
+        const SeedResult again = run_seed(density, tf, copt);
+        if (again.total_ms < seed.total_ms) seed = again;
+      }
+      std::printf("  %-14s %12.1f %12.1f %12.1f %9s  %s\n", "seed",
+                  seed.classify_ms, seed.encode_ms, seed.total_ms, "1.00x", "-");
+
+      w.begin_object()
+          .field("kind", kind)
+          .field("size_class", size)
+          .field("nx", spec.nx)
+          .field("ny", spec.ny)
+          .field("nz", spec.nz)
+          .field("repeat", repeat);
+      w.key("seed").begin_object()
+          .field("classify_ms", seed.classify_ms)
+          .field("encode_ms", seed.encode_ms)
+          .field("total_ms", seed.total_ms)
+          .end_object();
+      w.key("variants").begin_array();
+
+      for (int nthreads : threads) {
+        PrepareOptions popt;
+        popt.threads = nthreads;
+        PrepareTiming best{};
+        uint64_t classified_hash = 0, encoded_hash = 0;
+        for (int r = 0; r < repeat; ++r) {
+          ClassifiedVolume classified;
+          PrepareTiming timing;
+          const EncodedVolume encoded =
+              prepare_volume(density, tf, copt, popt, &classified, &timing);
+          if (r == 0 || timing.total_ms < best.total_ms) best = timing;
+          classified_hash = classified_content_hash(classified);
+          encoded_hash = encoded.content_hash();
+        }
+        const bool identical = classified_hash == seed.classified_hash &&
+                               encoded_hash == seed.encoded_hash;
+        all_identical = all_identical && identical;
+        const double speedup = best.total_ms > 0 ? seed.total_ms / best.total_ms : 0.0;
+        char label[32];
+        std::snprintf(label, sizeof(label),
+                      nthreads <= 1 ? "serial" : "parallel x%d", nthreads);
+        std::printf("  %-14s %12.1f %12.1f %12.1f %8.2fx  %s\n", label,
+                    best.classify_ms, best.encode_ms, best.total_ms, speedup,
+                    identical ? "yes" : "NO — HASH MISMATCH");
+        w.begin_object()
+            .field("threads", nthreads)
+            .field("classify_ms", best.classify_ms)
+            .field("encode_ms", best.encode_ms)
+            .field("total_ms", best.total_ms)
+            .field("speedup_vs_seed", speedup)
+            .field("identical", identical)
+            .end_object();
+      }
+      w.end_array();  // variants
+      w.end_object();
+      std::printf("\n");
+    }
+  }
+  w.end_array();  // datasets
+  w.field("all_identical", all_identical);
+  w.end_object();
+
+  if (!json_path.empty()) {
+    std::string body = w.str();
+    body += '\n';
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAILED: an optimized pipeline produced output that is not "
+                         "bit-identical to the seed path\n");
+    return 1;
+  }
+  return 0;
+}

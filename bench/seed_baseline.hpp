@@ -1,0 +1,145 @@
+// Verbatim copy of the pre-optimization (seed) volume-preparation path:
+// the classify() that recomputed the central-difference gradient for the
+// magnitude and again for the normal, classified every voxel with no
+// transparency skip, and the per-voxel index-rebuilding RleVolume::encode().
+// Kept here — not in the library — as the honest baseline the preparation
+// bench times against and the reference the bit-identity tests pin the
+// optimized pipeline to. Mirrors the hash layouts of
+// classified_content_hash() / RleVolume::content_hash() /
+// EncodedVolume::content_hash() so outputs compare across representations.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/classify.hpp"
+#include "core/gradient.hpp"
+#include "core/rle_volume.hpp"
+#include "core/transfer.hpp"
+
+namespace psw::bench::seed {
+
+inline uint64_t fnv1a(uint64_t h, const void* data, size_t bytes) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline constexpr uint64_t kFnvBasis = 1469598103934665603ull;
+
+inline ClassifiedVolume classify(const DensityVolume& density, const TransferFunction& tf,
+                                 const ClassifyOptions& opt = {}) {
+  ClassifiedVolume out(density.nx(), density.ny(), density.nz());
+  const Vec3 light = opt.light_dir.normalized();
+
+  for (int z = 0; z < density.nz(); ++z) {
+    for (int y = 0; y < density.ny(); ++y) {
+      for (int x = 0; x < density.nx(); ++x) {
+        const float d = density.at(x, y, z);
+        const float gm = gradient_magnitude(density, x, y, z);
+        const float a = tf.opacity(d, gm);
+        ClassifiedVoxel cv;
+        cv.a = static_cast<uint8_t>(std::lround(std::clamp(a, 0.0f, 1.0f) * 255.0f));
+        if (cv.a >= opt.alpha_threshold) {
+          const Vec3 n = surface_normal(density, x, y, z);
+          const double lambert = std::max(0.0, n.dot(light));
+          const double shade = opt.ambient + opt.diffuse * lambert;
+          const Vec3 c = tf.color(d) * shade;
+          cv.r = static_cast<uint8_t>(std::lround(std::clamp(c.x, 0.0, 1.0) * 255.0));
+          cv.g = static_cast<uint8_t>(std::lround(std::clamp(c.y, 0.0, 1.0) * 255.0));
+          cv.b = static_cast<uint8_t>(std::lround(std::clamp(c.z, 0.0, 1.0) * 255.0));
+        } else {
+          cv = ClassifiedVoxel{};  // fully transparent voxels carry no color
+        }
+        out.at(x, y, z) = cv;
+      }
+    }
+  }
+  return out;
+}
+
+// The seed encoder's output in plain vectors (RleVolume's internals are
+// private; what matters is that the bytes hash identically).
+struct SeedRle {
+  int ni = 0, nj = 0, nk = 0;
+  int axis = 2;
+  uint8_t alpha_threshold = 1;
+  std::vector<uint16_t> runs;
+  std::vector<ClassifiedVoxel> voxels;
+  std::vector<uint64_t> run_offset;
+  std::vector<uint64_t> voxel_offset;
+
+  // Same field order and widths as RleVolume::content_hash().
+  uint64_t content_hash() const {
+    uint64_t h = kFnvBasis;
+    const int32_t dims[5] = {ni, nj, nk, axis, alpha_threshold};
+    h = fnv1a(h, dims, sizeof(dims));
+    h = fnv1a(h, runs.data(), runs.size() * sizeof(uint16_t));
+    h = fnv1a(h, voxels.data(), voxels.size() * sizeof(ClassifiedVoxel));
+    h = fnv1a(h, run_offset.data(), run_offset.size() * sizeof(uint64_t));
+    h = fnv1a(h, voxel_offset.data(), voxel_offset.size() * sizeof(uint64_t));
+    return h;
+  }
+};
+
+inline SeedRle encode(const ClassifiedVolume& vol, int principal_axis,
+                      uint8_t alpha_threshold) {
+  SeedRle r;
+  r.axis = principal_axis;
+  const AxisPermutation perm = AxisPermutation::for_principal_axis(principal_axis);
+  r.alpha_threshold = alpha_threshold;
+  r.ni = vol.dim(perm.axis_i);
+  r.nj = vol.dim(perm.axis_j);
+  r.nk = vol.dim(perm.axis_k);
+
+  const size_t scanlines = static_cast<size_t>(r.nk) * r.nj;
+  r.run_offset.reserve(scanlines + 1);
+  r.voxel_offset.reserve(scanlines + 1);
+  r.run_offset.push_back(0);
+  r.voxel_offset.push_back(0);
+
+  for (int k = 0; k < r.nk; ++k) {
+    for (int j = 0; j < r.nj; ++j) {
+      // Encode one scanline: alternating runs starting transparent.
+      bool cur_opaque = false;  // by convention the first run is transparent
+      int cur_len = 0;
+      for (int i = 0; i < r.ni; ++i) {
+        const auto obj = perm.to_object(i, j, k);
+        const ClassifiedVoxel& cv = vol.at(obj[0], obj[1], obj[2]);
+        const bool opaque = !cv.transparent(alpha_threshold);
+        if (opaque != cur_opaque) {
+          r.runs.push_back(static_cast<uint16_t>(cur_len));
+          cur_opaque = opaque;
+          cur_len = 0;
+        }
+        ++cur_len;
+        if (opaque) r.voxels.push_back(cv);
+      }
+      r.runs.push_back(static_cast<uint16_t>(cur_len));
+      r.run_offset.push_back(r.runs.size());
+      r.voxel_offset.push_back(r.voxels.size());
+    }
+  }
+  return r;
+}
+
+// Same combination as EncodedVolume::content_hash().
+inline uint64_t encoded_content_hash(const std::array<SeedRle, 3>& rle,
+                                     std::array<int, 3> dims, uint8_t alpha_threshold) {
+  uint64_t h = kFnvBasis;
+  const int32_t d[4] = {dims[0], dims[1], dims[2], alpha_threshold};
+  h = fnv1a(h, d, sizeof(d));
+  for (int c = 0; c < 3; ++c) {
+    const uint64_t hc = rle[c].content_hash();
+    h = fnv1a(h, &hc, sizeof(hc));
+  }
+  return h;
+}
+
+}  // namespace psw::bench::seed

@@ -34,6 +34,7 @@ psw_bench(fig22_svm_breakdown_new psw_memsim psw_svmsim)
 psw_bench(ablation_partitioning psw_memsim psw_svmsim)
 psw_bench(ext_scaling psw_memsim)
 psw_bench(kernels psw_core psw_phantom psw_parallel benchmark::benchmark)
+psw_bench(prepare psw_parallel psw_phantom)
 
 # `cmake --build build --target bench_kernels_json` regenerates the
 # committed kernel-benchmark report at the repo root.
@@ -42,4 +43,14 @@ add_custom_target(bench_kernels_json
   DEPENDS kernels
   WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench
   COMMENT "Running kernel benchmarks -> BENCH_kernels.json"
+  VERBATIM)
+
+# `cmake --build build --target bench_prepare_json` regenerates the
+# committed volume-preparation report (seed vs serial vs parallel, with
+# bit-identity hash checks) at the repo root.
+add_custom_target(bench_prepare_json
+  COMMAND prepare --json=${CMAKE_SOURCE_DIR}/BENCH_prepare.json
+  DEPENDS prepare
+  WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench
+  COMMENT "Running preparation benchmarks -> BENCH_prepare.json"
   VERBATIM)

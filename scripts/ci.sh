@@ -30,10 +30,13 @@ cmake -B "$out/tsan" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPSW_WERROR=ON -DPSW_SANITIZE=thread
 cmake --build "$out/tsan" -j "$jobs" \
   --target test_parallel_infra test_parallel_renderers test_fastpath test_serve \
-  test_net loadgen netbench
+  test_prepare test_net loadgen netbench
 "$out/tsan/tests/test_parallel_infra"
 "$out/tsan/tests/test_parallel_renderers"
 "$out/tsan/tests/test_fastpath"
+# test_prepare under TSan covers the slab-parallel classifier and the
+# concurrent per-axis chunked encoders (disjoint writes, seam stitching).
+"$out/tsan/tests/test_prepare"
 "$out/tsan/tests/test_serve"
 # test_net under TSan covers the poll loop, the completion queue handoff and
 # the drop-oldest backpressure path with real sockets.
@@ -52,12 +55,22 @@ python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/BENCH_kernels.j
 
 echo "==> Frame-serving smoke run (loadgen, small volume, 2 sessions)"
 "$out/release/tools/loadgen" --sessions=2 --threads=2 --frames=6 --size=32 \
-  --volumes=2 --json="$out/BENCH_serve.json"
+  --volumes=2 --prepare-threads=2 --json="$out/BENCH_serve.json"
 python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
-assert d['results']['failed'] == 0, d" "$out/BENCH_serve.json"
-# Same shape under TSan to exercise the queue/cache/scheduler concurrency.
+assert d['results']['failed'] == 0, d; \
+assert d['results']['cold_start_latency_ms']['count'] > 0, d" "$out/BENCH_serve.json"
+# Same shape under TSan to exercise the queue/cache/scheduler concurrency,
+# including the parallel preparation pipeline behind cache misses.
 "$out/tsan/tools/loadgen" --sessions=2 --threads=2 --frames=4 --size=24 \
-  --volumes=2 --json=
+  --volumes=2 --prepare-threads=2 --json=
+
+echo "==> Volume-preparation benchmark smoke run (bit-identity gate)"
+# Exits non-zero if any parallel/serial output hash diverges from the seed
+# encoder; the JSON check pins the report shape and the identity flag.
+(cd "$out/release/bench" && ./prepare --sizes=128 --threads=1,2 --repeat=1 \
+  --json="$out/BENCH_prepare.json" >/dev/null)
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+assert d['all_identical'] is True, d" "$out/BENCH_prepare.json"
 
 echo "==> Network frame-delivery smoke run (netbench, loopback)"
 # Exits non-zero on any protocol error or failed frame; the JSON check pins

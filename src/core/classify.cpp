@@ -1,39 +1,122 @@
 #include "core/classify.hpp"
 
-#include <cmath>
-
-#include "core/gradient.hpp"
+#include "util/simd.hpp"
 
 namespace psw {
+
+namespace {
+
+#if defined(PSW_SIMD_BACKEND_SSE2)
+// 0xFF per byte of v inside [lo, hi], via the signed-compare bias trick
+// (SSE2 has no unsigned byte compare).
+inline __m128i bytes_in_range(__m128i v, uint8_t lo, uint8_t hi) {
+  const __m128i bias = _mm_set1_epi8(static_cast<char>(0x80));
+  const __m128i vb = _mm_xor_si128(v, bias);
+  const __m128i lob = _mm_set1_epi8(static_cast<char>(lo ^ 0x80));
+  const __m128i hib = _mm_set1_epi8(static_cast<char>(hi ^ 0x80));
+  const __m128i outside =
+      _mm_or_si128(_mm_cmplt_epi8(vb, lob), _mm_cmpgt_epi8(vb, hib));
+  return _mm_andnot_si128(outside, _mm_cmpeq_epi8(v, v));
+}
+#endif
+
+}  // namespace
+
+void VoxelClassifier::classify_slab(const DensityVolume& density, int z0, int z1,
+                                    ClassifiedVolume* out) const {
+  const int nx = density.nx(), ny = density.ny(), nz = density.nz();
+  const uint8_t* data = density.data();
+  const size_t sy = static_cast<size_t>(nx);
+  const size_t sz = static_cast<size_t>(nx) * ny;
+  for (int z = z0; z < z1; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      const uint8_t* row = data + static_cast<size_t>(z) * sz + static_cast<size_t>(y) * sy;
+      ClassifiedVoxel* orow =
+          out->data() + static_cast<size_t>(z) * sz + static_cast<size_t>(y) * sy;
+      // Rows away from the volume faces read all six central-difference
+      // neighbors with direct offsets; border rows go through the clamped
+      // gradient_at (identical arithmetic: same neighbors, same int
+      // subtraction, same 0.5 scale).
+      const bool interior_row = z > 0 && z < nz - 1 && y > 0 && y < ny - 1;
+      if (interior_row) {
+        const uint8_t* ym = row - sy;
+        const uint8_t* yp = row + sy;
+        const uint8_t* zm = row - sz;
+        const uint8_t* zp = row + sz;
+        int x = 0;
+        while (x < nx) {
+#if defined(PSW_SIMD_BACKEND_SSE2)
+          // Block skip-scan: 16 densities tested against the skip ranges at
+          // once; an all-transparent block zero-fills with no per-voxel
+          // work. Mostly-transparent volumes take this path for the bulk of
+          // their voxels. Mixed blocks replay the 16 voxels through the
+          // same per-voxel logic, so outputs are unchanged.
+          if (skip_range_count_ > 0 && x + 16 <= nx) {
+            const __m128i v =
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + x));
+            __m128i m = bytes_in_range(v, skip_range_[0][0], skip_range_[0][1]);
+            if (skip_range_count_ == 2) {
+              m = _mm_or_si128(m,
+                               bytes_in_range(v, skip_range_[1][0], skip_range_[1][1]));
+            }
+            if (_mm_movemask_epi8(m) == 0xFFFF) {
+              const __m128i z = _mm_setzero_si128();
+              __m128i* o = reinterpret_cast<__m128i*>(orow + x);
+              _mm_storeu_si128(o + 0, z);
+              _mm_storeu_si128(o + 1, z);
+              _mm_storeu_si128(o + 2, z);
+              _mm_storeu_si128(o + 3, z);
+              x += 16;
+              continue;
+            }
+            const int xe = x + 16;
+            for (; x < xe; ++x) {
+              const uint8_t raw = row[x];
+              if (skip_[raw]) {
+                orow[x] = ClassifiedVoxel{};
+                continue;
+              }
+              const Vec3 g = (x > 0 && x < nx - 1)
+                                 ? Vec3{0.5 * (row[x + 1] - row[x - 1]),
+                                        0.5 * (yp[x] - ym[x]), 0.5 * (zp[x] - zm[x])}
+                                 : gradient_at(density, x, y, z);
+              orow[x] = shade(raw, g);
+            }
+            continue;
+          }
+#endif
+          const uint8_t raw = row[x];
+          if (skip_[raw]) {  // provably transparent: no gradient needed
+            orow[x] = ClassifiedVoxel{};
+            ++x;
+            continue;
+          }
+          const Vec3 g = (x > 0 && x < nx - 1)
+                             ? Vec3{0.5 * (row[x + 1] - row[x - 1]),
+                                    0.5 * (yp[x] - ym[x]), 0.5 * (zp[x] - zm[x])}
+                             : gradient_at(density, x, y, z);
+          orow[x] = shade(raw, g);
+          ++x;
+        }
+      } else {
+        for (int x = 0; x < nx; ++x) {
+          const uint8_t raw = row[x];
+          if (skip_[raw]) {
+            orow[x] = ClassifiedVoxel{};
+            continue;
+          }
+          orow[x] = shade(raw, gradient_at(density, x, y, z));
+        }
+      }
+    }
+  }
+}
 
 ClassifiedVolume classify(const DensityVolume& density, const TransferFunction& tf,
                           const ClassifyOptions& opt) {
   ClassifiedVolume out(density.nx(), density.ny(), density.nz());
-  const Vec3 light = opt.light_dir.normalized();
-
-  for (int z = 0; z < density.nz(); ++z) {
-    for (int y = 0; y < density.ny(); ++y) {
-      for (int x = 0; x < density.nx(); ++x) {
-        const float d = density.at(x, y, z);
-        const float gm = gradient_magnitude(density, x, y, z);
-        const float a = tf.opacity(d, gm);
-        ClassifiedVoxel cv;
-        cv.a = static_cast<uint8_t>(std::lround(std::clamp(a, 0.0f, 1.0f) * 255.0f));
-        if (cv.a >= opt.alpha_threshold) {
-          const Vec3 n = surface_normal(density, x, y, z);
-          const double lambert = std::max(0.0, n.dot(light));
-          const double shade = opt.ambient + opt.diffuse * lambert;
-          const Vec3 c = tf.color(d) * shade;
-          cv.r = static_cast<uint8_t>(std::lround(std::clamp(c.x, 0.0, 1.0) * 255.0));
-          cv.g = static_cast<uint8_t>(std::lround(std::clamp(c.y, 0.0, 1.0) * 255.0));
-          cv.b = static_cast<uint8_t>(std::lround(std::clamp(c.z, 0.0, 1.0) * 255.0));
-        } else {
-          cv = ClassifiedVoxel{};  // fully transparent voxels carry no color
-        }
-        out.at(x, y, z) = cv;
-      }
-    }
-  }
+  const VoxelClassifier kernel(tf, opt);
+  kernel.classify_slab(density, 0, density.nz(), &out);
   return out;
 }
 
@@ -44,6 +127,26 @@ double classified_transparent_fraction(const ClassifiedVolume& v, uint8_t alpha_
     if (v.data()[i].transparent(alpha_threshold)) ++transparent;
   }
   return static_cast<double>(transparent) / static_cast<double>(v.size());
+}
+
+uint64_t classified_content_hash(const ClassifiedVolume& v) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](uint64_t value) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (value >> (8 * b)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<uint64_t>(v.nx()));
+  mix(static_cast<uint64_t>(v.ny()));
+  mix(static_cast<uint64_t>(v.nz()));
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(v.data());
+  const size_t n = v.size() * sizeof(ClassifiedVoxel);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 }  // namespace psw

@@ -1,7 +1,5 @@
 #include "core/gradient.hpp"
 
-#include <cmath>
-
 namespace psw {
 
 Vec3 gradient_at(const DensityVolume& v, int x, int y, int z) {
@@ -12,17 +10,11 @@ Vec3 gradient_at(const DensityVolume& v, int x, int y, int z) {
 }
 
 float gradient_magnitude(const DensityVolume& v, int x, int y, int z) {
-  // Max per-axis central difference is 127.5; max magnitude sqrt(3)*127.5.
-  constexpr double kMax = 220.836;  // sqrt(3) * 127.5
-  const Vec3 g = gradient_at(v, x, y, z);
-  return static_cast<float>(std::min(1.0, g.norm() / kMax));
+  return gradient_magnitude_from(gradient_at(v, x, y, z));
 }
 
 Vec3 surface_normal(const DensityVolume& v, int x, int y, int z) {
-  const Vec3 g = gradient_at(v, x, y, z);
-  const double n = g.norm();
-  if (n < 1e-9) return {};
-  return {-g.x / n, -g.y / n, -g.z / n};
+  return surface_normal_from(gradient_at(v, x, y, z));
 }
 
 }  // namespace psw

@@ -2,13 +2,33 @@
 // shading and for gradient-modulated classification.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/volume.hpp"
 #include "util/vec.hpp"
 
 namespace psw {
 
+// Max per-axis central difference is 127.5; max magnitude sqrt(3)*127.5.
+inline constexpr double kMaxGradientMagnitude = 220.836;  // sqrt(3) * 127.5
+
 // Gradient vector at a voxel (central differences, clamped at borders).
 Vec3 gradient_at(const DensityVolume& v, int x, int y, int z);
+
+// Derivations from an already-computed gradient vector. The classification
+// kernel fetches the six central-difference neighbors once and derives both
+// magnitude and normal from the same vector; these produce bit-identical
+// results to recomputing the gradient per query.
+inline float gradient_magnitude_from(const Vec3& g) {
+  return static_cast<float>(std::min(1.0, g.norm() / kMaxGradientMagnitude));
+}
+
+inline Vec3 surface_normal_from(const Vec3& g) {
+  const double n = g.norm();
+  if (n < 1e-9) return {};
+  return {-g.x / n, -g.y / n, -g.z / n};
+}
 
 // Gradient magnitude normalized to [0,1] (divided by the maximum possible
 // central-difference magnitude for 8-bit data).

@@ -40,8 +40,44 @@ class RleVolume {
   RleVolume() = default;
 
   // Encodes the classified volume for principal axis c (0=x, 1=y, 2=z).
+  // Implemented as a single chunk through the chunked encoder below, so the
+  // serial and parallel preparation paths share one code path.
   static RleVolume encode(const ClassifiedVolume& vol, int principal_axis,
                           uint8_t alpha_threshold);
+
+  // Chunked encoding, the unit of the parallel preparation pipeline: a
+  // Chunk encodes one contiguous range [begin, end) of the flattened
+  // permuted voxel space (index (k*nj + j)*ni + i — scanline-major, the
+  // order encode() visits voxels). Chunk boundaries may fall mid-scanline;
+  // each scanline piece becomes one Fragment whose runs start at the
+  // piece's first voxel with no leading transparent run. stitch() walks
+  // chunks in order and reassembles exactly what encode() would produce:
+  // a fragment continuing its predecessor's scanline merges its first run
+  // into the predecessor's last run when both have the same transparency
+  // class (a run spanning a chunk seam), and a fragment opening a scanline
+  // gains the conventional leading transparent run (zero-length when the
+  // scanline starts opaque).
+  struct Chunk {
+    size_t begin = 0, end = 0;  // flattened permuted voxel range
+    struct Fragment {
+      uint32_t run_count = 0;
+      uint32_t voxel_count = 0;   // non-transparent voxels in the piece
+      bool first_opaque = false;  // class of the piece's first run
+    };
+    std::vector<uint16_t> runs;
+    std::vector<ClassifiedVoxel> voxels;
+    std::vector<Fragment> fragments;  // consecutive scanline pieces
+  };
+  static Chunk encode_chunk(const ClassifiedVolume& vol, int principal_axis,
+                            uint8_t alpha_threshold, size_t begin, size_t end);
+  // `chunks` must tile [0, ni*nj*nk) in order. Bit-identical to encode().
+  static RleVolume stitch(const ClassifiedVolume& vol, int principal_axis,
+                          uint8_t alpha_threshold, const std::vector<Chunk>& chunks);
+
+  // Structural equality / FNV-1a content hash over runs, voxels and offset
+  // tables; pins serial-vs-parallel bit-identity in tests and benches.
+  bool identical(const RleVolume& o) const;
+  uint64_t content_hash() const;
 
   int ni() const { return ni_; }
   int nj() const { return nj_; }
@@ -216,6 +252,12 @@ class EncodedVolume {
   EncodedVolume() = default;
   // Encodes all three axis orderings.
   static EncodedVolume build(const ClassifiedVolume& vol, uint8_t alpha_threshold = 1);
+  // Assembles from already-encoded axes (the parallel preparation path);
+  // rle[c] must be the axis-c encoding of a volume with the given dims.
+  static EncodedVolume from_axes(std::array<RleVolume, 3> rle, std::array<int, 3> dims,
+                                 uint8_t alpha_threshold);
+
+  uint64_t content_hash() const;
 
   const RleVolume& for_axis(int c) const { return rle_[c]; }
   int dim(int axis) const { return dims_[axis]; }

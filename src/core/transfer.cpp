@@ -38,6 +38,14 @@ float TransferFunction::opacity(float density, float gradient_mag) const {
   return std::clamp(a, 0.0f, 1.0f);
 }
 
+uint8_t TransferFunction::max_quantized_opacity(uint8_t density) const {
+  if (use_gradient_) return 255;
+  // Mirrors the classifier's quantization expression exactly: without
+  // modulation opacity() ignores the gradient argument.
+  const float a = opacity(static_cast<float>(density), 0.0f);
+  return static_cast<uint8_t>(std::lround(std::clamp(a, 0.0f, 1.0f) * 255.0f));
+}
+
 Vec3 TransferFunction::color(float density) const {
   if (density <= stops_.front()) return colors_.front();
   if (density >= stops_.back()) return colors_.back();

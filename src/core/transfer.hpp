@@ -53,6 +53,17 @@ class TransferFunction {
   // Unshaded material color in [0,1]^3.
   Vec3 color(float density) const;
 
+  // Exact quantized (0..255) opacity ceiling for a density value, over all
+  // possible gradient magnitudes. With gradient modulation off — the case
+  // for every preset — opacity depends on density alone, so this is the
+  // exact quantized opacity every voxel of that density classifies to; the
+  // classifier uses it to prove voxels transparent and skip their gradient
+  // and shading work bit-identically. With modulation on it returns 255
+  // (no density-only ceiling is claimed; every voxel takes the full path).
+  uint8_t max_quantized_opacity(uint8_t density) const;
+
+  bool gradient_modulated() const { return use_gradient_; }
+
  private:
   Ramp opacity_;
   Ramp gradient_;

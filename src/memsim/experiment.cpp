@@ -78,7 +78,7 @@ bool default_verify_traces() {
 }
 
 Dataset make_dataset(const std::string& kind, const std::string& name, int nx, int ny,
-                     int nz) {
+                     int nz, const PrepareOptions& prep) {
   Dataset d;
   d.name = name;
   d.dims = {nx, ny, nz};
@@ -87,11 +87,11 @@ Dataset make_dataset(const std::string& kind, const std::string& name, int nx, i
   const TransferFunction tf =
       kind == "ct" ? TransferFunction::ct_preset() : TransferFunction::mri_preset();
   const ClassifyOptions copt;
-  const ClassifiedVolume classified = classify(density, tf, copt);
+  ClassifiedVolume classified;
+  d.volume = prepare_volume(density, tf, copt, prep, &classified);
   d.transparent_fraction =
       classified_transparent_fraction(classified, copt.alpha_threshold);
   d.dense_bytes = classified.size() * sizeof(ClassifiedVoxel);
-  d.volume = EncodedVolume::build(classified, copt.alpha_threshold);
   return d;
 }
 

@@ -13,6 +13,7 @@
 #include "core/rle_volume.hpp"
 #include "memsim/mpsim.hpp"
 #include "parallel/options.hpp"
+#include "parallel/prepare.hpp"
 #include "phantom/phantom.hpp"
 
 namespace psw {
@@ -36,8 +37,11 @@ struct Dataset {
 
 // Builds the MRI-brain (kind="mri") or CT-head (kind="ct") phantom at the
 // given dimensions, classifies with the matching preset, and encodes.
+// `prep` selects the preparation pipeline (serial by default; with
+// prep.threads > 1 classification and encoding run on a thread pool with
+// bit-identical output).
 Dataset make_dataset(const std::string& kind, const std::string& name, int nx, int ny,
-                     int nz);
+                     int nz, const PrepareOptions& prep = {});
 
 // Divides a paper dataset size by `divisor` (benches default to scaled
 // volumes so simulator sweeps finish quickly; --scale=full uses divisor 1).

@@ -1,0 +1,122 @@
+#include "parallel/prepare.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+namespace psw {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Splits [0, total) into `pieces` near-equal contiguous ranges.
+std::pair<size_t, size_t> piece_range(size_t total, size_t pieces, size_t p) {
+  return {total * p / pieces, total * (p + 1) / pieces};
+}
+
+}  // namespace
+
+ClassifiedVolume classify_parallel(const DensityVolume& density, const TransferFunction& tf,
+                                   const ClassifyOptions& opt, ThreadPool& pool,
+                                   int chunks_per_thread) {
+  ClassifiedVolume out(density.nx(), density.ny(), density.nz());
+  const VoxelClassifier kernel(tf, opt);
+  const size_t nz = static_cast<size_t>(density.nz());
+  const size_t slabs = std::min(
+      nz, static_cast<size_t>(pool.size()) * std::max(1, chunks_per_thread));
+  if (slabs == 0) return out;
+  std::atomic<size_t> next{0};
+  pool.run([&](int) {
+    for (size_t s = next.fetch_add(1); s < slabs; s = next.fetch_add(1)) {
+      const auto [z0, z1] = piece_range(nz, slabs, s);
+      kernel.classify_slab(density, static_cast<int>(z0), static_cast<int>(z1), &out);
+    }
+  });
+  return out;
+}
+
+RleVolume encode_parallel(const ClassifiedVolume& vol, int principal_axis,
+                          uint8_t alpha_threshold, ThreadPool& pool,
+                          int chunks_per_thread) {
+  const size_t total = vol.size();
+  const size_t nchunks = std::min(
+      std::max<size_t>(total, 1),
+      static_cast<size_t>(pool.size()) * std::max(1, chunks_per_thread));
+  std::vector<RleVolume::Chunk> chunks(total > 0 ? nchunks : 0);
+  std::atomic<size_t> next{0};
+  pool.run([&](int) {
+    for (size_t c = next.fetch_add(1); c < chunks.size(); c = next.fetch_add(1)) {
+      const auto [begin, end] = piece_range(total, chunks.size(), c);
+      chunks[c] = RleVolume::encode_chunk(vol, principal_axis, alpha_threshold, begin, end);
+    }
+  });
+  return RleVolume::stitch(vol, principal_axis, alpha_threshold, chunks);
+}
+
+EncodedVolume build_encoded_parallel(const ClassifiedVolume& vol, uint8_t alpha_threshold,
+                                     ThreadPool& pool, int chunks_per_thread) {
+  const size_t total = vol.size();
+  const size_t per_axis =
+      total > 0 ? std::min(total, static_cast<size_t>(pool.size()) *
+                                      std::max(1, chunks_per_thread))
+                : 0;
+  std::array<std::vector<RleVolume::Chunk>, 3> chunks;
+  for (auto& c : chunks) c.resize(per_axis);
+
+  // One flat task list over (axis, chunk) so all three encodings advance
+  // concurrently; chunk tasks of a straggling axis backfill idle workers.
+  std::atomic<size_t> next{0};
+  pool.run([&](int) {
+    for (size_t t = next.fetch_add(1); t < 3 * per_axis; t = next.fetch_add(1)) {
+      const int axis = static_cast<int>(t / per_axis);
+      const size_t c = t % per_axis;
+      const auto [begin, end] = piece_range(total, per_axis, c);
+      chunks[axis][c] = RleVolume::encode_chunk(vol, axis, alpha_threshold, begin, end);
+    }
+  });
+
+  std::array<RleVolume, 3> rle;
+  std::atomic<int> next_axis{0};
+  pool.run([&](int) {
+    for (int axis = next_axis.fetch_add(1); axis < 3; axis = next_axis.fetch_add(1)) {
+      rle[axis] = RleVolume::stitch(vol, axis, alpha_threshold, chunks[axis]);
+    }
+  });
+  return EncodedVolume::from_axes(std::move(rle), {vol.nx(), vol.ny(), vol.nz()},
+                                  alpha_threshold);
+}
+
+EncodedVolume prepare_volume(const DensityVolume& density, const TransferFunction& tf,
+                             const ClassifyOptions& copt, const PrepareOptions& opt,
+                             ClassifiedVolume* classified_out, PrepareTiming* timing) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ClassifiedVolume classified;
+  EncodedVolume encoded;
+  double classify_ms = 0.0;
+  if (opt.threads <= 1) {
+    classified = classify(density, tf, copt);
+    classify_ms = elapsed_ms(t0);
+    encoded = EncodedVolume::build(classified, copt.alpha_threshold);
+  } else {
+    ThreadPool pool(opt.threads);
+    classified = classify_parallel(density, tf, copt, pool, opt.chunks_per_thread);
+    classify_ms = elapsed_ms(t0);
+    encoded =
+        build_encoded_parallel(classified, copt.alpha_threshold, pool, opt.chunks_per_thread);
+  }
+  if (timing != nullptr) {
+    timing->classify_ms = classify_ms;
+    timing->total_ms = elapsed_ms(t0);
+    timing->encode_ms = timing->total_ms - classify_ms;
+  }
+  if (classified_out != nullptr) *classified_out = std::move(classified);
+  return encoded;
+}
+
+}  // namespace psw

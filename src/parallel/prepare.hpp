@@ -1,0 +1,60 @@
+// Parallel volume preparation: slab-parallel classification and concurrent
+// per-axis run-length encoding on the SPMD thread pool. Both stages are
+// bit-identical to the serial classify() + EncodedVolume::build() path —
+// classification shares the VoxelClassifier kernel and writes disjoint
+// z-slabs, and encoding reassembles per-chunk partial run tables with
+// RleVolume::stitch(), which merges runs spanning chunk seams exactly as
+// the single-pass encoder would have produced them.
+#pragma once
+
+#include "core/classify.hpp"
+#include "core/rle_volume.hpp"
+#include "core/transfer.hpp"
+#include "core/volume.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace psw {
+
+struct PrepareOptions {
+  // Worker threads for preparation. <= 1 selects the serial path (no pool).
+  int threads = 1;
+  // Over-decomposition factor: each stage splits its work into
+  // threads * chunks_per_thread chunks grabbed off a shared counter, so a
+  // slow slab (e.g. one dense in opaque voxels) does not straggle the rest.
+  int chunks_per_thread = 4;
+};
+
+struct PrepareTiming {
+  double classify_ms = 0.0;
+  double encode_ms = 0.0;
+  double total_ms = 0.0;
+};
+
+// Slab-parallel classification: z-slabs are claimed off an atomic counter
+// and written to disjoint output ranges through the shared kernel.
+ClassifiedVolume classify_parallel(const DensityVolume& density, const TransferFunction& tf,
+                                   const ClassifyOptions& opt, ThreadPool& pool,
+                                   int chunks_per_thread = 4);
+
+// Chunk-parallel encoding of one principal axis.
+RleVolume encode_parallel(const ClassifiedVolume& vol, int principal_axis,
+                          uint8_t alpha_threshold, ThreadPool& pool,
+                          int chunks_per_thread = 4);
+
+// Encodes all three principal axes concurrently: every (axis, chunk) pair
+// is one task in a single flat work list, so all three encodings progress
+// at once rather than axis-by-axis.
+EncodedVolume build_encoded_parallel(const ClassifiedVolume& vol, uint8_t alpha_threshold,
+                                     ThreadPool& pool, int chunks_per_thread = 4);
+
+// The full preparation pipeline: classification followed by per-axis
+// encoding, serial when opt.threads <= 1 and pool-parallel otherwise.
+// Output is bit-identical across thread counts. `classified_out` (optional)
+// receives the intermediate classified volume; `timing` (optional) receives
+// per-stage wall times.
+EncodedVolume prepare_volume(const DensityVolume& density, const TransferFunction& tf,
+                             const ClassifyOptions& copt, const PrepareOptions& opt = {},
+                             ClassifiedVolume* classified_out = nullptr,
+                             PrepareTiming* timing = nullptr);
+
+}  // namespace psw

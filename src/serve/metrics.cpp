@@ -66,8 +66,8 @@ void ServiceMetrics::write_json(JsonWriter& w, const CacheStats& cache) const {
   w.key("latency_ms").begin_object();
   w.key("queue_wait");
   queue_wait.write_json(w);
-  w.key("classify_build");
-  classify.write_json(w);
+  w.key("cache_miss_build");
+  cache_miss_build.write_json(w);
   w.key("composite");
   composite.write_json(w);
   w.key("warp");

@@ -50,9 +50,11 @@ struct ServiceMetrics {
   std::atomic<int64_t> queue_depth{0};
   std::atomic<int64_t> queue_depth_max{0};
 
-  // Per-stage latency. `classify` records only cache-miss builds.
+  // Per-stage latency. `cache_miss_build` records only cache-miss volume
+  // preparations (classify + encode), i.e. the cold-start cost a session
+  // pays when its volume is not yet resident.
   LatencyHistogram queue_wait;
-  LatencyHistogram classify;
+  LatencyHistogram cache_miss_build;
   LatencyHistogram composite;
   LatencyHistogram warp;
   LatencyHistogram total;

@@ -13,9 +13,24 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
 }
 }  // namespace
 
+namespace {
+// Resolves the cache builder: a caller-supplied builder wins; otherwise the
+// phantom builder prepares misses with prepare_threads threads (0 = match
+// the render pool size).
+VolumeCache::Builder resolve_builder(const ServiceOptions& options,
+                                     VolumeCache::Builder builder) {
+  if (builder) return builder;
+  PrepareOptions prep;
+  prep.threads = options.prepare_threads > 0 ? options.prepare_threads
+                                             : std::max(1, options.worker_threads);
+  return VolumeCache::phantom_builder(prep);
+}
+}  // namespace
+
 RenderService::RenderService(ServiceOptions options, VolumeCache::Builder builder)
     : options_(options),
-      cache_(options.cache_bytes, options.cache_shards, std::move(builder)),
+      cache_(options.cache_bytes, options.cache_shards,
+             resolve_builder(options, std::move(builder))),
       sessions_(options.max_sessions, options.parallel),
       exec_(std::max(1, options.worker_threads)) {
   options_.worker_threads = exec_.procs();
@@ -127,7 +142,7 @@ void RenderService::render_one(Pending& p, Clock::time_point dispatched) {
   std::shared_ptr<const EncodedVolume> volume = cache_.get(p.request.volume, &build_ms);
   result.timing.cache_hit = build_ms == 0.0;
   result.timing.classify_ms = build_ms;
-  if (build_ms > 0.0) metrics_.classify.record_ms(build_ms);
+  if (build_ms > 0.0) metrics_.cache_miss_build.record_ms(build_ms);
   if (session.volume_key != canonical) {
     // New volume for this session: the old profile describes a different
     // dataset (or transfer function), so partition prediction restarts.

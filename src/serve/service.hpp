@@ -36,6 +36,10 @@ struct ServiceOptions {
   uint64_t cache_bytes = 256u << 20;  // volume-cache byte budget
   int cache_shards = 8;
   int max_sessions = 64;           // session-state LRU capacity
+  // Threads for cache-miss volume preparation (classify + encode) in the
+  // default phantom builder; 0 means "match worker_threads". Ignored when a
+  // custom builder is supplied.
+  int prepare_threads = 0;
   ParallelOptions parallel;        // forwarded to per-session renderers
 };
 

@@ -20,8 +20,8 @@ std::string VolumeKey::canonical() const {
   return buf;
 }
 
-VolumeCache::Builder VolumeCache::phantom_builder() {
-  return [](const VolumeKey& key) {
+VolumeCache::Builder VolumeCache::phantom_builder(const PrepareOptions& prep) {
+  return [prep](const VolumeKey& key) {
     DensityVolume density =
         key.kind == "ct"
             ? (key.seed ? make_ct_head(key.nx, key.ny, key.nz, key.seed)
@@ -30,9 +30,8 @@ VolumeCache::Builder VolumeCache::phantom_builder() {
                         : make_mri_brain(key.nx, key.ny, key.nz));
     const TransferFunction tf =
         key.tf_preset == 1 ? TransferFunction::ct_preset() : TransferFunction::mri_preset();
-    const ClassifiedVolume classified = classify(density, tf, key.classify);
     return std::make_shared<const EncodedVolume>(
-        EncodedVolume::build(classified, key.classify.alpha_threshold));
+        prepare_volume(density, tf, key.classify, prep));
   };
 }
 

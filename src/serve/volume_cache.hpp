@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/rle_volume.hpp"
+#include "parallel/prepare.hpp"
 #include "serve/request.hpp"
 
 namespace psw::serve {
@@ -50,7 +51,10 @@ class VolumeCache {
   CacheStats stats() const;
   uint64_t byte_budget() const { return budget_; }
 
-  static Builder phantom_builder();
+  // `prep` selects the preparation pipeline: the default is serial; with
+  // prep.threads > 1 misses classify and encode on a thread pool (output is
+  // bit-identical — see parallel/prepare.hpp).
+  static Builder phantom_builder(const PrepareOptions& prep = {});
 
  private:
   struct Entry {

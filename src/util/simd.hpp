@@ -31,6 +31,27 @@ struct f32x4 {
   __m128 v;
 };
 
+// 16 classified voxels (64 bytes; opacity is byte 0 of each 4-byte voxel)
+// -> bit t set iff voxel t's opacity >= threshold. Feeds the run-length
+// encoder's block fast path: a uniform mask extends the current run 16
+// voxels at a time. All backends produce the same mask, and the encoder
+// only uses it to skip per-voxel comparisons whose outcome the mask already
+// fixes, so encodings stay bit-identical to the scalar walk.
+inline uint32_t opaque_mask16(const uint8_t* p, uint8_t threshold) {
+  const __m128i* q = reinterpret_cast<const __m128i*>(p);
+  const __m128i lo = _mm_set1_epi32(0xFF);
+  const __m128i a0 = _mm_and_si128(_mm_loadu_si128(q + 0), lo);
+  const __m128i a1 = _mm_and_si128(_mm_loadu_si128(q + 1), lo);
+  const __m128i a2 = _mm_and_si128(_mm_loadu_si128(q + 2), lo);
+  const __m128i a3 = _mm_and_si128(_mm_loadu_si128(q + 3), lo);
+  // Values are <= 255, so the signed 32->16 pack is lossless.
+  const __m128i bytes =
+      _mm_packus_epi16(_mm_packs_epi32(a0, a1), _mm_packs_epi32(a2, a3));
+  const __m128i thr = _mm_set1_epi8(static_cast<char>(threshold));
+  const __m128i ge = _mm_cmpeq_epi8(_mm_max_epu8(bytes, thr), bytes);
+  return static_cast<uint32_t>(_mm_movemask_epi8(ge));
+}
+
 inline f32x4 zero() { return {_mm_setzero_ps()}; }
 inline f32x4 set1(float x) { return {_mm_set1_ps(x)}; }
 inline f32x4 loadu(const float* p) { return {_mm_loadu_ps(p)}; }
@@ -66,6 +87,16 @@ struct f32x4 {
   float32x4_t v;
 };
 
+// See the SSE2 backend for the contract.
+inline uint32_t opaque_mask16(const uint8_t* p, uint8_t threshold) {
+  const uint8x16x4_t v = vld4q_u8(p);  // val[0] deinterleaves the opacities
+  const uint8x16_t ge = vcgeq_u8(v.val[0], vdupq_n_u8(threshold));
+  const uint8x16_t weights = {1, 2, 4, 8, 16, 32, 64, 128, 1, 2, 4, 8, 16, 32, 64, 128};
+  const uint8x16_t bits = vandq_u8(ge, weights);
+  return static_cast<uint32_t>(vaddv_u8(vget_low_u8(bits))) |
+         (static_cast<uint32_t>(vaddv_u8(vget_high_u8(bits))) << 8);
+}
+
 inline f32x4 zero() { return {vdupq_n_f32(0.0f)}; }
 inline f32x4 set1(float x) { return {vdupq_n_f32(x)}; }
 inline f32x4 loadu(const float* p) { return {vld1q_f32(p)}; }
@@ -91,6 +122,15 @@ inline f32x4 rgb1_from_argb(f32x4 x) {
 struct f32x4 {
   float v[4];
 };
+
+// See the SSE2 backend for the contract.
+inline uint32_t opaque_mask16(const uint8_t* p, uint8_t threshold) {
+  uint32_t m = 0;
+  for (int t = 0; t < 16; ++t) {
+    m |= static_cast<uint32_t>(p[4 * t] >= threshold) << t;
+  }
+  return m;
+}
 
 inline f32x4 zero() { return {{0.0f, 0.0f, 0.0f, 0.0f}}; }
 inline f32x4 set1(float x) { return {{x, x, x, x}}; }

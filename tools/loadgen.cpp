@@ -12,7 +12,12 @@
 //   ./tools/loadgen --sessions=8 --threads=4 [--frames=24] [--size=48]
 //                   [--mode=closed|open] [--rate=120] [--deadline-ms=0]
 //                   [--queue-capacity=64] [--batch=4] [--cache-mb=256]
-//                   [--step=2.0] [--volumes=4] [--json=BENCH_serve.json]
+//                   [--step=2.0] [--volumes=4] [--prepare-threads=0]
+//                   [--json=BENCH_serve.json]
+//
+// --prepare-threads controls the parallel volume-preparation pipeline used
+// on cache misses (0 = match --threads); the report splits end-to-end
+// latency into cold-start (cache-miss build) and warm (cache-hit) frames.
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -22,6 +27,7 @@
 #include "serve/service.hpp"
 #include "shutdown.hpp"
 #include "util/cli.hpp"
+#include "util/histogram.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
 
@@ -44,9 +50,15 @@ struct Outcome {
       default: ++shed; break;  // kShutdown
     }
   }
-  void count_result(ServeStatus s) {
-    switch (s) {
-      case ServeStatus::kOk: ++ok; break;
+  void count_result(const FrameResult& r) {
+    switch (r.status) {
+      case ServeStatus::kOk:
+        ++ok;
+        // Cold starts (the frame paid a cache-miss volume preparation) and
+        // warm frames have latency distributions an order of magnitude
+        // apart; blending them hides both.
+        (r.timing.cache_hit ? warm : cold).record_ms(r.timing.total_ms);
+        break;
       case ServeStatus::kError: ++failed; break;
       default: ++shed; break;  // kDeadlineMissed / kShutdown after admission
     }
@@ -57,7 +69,12 @@ struct Outcome {
     rejected_deadline += o.rejected_deadline;
     shed += o.shed;
     failed += o.failed;
+    cold.merge(o.cold);
+    warm.merge(o.warm);
   }
+
+  LatencyHistogram cold;  // end-to-end latency of cache-miss (cold-start) frames
+  LatencyHistogram warm;  // end-to-end latency of cache-hit frames
 };
 
 // Session s orbits one of `volumes` distinct keys (alternating MRI and CT)
@@ -94,7 +111,7 @@ int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   flags.require_known({"sessions", "threads", "frames", "size", "mode", "rate",
                        "deadline-ms", "queue-capacity", "batch", "cache-mb", "step",
-                       "volumes", "json"});
+                       "volumes", "prepare-threads", "json"});
   const int sessions = flags.get_int("sessions", 8);
   const int frames = flags.get_int("frames", 24);
   const int size = flags.get_int("size", 48);
@@ -115,6 +132,8 @@ int main(int argc, char** argv) {
   opt.queue_capacity = flags.get_int("queue-capacity", 64);
   opt.batch_max = flags.get_int("batch", 4);
   opt.cache_bytes = static_cast<uint64_t>(flags.get_int("cache-mb", 256)) << 20;
+  // Cache-miss preparation threads; 0 (the default) matches --threads.
+  opt.prepare_threads = flags.get_int("prepare-threads", 0);
   // Re-profile on the same ~15-degree cadence the animation driver uses.
   AnimationPath cadence;
   cadence.degrees_per_frame = step;
@@ -155,7 +174,7 @@ int main(int argc, char** argv) {
             per_session[s].count_admission(t.admission);
             continue;
           }
-          per_session[s].count_result(t.result.get().status);
+          per_session[s].count_result(t.result.get());
         }
       });
     }
@@ -187,7 +206,7 @@ int main(int argc, char** argv) {
         }
       }
     }
-    for (Ticket& t : tickets) outcome.count_result(t.result.get().status);
+    for (Ticket& t : tickets) outcome.count_result(t.result.get());
   }
   service.drain();
   tools::release_waiters();
@@ -213,6 +232,16 @@ int main(int argc, char** argv) {
   std::printf("  queue wait p95 %.1f ms | composite p95 %.1f ms | warp p95 %.1f ms\n",
               m.queue_wait.quantile_ms(0.95), m.composite.quantile_ms(0.95),
               m.warp.quantile_ms(0.95));
+  std::printf("cold-start frames (cache-miss build): %llu, p50 %.1f ms, p95 %.1f ms, "
+              "max %.1f ms\n",
+              static_cast<unsigned long long>(outcome.cold.count()),
+              outcome.cold.quantile_ms(0.50), outcome.cold.quantile_ms(0.95),
+              outcome.cold.max_ms());
+  std::printf("warm frames (cache-hit):              %llu, p50 %.1f ms, p95 %.1f ms, "
+              "max %.1f ms\n",
+              static_cast<unsigned long long>(outcome.warm.count()),
+              outcome.warm.quantile_ms(0.50), outcome.warm.quantile_ms(0.95),
+              outcome.warm.max_ms());
   std::printf("cache: %.1f%% hit rate (%llu hits, %llu misses, %llu evictions, "
               "%.1f MB resident)\n",
               100.0 * cache.hit_rate(), static_cast<unsigned long long>(cache.hits),
@@ -240,6 +269,7 @@ int main(int argc, char** argv) {
         .field("batch_max", opt.batch_max)
         .field("deadline_ms", deadline_ms)
         .field("open_loop_rate_per_sec", mode == "open" ? rate : 0.0)
+        .field("prepare_threads", opt.prepare_threads)
         .end_object();
     w.key("results").begin_object()
         .field("wall_ms", wall_ms)
@@ -249,8 +279,12 @@ int main(int argc, char** argv) {
         .field("rejected_deadline", outcome.rejected_deadline)
         .field("shed", outcome.shed)
         .field("failed", outcome.failed)
-        .field("cache_hit_rate", cache.hit_rate())
-        .end_object();
+        .field("cache_hit_rate", cache.hit_rate());
+    w.key("cold_start_latency_ms");
+    outcome.cold.write_json(w);
+    w.key("warm_latency_ms");
+    outcome.warm.write_json(w);
+    w.end_object();
     w.key("service");
     m.write_json(w, cache);
     w.end_object();

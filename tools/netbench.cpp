@@ -136,7 +136,7 @@ void run_stream_session(uint16_t port, uint64_t session, int frames,
 int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   flags.require_known({"mode", "sessions", "frames", "size", "threads", "kind",
-                       "step", "window", "pending", "json"});
+                       "step", "window", "pending", "prepare-threads", "json"});
   const std::string mode = flags.get("mode", "stream");
   const int sessions = flags.get_int("sessions", 4);
   const int frames = flags.get_int("frames", 30);
@@ -153,6 +153,7 @@ int main(int argc, char** argv) {
 
   serve::ServiceOptions sopt;
   sopt.worker_threads = flags.get_int("threads", 4);
+  sopt.prepare_threads = flags.get_int("prepare-threads", 0);
   net::NetServerOptions nopt;
   nopt.port = 0;  // ephemeral: the bench never collides with a real server
   nopt.stream_window = flags.get_int("window", 4);

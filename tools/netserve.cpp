@@ -21,10 +21,11 @@ int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   flags.require_known({"port", "bind", "threads", "queue-capacity", "batch",
                        "cache-mb", "max-connections", "window", "pending",
-                       "idle-timeout-ms", "json"});
+                       "idle-timeout-ms", "prepare-threads", "json"});
 
   serve::ServiceOptions sopt;
   sopt.worker_threads = flags.get_int("threads", 4);
+  sopt.prepare_threads = flags.get_int("prepare-threads", 0);
   sopt.queue_capacity = flags.get_int("queue-capacity", 64);
   sopt.batch_max = flags.get_int("batch", 4);
   sopt.cache_bytes = static_cast<uint64_t>(flags.get_int("cache-mb", 256)) << 20;

@@ -35,6 +35,10 @@ psw_bench(ablation_partitioning psw_memsim psw_svmsim)
 psw_bench(ext_scaling psw_memsim)
 psw_bench(kernels psw_core psw_phantom psw_parallel benchmark::benchmark)
 psw_bench(prepare psw_parallel psw_phantom)
+# memserve counts heap allocations per served frame, so it links the global
+# operator new/delete counting overrides from tools/alloc_probe.cpp.
+psw_bench(memserve psw_net)
+target_sources(memserve PRIVATE ${CMAKE_SOURCE_DIR}/tools/alloc_probe.cpp)
 
 # `cmake --build build --target bench_kernels_json` regenerates the
 # committed kernel-benchmark report at the repo root.

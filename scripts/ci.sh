@@ -30,7 +30,7 @@ cmake -B "$out/tsan" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPSW_WERROR=ON -DPSW_SANITIZE=thread
 cmake --build "$out/tsan" -j "$jobs" \
   --target test_parallel_infra test_parallel_renderers test_fastpath test_serve \
-  test_prepare test_net loadgen netbench
+  test_prepare test_net test_buffer_pool loadgen netbench
 "$out/tsan/tests/test_parallel_infra"
 "$out/tsan/tests/test_parallel_renderers"
 "$out/tsan/tests/test_fastpath"
@@ -41,6 +41,9 @@ cmake --build "$out/tsan" -j "$jobs" \
 # test_net under TSan covers the poll loop, the completion queue handoff and
 # the drop-oldest backpressure path with real sockets.
 "$out/tsan/tests/test_net"
+# Buffer/frame pool concurrency: the multi-threaded acquire/release hammers
+# run here under TSan (and under ASan in the full suite above).
+"$out/tsan/tests/test_buffer_pool"
 
 echo "==> clang-tidy"
 "$root/scripts/lint.sh" "$out/lint"
@@ -58,7 +61,9 @@ echo "==> Frame-serving smoke run (loadgen, small volume, 2 sessions)"
   --volumes=2 --prepare-threads=2 --json="$out/BENCH_serve.json"
 python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
 assert d['results']['failed'] == 0, d; \
-assert d['results']['cold_start_latency_ms']['count'] > 0, d" "$out/BENCH_serve.json"
+assert d['results']['cold_start_latency_ms']['count'] > 0, d; \
+assert 'allocs_per_frame' in d['results'], d; \
+assert d['service']['frame_pool']['outstanding'] == 0, d" "$out/BENCH_serve.json"
 # Same shape under TSan to exercise the queue/cache/scheduler concurrency,
 # including the parallel preparation pipeline behind cache misses.
 "$out/tsan/tools/loadgen" --sessions=2 --threads=2 --frames=4 --size=24 \
@@ -79,8 +84,23 @@ echo "==> Network frame-delivery smoke run (netbench, loopback)"
   --json="$out/BENCH_net.json"
 python3 -c "import json,sys; d=json.load(open(sys.argv[1])); r=d['results']; \
 assert r['protocol_errors'] == 0 and r['failures'] == 0, d; \
-assert r['wire_ratio'] <= 0.6, d" "$out/BENCH_net.json"
+assert r['wire_ratio'] <= 0.6, d; \
+assert 'allocs_per_frame' in r, d; \
+assert r['bytes_copied_per_frame'] == 0, d" "$out/BENCH_net.json"
 # Server connection handling + backpressure under TSan through real sockets.
 "$out/tsan/tools/netbench" --sessions=2 --threads=2 --frames=6 --size=32 --json=
+
+echo "==> Serving memory-path smoke run (memserve, allocs-per-frame gate)"
+# memserve exits non-zero when the warm delivery path (pooled payload ->
+# encode-in-place -> header stamp) costs more than --gate allocations per
+# frame; the JSON check also pins the zero-copy claim and the before/after
+# contrast against the legacy flat-copy shape.
+(cd "$out/release/bench" && ./memserve --gate=2 \
+  --json="$out/BENCH_memserve.json" >/dev/null)
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+assert d['delivery']['allocs_per_frame'] <= 2, d; \
+assert d['delivery']['bytes_copied_per_frame'] == 0, d; \
+assert d['legacy_delivery']['allocs_per_frame'] > d['delivery']['allocs_per_frame'], d" \
+  "$out/BENCH_memserve.json"
 
 echo "CI OK"

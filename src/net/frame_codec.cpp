@@ -103,59 +103,65 @@ const char* to_string(CodecStatus s) {
 
 void FrameEncoder::encode(const ImageU8& frame, std::vector<uint8_t>* out) {
   out->clear();
+  encode_append(frame, out);
+}
+
+void FrameEncoder::encode_append(const ImageU8& frame, std::vector<uint8_t>* out) {
   const int w = frame.width();
   const int h = frame.height();
   const size_t raw_body = static_cast<size_t>(w) * h * 4;
 
   // Plain RLE body (also reused as the delta codec's per-line rle form).
-  std::vector<uint8_t> rle_body;
-  rle_body.reserve(raw_body / 4);
-  std::vector<std::pair<size_t, size_t>> line_span(static_cast<size_t>(h));
+  // The scratch vectors are members: clear() keeps their capacity, so a
+  // warm encoder builds both candidates without touching the allocator.
+  rle_body_.clear();
+  rle_body_.reserve(raw_body / 4);
+  line_span_.assign(static_cast<size_t>(h), {});
   for (int y = 0; y < h; ++y) {
-    const size_t begin = rle_body.size();
-    rle_scanline(frame.row(y), w, &rle_body);
-    line_span[y] = {begin, rle_body.size() - begin};
+    const size_t begin = rle_body_.size();
+    rle_scanline(frame.row(y), w, &rle_body_);
+    line_span_[y] = {begin, rle_body_.size() - begin};
   }
 
   // Delta body: per scanline the cheapest of skip (1 byte), rle, raw.
-  std::vector<uint8_t> delta_body;
+  delta_body_.clear();
   const bool delta_ok = has_prev_ && prev_.width() == w && prev_.height() == h;
   if (delta_ok) {
-    delta_body.reserve(rle_body.size() + static_cast<size_t>(h));
+    delta_body_.reserve(rle_body_.size() + static_cast<size_t>(h));
     for (int y = 0; y < h; ++y) {
       const size_t line_bytes = static_cast<size_t>(w) * 4;
       if (std::memcmp(frame.row(y), prev_.row(y), line_bytes) == 0) {
-        delta_body.push_back(kSkip);
-      } else if (line_span[y].second < line_bytes) {
-        delta_body.push_back(kRleLine);
-        const uint8_t* src = rle_body.data() + line_span[y].first;
-        delta_body.insert(delta_body.end(), src, src + line_span[y].second);
+        delta_body_.push_back(kSkip);
+      } else if (line_span_[y].second < line_bytes) {
+        delta_body_.push_back(kRleLine);
+        const uint8_t* src = rle_body_.data() + line_span_[y].first;
+        delta_body_.insert(delta_body_.end(), src, src + line_span_[y].second);
       } else {
-        delta_body.push_back(kRawLine);
-        raw_scanline(frame.row(y), w, &delta_body);
+        delta_body_.push_back(kRawLine);
+        raw_scanline(frame.row(y), w, &delta_body_);
       }
     }
   }
 
   FrameCodec codec = FrameCodec::kRaw;
   const std::vector<uint8_t>* body = nullptr;
-  if (delta_ok && delta_body.size() < raw_body &&
-      delta_body.size() <= rle_body.size()) {
+  if (delta_ok && delta_body_.size() < raw_body &&
+      delta_body_.size() <= rle_body_.size()) {
     codec = FrameCodec::kDelta;
-    body = &delta_body;
-  } else if (rle_body.size() < raw_body) {
+    body = &delta_body_;
+  } else if (rle_body_.size() < raw_body) {
     codec = FrameCodec::kRle;
-    body = &rle_body;
+    body = &rle_body_;
   }
 
-  out->reserve(kHeader + (body ? body->size() : raw_body));
+  out->reserve(out->size() + kHeader + (body ? body->size() : raw_body));
   append_header(out, w, h, codec);
   if (body) {
     out->insert(out->end(), body->begin(), body->end());
   } else {
     for (int y = 0; y < h; ++y) raw_scanline(frame.row(y), w, out);
   }
-  prev_ = frame;
+  prev_ = frame;  // copy-assign: reuses prev_'s pixel storage once warm
   has_prev_ = true;
 }
 

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/image.hpp"
@@ -60,12 +61,23 @@ class FrameEncoder {
   // encoding expands. Updates the previous-frame state.
   void encode(const ImageU8& frame, std::vector<uint8_t>* out);
 
+  // Same blob bytes, appended after whatever `out` already holds — the
+  // zero-copy path encodes straight into a wire payload that already carries
+  // the frame metadata. Scratch buffers are encoder members, so a warm
+  // encoder performs no allocations of its own (only `out` may grow).
+  void encode_append(const ImageU8& frame, std::vector<uint8_t>* out);
+
   // Drops the previous-frame state (e.g. the consumer resynchronized).
   void reset() { has_prev_ = false; }
 
  private:
   ImageU8 prev_;
   bool has_prev_ = false;
+  // Persistent scratch: candidate bodies and per-scanline spans into
+  // rle_body_, reused across frames.
+  std::vector<uint8_t> rle_body_;
+  std::vector<uint8_t> delta_body_;
+  std::vector<std::pair<size_t, size_t>> line_span_;
 };
 
 // Stateful decoder mirroring FrameEncoder: remembers the previously decoded

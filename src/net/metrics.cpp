@@ -28,6 +28,8 @@ void NetMetrics::write_json(JsonWriter& w) const {
       .field("raw_bytes", frame_raw_bytes.load())
       .field("wire_bytes", frame_wire_bytes.load())
       .field("wire_ratio", wire_ratio())
+      .field("copy_bytes", frame_copy_bytes.load())
+      .field("bytes_copied_per_frame", bytes_copied_per_frame())
       .end_object();
   w.end_object();
 }

@@ -2,11 +2,14 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 #include <mutex>
+
+#include "util/json.hpp"
 
 namespace psw::net {
 
@@ -15,6 +18,12 @@ namespace {
 constexpr double kDeg = 3.14159265358979323846 / 180.0;
 constexpr size_t kReadChunk = 64 * 1024;
 constexpr size_t kMaxStreamsPerConnection = 16;
+// iovec slots per sendmsg call: 32 queued messages per syscall is plenty —
+// a deeper backlog just means the next loop iteration sends more.
+constexpr int kMaxIov = 64;
+// Codec blob header bytes (u16 w, u16 h, u8 codec, u8 reserved); the raw
+// fallback bounds the blob at this plus width*height*4.
+constexpr size_t kCodecHeader = 6;
 
 double ms_since(serve::Clock::time_point t) {
   return std::chrono::duration<double, std::milli>(serve::Clock::now() - t).count();
@@ -71,6 +80,9 @@ struct NetServer::CompletionQueue {
 NetServer::NetServer(serve::RenderService& service, NetServerOptions options)
     : service_(service),
       options_(options),
+      pool_(BufferPool::Options{options.pool_buffers_per_class,
+                                options.pool_retained_bytes,
+                                options.pool_poison}),
       queue_(std::make_shared<CompletionQueue>()) {
   options_.stream_window = std::max(1, options_.stream_window);
   options_.max_pending_frames = std::max<size_t>(1, options_.max_pending_frames);
@@ -120,6 +132,10 @@ std::string NetServer::metrics_json() const {
   out += service_.metrics_json();
   out += ",\n\"net\": ";
   out += metrics_.to_json();
+  out += ",\n\"net_pool\": ";
+  JsonWriter w;
+  serve::write_pool_json(w, pool_.stats());
+  out += w.str();
   out += "\n}";
   return out;
 }
@@ -134,7 +150,7 @@ void NetServer::poll_loop() {
     fds.push_back({wake_rd_.get(), POLLIN, 0});
     for (auto& [id, conn] : conns_) {
       short events = POLLIN;
-      if (conn.out.size() > conn.out_off) events |= POLLOUT;
+      if (!conn.sendq.empty()) events |= POLLOUT;
       fds.push_back({conn.fd.get(), events, 0});
       ids.push_back(id);
     }
@@ -156,8 +172,7 @@ void NetServer::poll_loop() {
       const short revents = fds[i + 2].revents;
       if (revents & (POLLERR | POLLNVAL)) {
         conn.closing = true;
-        conn.out.clear();
-        conn.out_off = 0;
+        discard_outbound(conn);
         continue;
       }
       if (revents & (POLLIN | POLLHUP)) read_ready(conn);
@@ -169,7 +184,7 @@ void NetServer::poll_loop() {
     std::vector<uint64_t> done;
     for (auto& [id, conn] : conns_) {
       write_ready(conn);
-      if (conn.closing && conn.out.size() == conn.out_off) done.push_back(id);
+      if (conn.closing && conn.sendq.empty()) done.push_back(id);
     }
     for (const uint64_t id : done) close_connection(id);
     harvest_idle();
@@ -245,25 +260,57 @@ void NetServer::read_ready(Connection& conn) {
 }
 
 void NetServer::write_ready(Connection& conn) {
-  while (conn.out_off < conn.out.size()) {
-    const ssize_t n = ::send(conn.fd.get(), conn.out.data() + conn.out_off,
-                             conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+  // Scatter-gather drain: each queued message contributes its inline header
+  // and its pooled payload as separate iovecs, so encoded frames go from
+  // codec output to kernel with no intermediate flat-buffer copy. sendmsg
+  // (writev with flags) accepts a partial write; `sent` offsets let the next
+  // call resume mid-header or mid-payload.
+  while (!conn.sendq.empty()) {
+    iovec iov[kMaxIov];
+    int niov = 0;
+    for (SendItem& s : conn.sendq) {
+      if (niov + 2 > kMaxIov) break;
+      std::vector<uint8_t>& body = s.payload.vec();
+      if (s.sent < kHeaderSize) {
+        iov[niov++] = {s.header.data() + s.sent, kHeaderSize - s.sent};
+        if (!body.empty()) iov[niov++] = {body.data(), body.size()};
+      } else {
+        const size_t body_off = s.sent - kHeaderSize;
+        iov[niov++] = {body.data() + body_off, body.size() - body_off};
+      }
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = static_cast<decltype(mh.msg_iovlen)>(niov);
+    const ssize_t n = ::sendmsg(conn.fd.get(), &mh, MSG_NOSIGNAL);
     if (n > 0) {
-      conn.out_off += static_cast<size_t>(n);
       metrics_.bytes_out.fetch_add(static_cast<uint64_t>(n));
+      conn.sendq_bytes -= static_cast<size_t>(n);
+      size_t left = static_cast<size_t>(n);
+      while (left > 0) {
+        SendItem& front = conn.sendq.front();
+        const size_t remaining =
+            kHeaderSize + front.payload.vec().size() - front.sent;
+        if (left >= remaining) {
+          left -= remaining;
+          conn.sendq.pop_front();  // returns the payload to the pool
+        } else {
+          front.sent += left;
+          left = 0;
+        }
+      }
       continue;
     }
+    if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     // Peer is gone; drop the backlog so the cleanup pass reaps us.
-    conn.out.clear();
-    conn.out_off = 0;
+    discard_outbound(conn);
     conn.closing = true;
     return;
   }
-  if (conn.out_off == conn.out.size()) {
-    conn.out.clear();
-    conn.out_off = 0;
-    // Sending drained a full buffer: streams gated on it can encode again.
+  if (conn.sendq.empty()) {
+    // Sending drained the queue: streams gated on the buffer bound can
+    // encode again.
     pump_streams(conn);
   }
 }
@@ -282,9 +329,7 @@ bool NetServer::handle_message(Connection& conn, const WireMessage& msg) {
       HelloMsg ack;
       ack.version = kProtocolVersion;
       ack.name = "pswvr-netserve";
-      std::vector<uint8_t> payload;
-      ack.encode(&payload);
-      send_message(conn, MsgType::kHelloAck, payload);
+      send_payload(conn, MsgType::kHelloAck, ack);
       return true;
     }
     case MsgType::kRenderRequest: {
@@ -302,9 +347,7 @@ bool NetServer::handle_message(Connection& conn, const WireMessage& msg) {
     case MsgType::kMetricsRequest: {
       MetricsReplyMsg reply;
       reply.json = metrics_json();
-      std::vector<uint8_t> payload;
-      reply.encode(&payload);
-      send_message(conn, MsgType::kMetricsReply, payload);
+      send_payload(conn, MsgType::kMetricsReply, reply);
       return true;
     }
     case MsgType::kBye:
@@ -378,6 +421,9 @@ void NetServer::apply_completion(CompletionItem&& item) {
   const auto cit = conns_.find(item.conn_id);
   if (cit == conns_.end()) {
     metrics_.orphaned_completions.fetch_add(1);
+    if (!item.result.image.empty()) {
+      service_.recycle_frame(std::move(item.result.image));
+    }
     return;
   }
   Connection& conn = cit->second;
@@ -395,19 +441,16 @@ void NetServer::apply_completion(CompletionItem&& item) {
     frame.render_ms = item.result.timing.composite_ms + item.result.timing.warp_ms;
     frame.total_ms = item.result.timing.total_ms;
     frame.cache_hit = item.result.timing.cache_hit ? 1 : 0;
-    conn.session_encoders[item.session_id].encode(item.result.image, &frame.encoded);
-    metrics_.frames_sent.fetch_add(1);
-    metrics_.frame_raw_bytes.fetch_add(item.result.image.pixel_count() * 4);
-    metrics_.frame_wire_bytes.fetch_add(frame.encoded.size());
-    std::vector<uint8_t> payload;
-    frame.encode(&payload);
-    send_message(conn, MsgType::kFrame, payload);
+    send_frame(conn, frame, conn.session_encoders[item.session_id], item);
     return;
   }
 
   const auto sit = conn.streams.find(item.stream_id);
   if (sit == conn.streams.end()) {
     metrics_.orphaned_completions.fetch_add(1);
+    if (!item.result.image.empty()) {
+      service_.recycle_frame(std::move(item.result.image));
+    }
     return;
   }
   Stream& stream = sit->second;
@@ -416,8 +459,10 @@ void NetServer::apply_completion(CompletionItem&& item) {
     stream.ready.push_back(std::move(item));
     // Backpressure: a slow consumer gets the newest frames; the oldest
     // rendered-but-undelivered frame is shed, before it ever reaches the
-    // encoder (so the delta chain only contains delivered frames).
+    // encoder (so the delta chain only contains delivered frames). Its
+    // image goes straight back to the render service's frame pool.
     while (stream.ready.size() > options_.max_pending_frames) {
+      service_.recycle_frame(std::move(stream.ready.front().result.image));
       stream.ready.pop_front();
       ++stream.dropped;
       ++stream.pending_dropped;
@@ -497,14 +542,8 @@ void NetServer::pump_one_stream(Connection& conn, Stream& stream) {
     frame.render_ms = item.result.timing.composite_ms + item.result.timing.warp_ms;
     frame.total_ms = item.result.timing.total_ms;
     frame.cache_hit = item.result.timing.cache_hit ? 1 : 0;
-    stream.encoder.encode(item.result.image, &frame.encoded);
+    send_frame(conn, frame, stream.encoder, item);
     ++stream.sent;
-    metrics_.frames_sent.fetch_add(1);
-    metrics_.frame_raw_bytes.fetch_add(item.result.image.pixel_count() * 4);
-    metrics_.frame_wire_bytes.fetch_add(frame.encoded.size());
-    std::vector<uint8_t> payload;
-    frame.encode(&payload);
-    send_message(conn, MsgType::kFrame, payload);
   }
 
   if (stream.next_submit >= req.frames && stream.in_flight == 0 &&
@@ -513,17 +552,49 @@ void NetServer::pump_one_stream(Connection& conn, Stream& stream) {
     end.stream_id = req.stream_id;
     end.frames_sent = stream.sent;
     end.frames_dropped = stream.dropped;
-    std::vector<uint8_t> payload;
-    end.encode(&payload);
-    send_message(conn, MsgType::kStreamEnd, payload);
+    send_payload(conn, MsgType::kStreamEnd, end);
     metrics_.streams_completed.fetch_add(1);
     stream.ended = true;
   }
 }
 
-void NetServer::send_message(Connection& conn, MsgType type,
-                             const std::vector<uint8_t>& payload) {
-  encode_message(type, payload, &conn.out);
+void NetServer::send_frame(Connection& conn, FrameMsg& frame,
+                           FrameEncoder& encoder, CompletionItem& item) {
+  // Single-buffer frame path: metadata, a blob-length placeholder, then the
+  // codec encoding appended in place and the length patched — the blob never
+  // exists outside the wire payload, and the payload buffer is pooled. The
+  // acquire hint covers the raw-fallback worst case so a warm pool means no
+  // allocation and no mid-encode regrowth.
+  const size_t raw_bytes = item.result.image.pixel_count() * 4;
+  PooledBuffer payload =
+      pool_.acquire(FrameMsg::kMetaSize + 4 + kCodecHeader + raw_bytes);
+  frame.encode_meta(&payload.vec());
+  const size_t blob_len_at = payload.vec().size();
+  put_u32(&payload.vec(), 0);  // patched once the blob size is known
+  encoder.encode_append(item.result.image, &payload.vec());
+  const size_t blob_bytes = payload.vec().size() - blob_len_at - 4;
+  put_u32_at(&payload.vec(), blob_len_at, static_cast<uint32_t>(blob_bytes));
+  metrics_.frames_sent.fetch_add(1);
+  metrics_.frame_raw_bytes.fetch_add(raw_bytes);
+  metrics_.frame_wire_bytes.fetch_add(blob_bytes);
+  service_.recycle_frame(std::move(item.result.image));
+  queue_send(conn, MsgType::kFrame, std::move(payload));
+}
+
+void NetServer::queue_send(Connection& conn, MsgType type, PooledBuffer&& payload) {
+  SendItem item;
+  encode_header(type, payload.vec().data(), payload.vec().size(),
+                item.header.data());
+  conn.sendq_bytes += kHeaderSize + payload.vec().size();
+  item.payload = std::move(payload);
+  conn.sendq.push_back(std::move(item));
+}
+
+template <typename Msg>
+void NetServer::send_payload(Connection& conn, MsgType type, const Msg& msg) {
+  PooledBuffer payload = pool_.acquire(msg.encoded_size());
+  msg.encode(&payload.vec());
+  queue_send(conn, type, std::move(payload));
 }
 
 void NetServer::send_error(Connection& conn, uint64_t request_id,
@@ -532,14 +603,29 @@ void NetServer::send_error(Connection& conn, uint64_t request_id,
   err.request_id = request_id;
   err.status = static_cast<uint16_t>(status);
   err.message = message;
-  std::vector<uint8_t> payload;
-  err.encode(&payload);
-  send_message(conn, MsgType::kError, payload);
+  send_payload(conn, MsgType::kError, err);
   metrics_.errors_sent.fetch_add(1);
 }
 
+void NetServer::discard_outbound(Connection& conn) {
+  conn.sendq.clear();  // every pooled payload goes back to the pool
+  conn.sendq_bytes = 0;
+}
+
 void NetServer::close_connection(uint64_t conn_id) {
-  if (conns_.erase(conn_id) > 0) metrics_.connections_closed.fetch_add(1);
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  // Rendered-but-unsent frames still hold pool-born images; hand them back
+  // so a churn of short-lived streams doesn't bleed the frame pool.
+  for (auto& [sid, stream] : it->second.streams) {
+    for (CompletionItem& item : stream.ready) {
+      if (!item.result.image.empty()) {
+        service_.recycle_frame(std::move(item.result.image));
+      }
+    }
+  }
+  conns_.erase(it);
+  metrics_.connections_closed.fetch_add(1);
 }
 
 void NetServer::harvest_idle() {
@@ -547,7 +633,7 @@ void NetServer::harvest_idle() {
   std::vector<uint64_t> idle;
   for (auto& [id, conn] : conns_) {
     const bool quiet = conn.streams.empty() && conn.outstanding_requests == 0 &&
-                       conn.out.size() == conn.out_off;
+                       conn.sendq.empty();
     if (quiet && ms_since(conn.last_activity) > options_.idle_timeout_ms) {
       idle.push_back(id);
     }

@@ -18,6 +18,7 @@
 // connections with nothing outstanding are closed after `idle_timeout_ms`.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -31,6 +32,7 @@
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "serve/service.hpp"
+#include "util/buffer_pool.hpp"
 
 namespace psw::net {
 
@@ -51,6 +53,12 @@ struct NetServerOptions {
   // Tests shrink it so loopback can't hide a slow consumer.
   int socket_send_buffer_bytes = 0;
   double idle_timeout_ms = 30'000.0;  // 0 disables idle harvesting
+  // Payload buffer pool (codec blobs + wire payloads): buffers retained per
+  // size class, total retained-byte budget, and the 0xDD poison-on-release
+  // debug mode (see util/buffer_pool.hpp).
+  size_t pool_buffers_per_class = 8;
+  size_t pool_retained_bytes = 64u << 20;
+  bool pool_poison = false;
 };
 
 class NetServer {
@@ -77,6 +85,7 @@ class NetServer {
   uint16_t port() const { return port_; }
   const NetServerOptions& options() const { return options_; }
   const NetMetrics& metrics() const { return metrics_; }
+  PoolStats pool_stats() const { return pool_.stats(); }
 
   // One JSON object combining the render service's metrics with the
   // network layer's (the document netserve flushes on shutdown).
@@ -109,14 +118,24 @@ class NetServer {
     FrameEncoder encoder;
   };
 
+  // One queued outbound message: the 16-byte wire header inline plus the
+  // payload still in its pooled buffer. writev hands both to the kernel in
+  // one call, so an encoded frame is never copied into a flat send buffer;
+  // popping a fully-sent item returns the payload storage to the pool.
+  struct SendItem {
+    std::array<uint8_t, kHeaderSize> header;
+    PooledBuffer payload;
+    size_t sent = 0;  // bytes of header+payload already accepted by the kernel
+  };
+
   struct Connection {
     uint64_t id = 0;
     UniqueFd fd;
     std::vector<uint8_t> in;
-    std::vector<uint8_t> out;
-    size_t out_off = 0;
+    std::deque<SendItem> sendq;
+    size_t sendq_bytes = 0;  // unsent bytes across sendq
     bool got_hello = false;
-    bool closing = false;  // flush `out`, then close
+    bool closing = false;  // flush `sendq`, then close
     int outstanding_requests = 0;
     serve::Clock::time_point last_activity;
     std::map<uint64_t, Stream> streams;
@@ -135,22 +154,33 @@ class NetServer {
   void handle_stream_request(Connection& conn, const StreamRequestMsg& req);
   void drain_completions();
   void apply_completion(CompletionItem&& item);
-  // Submits due stream frames and encodes ready frames into `out`.
+  // Submits due stream frames and encodes ready frames into pooled payloads.
   void pump_streams(Connection& conn);
   void pump_one_stream(Connection& conn, Stream& stream);
-  void send_message(Connection& conn, MsgType type,
-                    const std::vector<uint8_t>& payload);
+  // Encodes one rendered frame straight into a pooled wire payload (meta,
+  // blob-length placeholder, codec output, patched length) and queues it.
+  // Recycles the frame's image back to the render service.
+  void send_frame(Connection& conn, FrameMsg& frame, FrameEncoder& encoder,
+                  CompletionItem& item);
+  // Stamps the wire header and appends to the connection's send queue.
+  void queue_send(Connection& conn, MsgType type, PooledBuffer&& payload);
+  // Encodes a control payload (hello ack, error, metrics, stream end) into
+  // a pooled buffer sized by encoded_size() and queues it.
+  template <typename Msg>
+  void send_payload(Connection& conn, MsgType type, const Msg& msg);
   void send_error(Connection& conn, uint64_t request_id, serve::ServeStatus status,
                   const std::string& message);
+  void discard_outbound(Connection& conn);
   void close_connection(uint64_t conn_id);
   void harvest_idle();
   bool send_buffer_full(const Connection& conn) const {
-    return conn.out.size() - conn.out_off >= options_.max_send_buffer_bytes;
+    return conn.sendq_bytes >= options_.max_send_buffer_bytes;
   }
 
   serve::RenderService& service_;
   NetServerOptions options_;
   NetMetrics metrics_;
+  BufferPool pool_;
 
   UniqueFd listener_;
   UniqueFd wake_rd_;  // read end of the self-pipe; write end lives in queue_

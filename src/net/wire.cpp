@@ -76,6 +76,12 @@ void put_string(std::vector<uint8_t>* out, const std::string& v) {
   out->insert(out->end(), v.begin(), v.end());
 }
 
+void put_u32_at(std::vector<uint8_t>* out, size_t offset, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*out)[offset + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
 bool ByteReader::take(size_t n, const uint8_t** p) {
   if (!ok_ || size_ - off_ < n) {
     ok_ = false;
@@ -145,12 +151,26 @@ bool ByteReader::read_bytes(void* dst, size_t n) {
 
 void encode_message(MsgType type, const uint8_t* payload, size_t payload_size,
                     std::vector<uint8_t>* out) {
+  out->reserve(out->size() + kHeaderSize + payload_size);
   put_u32(out, kMagic);
   put_u16(out, kProtocolVersion);
   put_u16(out, static_cast<uint16_t>(type));
   put_u32(out, static_cast<uint32_t>(payload_size));
   put_u32(out, crc32(payload, payload_size));
   out->insert(out->end(), payload, payload + payload_size);
+}
+
+void encode_header(MsgType type, const uint8_t* payload, size_t payload_size,
+                   uint8_t out[kHeaderSize]) {
+  const uint32_t crc = crc32(payload, payload_size);
+  const uint32_t length = static_cast<uint32_t>(payload_size);
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<uint8_t>(kMagic >> (8 * i));
+  out[4] = static_cast<uint8_t>(kProtocolVersion);
+  out[5] = static_cast<uint8_t>(kProtocolVersion >> 8);
+  out[6] = static_cast<uint8_t>(static_cast<uint16_t>(type));
+  out[7] = static_cast<uint8_t>(static_cast<uint16_t>(type) >> 8);
+  for (int i = 0; i < 4; ++i) out[8 + i] = static_cast<uint8_t>(length >> (8 * i));
+  for (int i = 0; i < 4; ++i) out[12 + i] = static_cast<uint8_t>(crc >> (8 * i));
 }
 
 void encode_message(MsgType type, const std::vector<uint8_t>& payload,
@@ -186,6 +206,18 @@ WireStatus decode_message(const uint8_t* data, size_t size, WireMessage* out,
 // --- payload structs ------------------------------------------------------
 
 namespace {
+
+// Exact byte counts of the shared sub-records, kept adjacent to their
+// put_* twins so a field added to one is a compile-visible nudge to the
+// other (the EncodedSize test pins the correspondence).
+size_t volume_key_size(const serve::VolumeKey& key) {
+  return 4 + key.kind.size()  // length-prefixed kind
+         + 4 * 4              // nx, ny, nz, tf_preset
+         + 8                  // seed
+         + 3 * 8 + 2 * 4 + 1; // classify: light_dir, ambient/diffuse, threshold
+}
+
+constexpr size_t kCameraSize = 16 * 8 + 2 * 4;  // view matrix + image dims
 
 void put_volume_key(std::vector<uint8_t>* out, const serve::VolumeKey& key) {
   put_string(out, key.kind);
@@ -244,7 +276,10 @@ bool read_camera(ByteReader* r, Camera* camera) {
 
 }  // namespace
 
+size_t HelloMsg::encoded_size() const { return 2 + 4 + name.size(); }
+
 void HelloMsg::encode(std::vector<uint8_t>* out) const {
+  out->reserve(out->size() + encoded_size());
   put_u16(out, version);
   put_string(out, name);
 }
@@ -256,7 +291,12 @@ bool HelloMsg::decode(const std::vector<uint8_t>& payload, HelloMsg* out) {
   return r.exhausted();
 }
 
+size_t RenderRequestMsg::encoded_size() const {
+  return 8 + 8 + volume_key_size(volume) + kCameraSize + 8;
+}
+
 void RenderRequestMsg::encode(std::vector<uint8_t>* out) const {
+  out->reserve(out->size() + encoded_size());
   put_u64(out, request_id);
   put_u64(out, session_id);
   put_volume_key(out, volume);
@@ -275,7 +315,12 @@ bool RenderRequestMsg::decode(const std::vector<uint8_t>& payload,
   return r.exhausted();
 }
 
+size_t StreamRequestMsg::encoded_size() const {
+  return 8 + 8 + volume_key_size(volume) + 3 * 8 + 4;
+}
+
 void StreamRequestMsg::encode(std::vector<uint8_t>* out) const {
+  out->reserve(out->size() + encoded_size());
   put_u64(out, stream_id);
   put_u64(out, session_id);
   put_volume_key(out, volume);
@@ -300,7 +345,9 @@ bool StreamRequestMsg::decode(const std::vector<uint8_t>& payload,
   return r.exhausted() && out->frames <= 1u << 20;
 }
 
-void FrameMsg::encode(std::vector<uint8_t>* out) const {
+size_t FrameMsg::encoded_size() const { return kMetaSize + 4 + encoded.size(); }
+
+void FrameMsg::encode_meta(std::vector<uint8_t>* out) const {
   put_u64(out, request_id);
   put_u64(out, stream_id);
   put_u32(out, seq);
@@ -308,6 +355,11 @@ void FrameMsg::encode(std::vector<uint8_t>* out) const {
   put_f64(out, render_ms);
   put_f64(out, total_ms);
   put_u8(out, cache_hit);
+}
+
+void FrameMsg::encode(std::vector<uint8_t>* out) const {
+  out->reserve(out->size() + encoded_size());
+  encode_meta(out);
   put_u32(out, static_cast<uint32_t>(encoded.size()));
   out->insert(out->end(), encoded.begin(), encoded.end());
 }
@@ -327,7 +379,10 @@ bool FrameMsg::decode(const std::vector<uint8_t>& payload, FrameMsg* out) {
   return n == 0 || r.read_bytes(out->encoded.data(), n);
 }
 
+size_t StreamEndMsg::encoded_size() const { return 8 + 4 + 4; }
+
 void StreamEndMsg::encode(std::vector<uint8_t>* out) const {
+  out->reserve(out->size() + encoded_size());
   put_u64(out, stream_id);
   put_u32(out, frames_sent);
   put_u32(out, frames_dropped);
@@ -341,7 +396,10 @@ bool StreamEndMsg::decode(const std::vector<uint8_t>& payload, StreamEndMsg* out
   return r.exhausted();
 }
 
+size_t ErrorMsg::encoded_size() const { return 8 + 2 + 4 + message.size(); }
+
 void ErrorMsg::encode(std::vector<uint8_t>* out) const {
+  out->reserve(out->size() + encoded_size());
   put_u64(out, request_id);
   put_u16(out, status);
   put_string(out, message);
@@ -355,7 +413,10 @@ bool ErrorMsg::decode(const std::vector<uint8_t>& payload, ErrorMsg* out) {
   return r.exhausted();
 }
 
+size_t MetricsReplyMsg::encoded_size() const { return 4 + json.size(); }
+
 void MetricsReplyMsg::encode(std::vector<uint8_t>* out) const {
+  out->reserve(out->size() + encoded_size());
   put_string(out, json);
 }
 

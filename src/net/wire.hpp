@@ -77,6 +77,14 @@ void encode_message(MsgType type, const uint8_t* payload, size_t payload_size,
 void encode_message(MsgType type, const std::vector<uint8_t>& payload,
                     std::vector<uint8_t>* out);
 
+// Writes just the 16-byte frame header for a payload that already lives in
+// its own buffer. This is the scatter-gather half of encode_message: the
+// server queues (header, payload-handle) pairs and hands both to writev, so
+// an encoded frame is never copied into a flat send buffer. Byte-identical
+// to the first kHeaderSize bytes encode_message would have produced.
+void encode_header(MsgType type, const uint8_t* payload, size_t payload_size,
+                   uint8_t out[kHeaderSize]);
+
 // Attempts to decode one message from the front of [data, data+size).
 // kOk: fills *out, *consumed = header + payload bytes.
 // kNeedMore: nothing consumed; call again with more bytes.
@@ -95,6 +103,10 @@ void put_f32(std::vector<uint8_t>* out, float v);
 void put_f64(std::vector<uint8_t>* out, double v);
 // Length-prefixed (u32) byte string.
 void put_string(std::vector<uint8_t>* out, const std::string& v);
+// Overwrites 4 already-written bytes at `offset` (little-endian). Used to
+// patch a length placeholder after appending data of initially unknown size
+// (e.g. a codec blob encoded directly into the wire payload).
+void put_u32_at(std::vector<uint8_t>* out, size_t offset, uint32_t v);
 
 // Bounds-checked sequential reader over a payload. Any overrun sets a
 // sticky failure flag and makes every subsequent read return zero, so
@@ -132,14 +144,17 @@ class ByteReader {
 };
 
 // --- message payloads -----------------------------------------------------
-// Each payload struct has encode() appending its wire form and a decode()
-// that returns false on truncated/trailing/invalid input (typed rejection;
-// the caller answers with kError or closes).
+// Each payload struct has encode() appending its wire form, encoded_size()
+// returning the exact byte count encode() will append (so callers reserve
+// once instead of regrowing through push_back), and a decode() that returns
+// false on truncated/trailing/invalid input (typed rejection; the caller
+// answers with kError or closes).
 
 struct HelloMsg {
   uint16_t version = kProtocolVersion;
   std::string name;
 
+  size_t encoded_size() const;
   void encode(std::vector<uint8_t>* out) const;
   static bool decode(const std::vector<uint8_t>& payload, HelloMsg* out);
 };
@@ -151,6 +166,7 @@ struct RenderRequestMsg {
   Camera camera;
   double deadline_ms = 0.0;  // relative to server receipt; 0 = none
 
+  size_t encoded_size() const;
   void encode(std::vector<uint8_t>* out) const;
   static bool decode(const std::vector<uint8_t>& payload, RenderRequestMsg* out);
 };
@@ -166,6 +182,7 @@ struct StreamRequestMsg {
   double step_deg = 2.0;
   uint32_t frames = 30;
 
+  size_t encoded_size() const;
   void encode(std::vector<uint8_t>* out) const;
   static bool decode(const std::vector<uint8_t>& payload, StreamRequestMsg* out);
 };
@@ -181,7 +198,17 @@ struct FrameMsg {
   uint8_t cache_hit = 0;
   std::vector<uint8_t> encoded;  // frame-codec blob (see frame_codec.hpp)
 
+  // Fixed-size metadata prefix (everything before the blob length + bytes).
+  static constexpr size_t kMetaSize = 41;
+
+  size_t encoded_size() const;
   void encode(std::vector<uint8_t>* out) const;
+  // Zero-copy path: appends only the metadata prefix (kMetaSize bytes) so
+  // the caller can follow with a u32 blob length and the codec's output
+  // encoded directly into the same buffer — producing bytes identical to
+  // encode() without the blob ever existing separately. `this->encoded` is
+  // not read.
+  void encode_meta(std::vector<uint8_t>* out) const;
   static bool decode(const std::vector<uint8_t>& payload, FrameMsg* out);
 };
 
@@ -190,6 +217,7 @@ struct StreamEndMsg {
   uint32_t frames_sent = 0;
   uint32_t frames_dropped = 0;
 
+  size_t encoded_size() const;
   void encode(std::vector<uint8_t>* out) const;
   static bool decode(const std::vector<uint8_t>& payload, StreamEndMsg* out);
 };
@@ -199,6 +227,7 @@ struct ErrorMsg {
   uint16_t status = 0;      // serve::ServeStatus for admission failures
   std::string message;
 
+  size_t encoded_size() const;
   void encode(std::vector<uint8_t>* out) const;
   static bool decode(const std::vector<uint8_t>& payload, ErrorMsg* out);
 };
@@ -206,6 +235,7 @@ struct ErrorMsg {
 struct MetricsReplyMsg {
   std::string json;
 
+  size_t encoded_size() const;
   void encode(std::vector<uint8_t>* out) const;
   static bool decode(const std::vector<uint8_t>& payload, MetricsReplyMsg* out);
 };

@@ -32,13 +32,29 @@ bool ServiceMetrics::reconciles() const {
   return sub == acc + rej && acc == done && queue_depth.load() == 0;
 }
 
-std::string ServiceMetrics::to_json(const CacheStats& cache) const {
+void write_pool_json(JsonWriter& w, const PoolStats& pool) {
+  w.begin_object()
+      .field("acquires", pool.acquires)
+      .field("hits", pool.hits)
+      .field("misses", pool.misses)
+      .field("releases", pool.releases)
+      .field("discards", pool.discards)
+      .field("outstanding", pool.outstanding)
+      .field("retained", pool.retained)
+      .field("retained_bytes", pool.retained_bytes)
+      .field("hit_rate", pool.hit_rate())
+      .end_object();
+}
+
+std::string ServiceMetrics::to_json(const CacheStats& cache,
+                                    const PoolStats& frame_pool) const {
   JsonWriter w;
-  write_json(w, cache);
+  write_json(w, cache, frame_pool);
   return w.str();
 }
 
-void ServiceMetrics::write_json(JsonWriter& w, const CacheStats& cache) const {
+void ServiceMetrics::write_json(JsonWriter& w, const CacheStats& cache,
+                                const PoolStats& frame_pool) const {
   w.begin_object();
   w.key("admission").begin_object()
       .field("submitted", submitted.load())
@@ -83,6 +99,8 @@ void ServiceMetrics::write_json(JsonWriter& w, const CacheStats& cache) const {
       .field("budget_bytes", cache.budget_bytes)
       .field("hit_rate", cache.hit_rate())
       .end_object();
+  w.key("frame_pool");
+  write_pool_json(w, frame_pool);
   w.end_object();
 }
 

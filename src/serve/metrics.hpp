@@ -12,6 +12,7 @@
 #include <string>
 
 #include "serve/volume_cache.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/histogram.hpp"
 
 namespace psw {
@@ -66,11 +67,17 @@ struct ServiceMetrics {
   // sheds partition acceptances.
   bool reconciles() const;
 
-  // Writes one JSON object with counters, histograms and the given cache
-  // stats at the writer's current value slot.
-  void write_json(JsonWriter& w, const CacheStats& cache) const;
+  // Writes one JSON object with counters, histograms, the given cache stats
+  // and the frame-pool allocation accounting at the writer's current value
+  // slot.
+  void write_json(JsonWriter& w, const CacheStats& cache,
+                  const PoolStats& frame_pool) const;
   // Same, as a standalone string.
-  std::string to_json(const CacheStats& cache) const;
+  std::string to_json(const CacheStats& cache, const PoolStats& frame_pool) const;
 };
+
+// Shared pool-stat JSON shape ({"acquires": ..., "hit_rate": ...}); used by
+// the service (frame pool) and the net server (payload pool) exports.
+void write_pool_json(JsonWriter& w, const PoolStats& pool);
 
 }  // namespace psw::serve

@@ -29,6 +29,9 @@ VolumeCache::Builder resolve_builder(const ServiceOptions& options,
 
 RenderService::RenderService(ServiceOptions options, VolumeCache::Builder builder)
     : options_(options),
+      frame_pool_(FramePool::Options{
+          static_cast<size_t>(std::max(0, options.frame_pool_frames)),
+          FramePool::Options{}.max_retained_bytes}),
       cache_(options.cache_bytes, options.cache_shards,
              resolve_builder(options, std::move(builder))),
       sessions_(options.max_sessions, options.parallel),
@@ -73,7 +76,7 @@ Ticket RenderService::admit(RenderRequest request, Completion done) {
       ticket.admission = ServeStatus::kQueueFull;
       return ticket;
     }
-    if (!pending.done) ticket.result = pending.promise.get_future();
+    if (!pending.done) ticket.result = pending.promise.emplace().get_future();
     auto& q = queues_[pending.request.session_id];
     if (q.empty()) rotation_.push_back(pending.request.session_id);
     q.push_back(std::move(pending));
@@ -89,9 +92,13 @@ Ticket RenderService::admit(RenderRequest request, Completion done) {
 void RenderService::deliver(Pending& p, FrameResult&& result) {
   if (p.done) {
     p.done(std::move(result));
-  } else {
-    p.promise.set_value(std::move(result));
+  } else if (p.promise) {
+    p.promise->set_value(std::move(result));
   }
+}
+
+void RenderService::recycle_frame(ImageU8&& image) {
+  frame_pool_.release(std::move(image));
 }
 
 void RenderService::shed(Pending& p, ServeStatus status) {
@@ -127,6 +134,12 @@ void RenderService::process(Pending& p) {
 
 void RenderService::render_one(Pending& p, Clock::time_point dispatched) {
   FrameResult result;
+  // Render into a recycled frame when one is available: the warp writes
+  // every pixel, so reuse is invisible to output, and a warm pool makes the
+  // per-frame image allocation disappear.
+  result.image = frame_pool_.acquire(
+      static_cast<size_t>(p.request.camera.image_width) *
+      static_cast<size_t>(p.request.camera.image_height));
   result.timing.queue_wait_ms = ms_between(p.enqueued, dispatched);
   metrics_.queue_wait.record_ms(result.timing.queue_wait_ms);
 

@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "serve/request.hpp"
 #include "serve/session_table.hpp"
 #include "serve/volume_cache.hpp"
+#include "util/buffer_pool.hpp"
 
 namespace psw::serve {
 
@@ -40,6 +42,11 @@ struct ServiceOptions {
   // default phantom builder; 0 means "match worker_threads". Ignored when a
   // custom builder is supplied.
   int prepare_threads = 0;
+  // Frames the output-image pool may retain for reuse (0 disables pooling).
+  // Consumers return frames via recycle_frame(); with recycling in place,
+  // steady-state rendering reuses warm pixel storage instead of allocating
+  // a fresh image per frame.
+  int frame_pool_frames = 32;
   ParallelOptions parallel;        // forwarded to per-session renderers
 };
 
@@ -73,15 +80,28 @@ class RenderService {
   // graceful wind-down.
   void stop();
 
+  // Returns a delivered frame's image for reuse by later renders. Optional
+  // but strongly encouraged for streaming consumers: once every consumer
+  // recycles, the steady-state render path stops allocating pixel storage.
+  // Thread-safe; accepts any image (one not born in the pool is retained
+  // all the same).
+  void recycle_frame(ImageU8&& image);
+
   const ServiceOptions& options() const { return options_; }
   const ServiceMetrics& metrics() const { return metrics_; }
   CacheStats cache_stats() const { return cache_.stats(); }
-  std::string metrics_json() const { return metrics_.to_json(cache_.stats()); }
+  PoolStats frame_pool_stats() const { return frame_pool_.stats(); }
+  std::string metrics_json() const {
+    return metrics_.to_json(cache_.stats(), frame_pool_.stats());
+  }
 
  private:
   struct Pending {
     RenderRequest request;
-    std::promise<FrameResult> promise;  // unused when `done` is set
+    // Engaged only for future-based delivery; the callback path skips the
+    // promise entirely so submit_async never pays its shared-state
+    // allocation.
+    std::optional<std::promise<FrameResult>> promise;
     Completion done;
     Clock::time_point enqueued;
   };
@@ -99,6 +119,7 @@ class RenderService {
 
   ServiceOptions options_;
   ServiceMetrics metrics_;
+  FramePool frame_pool_;
   VolumeCache cache_;
   SessionTable sessions_;   // scheduler thread only
   ThreadedExecutor exec_;   // scheduler thread only

@@ -1,0 +1,207 @@
+#include "util/buffer_pool.hpp"
+
+#include <algorithm>
+#include <array>
+#include <mutex>
+
+namespace psw {
+
+namespace {
+
+// 4 KiB (2^12) through 32 MiB (2^25): 14 classes. Small enough a linear
+// class scan is free, large enough to cover a 2880x2880 RGBA frame.
+constexpr int kNumClasses = 14;
+
+size_t class_bytes(int idx) {
+  return BufferPool::kMinClassBytes << static_cast<size_t>(idx);
+}
+
+// Smallest class that can hold `bytes`; kNumClasses if no class can.
+int class_for_request(size_t bytes) {
+  for (int i = 0; i < kNumClasses; ++i) {
+    if (class_bytes(i) >= bytes) return i;
+  }
+  return kNumClasses;
+}
+
+// Largest class a buffer of `capacity` bytes fully covers, so a buffer
+// retained in class i always satisfies any request routed to class <= i.
+// -1 if the capacity is below even the smallest class (not worth keeping).
+int class_for_storage(size_t capacity) {
+  int best = -1;
+  for (int i = 0; i < kNumClasses && class_bytes(i) <= capacity; ++i) best = i;
+  return best;
+}
+
+}  // namespace
+
+struct BufferPool::Shared {
+  explicit Shared(Options o) : options(o) {}
+
+  Options options;
+  mutable std::mutex mu;
+  std::array<std::vector<std::vector<uint8_t>>, kNumClasses> freelists;
+  PoolStats stats;
+};
+
+BufferPool::BufferPool() : BufferPool(Options{}) {}
+
+BufferPool::BufferPool(Options options)
+    : shared_(std::make_shared<Shared>(options)) {}
+
+PooledBuffer BufferPool::acquire(size_t size_hint) {
+  std::vector<uint8_t> buf;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    PoolStats& s = shared_->stats;
+    ++s.acquires;
+    ++s.outstanding;
+    // Serve from the smallest class that covers the hint, climbing to larger
+    // classes before giving up: one warm oversized buffer beats a fresh
+    // allocation, and streams whose frames shrink keep hitting.
+    const int first = class_for_request(size_hint);
+    for (int i = first; i < kNumClasses; ++i) {
+      auto& list = shared_->freelists[static_cast<size_t>(i)];
+      if (list.empty()) continue;
+      buf = std::move(list.back());
+      list.pop_back();
+      ++s.hits;
+      --s.retained;
+      s.retained_bytes -= buf.capacity();
+      buf.clear();
+      return PooledBuffer(shared_, std::move(buf));
+    }
+    ++s.misses;
+  }
+  // Allocate outside the lock. Round the capacity up to the class size so
+  // the buffer re-enters the pool in the class it was requested from.
+  const int idx = class_for_request(size_hint);
+  buf.reserve(idx < kNumClasses ? class_bytes(idx) : size_hint);
+  return PooledBuffer(shared_, std::move(buf));
+}
+
+void BufferPool::release(const std::shared_ptr<Shared>& shared,
+                         std::vector<uint8_t>&& buf) {
+  std::vector<uint8_t> local = std::move(buf);
+  std::lock_guard<std::mutex> lock(shared->mu);
+  PoolStats& s = shared->stats;
+  ++s.releases;
+  --s.outstanding;
+  const int idx = class_for_storage(local.capacity());
+  if (idx < 0 || local.capacity() > kMaxClassBytes) {
+    ++s.discards;  // too small to matter or an unpooled oversize one-off
+    return;
+  }
+  auto& list = shared->freelists[static_cast<size_t>(idx)];
+  if (list.size() >= shared->options.max_buffers_per_class ||
+      s.retained_bytes + local.capacity() > shared->options.max_retained_bytes) {
+    ++s.discards;
+    return;
+  }
+  if (shared->options.poison_on_release) {
+    local.resize(local.capacity());
+    std::fill(local.begin(), local.end(), uint8_t{0xDD});
+  }
+  ++s.retained;
+  s.retained_bytes += local.capacity();
+  list.push_back(std::move(local));
+}
+
+PoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->stats;
+}
+
+void BufferPool::trim() {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  for (auto& list : shared_->freelists) {
+    shared_->stats.discards += list.size();
+    list.clear();
+  }
+  shared_->stats.retained = 0;
+  shared_->stats.retained_bytes = 0;
+}
+
+void PooledBuffer::release() {
+  if (!active_) return;
+  active_ = false;
+  if (shared_) BufferPool::release(shared_, std::move(buf_));
+  buf_ = std::vector<uint8_t>();
+  shared_.reset();
+}
+
+struct FramePool::Impl {
+  explicit Impl(Options o) : options(o) {}
+
+  Options options;
+  mutable std::mutex mu;
+  std::vector<ImageU8> freelist;
+  PoolStats stats;
+};
+
+FramePool::FramePool() : FramePool(Options{}) {}
+
+FramePool::FramePool(Options options)
+    : impl_(std::make_shared<Impl>(options)) {}
+
+ImageU8 FramePool::acquire(size_t pixel_hint) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  PoolStats& s = impl_->stats;
+  ++s.acquires;
+  ++s.outstanding;
+  // Smallest retained frame that covers the hint: big sessions keep their
+  // big frames, small sessions never pin oversized storage.
+  size_t best = impl_->freelist.size();
+  for (size_t i = 0; i < impl_->freelist.size(); ++i) {
+    if (impl_->freelist[i].pixel_capacity() < pixel_hint) continue;
+    if (best == impl_->freelist.size() ||
+        impl_->freelist[i].pixel_capacity() <
+            impl_->freelist[best].pixel_capacity()) {
+      best = i;
+    }
+  }
+  if (best == impl_->freelist.size()) {
+    ++s.misses;
+    return ImageU8();
+  }
+  ImageU8 frame = std::move(impl_->freelist[best]);
+  impl_->freelist.erase(impl_->freelist.begin() +
+                        static_cast<ptrdiff_t>(best));
+  ++s.hits;
+  --s.retained;
+  s.retained_bytes -= frame.pixel_capacity() * sizeof(Pixel8);
+  frame.resize(0, 0);  // keeps the capacity, drops stale dimensions
+  return frame;
+}
+
+void FramePool::release(ImageU8&& frame) {
+  ImageU8 local = std::move(frame);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  PoolStats& s = impl_->stats;
+  ++s.releases;
+  if (s.outstanding > 0) --s.outstanding;
+  const size_t bytes = local.pixel_capacity() * sizeof(Pixel8);
+  if (bytes == 0 || impl_->freelist.size() >= impl_->options.max_frames ||
+      s.retained_bytes + bytes > impl_->options.max_retained_bytes) {
+    ++s.discards;
+    return;
+  }
+  ++s.retained;
+  s.retained_bytes += bytes;
+  impl_->freelist.push_back(std::move(local));
+}
+
+PoolStats FramePool::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->stats;
+}
+
+void FramePool::trim() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->stats.discards += impl_->freelist.size();
+  impl_->freelist.clear();
+  impl_->stats.retained = 0;
+  impl_->stats.retained_bytes = 0;
+}
+
+}  // namespace psw

@@ -1,0 +1,193 @@
+// Size-classed, thread-safe buffer pools for the zero-copy serving memory
+// path. The paper's discipline — working sets that fit in cache, data never
+// touched twice — is applied here to the layer *above* the render kernels:
+// steady-state frame serving must not allocate, and an encoded frame must
+// reach the socket without being copied into yet another buffer.
+//
+// Two pools cover the serving path's storage:
+//
+//   BufferPool   byte buffers (codec blobs, wire payloads). Buffers are
+//                grouped into power-of-two size classes; acquire() pops the
+//                smallest retained buffer whose class covers the size hint
+//                (searching larger classes before allocating, so one warm
+//                buffer serves callers with smaller hints). The PooledBuffer
+//                RAII handle returns storage on destruction, wherever the
+//                handle ends up — per-connection send queues, completion
+//                items — so no call site can leak a pooled buffer.
+//
+//   FramePool    whole ImageU8 frames (the compositor's output). Rendered
+//                frames travel by move through FrameResult to the consumer,
+//                which recycles them once encoded; the pixel storage's
+//                capacity travels with the image, so a session re-renders
+//                into the same cache-warm allocation frame after frame.
+//
+// Both pools are bounded (per-class buffer count and a total retained-byte
+// budget) and fully instrumented: PoolStats counts acquires, hits, misses,
+// releases, discards and the outstanding/retained gauges, with conservation
+// invariants (acquires == hits + misses == releases + outstanding) asserted
+// in the tests and exported in the service/net metrics JSON. An optional
+// poison-on-release mode fills returned buffers with 0xDD so use-after-
+// release reads stale poison instead of silently reading recycled frames.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/image.hpp"
+
+namespace psw {
+
+// Counters of one pool. Monotonic counts plus two gauges; a snapshot is
+// internally consistent (taken under the pool lock).
+struct PoolStats {
+  uint64_t acquires = 0;        // acquire() calls
+  uint64_t hits = 0;            // served from a retained buffer
+  uint64_t misses = 0;          // had to allocate fresh storage
+  uint64_t releases = 0;        // handles/buffers given back (retained or not)
+  uint64_t discards = 0;        // of `releases`, dropped instead of retained
+  uint64_t outstanding = 0;     // gauge: acquired, not yet released
+  uint64_t retained = 0;        // gauge: buffers sitting in freelists
+  uint64_t retained_bytes = 0;  // gauge: capacity held by `retained`
+
+  double hit_rate() const {
+    return acquires == 0 ? 0.0
+                         : static_cast<double>(hits) / static_cast<double>(acquires);
+  }
+  // Invariants every quiesced pool satisfies; the metrics tests assert this.
+  bool conserves() const {
+    return acquires == hits + misses && releases <= acquires &&
+           outstanding == acquires - releases && discards <= releases;
+  }
+};
+
+class PooledBuffer;
+
+// Thread-safe pool of std::vector<uint8_t> buffers in power-of-two size
+// classes (4 KiB .. 32 MiB). Copyable handles are not provided: storage
+// moves in and out through PooledBuffer.
+class BufferPool {
+ public:
+  struct Options {
+    size_t max_buffers_per_class = 8;
+    size_t max_retained_bytes = 64u << 20;
+    // Fill released buffers' bytes with 0xDD before retaining them, so a
+    // use-after-release reads poison instead of a recycled frame. Cheap
+    // enough for tests and debug servers; off in production paths.
+    bool poison_on_release = false;
+  };
+
+  BufferPool();
+  explicit BufferPool(Options options);
+  ~BufferPool() = default;
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns an empty (size 0) buffer whose capacity is at least `size_hint`
+  // when a retained buffer can provide it, allocating one sized to the
+  // hint's class otherwise. A hint larger than the largest class yields an
+  // exact unpooled allocation (released back, it is discarded, not retained).
+  PooledBuffer acquire(size_t size_hint);
+
+  PoolStats stats() const;
+
+  // Drops every retained buffer (budget pressure, tests).
+  void trim();
+
+  static constexpr size_t kMinClassBytes = 4096;
+  static constexpr size_t kMaxClassBytes = 32u << 20;
+
+ private:
+  friend class PooledBuffer;
+  struct Shared;
+  static void release(const std::shared_ptr<Shared>& shared,
+                      std::vector<uint8_t>&& buf);
+
+  std::shared_ptr<Shared> shared_;
+};
+
+// RAII handle to one pooled byte buffer. Move-only; destruction returns the
+// storage to its pool (which may outlive or predecease the handle — the
+// pool's internal state is shared_ptr-owned, so either order is safe).
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  ~PooledBuffer() { release(); }
+
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : shared_(std::move(other.shared_)), buf_(std::move(other.buf_)),
+        active_(other.active_) {
+    other.active_ = false;
+  }
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      shared_ = std::move(other.shared_);
+      buf_ = std::move(other.buf_);
+      active_ = other.active_;
+      other.active_ = false;
+    }
+    return *this;
+  }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  // The buffer itself. Valid only while the handle is active (acquired and
+  // not yet released); an empty handle's vector is an empty dummy.
+  std::vector<uint8_t>& vec() { return buf_; }
+  const std::vector<uint8_t>& vec() const { return buf_; }
+
+  bool active() const { return active_; }
+  explicit operator bool() const { return active_; }
+
+  // Early return to the pool (destruction does the same).
+  void release();
+
+ private:
+  friend class BufferPool;
+  PooledBuffer(std::shared_ptr<BufferPool::Shared> shared,
+               std::vector<uint8_t>&& buf)
+      : shared_(std::move(shared)), buf_(std::move(buf)), active_(true) {}
+
+  std::shared_ptr<BufferPool::Shared> shared_;
+  std::vector<uint8_t> buf_;
+  bool active_ = false;
+};
+
+// Thread-safe pool of ImageU8 frames. acquire() prefers the smallest
+// retained image whose pixel capacity covers the hint, so sessions with
+// different frame sizes stop stealing each other's allocations once the
+// pool is warm. Frames travel by value (move); callers recycle through
+// release() — typically RenderService::recycle_frame once the frame has
+// been encoded for the wire.
+class FramePool {
+ public:
+  struct Options {
+    size_t max_frames = 32;
+    size_t max_retained_bytes = 256u << 20;
+  };
+
+  FramePool();
+  explicit FramePool(Options options);
+
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  // An image (dimensions 0x0, contents unspecified) whose pixel capacity is
+  // at least `pixel_hint` when the pool can provide one. The caller resizes
+  // it; resize() reuses the capacity, so a warm hit never allocates.
+  ImageU8 acquire(size_t pixel_hint = 0);
+
+  // Returns a frame for reuse. Empty images are counted but never retained.
+  void release(ImageU8&& frame);
+
+  PoolStats stats() const;
+  void trim();
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace psw

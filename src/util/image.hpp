@@ -81,6 +81,9 @@ class ImageU8 {
   Pixel8* data() { return pixels_.data(); }
   const Pixel8* data() const { return pixels_.data(); }
   size_t pixel_count() const { return pixels_.size(); }
+  // Pixels the backing store can hold without reallocating; resize() within
+  // this capacity never touches the allocator (FramePool relies on this).
+  size_t pixel_capacity() const { return pixels_.capacity(); }
 
  private:
   int width_ = 0;

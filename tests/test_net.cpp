@@ -187,6 +187,89 @@ TEST(Wire, AllPayloadTypesRoundTrip) {
   }
 }
 
+// encoded_size() lets callers reserve pooled payloads exactly; an off-by-one
+// here silently turns the zero-copy path back into reallocating appends, so
+// every message type's prediction is checked against its actual bytes.
+TEST(Wire, EncodedSizeIsExactForEveryType) {
+  const auto check = [](const auto& msg) {
+    std::vector<uint8_t> p;
+    p.reserve(msg.encoded_size());
+    const uint8_t* storage = p.data();
+    msg.encode(&p);
+    EXPECT_EQ(p.size(), msg.encoded_size());
+    EXPECT_EQ(p.data(), storage);  // the exact reserve was sufficient
+  };
+  HelloMsg hello;
+  hello.name = "sizer-client";
+  check(hello);
+  RenderRequestMsg req;
+  req.volume.kind = "ct";
+  req.camera = Camera::orbit({32, 40, 48}, 0.5, 0.2);
+  req.deadline_ms = 4.0;
+  check(req);
+  StreamRequestMsg sreq;
+  sreq.volume.kind = "mri";
+  sreq.frames = 12;
+  check(sreq);
+  FrameMsg frame;
+  frame.encoded = {9, 8, 7, 6, 5, 4, 3};
+  check(frame);
+  check(StreamEndMsg{});
+  ErrorMsg err;
+  err.message = "queue full";
+  check(err);
+  MetricsReplyMsg metrics;
+  metrics.json = "{\"frames\":1}";
+  check(metrics);
+}
+
+TEST(Wire, EncodeHeaderMatchesEncodeMessagePrefix) {
+  std::mt19937 rng(4242);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (const size_t len : {size_t{0}, size_t{1}, size_t{997}}) {
+    std::vector<uint8_t> payload(len);
+    for (auto& b : payload) b = static_cast<uint8_t>(byte(rng));
+    std::vector<uint8_t> whole;
+    encode_message(MsgType::kFrame, payload, &whole);
+    uint8_t header[kHeaderSize];
+    encode_header(MsgType::kFrame, payload.data(), payload.size(), header);
+    // The scatter-gather pair (header array, payload buffer) must put the
+    // same bytes on the wire as the flat encoding.
+    EXPECT_EQ(std::memcmp(header, whole.data(), kHeaderSize), 0);
+    EXPECT_EQ(whole.size(), kHeaderSize + payload.size());
+  }
+}
+
+TEST(Wire, EncodeMetaPlusBlobMatchesEncode) {
+  FrameMsg msg;
+  msg.request_id = 3;
+  msg.stream_id = 11;
+  msg.seq = 29;
+  msg.dropped_before = 1;
+  msg.render_ms = 2.125;
+  msg.total_ms = 7.75;
+  msg.cache_hit = 1;
+  msg.encoded = {10, 20, 30, 40, 50};
+  std::vector<uint8_t> whole;
+  msg.encode(&whole);
+
+  // The zero-copy path: metadata prefix, length placeholder, blob appended
+  // in place, length patched — must be byte-identical to encode().
+  std::vector<uint8_t> pieced;
+  msg.encode_meta(&pieced);
+  EXPECT_EQ(pieced.size(), FrameMsg::kMetaSize);
+  const size_t blob_len_at = pieced.size();
+  put_u32(&pieced, 0);
+  pieced.insert(pieced.end(), msg.encoded.begin(), msg.encoded.end());
+  put_u32_at(&pieced, blob_len_at, static_cast<uint32_t>(msg.encoded.size()));
+  EXPECT_EQ(pieced, whole);
+
+  FrameMsg back;
+  ASSERT_TRUE(FrameMsg::decode(pieced, &back));
+  EXPECT_EQ(back.encoded, msg.encoded);
+  EXPECT_EQ(back.total_ms, msg.total_ms);
+}
+
 TEST(Wire, TruncatedInputNeedsMoreAtEveryPrefix) {
   ErrorMsg m;
   m.message = "partial";
@@ -354,6 +437,39 @@ TEST(Codec, DeltaSessionRoundTripsAndShrinksStaticFrames) {
   ImageU8 decoded;
   ASSERT_EQ(decoder.decode(blob, &decoded), CodecStatus::kOk);
   EXPECT_TRUE(images_equal(resized, decoded));
+}
+
+TEST(Codec, EncodeAppendIntoReusedBufferIsBitIdentical) {
+  std::mt19937 rng(77);
+  FrameEncoder fresh_session;   // encodes into a fresh vector every frame
+  FrameEncoder reused_session;  // appends into one recycled buffer
+  FrameDecoder decoder;
+  std::vector<uint8_t> reused;  // stands in for a pooled wire payload
+  ImageU8 frame = random_image(rng, 37, 23, true);
+  std::uniform_int_distribution<int> coord_x(0, 36), coord_y(0, 22);
+  for (int f = 0; f < 12; ++f) {
+    // Small frame-to-frame mutations so the delta codec's skip/rle/raw
+    // scanline modes all get exercised across the sequence.
+    for (int k = 0; k < 3; ++k) {
+      frame.at(coord_x(rng), coord_y(rng)) = Pixel8{
+          static_cast<uint8_t>(f * 17), 0, static_cast<uint8_t>(k), 255};
+    }
+    std::vector<uint8_t> fresh;
+    fresh_session.encode(frame, &fresh);
+
+    reused.clear();
+    reused.resize(13, 0xEE);  // pre-existing prefix (frame metadata stand-in)
+    reused_session.encode_append(frame, &reused);
+    ASSERT_EQ(reused.size(), 13 + fresh.size()) << "frame " << f;
+    EXPECT_EQ(std::memcmp(reused.data() + 13, fresh.data(), fresh.size()), 0)
+        << "frame " << f;
+    for (int i = 0; i < 13; ++i) EXPECT_EQ(reused[static_cast<size_t>(i)], 0xEE);
+
+    ImageU8 decoded;
+    ASSERT_EQ(decoder.decode(reused.data() + 13, reused.size() - 13, &decoded),
+              CodecStatus::kOk);
+    EXPECT_TRUE(images_equal(decoded, frame)) << "frame " << f;
+  }
 }
 
 TEST(Codec, CorruptInputsReturnTypedErrorsWithoutPoisoningState) {
@@ -724,6 +840,93 @@ TEST(Net, MetricsEndpointServesCombinedDocument) {
   EXPECT_NE(json.find("\"net\""), std::string::npos);
   EXPECT_NE(json.find("\"wire_ratio\""), std::string::npos);
   client.send_bye(nullptr);
+}
+
+// Shrunken kernel send buffers force sendmsg() to accept partial iovecs, so
+// every frame crosses the socket in several writev calls that must resume
+// mid-header and mid-payload. With payload poisoning on, a buffer recycled
+// before it was fully written would corrupt the stream; the bit-identity
+// check against the direct renderer proves exact reassembly.
+TEST(Net, PartialWritesResumeAndStayBitIdentical) {
+  const serve::VolumeKey key = small_key(36);
+  serve::ServiceOptions sopt;
+  sopt.worker_threads = 2;
+  serve::RenderService service(sopt);
+  NetServerOptions nopt;
+  nopt.socket_send_buffer_bytes = 4 * 1024;
+  nopt.max_send_buffer_bytes = 64u << 20;  // never shed: every frame arrives
+  nopt.pool_poison = true;
+  NetServer server(service, nopt);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  NetClientOptions copt;
+  copt.recv_buffer_bytes = 2 * 1024;  // slow, sippy reader
+  NetClient client(copt);
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port(), &error)) << error;
+
+  StreamRequestMsg req;
+  req.stream_id = 2;
+  req.session_id = 6;
+  req.volume = key;
+  req.start_yaw = 0.3;
+  req.pitch = 0.25;
+  req.step_deg = 4.0;
+  req.frames = 8;
+  ASSERT_TRUE(client.open_stream(req, &error)) << error;
+
+  std::vector<std::pair<uint32_t, uint64_t>> received;
+  StreamEndMsg end;
+  for (;;) {
+    NetClient::Event event;
+    ASSERT_TRUE(client.next_event(&event, &error)) << error;
+    ASSERT_NE(event.kind, NetClient::Event::Kind::kError);
+    if (event.kind == NetClient::Event::Kind::kStreamEnd) {
+      end = event.end;
+      break;
+    }
+    received.emplace_back(event.frame.seq, pixel_hash(event.image));
+    // Dawdle so the server's send queue stays backed up and drains in
+    // many small writev slices.
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  client.send_bye(nullptr);
+  ASSERT_EQ(received.size(), 8u);
+  EXPECT_EQ(end.frames_dropped, 0u);
+
+  const DensityVolume density = make_mri_brain(key.nx, key.ny, key.nz);
+  const ClassifiedVolume classified =
+      classify(density, TransferFunction::mri_preset(), key.classify);
+  const EncodedVolume volume =
+      EncodedVolume::build(classified, key.classify.alpha_threshold);
+  NewParallelRenderer renderer(sopt.parallel);
+  ThreadedExecutor exec(sopt.worker_threads);
+  ImageU8 direct;
+  for (const auto& [seq, hash] : received) {
+    renderer.render(volume,
+                    Camera::orbit({key.nx, key.ny, key.nz},
+                                  req.start_yaw + seq * req.step_deg * kDeg,
+                                  req.pitch),
+                    exec, &direct);
+    EXPECT_EQ(pixel_hash(direct), hash) << "seq " << seq;
+  }
+
+  // The zero-copy invariant: no already-encoded byte was re-copied on its
+  // way to the socket.
+  EXPECT_EQ(server.metrics().frame_copy_bytes.load(), 0u);
+
+  server.stop();
+  service.drain();
+  // Every pooled payload and every rendered frame came home: the counters
+  // conserve and nothing is still outstanding after shutdown.
+  const PoolStats wire_pool = server.pool_stats();
+  EXPECT_TRUE(wire_pool.conserves());
+  EXPECT_EQ(wire_pool.outstanding, 0u);
+  EXPECT_GT(wire_pool.hits, 0u);  // payload buffers were actually reused
+  const PoolStats frame_pool = service.frame_pool_stats();
+  EXPECT_TRUE(frame_pool.conserves());
+  EXPECT_EQ(frame_pool.outstanding, 0u);
+  EXPECT_GT(frame_pool.hits, 0u);  // frames re-rendered into recycled pixels
 }
 
 TEST(Net, ServerStopUnblocksAndCallbacksStaySafe) {

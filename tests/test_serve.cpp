@@ -318,6 +318,44 @@ TEST(Serve, MetricsReconcileUnderConcurrentLoad) {
   EXPECT_NE(json.find("\"p99_ms\""), std::string::npos);
 }
 
+TEST(Serve, FramePoolRecyclesStorageAndCountersConserve) {
+  ServiceOptions opt;
+  opt.worker_threads = 2;
+  RenderService service(opt);
+  const VolumeKey key = small_key(32);
+
+  const int kFrames = 10;
+  for (int f = 0; f < kFrames; ++f) {
+    RenderRequest req;
+    req.session_id = 4;
+    req.volume = key;
+    req.camera = orbit_frame(key, f);
+    Ticket t = service.submit(req);
+    ASSERT_TRUE(t.accepted());
+    FrameResult r = t.result.get();
+    ASSERT_EQ(r.status, ServeStatus::kOk);
+    EXPECT_GT(r.image.pixel_count(), 0u);
+    service.recycle_frame(std::move(r.image));
+  }
+  service.drain();
+
+  const PoolStats pool = service.frame_pool_stats();
+  // Conservation: every rendered frame was acquired from the pool, every
+  // consumer handed it back, and after the first miss the same pixel
+  // storage serves the whole same-size sequence.
+  EXPECT_TRUE(pool.conserves());
+  EXPECT_EQ(pool.acquires, static_cast<uint64_t>(kFrames));
+  EXPECT_EQ(pool.releases, static_cast<uint64_t>(kFrames));
+  EXPECT_EQ(pool.outstanding, 0u);
+  EXPECT_EQ(pool.misses, 1u);
+  EXPECT_EQ(pool.hits, static_cast<uint64_t>(kFrames) - 1);
+
+  // The pool's counters are part of the service telemetry document.
+  const std::string json = service.metrics_json();
+  EXPECT_NE(json.find("\"frame_pool\""), std::string::npos);
+  EXPECT_NE(json.find("\"hit_rate\""), std::string::npos);
+}
+
 TEST(Serve, SameSessionFramesBatchAndReuseProfile) {
   ServiceOptions opt;
   opt.worker_threads = 2;

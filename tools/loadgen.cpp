@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "alloc_probe.hpp"
 #include "parallel/animation.hpp"
 #include "serve/service.hpp"
 #include "shutdown.hpp"
@@ -174,7 +175,11 @@ int main(int argc, char** argv) {
             per_session[s].count_admission(t.admission);
             continue;
           }
-          per_session[s].count_result(t.result.get());
+          FrameResult r = t.result.get();
+          per_session[s].count_result(r);
+          // Hand the pixel storage back so the next frame renders into it.
+          if (r.status == ServeStatus::kOk)
+            service.recycle_frame(std::move(r.image));
         }
       });
     }
@@ -206,15 +211,55 @@ int main(int argc, char** argv) {
         }
       }
     }
-    for (Ticket& t : tickets) outcome.count_result(t.result.get());
+    for (Ticket& t : tickets) {
+      FrameResult r = t.result.get();
+      outcome.count_result(r);
+      if (r.status == ServeStatus::kOk)
+        service.recycle_frame(std::move(r.image));
+    }
+  }
+  const double wall_ms = wall.millis();
+
+  // Steady-state allocation probe: with the volume cache and frame pool
+  // warm, how many heap allocations does one served frame cost end-to-end?
+  // This number includes the renderer's per-frame scratch; the delivery-
+  // path-only figure (gated at <= 2) comes from bench/memserve.
+  double allocs_per_frame = 0.0;
+  double alloc_bytes_per_frame = 0.0;
+  if (!tools::shutdown_requested() && outcome.ok > 0) {
+    const VolumeKey key = key_for_session(0, volumes, size);
+    constexpr int kWarmup = 4, kProbe = 32;
+    for (int f = 0; f < kWarmup; ++f) {
+      Ticket t = service.submit(request_for_frame(0, frames + f, key, step, 0.0));
+      if (!t.accepted()) continue;
+      FrameResult r = t.result.get();
+      if (r.status == ServeStatus::kOk) service.recycle_frame(std::move(r.image));
+    }
+    const tools::AllocSnapshot before = tools::alloc_snapshot();
+    int probe_ok = 0;
+    for (int f = 0; f < kProbe; ++f) {
+      Ticket t = service.submit(
+          request_for_frame(0, frames + kWarmup + f, key, step, 0.0));
+      if (!t.accepted()) continue;
+      FrameResult r = t.result.get();
+      if (r.status == ServeStatus::kOk) {
+        ++probe_ok;
+        service.recycle_frame(std::move(r.image));
+      }
+    }
+    const tools::AllocSnapshot d = tools::alloc_delta(before);
+    if (probe_ok > 0) {
+      allocs_per_frame = static_cast<double>(d.allocations) / probe_ok;
+      alloc_bytes_per_frame = static_cast<double>(d.bytes) / probe_ok;
+    }
   }
   service.drain();
   tools::release_waiters();
   shutdown_watcher.join();
-  const double wall_ms = wall.millis();
 
   const ServiceMetrics& m = service.metrics();
   const CacheStats cache = service.cache_stats();
+  const PoolStats fpool = service.frame_pool_stats();
   const double fps = wall_ms > 0 ? 1e3 * static_cast<double>(outcome.ok) / wall_ms : 0.0;
 
   std::printf("\n%llu frames served in %.0f ms -> %.2f frames/sec aggregate\n",
@@ -248,6 +293,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cache.misses),
               static_cast<unsigned long long>(cache.evictions),
               cache.bytes / 1048576.0);
+  std::printf("frame pool: %.1f%% hit rate (%llu acquires, %llu retained) | "
+              "steady-state allocs/frame %.1f (%.0f bytes)\n",
+              100.0 * fpool.hit_rate(),
+              static_cast<unsigned long long>(fpool.acquires),
+              static_cast<unsigned long long>(fpool.retained),
+              allocs_per_frame, alloc_bytes_per_frame);
   std::printf("queue depth max %lld | batches %llu (%llu frames rode a batch) | "
               "profiled frames %llu\n",
               static_cast<long long>(m.queue_depth_max.load()),
@@ -279,14 +330,16 @@ int main(int argc, char** argv) {
         .field("rejected_deadline", outcome.rejected_deadline)
         .field("shed", outcome.shed)
         .field("failed", outcome.failed)
-        .field("cache_hit_rate", cache.hit_rate());
+        .field("cache_hit_rate", cache.hit_rate())
+        .field("allocs_per_frame", allocs_per_frame)
+        .field("alloc_bytes_per_frame", alloc_bytes_per_frame);
     w.key("cold_start_latency_ms");
     outcome.cold.write_json(w);
     w.key("warm_latency_ms");
     outcome.warm.write_json(w);
     w.end_object();
     w.key("service");
-    m.write_json(w, cache);
+    m.write_json(w, cache, fpool);
     w.end_object();
     std::string body = w.str();
     body += '\n';

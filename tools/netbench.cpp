@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "alloc_probe.hpp"
 #include "core/factorization.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
@@ -207,6 +208,27 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Steady-state allocation probe: one more session against the now-warm
+  // cache and pools, counting process-wide heap allocations per delivered
+  // frame (render scratch + encode + wire + client-side decode). The
+  // delivery-path-only figure, gated at <= 2, comes from bench/memserve.
+  double allocs_per_frame = 0.0;
+  if (failures == 0) {
+    constexpr int kProbeFrames = 16;
+    SessionResult probe;
+    const tools::AllocSnapshot before = tools::alloc_snapshot();
+    if (mode == "request") {
+      run_request_session(server.port(), 1, kProbeFrames, kind, size, step, &probe);
+    } else {
+      run_stream_session(server.port(), 1, kProbeFrames, kind, size, step, &probe);
+    }
+    const tools::AllocSnapshot d = tools::alloc_delta(before);
+    if (probe.frames > 0) {
+      allocs_per_frame = static_cast<double>(d.allocations) /
+                         static_cast<double>(probe.frames);
+    }
+  }
+
   server.stop();
   service.drain();
   const net::NetMetrics& m = server.metrics();
@@ -231,6 +253,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(bytes_sent),
               static_cast<unsigned long long>(bytes_received),
               static_cast<unsigned long long>(protocol_errors));
+  std::printf("memory: %.1f allocs/frame steady-state (both endpoints), "
+              "%.1f B copied/frame server-side\n",
+              allocs_per_frame, m.bytes_copied_per_frame());
 
   if (!json_path.empty()) {
     JsonWriter w;
@@ -257,7 +282,9 @@ int main(int argc, char** argv) {
         .field("client_bytes_received", bytes_received)
         .field("frame_raw_bytes", m.frame_raw_bytes.load())
         .field("frame_wire_bytes", m.frame_wire_bytes.load())
-        .field("wire_ratio", m.wire_ratio());
+        .field("wire_ratio", m.wire_ratio())
+        .field("allocs_per_frame", allocs_per_frame)
+        .field("bytes_copied_per_frame", m.bytes_copied_per_frame());
     w.key("latency");
     latency.write_json(w);
     w.end_object();

@@ -6,7 +6,14 @@
 //   ./tools/netserve --port=7420 [--bind=127.0.0.1] [--threads=4]
 //                    [--queue-capacity=64] [--batch=4] [--cache-mb=256]
 //                    [--max-connections=64] [--window=4] [--pending=4]
-//                    [--idle-timeout-ms=30000] [--json=netserve_metrics.json]
+//                    [--idle-timeout-ms=30000] [--pool-buffers=8]
+//                    [--pool-mb=64] [--pool-poison=0] [--frame-pool=32]
+//                    [--json=netserve_metrics.json]
+//
+// --pool-buffers / --pool-mb bound the wire-payload buffer pool (buffers
+// retained per size class and the total retained-byte budget);
+// --pool-poison=1 fills released buffers with 0xDD to catch use-after-
+// release; --frame-pool bounds the service's rendered-frame pool.
 #include <cstdio>
 #include <string>
 
@@ -21,7 +28,8 @@ int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   flags.require_known({"port", "bind", "threads", "queue-capacity", "batch",
                        "cache-mb", "max-connections", "window", "pending",
-                       "idle-timeout-ms", "prepare-threads", "json"});
+                       "idle-timeout-ms", "prepare-threads", "pool-buffers",
+                       "pool-mb", "pool-poison", "frame-pool", "json"});
 
   serve::ServiceOptions sopt;
   sopt.worker_threads = flags.get_int("threads", 4);
@@ -29,8 +37,14 @@ int main(int argc, char** argv) {
   sopt.queue_capacity = flags.get_int("queue-capacity", 64);
   sopt.batch_max = flags.get_int("batch", 4);
   sopt.cache_bytes = static_cast<uint64_t>(flags.get_int("cache-mb", 256)) << 20;
+  sopt.frame_pool_frames = flags.get_int("frame-pool", 32);
 
   net::NetServerOptions nopt;
+  nopt.pool_buffers_per_class =
+      static_cast<size_t>(flags.get_int("pool-buffers", 8));
+  nopt.pool_retained_bytes =
+      static_cast<size_t>(flags.get_int("pool-mb", 64)) << 20;
+  nopt.pool_poison = flags.get_int("pool-poison", 0) != 0;
   nopt.bind_address = flags.get("bind", "127.0.0.1");
   nopt.port = static_cast<uint16_t>(flags.get_int("port", 7420));
   nopt.max_connections = flags.get_int("max-connections", 64);

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Continuous-integration driver: a warnings-as-errors release build with the
-# full test suite, the same suite again under ASan+UBSan, the threading
-# tests under TSan, clang-tidy (when available), the trace race-checker
-# over both renderers, and a smoke run of the kernel benchmarks (JSON
-# report, to catch bit-rot in the --json path).
+# full test suite, the same suite again under ASan+UBSan and under fatal
+# UBSan, the threading tests under TSan, clang-tidy and the Clang
+# thread-safety analysis (both when clang is available), the repo-invariant
+# lint, the trace race-checker over both renderers, and a smoke run of the
+# kernel benchmarks (JSON report, to catch bit-rot in the --json path).
 # Usage: scripts/ci.sh [build-root]   (default: ./ci-build)
 set -euo pipefail
 
@@ -22,6 +23,14 @@ cmake -B "$out/sanitize" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "$out/sanitize" -j "$jobs"
 ctest --test-dir "$out/sanitize" --output-on-failure -j "$jobs"
 
+echo "==> UBSan build (every finding fatal) + tests"
+# The ASan tree above already runs UBSan in recoverable mode; this tree sets
+# -fno-sanitize-recover=all so any UB aborts the test instead of printing.
+cmake -B "$out/ubsan" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPSW_WERROR=ON -DPSW_SANITIZE=undefined
+cmake --build "$out/ubsan" -j "$jobs"
+ctest --test-dir "$out/ubsan" --output-on-failure -j "$jobs"
+
 echo "==> TSan build + threading tests"
 # TSan is incompatible with ASan, hence its own tree. Only the tests that
 # exercise real threads matter here; the serial/tracing suites are covered
@@ -30,7 +39,10 @@ cmake -B "$out/tsan" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPSW_WERROR=ON -DPSW_SANITIZE=thread
 cmake --build "$out/tsan" -j "$jobs" \
   --target test_parallel_infra test_parallel_renderers test_fastpath test_serve \
-  test_prepare test_net test_buffer_pool loadgen netbench
+  test_prepare test_net test_buffer_pool test_sync loadgen netbench
+# The annotated Mutex/CondVar wrappers themselves (adopt/release handoff
+# across the condvar sleep) under the race detector.
+"$out/tsan/tests/test_sync"
 "$out/tsan/tests/test_parallel_infra"
 "$out/tsan/tests/test_parallel_renderers"
 "$out/tsan/tests/test_fastpath"
@@ -47,6 +59,23 @@ cmake --build "$out/tsan" -j "$jobs" \
 
 echo "==> clang-tidy"
 "$root/scripts/lint.sh" "$out/lint"
+
+echo "==> Clang thread-safety analysis (-Werror=thread-safety)"
+# The capability annotations in util/sync.hpp only do work under Clang;
+# this stage proves every GUARDED_BY/REQUIRES contract holds (and the
+# configure re-runs tests/compile_fail, whose negative cases only bite
+# here). Skips gracefully on toolchains without clang, like lint above.
+clangxx=${PSW_CLANGXX:-clang++}
+if command -v "$clangxx" >/dev/null 2>&1; then
+  cmake -B "$out/tsa" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_COMPILER="$clangxx" -DPSW_THREAD_SAFETY=ON
+  cmake --build "$out/tsa" -j "$jobs"
+else
+  echo "thread-safety: $clangxx not found, skipping (install clang to run locally)"
+fi
+
+echo "==> Repo invariants (lock discipline, zero-alloc delivery, relaxed audit)"
+"$root/scripts/check_invariants.sh" "$out/invariants"
 
 echo "==> Trace-level race check (both renderers, MRI+CT, 1/4/16 procs)"
 "$out/release/tools/racecheck" --size=32 --procs=1,4,16

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# clang-tidy over the library and tool sources, using the checks pinned in
-# .clang-tidy. Skips gracefully (exit 0 with a notice) when clang-tidy is
-# not installed, so scripts/ci.sh works on minimal toolchains; the GitHub
-# workflow installs it and gets the real run.
+# clang-tidy over the library, tool, test and benchmark sources, using the
+# checks pinned in .clang-tidy. Skips gracefully (exit 0 with a notice)
+# when clang-tidy is not installed, so scripts/ci.sh works on minimal
+# toolchains; the GitHub workflow installs it and gets the real run.
 # Usage: scripts/lint.sh [build-dir]   (default: ./lint-build)
 set -euo pipefail
 
@@ -19,7 +19,11 @@ fi
 cmake -B "$out" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 
-mapfile -t sources < <(find "$root/src" "$root/tools" -name '*.cpp' | sort)
+# tests/compile_fail is excluded: its cases build via try_compile at
+# configure time, so they have no compile_commands entries (and the fail_*
+# cases are deliberately buggy).
+mapfile -t sources < <(find "$root/src" "$root/tools" "$root/tests" "$root/bench" \
+  -name '*.cpp' ! -path '*/compile_fail/*' | sort)
 echo "lint: checking ${#sources[@]} files with $tidy"
 printf '%s\n' "${sources[@]}" | xargs -P "$jobs" -n 4 "$tidy" -p "$out" --quiet
 

@@ -53,6 +53,8 @@ struct NetMetrics {
   // Wire bytes per raw byte for sent frames (1.0 when nothing was sent,
   // i.e. "no savings yet", so thresholds compare conservatively).
   double wire_ratio() const {
+    // relaxed: advisory ratio over two independently exact counters; a read
+    // between a frame's raw and wire increments skews one frame at most.
     const uint64_t raw = frame_raw_bytes.load(std::memory_order_relaxed);
     const uint64_t wire = frame_wire_bytes.load(std::memory_order_relaxed);
     return raw == 0 ? 1.0 : static_cast<double>(wire) / static_cast<double>(raw);
@@ -60,6 +62,7 @@ struct NetMetrics {
 
   // Post-encode copy cost per delivered frame; 0.0 on the zero-copy path.
   double bytes_copied_per_frame() const {
+    // relaxed: advisory ratio, same rationale as wire_ratio().
     const uint64_t sent = frames_sent.load(std::memory_order_relaxed);
     const uint64_t copied = frame_copy_bytes.load(std::memory_order_relaxed);
     return sent == 0 ? 0.0 : static_cast<double>(copied) / static_cast<double>(sent);

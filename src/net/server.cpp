@@ -7,9 +7,9 @@
 
 #include <cerrno>
 #include <cstring>
-#include <mutex>
 
 #include "util/json.hpp"
+#include "util/sync.hpp"
 
 namespace psw::net {
 
@@ -34,36 +34,44 @@ double ms_since(serve::Clock::time_point t) {
 // Callbacks capture this by shared_ptr: a completion firing after stop()
 // (or after ~NetServer) lands in a closed queue, never in freed memory.
 struct NetServer::CompletionQueue {
-  std::mutex mutex;
-  std::deque<CompletionItem> items;
-  bool closed = false;
-  int wake_fd = -1;  // write end of the poll loop's self-pipe
+  // Lock protocol: one mutex covers the handoff triple — the item deque,
+  // the closed flag (checked before every push, so items never land after
+  // close), and the wake_fd the pushers signal. Publishing or retiring the
+  // pipe's write end under the same mutex is what makes the fd handoff in
+  // NetServer::start()/stop() safe against concurrent pushers.
+  Mutex mutex;
+  std::deque<CompletionItem> items PSW_GUARDED_BY(mutex);
+  bool closed PSW_GUARDED_BY(mutex) = false;
+  int wake_fd PSW_GUARDED_BY(mutex) = -1;  // write end of the self-pipe
 
   ~CompletionQueue() { retire_wake_fd(); }
 
   void push(CompletionItem&& item) {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (closed) return;
     items.push_back(std::move(item));
     wake_locked();
   }
 
   void wake() {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     wake_locked();
   }
 
-  // Caller holds `mutex` (which is what makes the wake_fd handoff in
-  // NetServer::stop() safe against concurrent pushers).
-  void wake_locked() {
+  void wake_locked() PSW_REQUIRES(mutex) {
     if (wake_fd < 0) return;
     const uint8_t byte = 1;
     // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
     [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
   }
 
+  void set_wake_fd(int fd) {
+    MutexLock lock(mutex);
+    wake_fd = fd;
+  }
+
   void close_and_clear() {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     closed = true;
     items.clear();
   }
@@ -71,7 +79,7 @@ struct NetServer::CompletionQueue {
   // Called once the poll thread is joined: the read end is about to go
   // away, so writing to the pipe after this would raise SIGPIPE.
   void retire_wake_fd() {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (wake_fd >= 0) ::close(wake_fd);
     wake_fd = -1;
   }
@@ -109,7 +117,12 @@ bool NetServer::start(std::string* error) {
   set_nonblocking(pipe_fds[0], true);
   set_nonblocking(pipe_fds[1], true);
   wake_rd_.reset(pipe_fds[0]);
-  queue_->wake_fd = pipe_fds[1];
+  // A restart after stop() needs a live queue: the old one was closed for
+  // good in stop() (completion callbacks from the previous run may still
+  // hold references to it, and must keep landing in a *closed* queue), so
+  // each start gets a fresh queue rather than reopening the retired one.
+  queue_ = std::make_shared<CompletionQueue>();
+  queue_->set_wake_fd(pipe_fds[1]);
 
   stopping_.store(false, std::memory_order_release);
   thread_ = std::thread([this] { poll_loop(); });
@@ -411,7 +424,7 @@ void NetServer::handle_stream_request(Connection& conn, const StreamRequestMsg& 
 void NetServer::drain_completions() {
   std::deque<CompletionItem> items;
   {
-    std::lock_guard<std::mutex> lock(queue_->mutex);
+    MutexLock lock(queue_->mutex);
     items.swap(queue_->items);
   }
   for (CompletionItem& item : items) apply_completion(std::move(item));

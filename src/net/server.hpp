@@ -103,7 +103,10 @@ class NetServer {
 
   // Callbacks capture this queue by shared_ptr, so a callback firing after
   // stop() (or even after the server is destroyed) writes into a closed
-  // queue instead of freed memory.
+  // queue instead of freed memory. stop() closes a queue permanently;
+  // start() installs a fresh one, which is what lets a stopped server be
+  // started again. Its mutex/guarded members carry thread-safety
+  // annotations (util/sync.hpp) — the definition lives in server.cpp.
   struct CompletionQueue;
 
   struct Stream {

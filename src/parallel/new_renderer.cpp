@@ -110,7 +110,8 @@ ParallelRenderStats NewParallelRenderer::render(const EncodedVolume& volume,
     const int hi = std::min(bounds[p + 1], act_hi);
     const int active = std::max(0, hi - lo);
     if (active > 0) queues.push(p, {lo, hi, p});
-    // +1 is the owner's "cleared my inactive rows" token.
+    // +1 is the owner's "cleared my inactive rows" token. relaxed: seeded
+    // before the parallel region; the pool's run() barrier publishes both.
     remaining[p].store(active + 1, std::memory_order_relaxed);
     done[p].store(false, std::memory_order_relaxed);
   }

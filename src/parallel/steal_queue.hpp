@@ -15,8 +15,9 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace psw {
 
@@ -41,16 +42,17 @@ class StealQueues {
   // lock anyway for simplicity; the renderers call this single-threaded).
   void push(int p, ScanlineRange range) {
     if (range.empty()) return;
-    std::lock_guard<std::mutex> lock(queues_[p].mutex);
-    queues_[p].ranges.push_back(range);
+    Queue& q = queues_[static_cast<size_t>(p)];
+    MutexLock lock(q.mutex);
+    q.ranges.push_back(range);
     // relaxed: heuristic counter, mutated under the queue mutex anyway.
-    queues_[p].approx_remaining.fetch_add(range.count(), std::memory_order_relaxed);
+    q.approx_remaining.fetch_add(range.count(), std::memory_order_relaxed);
   }
 
   // Takes up to `chunk` scanlines from the front of p's own queue.
   bool pop_own(int p, int chunk, ScanlineRange* out) {
-    Queue& q = queues_[p];
-    std::lock_guard<std::mutex> lock(q.mutex);
+    Queue& q = queues_[static_cast<size_t>(p)];
+    MutexLock lock(q.mutex);
     lock_ops_.fetch_add(1, std::memory_order_relaxed);  // relaxed: statistic
     if (q.ranges.empty()) return false;
     ScanlineRange& front = q.ranges.front();
@@ -66,12 +68,12 @@ class StealQueues {
   // queue. Returns false when every queue is empty.
   bool steal(int thief, int chunk, ScanlineRange* out) {
     const int n = procs();
-    // Pick the victim with the most remaining work. relaxed: racy read is
-    // fine — a stale value only picks a worse victim, and the locked rescan
-    // below recovers when the chosen one turns out empty.
+    // Pick the victim with the most remaining work.
     int victim = -1, best = 0;
     for (int i = 0; i < n; ++i) {
       if (i == thief) continue;
+      // relaxed: racy read is fine — a stale value only picks a worse
+      // victim, and the locked rescan below recovers from an empty choice.
       const int remaining = queues_[i].approx_remaining.load(std::memory_order_relaxed);
       if (remaining > best) {
         best = remaining;
@@ -109,15 +111,18 @@ class StealQueues {
   uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
 
  private:
+  // Per-queue lock protocol: `mutex` orders the deque contents; the atomic
+  // victim-selection counter deliberately rides outside it (see the audit
+  // note at the top of this file).
   struct Queue {
-    std::mutex mutex;
-    std::deque<ScanlineRange> ranges;
+    Mutex mutex;
+    std::deque<ScanlineRange> ranges PSW_GUARDED_BY(mutex);
     std::atomic<int> approx_remaining{0};
   };
 
   bool try_steal_from(int victim, int chunk, ScanlineRange* out) {
-    Queue& q = queues_[victim];
-    std::lock_guard<std::mutex> lock(q.mutex);
+    Queue& q = queues_[static_cast<size_t>(victim)];
+    MutexLock lock(q.mutex);
     lock_ops_.fetch_add(1, std::memory_order_relaxed);  // relaxed: statistic
     if (q.ranges.empty()) return false;
     ScanlineRange& back = q.ranges.back();

@@ -11,7 +11,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
   start_cv_.notify_all();
@@ -19,13 +19,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run(const std::function<void(int)>& body) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   body_ = &body;
   remaining_ = size();
   first_error_ = nullptr;
   ++generation_;
   start_cv_.notify_all();
-  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  while (remaining_ != 0) done_cv_.wait(mutex_);
   body_ = nullptr;
   if (first_error_) std::rethrow_exception(first_error_);
 }
@@ -35,8 +35,8 @@ void ThreadPool::worker_loop(int index) {
   while (true) {
     const std::function<void(int)>* body;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && generation_ == seen_generation) start_cv_.wait(mutex_);
       if (shutdown_) return;
       seen_generation = generation_;
       body = body_;
@@ -48,7 +48,7 @@ void ThreadPool::worker_loop(int index) {
       error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (error && !first_error_) first_error_ = error;
       if (--remaining_ == 0) done_cv_.notify_all();
     }

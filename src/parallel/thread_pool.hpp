@@ -3,11 +3,11 @@
 // phases).
 #pragma once
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace psw {
 
@@ -30,14 +30,20 @@ class ThreadPool {
   void worker_loop(int index);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* body_ = nullptr;
-  uint64_t generation_ = 0;
-  int remaining_ = 0;
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;
+  // Lock protocol: one mutex covers the whole run/join handshake — the
+  // caller publishes `body_` and bumps `generation_` under it, workers read
+  // the generation and body under it, and the last worker out decrements
+  // `remaining_` to zero and signals done_cv_. `body_` points at the
+  // caller's function, which only the generation fence makes safe to read
+  // (hence guarded pointer, not guarded pointee).
+  Mutex mutex_;
+  CondVar start_cv_;  // with mutex_: new generation published or shutdown_
+  CondVar done_cv_;   // with mutex_: remaining_ reached zero
+  const std::function<void(int)>* body_ PSW_GUARDED_BY(mutex_) = nullptr;
+  uint64_t generation_ PSW_GUARDED_BY(mutex_) = 0;
+  int remaining_ PSW_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ PSW_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ PSW_GUARDED_BY(mutex_);
 };
 
 }  // namespace psw

@@ -16,6 +16,8 @@ const char* to_string(ServeStatus s) {
 }
 
 void ServiceMetrics::note_queue_depth(int64_t depth) {
+  // relaxed: monotonic high-watermark statistic — the CAS loop retries on
+  // races, and no reader infers ordering of other memory from it.
   int64_t prev = queue_depth_max.load(std::memory_order_relaxed);
   while (depth > prev && !queue_depth_max.compare_exchange_weak(
                              prev, depth, std::memory_order_relaxed)) {

@@ -65,7 +65,7 @@ Ticket RenderService::admit(RenderRequest request, Completion done) {
   pending.done = std::move(done);
   pending.enqueued = now;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) {
       metrics_.rejected_shutdown.fetch_add(1);
       ticket.admission = ServeStatus::kShutdown;
@@ -185,8 +185,8 @@ void RenderService::scheduler_loop() {
   for (;;) {
     std::vector<Pending> batch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stopping_ || total_queued_ > 0; });
+      MutexLock lock(mutex_);
+      while (!stopping_ && total_queued_ == 0) work_cv_.wait(mutex_);
       if (stopping_) {
         // Shed everything still queued with the typed shutdown status.
         for (auto& [sid, q] : queues_) {
@@ -226,7 +226,7 @@ void RenderService::scheduler_loop() {
     metrics_.batched_frames.fetch_add(batch.size() - 1);
     for (Pending& p : batch) process(p);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       in_flight_ = 0;
       if (total_queued_ == 0) drain_cv_.notify_all();
     }
@@ -234,14 +234,14 @@ void RenderService::scheduler_loop() {
 }
 
 void RenderService::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  drain_cv_.wait(lock, [this] { return total_queued_ == 0 && in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (total_queued_ != 0 || in_flight_ != 0) drain_cv_.wait(mutex_);
 }
 
 void RenderService::stop() {
-  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  MutexLock stop_lock(stop_mutex_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_cv_.notify_all();

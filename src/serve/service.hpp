@@ -12,12 +12,10 @@
 // outcomes, queue depth and per-stage latency histograms.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -28,6 +26,7 @@
 #include "serve/session_table.hpp"
 #include "serve/volume_cache.hpp"
 #include "util/buffer_pool.hpp"
+#include "util/sync.hpp"
 
 namespace psw::serve {
 
@@ -124,17 +123,28 @@ class RenderService {
   SessionTable sessions_;   // scheduler thread only
   ThreadedExecutor exec_;   // scheduler thread only
 
-  std::mutex stop_mutex_;  // serializes stop() callers around the join
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable drain_cv_;
-  std::map<uint64_t, std::deque<Pending>> queues_;  // per-session FIFO
-  std::deque<uint64_t> rotation_;  // sessions with pending work, RR order
-  int64_t total_queued_ = 0;
-  int64_t in_flight_ = 0;
-  bool stopping_ = false;
+  // Lock protocol: `mutex_` covers the admission queue state below it —
+  // the per-session FIFOs, the round-robin rotation (every session with a
+  // non-empty FIFO appears exactly once), the queue/in-flight gauges and
+  // the stopping flag. `stop_mutex_` only serializes stop() callers around
+  // the scheduler join; it is always taken before `mutex_` (stop() holds
+  // it while flipping `stopping_`), never the other way around.
+  Mutex stop_mutex_ PSW_ACQUIRED_BEFORE(mutex_);
+  Mutex mutex_;
+  CondVar work_cv_;   // with mutex_: work arrived or stopping_
+  CondVar drain_cv_;  // with mutex_: queue empty and nothing in flight
+  std::map<uint64_t, std::deque<Pending>> queues_
+      PSW_GUARDED_BY(mutex_);  // per-session FIFO
+  std::deque<uint64_t> rotation_
+      PSW_GUARDED_BY(mutex_);  // sessions with pending work, RR order
+  int64_t total_queued_ PSW_GUARDED_BY(mutex_) = 0;
+  int64_t in_flight_ PSW_GUARDED_BY(mutex_) = 0;
+  bool stopping_ PSW_GUARDED_BY(mutex_) = false;
 
-  std::thread scheduler_;
+  // Written by the constructor (unchecked: no second thread exists yet),
+  // joined under stop_mutex_ so concurrent stop() callers agree on who
+  // joins.
+  std::thread scheduler_ PSW_GUARDED_BY(stop_mutex_);
 };
 
 }  // namespace psw::serve

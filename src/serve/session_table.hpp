@@ -7,7 +7,11 @@
 // profile instead of re-measuring.
 //
 // The table is owned and accessed by the scheduler thread only; it needs no
-// locking (the service serializes all rendering through that thread).
+// locking (the service serializes all rendering through that thread). In
+// the repo's capability model (DESIGN.md "Static concurrency analysis")
+// this is thread confinement, not mutual exclusion: there is deliberately
+// no psw::Mutex here, and the confinement is enforced by RenderService
+// never letting a reference escape scheduler_loop()'s call tree.
 #pragma once
 
 #include <cstdint>

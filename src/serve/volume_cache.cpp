@@ -64,7 +64,7 @@ std::shared_ptr<const EncodedVolume> VolumeCache::get(const VolumeKey& key,
   if (build_ms) *build_ms = 0.0;
   const std::string canonical = key.canonical();
   Shard& s = shard_for(canonical);
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   const auto it = s.index.find(canonical);
   if (it != s.index.end()) {
     s.lru.splice(s.lru.begin(), s.lru, it->second);  // touch
@@ -90,7 +90,7 @@ CacheStats VolumeCache::stats() const {
   CacheStats out;
   out.budget_bytes = budget_;
   for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lock(s->mutex);
+    MutexLock lock(s->mutex);
     out.hits += s->hits;
     out.misses += s->misses;
     out.evictions += s->evictions;

@@ -9,7 +9,6 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +16,7 @@
 #include "core/rle_volume.hpp"
 #include "parallel/prepare.hpp"
 #include "serve/request.hpp"
+#include "util/sync.hpp"
 
 namespace psw::serve {
 
@@ -62,16 +62,25 @@ class VolumeCache {
     std::shared_ptr<const EncodedVolume> volume;
     uint64_t bytes = 0;
   };
+  // Lock protocol: each shard is independent — one mutex covers that
+  // shard's LRU list, its index (whose iterators point into the list) and
+  // its byte/hit accounting, and a miss's build runs under it so
+  // concurrent requests for one key build once. Shard mutexes are never
+  // nested: stats() visits shards one at a time, so there is no
+  // cross-shard lock order to get wrong (and none to annotate).
   struct Shard {
-    mutable std::mutex mutex;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
-    uint64_t bytes = 0;
-    uint64_t hits = 0, misses = 0, evictions = 0;
+    mutable Mutex mutex;
+    std::list<Entry> lru PSW_GUARDED_BY(mutex);  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        PSW_GUARDED_BY(mutex);
+    uint64_t bytes PSW_GUARDED_BY(mutex) = 0;
+    uint64_t hits PSW_GUARDED_BY(mutex) = 0;
+    uint64_t misses PSW_GUARDED_BY(mutex) = 0;
+    uint64_t evictions PSW_GUARDED_BY(mutex) = 0;
   };
 
   Shard& shard_for(const std::string& canonical);
-  void evict_locked(Shard& s, uint64_t shard_budget);
+  void evict_locked(Shard& s, uint64_t shard_budget) PSW_REQUIRES(s.mutex);
 
   uint64_t budget_;
   uint64_t shard_budget_;

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <array>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace psw {
 
@@ -35,13 +36,18 @@ int class_for_storage(size_t capacity) {
 
 }  // namespace
 
+// The budget invariant — stats.retained_bytes equals the summed capacity of
+// every freelist entry, and the conservation identities in PoolStats — only
+// holds when freelists and stats move together, so both live under one
+// capability. `options` is immutable after construction and needs none.
 struct BufferPool::Shared {
   explicit Shared(Options o) : options(o) {}
 
   Options options;
-  mutable std::mutex mu;
-  std::array<std::vector<std::vector<uint8_t>>, kNumClasses> freelists;
-  PoolStats stats;
+  mutable Mutex mu;
+  std::array<std::vector<std::vector<uint8_t>>, kNumClasses> freelists
+      PSW_GUARDED_BY(mu);
+  PoolStats stats PSW_GUARDED_BY(mu);
 };
 
 BufferPool::BufferPool() : BufferPool(Options{}) {}
@@ -52,7 +58,7 @@ BufferPool::BufferPool(Options options)
 PooledBuffer BufferPool::acquire(size_t size_hint) {
   std::vector<uint8_t> buf;
   {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    MutexLock lock(shared_->mu);
     PoolStats& s = shared_->stats;
     ++s.acquires;
     ++s.outstanding;
@@ -83,7 +89,7 @@ PooledBuffer BufferPool::acquire(size_t size_hint) {
 void BufferPool::release(const std::shared_ptr<Shared>& shared,
                          std::vector<uint8_t>&& buf) {
   std::vector<uint8_t> local = std::move(buf);
-  std::lock_guard<std::mutex> lock(shared->mu);
+  MutexLock lock(shared->mu);
   PoolStats& s = shared->stats;
   ++s.releases;
   --s.outstanding;
@@ -108,12 +114,12 @@ void BufferPool::release(const std::shared_ptr<Shared>& shared,
 }
 
 PoolStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  MutexLock lock(shared_->mu);
   return shared_->stats;
 }
 
 void BufferPool::trim() {
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  MutexLock lock(shared_->mu);
   for (auto& list : shared_->freelists) {
     shared_->stats.discards += list.size();
     list.clear();
@@ -134,9 +140,9 @@ struct FramePool::Impl {
   explicit Impl(Options o) : options(o) {}
 
   Options options;
-  mutable std::mutex mu;
-  std::vector<ImageU8> freelist;
-  PoolStats stats;
+  mutable Mutex mu;
+  std::vector<ImageU8> freelist PSW_GUARDED_BY(mu);
+  PoolStats stats PSW_GUARDED_BY(mu);
 };
 
 FramePool::FramePool() : FramePool(Options{}) {}
@@ -145,7 +151,7 @@ FramePool::FramePool(Options options)
     : impl_(std::make_shared<Impl>(options)) {}
 
 ImageU8 FramePool::acquire(size_t pixel_hint) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   PoolStats& s = impl_->stats;
   ++s.acquires;
   ++s.outstanding;
@@ -176,7 +182,7 @@ ImageU8 FramePool::acquire(size_t pixel_hint) {
 
 void FramePool::release(ImageU8&& frame) {
   ImageU8 local = std::move(frame);
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   PoolStats& s = impl_->stats;
   ++s.releases;
   if (s.outstanding > 0) --s.outstanding;
@@ -192,12 +198,12 @@ void FramePool::release(ImageU8&& frame) {
 }
 
 PoolStats FramePool::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   return impl_->stats;
 }
 
 void FramePool::trim() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->stats.discards += impl_->freelist.size();
   impl_->freelist.clear();
   impl_->stats.retained = 0;

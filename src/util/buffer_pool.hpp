@@ -28,6 +28,11 @@
 // in the tests and exported in the service/net metrics JSON. An optional
 // poison-on-release mode fills returned buffers with 0xDD so use-after-
 // release reads stale poison instead of silently reading recycled frames.
+//
+// Locking: each pool's freelists and stats live behind one psw::Mutex
+// (util/sync.hpp) in the .cpp-private Shared/Impl state, declared
+// PSW_GUARDED_BY so Clang's thread-safety analysis proves the budget
+// accounting is never touched unlocked.
 #pragma once
 
 #include <cstdint>

@@ -9,10 +9,13 @@ namespace psw {
 
 LatencyHistogram& LatencyHistogram::operator=(const LatencyHistogram& o) {
   if (this == &o) return *this;
+  // relaxed: copying takes an advisory telemetry snapshot — fields may tear
+  // against concurrent recorders, and the copy publishes no other memory.
   for (int b = 0; b < kBuckets; ++b) {
     buckets_[b].store(o.buckets_[b].load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
   }
+  // relaxed: same snapshot rationale as the buckets above.
   count_.store(o.count_.load(std::memory_order_relaxed), std::memory_order_relaxed);
   sum_ms_.store(o.sum_ms_.load(std::memory_order_relaxed), std::memory_order_relaxed);
   max_ms_.store(o.max_ms_.load(std::memory_order_relaxed), std::memory_order_relaxed);
@@ -30,9 +33,13 @@ double LatencyHistogram::bucket_lo(int b) { return kMinMs * std::exp2(b / 4.0); 
 
 void LatencyHistogram::record_ms(double ms) {
   if (!(ms >= 0.0)) ms = 0.0;  // negative/NaN clock glitches clamp to zero
+  // relaxed: independent statistic counters; atomic RMWs keep them exact
+  // and no reader infers ordering of other memory from them.
   buckets_[bucket_for(ms)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_ms_.fetch_add(ms, std::memory_order_relaxed);
+  // relaxed: max is a monotonic watermark — the CAS loop retries on races,
+  // and readers need no ordering with the other fields.
   double prev = max_ms_.load(std::memory_order_relaxed);
   while (ms > prev &&
          !max_ms_.compare_exchange_weak(prev, ms, std::memory_order_relaxed)) {
@@ -41,14 +48,18 @@ void LatencyHistogram::record_ms(double ms) {
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {
   if (this == &other) return;
+  // relaxed: merge reads a quiescent (or snapshot) source into independent
+  // counters; atomic RMWs keep the totals exact, nothing else is published.
   for (int b = 0; b < kBuckets; ++b) {
     const uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
     if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
   }
+  // relaxed: same rationale for the scalar totals.
   count_.fetch_add(other.count_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
   sum_ms_.fetch_add(other.sum_ms_.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
+  // relaxed: monotonic max watermark, CAS retry as in record_ms.
   const double other_max = other.max_ms_.load(std::memory_order_relaxed);
   double prev = max_ms_.load(std::memory_order_relaxed);
   while (other_max > prev &&
@@ -69,6 +80,8 @@ double LatencyHistogram::quantile_ms(double q) const {
   const uint64_t rank = std::max<uint64_t>(
       1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(n))));
   uint64_t seen = 0;
+  // relaxed: quantiles are approximate by design — a concurrent recorder
+  // moving a bucket mid-scan shifts the answer by one sample at most.
   for (int b = 0; b < kBuckets; ++b) {
     seen += buckets_[b].load(std::memory_order_relaxed);
     if (seen >= rank) {

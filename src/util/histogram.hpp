@@ -33,10 +33,12 @@ class LatencyHistogram {
   // into *this* stays safe (all updates are atomic RMWs).
   void merge(const LatencyHistogram& other);
 
+  // relaxed: advisory telemetry reads — each field is independently exact,
+  // and cross-field consistency is not promised to readers.
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum_ms() const { return sum_ms_.load(std::memory_order_relaxed); }
-  double mean_ms() const;
   double max_ms() const { return max_ms_.load(std::memory_order_relaxed); }
+  double mean_ms() const;
 
   // q in [0, 1]; returns the geometric midpoint of the bucket holding the
   // q-th sample (0 when empty).

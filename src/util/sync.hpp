@@ -1,0 +1,147 @@
+// Capability-annotated synchronization primitives: the one place in the
+// repo where raw std::mutex / std::condition_variable are allowed to
+// appear. Everything else locks through psw::Mutex, psw::MutexLock and
+// psw::CondVar so Clang's thread-safety analysis (-Wthread-safety, enabled
+// by the PSW_THREAD_SAFETY CMake option) can prove the locking discipline
+// at compile time: every PSW_GUARDED_BY member access, every
+// PSW_REQUIRES'd helper call and every scoped acquire/release is checked
+// on every clang build instead of waiting for a TSan run to exercise the
+// interleaving. scripts/check_invariants.sh enforces the "no raw std lock
+// primitives outside this header" rule mechanically.
+//
+// The annotations are Clang attributes; on GCC (and on Clang builds
+// without the capability attribute) every macro expands to nothing, so the
+// types below are exactly a std::mutex / std::condition_variable wrapper
+// with zero added cost.
+//
+// Condition-variable idiom: Clang's analysis cannot see through a
+// predicate lambda passed to a wait(pred) overload (the lambda body is
+// analyzed without knowledge of the caller's locks), so CondVar offers
+// only the primitive wait(Mutex&) and call sites write the standard
+//
+//   MutexLock lock(mutex_);
+//   while (!condition_over_guarded_state()) cv_.wait(mutex_);
+//
+// loop, which the analysis checks completely: the guarded reads in the
+// condition happen in a scope that provably holds the mutex.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Thread-safety attribute macros (Clang only; no-ops elsewhere).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PSW_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PSW_THREAD_ANNOTATION
+#define PSW_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+// Declares a type to be a capability ("mutex"): the analysis tracks
+// acquisition and release of its instances.
+#define PSW_CAPABILITY(x) PSW_THREAD_ANNOTATION(capability(x))
+
+// Declares an RAII type whose constructor acquires and destructor releases
+// a capability.
+#define PSW_SCOPED_CAPABILITY PSW_THREAD_ANNOTATION(scoped_lockable)
+
+// Member `x` may only be read/written while the named capability is held.
+#define PSW_GUARDED_BY(x) PSW_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer member whose *pointee* is protected by the named capability.
+#define PSW_PT_GUARDED_BY(x) PSW_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// The function may only be called while holding the named capabilities
+// (and it does not release them).
+#define PSW_REQUIRES(...) PSW_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// The function acquires / releases the named capabilities (empty argument
+// list on a member function means `this`).
+#define PSW_ACQUIRE(...) PSW_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PSW_RELEASE(...) PSW_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PSW_TRY_ACQUIRE(...) PSW_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// The function must be called *without* the named capabilities held
+// (deadlock prevention: re-entry and lock-ordering violations).
+#define PSW_EXCLUDES(...) PSW_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Lock-ordering declarations on capability members.
+#define PSW_ACQUIRED_BEFORE(...) PSW_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PSW_ACQUIRED_AFTER(...) PSW_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Escape hatch. The repo's acceptance gate allows this only inside
+// util/sync.hpp and parallel/steal_queue.hpp, each use carrying a one-line
+// justification; scripts/check_invariants.sh enforces the whitelist.
+#define PSW_NO_THREAD_SAFETY_ANALYSIS PSW_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace psw {
+
+class CondVar;
+
+// Annotated mutual-exclusion capability. Prefer MutexLock for scoped
+// acquisition; bare lock()/unlock() exist for the rare hand-over-hand or
+// conditional-release pattern and are still fully analyzed.
+class PSW_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PSW_ACQUIRE() { mu_.lock(); }
+  void unlock() PSW_RELEASE() { mu_.unlock(); }
+  bool try_lock() PSW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // wait() adopts the raw handle across the sleep
+  std::mutex mu_;
+};
+
+// Scoped acquisition (the std::lock_guard shape). The analysis treats the
+// constructor as acquiring `mu` and the destructor as releasing it, so a
+// guarded access anywhere in the scope type-checks.
+class PSW_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PSW_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() PSW_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable bound to psw::Mutex. wait() requires the mutex held
+// and holds it again on return (the atomic release-sleep-reacquire happens
+// inside), which is exactly what the REQUIRES annotation expresses — the
+// caller's view is "the lock never left my hands".
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Blocks until notified (spurious wakeups possible — always wait in a
+  // `while (!condition)` loop over the guarded state).
+  void wait(Mutex& mu) PSW_REQUIRES(mu) {
+    // Adopt the already-held native handle for the duration of the sleep,
+    // then release the std::unique_lock's ownership claim so the caller's
+    // scoped guard (or explicit unlock) stays the one true owner.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace psw

@@ -1,0 +1,12 @@
+// Misuse class 3: acquiring a capability that is already held. psw::Mutex
+// is non-recursive (plain std::mutex underneath), so this deadlocks at
+// runtime; the annotations catch it at compile time ("acquiring mutex
+// ... that is already held").
+#include "util/sync.hpp"
+
+int main() {
+  psw::Mutex mu;
+  psw::MutexLock outer(mu);
+  psw::MutexLock inner(mu);  // second acquisition: analysis error
+  return 0;
+}

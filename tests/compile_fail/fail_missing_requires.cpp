@@ -1,0 +1,26 @@
+// Misuse class 2: calling a REQUIRES(mu) function without holding mu.
+// This is the lock-discipline bug the *_locked naming convention guards
+// against by hand; the annotation turns it into a compile error
+// ("calling function ... requires holding mutex").
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int n) { add_locked(n); }  // forgot the MutexLock: analysis error
+
+ private:
+  void add_locked(int n) PSW_REQUIRES(mu_) { value_ += n; }
+
+  psw::Mutex mu_;
+  int value_ PSW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Misuse class 1: reading a GUARDED_BY member without holding its mutex.
+// Clang's -Werror=thread-safety must reject this ("requires holding
+// mutex"); without the flag it is legal C++ and must compile — that leg
+// is the harness's positive control.
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  int get() const { return value_; }  // no lock held: analysis error
+
+ private:
+  mutable psw::Mutex mu_;
+  int value_ PSW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.get();
+}

@@ -1,0 +1,11 @@
+// Misuse class 4: a manual lock() with no matching unlock() on some path.
+// The repo's call sites use the MutexLock RAII guard precisely so this
+// cannot happen; the annotation rejects the raw form ("mutex ... is still
+// held at the end of function").
+#include "util/sync.hpp"
+
+int main() {
+  psw::Mutex mu;
+  mu.lock();
+  return 0;  // falls off the end with mu held: analysis error
+}

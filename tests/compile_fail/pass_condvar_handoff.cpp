@@ -1,0 +1,35 @@
+// Positive control: the manual predicate loop used at every wait site in
+// the repo. CondVar::wait takes the Mutex capability directly and is
+// annotated REQUIRES(mu), so the analysis can see the lock is held across
+// the sleep — a predicate lambda passed to a wait(pred) overload would be
+// opaque to it, which is why the repo's CondVar has no such overload.
+#include "util/sync.hpp"
+
+namespace {
+
+class Gate {
+ public:
+  void open() {
+    psw::MutexLock lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  void wait_open() {
+    psw::MutexLock lock(mu_);
+    while (!open_) cv_.wait(mu_);
+  }
+
+ private:
+  psw::Mutex mu_;
+  psw::CondVar cv_;
+  bool open_ PSW_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Gate g;
+  g.open();
+  g.wait_open();
+  return 0;
+}

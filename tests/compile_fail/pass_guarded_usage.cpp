@@ -1,0 +1,34 @@
+// Positive control: the canonical locking discipline used across the repo
+// — guarded members touched only under MutexLock, with a REQUIRES'd
+// private helper called while the lock is held. Must compile cleanly with
+// and without -Wthread-safety, and under toolchains where the annotations
+// compile away entirely.
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int n) {
+    psw::MutexLock lock(mu_);
+    add_locked(n);
+  }
+  int get() const {
+    psw::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void add_locked(int n) PSW_REQUIRES(mu_) { value_ += n; }
+
+  mutable psw::Mutex mu_;
+  int value_ PSW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(3);
+  return c.get() == 3 ? 0 : 1;
+}

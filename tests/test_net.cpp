@@ -619,6 +619,58 @@ TEST(Net, ServedFramesBitIdenticalToDirectRender) {
   EXPECT_LT(server.metrics().wire_ratio(), 0.6);
 }
 
+// Regression: a stopped NetServer must be startable again. stop() retires
+// the completion queue permanently — completion callbacks still in flight
+// inside the render service hold references to it and must keep landing in
+// a *closed* queue — so start() has to install a fresh queue wired to the
+// new wakeup pipe. Before that fix a restarted server accepted connections
+// and admitted renders, but every completion fell into the retired closed
+// queue and no frame was ever delivered. The shortened recv timeout turns
+// a regression into a fast client-side failure instead of a 30 s hang.
+TEST(Net, ServerRestartDeliversFramesAgain) {
+  const serve::VolumeKey key = small_key(32);
+  serve::ServiceOptions sopt;
+  sopt.worker_threads = 2;
+  serve::RenderService service(sopt);
+  NetServer server(service);
+  std::string error;
+
+  NetClientOptions copt;
+  copt.recv_timeout_ms = 10'000.0;
+
+  uint64_t first_hash = 0;
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(server.start(&error)) << "round " << round << ": " << error;
+    ASSERT_TRUE(server.running());
+
+    NetClient client(copt);
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), &error))
+        << "round " << round << ": " << error;
+
+    RenderRequestMsg req;
+    req.request_id = static_cast<uint64_t>(round) + 1;
+    req.session_id = 9;
+    req.volume = key;
+    req.camera = Camera::orbit({key.nx, key.ny, key.nz}, 0.5, 0.25);
+    ImageU8 image;
+    FrameMsg meta;
+    ASSERT_TRUE(client.render(req, &image, &meta, &error))
+        << "round " << round << ": " << error;
+
+    // Same camera each round: the restarted server must serve the
+    // identical frame through its fresh queue.
+    if (round == 0) {
+      first_hash = pixel_hash(image);
+    } else {
+      EXPECT_EQ(pixel_hash(image), first_hash) << "round " << round;
+    }
+
+    client.send_bye(nullptr);
+    server.stop();
+    EXPECT_FALSE(server.running());
+  }
+}
+
 TEST(Net, StreamDeliversFramesInOrderBitIdentical) {
   const serve::VolumeKey key = small_key(36);
   serve::ServiceOptions sopt;

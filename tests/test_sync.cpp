@@ -1,0 +1,148 @@
+// Runtime behaviour of the annotated lock types in util/sync.hpp. The
+// compile-time side (the capability analysis itself) is exercised by the
+// configure-time harness in tests/compile_fail/; these tests pin down that
+// Mutex/MutexLock/CondVar actually synchronize — the annotations wrap a
+// real std::mutex and std::condition_variable, and a bug in the CondVar
+// adopt/release handoff would corrupt the native lock state in a way no
+// static analysis sees.
+#include "util/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace psw {
+namespace {
+
+// N threads hammering one guarded counter: any mutual-exclusion failure
+// shows up as lost increments (and as a race under the TSan CI stage).
+TEST(SyncTest, MutexProvidesMutualExclusion) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10'000;
+
+  Mutex mu;
+  int counter PSW_GUARDED_BY(mu) = 0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(SyncTest, TryLockReportsContention) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    // Held here, so a *different* thread's try_lock must fail (same-thread
+    // try_lock on a held std::mutex is UB, so probe from a helper thread).
+    bool acquired = true;
+    std::thread probe([&] { acquired = mu.try_lock(); });
+    probe.join();
+    EXPECT_FALSE(acquired);
+  }
+  // Released: try_lock succeeds and the lock must actually be held after.
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+// Producer/consumer through CondVar::wait(Mutex&): the adopt_lock /
+// release() handoff inside wait() must leave the mutex held on return, or
+// the guarded reads below race. The repo-wide manual predicate loop
+// (`while (!cond) cv.wait(mu);`) is exactly what this exercises.
+TEST(SyncTest, CondVarHandsOffGuardedState) {
+  constexpr int kItems = 1'000;
+
+  Mutex mu;
+  CondVar cv;
+  std::vector<int> queue PSW_GUARDED_BY(mu);
+  bool done PSW_GUARDED_BY(mu) = false;
+
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      MutexLock lock(mu);
+      queue.push_back(i);
+      cv.notify_one();
+    }
+    MutexLock lock(mu);
+    done = true;
+    cv.notify_one();
+  });
+
+  std::vector<int> received;
+  {
+    MutexLock lock(mu);
+    for (;;) {
+      while (queue.empty() && !done) cv.wait(mu);
+      received.insert(received.end(), queue.begin(), queue.end());
+      queue.clear();
+      if (done) break;
+    }
+  }
+  producer.join();
+
+  ASSERT_EQ(received.size(), static_cast<size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[static_cast<size_t>(i)], i);
+}
+
+TEST(SyncTest, NotifyAllWakesEveryWaiter) {
+  constexpr int kWaiters = 6;
+
+  Mutex mu;
+  CondVar cv;
+  bool go PSW_GUARDED_BY(mu) = false;
+  int awake PSW_GUARDED_BY(mu) = 0;
+
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) cv.wait(mu);
+      ++awake;
+    });
+  }
+
+  {
+    MutexLock lock(mu);
+    go = true;
+    cv.notify_all();
+  }
+  for (auto& th : waiters) th.join();
+
+  MutexLock lock(mu);
+  EXPECT_EQ(awake, kWaiters);
+}
+
+// MutexLock must release on every exit path, including exceptions —
+// otherwise one throw under a guard would wedge every later locker.
+TEST(SyncTest, MutexLockReleasesOnException) {
+  Mutex mu;
+  try {
+    MutexLock lock(mu);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  // Probe from another thread (same-thread try_lock after unlock is fine,
+  // but the cross-thread probe proves the release, not recursive luck).
+  bool acquired = false;
+  std::thread probe([&] {
+    acquired = mu.try_lock();
+    if (acquired) mu.unlock();
+  });
+  probe.join();
+  EXPECT_TRUE(acquired);
+}
+
+}  // namespace
+}  // namespace psw

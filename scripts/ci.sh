@@ -39,7 +39,7 @@ cmake -B "$out/tsan" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPSW_WERROR=ON -DPSW_SANITIZE=thread
 cmake --build "$out/tsan" -j "$jobs" \
   --target test_parallel_infra test_parallel_renderers test_fastpath test_serve \
-  test_prepare test_net test_buffer_pool test_sync loadgen netbench
+  test_prepare test_net test_cluster test_buffer_pool test_sync loadgen netbench
 # The annotated Mutex/CondVar wrappers themselves (adopt/release handoff
 # across the condvar sleep) under the race detector.
 "$out/tsan/tests/test_sync"
@@ -53,6 +53,10 @@ cmake --build "$out/tsan" -j "$jobs" \
 # test_net under TSan covers the poll loop, the completion queue handoff and
 # the drop-oldest backpressure path with real sockets.
 "$out/tsan/tests/test_net"
+# test_cluster under TSan covers the router's poll thread against client
+# threads, the probe/eject/rejoin lifecycle and the mid-stream shard-loss
+# path (real shards, real sockets).
+"$out/tsan/tests/test_cluster"
 # Buffer/frame pool concurrency: the multi-threaded acquire/release hammers
 # run here under TSan (and under ASan in the full suite above).
 "$out/tsan/tests/test_buffer_pool"
@@ -118,6 +122,21 @@ assert 'allocs_per_frame' in r, d; \
 assert r['bytes_copied_per_frame'] == 0, d" "$out/BENCH_net.json"
 # Server connection handling + backpressure under TSan through real sockets.
 "$out/tsan/tools/netbench" --sessions=2 --threads=2 --frames=6 --size=32 --json=
+
+echo "==> Sharded-cluster smoke run (2 shards + router, real sockets)"
+# netbench --cluster boots the shards and the router in-process and exits
+# non-zero if throughput fails to scale, a protocol error appears, or the
+# consistent-hash placement misses its warm-shard hit rate. The JSON check
+# re-asserts the headline contract: zero protocol errors everywhere and
+# both shards actually served frames at width 2.
+"$out/release/tools/netbench" --cluster --shards=1,2 \
+  --json="$out/BENCH_cluster.json"
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+assert d['results']['passed'] is True, d; \
+assert all(s['protocol_errors'] == 0 for s in d['sweep']), d; \
+two = [s for s in d['sweep'] if s['shards'] == 2][0]; \
+assert all(p['frames_forwarded'] > 0 for p in two['per_shard']), d" \
+  "$out/BENCH_cluster.json"
 
 echo "==> Serving memory-path smoke run (memserve, allocs-per-frame gate)"
 # memserve exits non-zero when the warm delivery path (pooled payload ->

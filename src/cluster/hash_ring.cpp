@@ -1,0 +1,63 @@
+#include "cluster/hash_ring.hpp"
+
+#include <algorithm>
+
+namespace psw::cluster {
+
+uint64_t HashRing::hash_key(std::string_view key) {
+  uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  for (const char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  // Avalanche finalizer (Murmur3 fmix64). Raw FNV-1a values of similar
+  // strings differ by position-dependent constants, so the vnode labels
+  // ("shard-0#17") and canonical volume keys this ring hashes would land in
+  // correlated clusters and skew ownership badly (measured: 95/5 on a
+  // 2-node ring). The finalizer decorrelates them; placement stays fully
+  // deterministic and platform-independent.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+void HashRing::rebuild(const std::vector<RingNode>& nodes) {
+  nodes_ = nodes;
+  points_.clear();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const int weight = nodes_[i].weight < 1 ? 1 : nodes_[i].weight;
+    const size_t count = static_cast<size_t>(vnodes_) * static_cast<size_t>(weight);
+    for (size_t v = 0; v < count; ++v) {
+      const std::string point_key = nodes_[i].id + "#" + std::to_string(v);
+      points_.emplace_back(hash_key(point_key), static_cast<uint32_t>(i));
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+size_t HashRing::owner(uint64_t h) const {
+  auto it = std::lower_bound(points_.begin(), points_.end(),
+                             std::make_pair(h, uint32_t{0}));
+  if (it == points_.end()) it = points_.begin();  // wrap past the top
+  return it->second;
+}
+
+std::vector<size_t> HashRing::pick(uint64_t h, int k) const {
+  std::vector<size_t> out;
+  if (points_.empty() || k < 1) return out;
+  const size_t want = std::min(static_cast<size_t>(k), nodes_.size());
+  auto it = std::lower_bound(points_.begin(), points_.end(),
+                             std::make_pair(h, uint32_t{0}));
+  for (size_t step = 0; step < points_.size() && out.size() < want; ++step) {
+    if (it == points_.end()) it = points_.begin();
+    const size_t node = it->second;
+    if (std::find(out.begin(), out.end(), node) == out.end()) out.push_back(node);
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace psw::cluster

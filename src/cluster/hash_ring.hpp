@@ -1,0 +1,64 @@
+// Weighted consistent-hash ring for volume placement across render shards.
+// Each node contributes `vnodes * weight` pseudo-random points on a 64-bit
+// circle; a key is owned by the first point clockwise from its hash. The
+// properties the cluster layer leans on:
+//
+//  - stability: a key's owner changes only when nodes join or leave, so a
+//    volume's repeated requests keep landing on the shard whose VolumeCache
+//    already holds it;
+//  - minimal disruption: removing a node only reassigns the keys it owned
+//    (its points vanish, everything else is untouched);
+//  - weighting: a node with weight w receives ~w times the keyspace of a
+//    weight-1 node;
+//  - replication: pick(h, k) walks clockwise collecting the first k
+//    *distinct* nodes, giving a deterministic candidate set for k-way
+//    placement of hot volumes.
+//
+// The ring is a value type owned and rebuilt by the router's poll thread;
+// it does no locking of its own.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psw::cluster {
+
+struct RingNode {
+  std::string id;
+  int weight = 1;
+};
+
+class HashRing {
+ public:
+  explicit HashRing(int vnodes = 64) : vnodes_(vnodes < 1 ? 1 : vnodes) {}
+
+  // Replaces the node set (typically: every healthy, non-draining shard).
+  void rebuild(const std::vector<RingNode>& nodes);
+
+  bool empty() const { return points_.empty(); }
+  size_t node_count() const { return nodes_.size(); }
+  size_t point_count() const { return points_.size(); }
+  const std::vector<RingNode>& nodes() const { return nodes_; }
+
+  // Index (into nodes()) of the node owning hash h. Ring must be non-empty.
+  size_t owner(uint64_t h) const;
+
+  // The first min(k, node_count) distinct node indices clockwise from h, in
+  // ring order — owner first, then the replication candidates.
+  std::vector<size_t> pick(uint64_t h, int k) const;
+
+  // FNV-1a 64-bit over the key bytes, passed through an avalanche finalizer
+  // so similar keys decorrelate (stable across runs and platforms; a
+  // volume's canonical() string hashes identically everywhere).
+  static uint64_t hash_key(std::string_view key);
+
+ private:
+  int vnodes_;
+  std::vector<RingNode> nodes_;
+  // (point, node index), sorted by point.
+  std::vector<std::pair<uint64_t, uint32_t>> points_;
+};
+
+}  // namespace psw::cluster

@@ -1,0 +1,100 @@
+// Router-level counters and the aggregated cluster metrics document.
+//
+// Two layers of telemetry meet here. The router's own counters (clients,
+// routed requests/streams, forwarded frames, re-routes, probe failures,
+// ejections) are plain atomics written by the poll thread and readable from
+// any thread. Per-shard service/net metrics arrive as the JSON documents the
+// shards' own kMetricsReply returns to the health prober; the aggregator
+// embeds each verbatim and rolls a few headline fields up into cluster-wide
+// sums, while router-observed per-shard frame latencies (the server-side
+// total_ms carried in every forwarded FrameMsg) are combined with
+// LatencyHistogram::merge into one cluster latency distribution.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace psw::cluster {
+
+// Lifecycle of one shard as the router sees it.
+enum class ShardState : int {
+  kConnecting = 0,  // control channel not yet established
+  kHealthy,         // probed OK, taking placements
+  kDraining,        // healthy but administratively out of the ring
+  kEjected,         // failed out; reconnect with backoff in progress
+};
+
+const char* to_string(ShardState s);
+
+// Counters for one shard. All relaxed: independent monotonic event counts
+// and gauges — readers never infer cross-field ordering from them.
+struct ShardCounters {
+  std::atomic<uint64_t> routed_requests{0};
+  std::atomic<uint64_t> routed_streams{0};
+  std::atomic<uint64_t> forwarded_frames{0};
+  std::atomic<uint64_t> forwarded_errors{0};
+  std::atomic<uint64_t> probes_ok{0};
+  std::atomic<uint64_t> probe_failures{0};
+  std::atomic<uint64_t> ejections{0};
+  std::atomic<uint64_t> rejoins{0};
+  std::atomic<int64_t> inflight_requests{0};  // gauge: routed, not yet replied
+  std::atomic<int64_t> active_streams{0};     // gauge: open stream proxies
+  LatencyHistogram frame_latency_ms;  // server total_ms of forwarded frames
+};
+
+struct RouterMetrics {
+  explicit RouterMetrics(size_t shard_count) {
+    shards.reserve(shard_count);
+    for (size_t i = 0; i < shard_count; ++i) {
+      shards.push_back(std::make_unique<ShardCounters>());
+    }
+  }
+
+  std::atomic<uint64_t> clients_accepted{0};
+  std::atomic<uint64_t> clients_rejected{0};  // accept cap
+  std::atomic<uint64_t> hello_rejects{0};     // unsupported hello version
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> requests_routed{0};
+  std::atomic<uint64_t> streams_routed{0};
+  std::atomic<uint64_t> frames_forwarded{0};
+  std::atomic<uint64_t> metrics_served{0};     // aggregated endpoint hits
+  std::atomic<uint64_t> reroutes{0};           // session re-pinned after loss
+  std::atomic<uint64_t> unavailable_rejections{0};  // no eligible shard
+  std::atomic<uint64_t> orphaned_replies{0};   // reply after client went away
+
+  std::vector<std::unique_ptr<ShardCounters>> shards;
+};
+
+// One shard's contribution to the aggregated document.
+struct ShardSnapshot {
+  std::string id;
+  ShardState state = ShardState::kConnecting;
+  int weight = 1;
+  bool in_ring = false;
+  std::string metrics_json;  // last kMetricsReply payload; may be empty
+};
+
+// Builds the aggregated cluster metrics document: router counters, a merged
+// cluster-wide latency histogram, per-shard counters + state + the embedded
+// shard metrics JSON, and cluster rollups summed from the shard documents.
+std::string aggregate_metrics_json(const RouterMetrics& m,
+                                   const std::vector<ShardSnapshot>& shards);
+
+// Scans `json` for `"key": <unsigned integer>` at any nesting level and
+// returns the first match; 0 when absent. Good enough for rolling up the
+// service documents this repo emits (keys chosen to be unambiguous), without
+// growing a JSON parser.
+uint64_t scan_json_u64(const std::string& json, const std::string& key);
+
+// As scan_json_u64, but looks only inside the first `"object": { ... }`
+// block, so keys that repeat across sub-objects (cache hits vs pool hits)
+// can be addressed unambiguously.
+uint64_t scan_json_u64_in(const std::string& json, const std::string& object,
+                          const std::string& key);
+
+}  // namespace psw::cluster

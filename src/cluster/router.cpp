@@ -1,0 +1,959 @@
+#include "cluster/router.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <limits>
+
+namespace psw::cluster {
+
+using net::MsgType;
+using net::WireMessage;
+using net::WireStatus;
+using serve::Clock;
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+// Compact a flat send buffer once this many flushed bytes accumulate.
+constexpr size_t kCompactThreshold = 256 * 1024;
+
+double ms_since(Clock::time_point then, Clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - then).count();
+}
+
+// Reads everything currently available into `in`. Returns false on EOF or a
+// hard error (the connection is done).
+bool read_available(int fd, std::vector<uint8_t>* in) {
+  for (;;) {
+    const size_t old = in->size();
+    in->resize(old + kReadChunk);
+    const ssize_t n = ::recv(fd, in->data() + old, kReadChunk, 0);
+    if (n > 0) {
+      in->resize(old + static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < kReadChunk) return true;
+      continue;
+    }
+    in->resize(old);
+    if (n == 0) return false;  // orderly EOF
+    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+  }
+}
+
+// Decodes complete wire messages off the front of `in`, calling
+// handler(msg) for each. Returns false when the connection must close
+// (framing error, or the handler said stop); *framing_error reports which.
+template <typename Handler>
+bool drain_messages(std::vector<uint8_t>* in, bool* framing_error,
+                    Handler&& handler) {
+  *framing_error = false;
+  size_t off = 0;
+  bool keep = true;
+  while (keep) {
+    WireMessage msg;
+    size_t consumed = 0;
+    const WireStatus status =
+        net::decode_message(in->data() + off, in->size() - off, &msg, &consumed);
+    if (status == WireStatus::kNeedMore) break;
+    if (status != WireStatus::kOk) {
+      *framing_error = true;
+      keep = false;
+      break;
+    }
+    off += consumed;
+    keep = handler(msg);
+  }
+  if (off > 0) in->erase(in->begin(), in->begin() + static_cast<long>(off));
+  return keep;
+}
+
+}  // namespace
+
+Router::Router(std::vector<ShardSpec> shards, RouterOptions options)
+    : specs_(std::move(shards)),
+      options_(std::move(options)),
+      metrics_(specs_.size()),
+      ring_(options_.vnodes),
+      published_state_(new std::atomic<int>[specs_.size()]),
+      drain_want_(new std::atomic<bool>[specs_.size()]) {
+  shards_.resize(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    shards_[i].spec = specs_[i];
+    published_state_[i].store(static_cast<int>(ShardState::kConnecting));
+    drain_want_[i].store(false);
+  }
+  {
+    MutexLock lock(snapshot_mutex_);
+    shard_metrics_.resize(specs_.size());
+  }
+}
+
+Router::~Router() { stop(); }
+
+bool Router::start(std::string* error) {
+  if (running()) return true;
+  listener_ = net::tcp_listen(options_.bind_address, options_.port,
+                              options_.backlog, error);
+  if (!listener_.valid()) return false;
+  net::set_nonblocking(listener_.get(), true);
+  port_ = net::local_port(listener_.get());
+
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) {
+    if (error) *error = std::string("pipe: ") + std::strerror(errno);
+    listener_.reset();
+    return false;
+  }
+  wake_rd_.reset(pipe_fds[0]);
+  wake_wr_.reset(pipe_fds[1]);
+  net::set_nonblocking(wake_rd_.get(), true);
+  net::set_nonblocking(wake_wr_.get(), true);
+
+  stopping_.store(false);
+  const Clock::time_point now = Clock::now();
+  for (Shard& s : shards_) {
+    s.next_reconnect = now;  // connect control channels immediately
+    s.backoff_ms = options_.reconnect_backoff_ms;
+  }
+  thread_ = std::thread([this] { poll_loop(); });
+  return true;
+}
+
+void Router::stop() {
+  if (!running()) return;
+  stopping_.store(true);
+  wake();
+  thread_.join();
+  conns_.clear();
+  for (Shard& s : shards_) {
+    s.ctl.reset();
+    s.connecting = false;
+    s.hello_done = false;
+    s.in.clear();
+    s.out.clear();
+    s.out_off = 0;
+  }
+  listener_.reset();
+  wake_rd_.reset();
+  wake_wr_.reset();
+}
+
+void Router::wake() {
+  if (!wake_wr_.valid()) return;
+  const uint8_t byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_wr_.get(), &byte, 1);
+}
+
+bool Router::wait_healthy(size_t n, double timeout_ms) const {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(static_cast<int64_t>(timeout_ms));
+  for (;;) {
+    size_t healthy = 0;
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      const ShardState s = shard_state(i);
+      if (s == ShardState::kHealthy || s == ShardState::kDraining) ++healthy;
+    }
+    if (healthy >= n) return true;
+    if (Clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+bool Router::set_drain(const std::string& shard_id, bool draining) {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].id == shard_id) {
+      // relaxed: a one-word request flag; the poll thread re-reads it on
+      // its next iteration and the pipe write below provides the wakeup.
+      drain_want_[i].store(draining, std::memory_order_relaxed);
+      wake();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Router::metrics_json() const {
+  std::vector<ShardSnapshot> snaps(specs_.size());
+  {
+    MutexLock lock(snapshot_mutex_);
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      snaps[i].metrics_json = shard_metrics_[i];
+    }
+  }
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    snaps[i].id = specs_[i].id;
+    snaps[i].weight = specs_[i].weight;
+    snaps[i].state = shard_state(i);
+    snaps[i].in_ring = snaps[i].state == ShardState::kHealthy;
+  }
+  return aggregate_metrics_json(metrics_, snaps);
+}
+
+// --------------------------------------------------------------------------
+// Poll loop
+// --------------------------------------------------------------------------
+
+void Router::poll_loop() {
+  struct Slot {
+    enum class Kind { kClient, kUpstream, kCtl } kind;
+    uint64_t conn_id = 0;
+    size_t shard = 0;
+  };
+  std::vector<pollfd> fds;
+  std::vector<Slot> slots;
+
+  while (!stopping_.load()) {
+    const Clock::time_point now = Clock::now();
+
+    // Apply administrative drain requests.
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      // relaxed: see set_drain — the flag is a standalone request word.
+      const bool want = drain_want_[i].load(std::memory_order_relaxed);
+      if (want != shards_[i].draining) {
+        shards_[i].draining = want;
+        rebuild_ring();
+        publish_state(i);
+      }
+    }
+
+    // Advance shard control channels: reconnects, probes, probe timeouts.
+    for (Shard& s : shards_) advance_shard(s, now);
+
+    // Build the poll set.
+    fds.clear();
+    slots.clear();
+    fds.push_back({listener_.get(), POLLIN, 0});
+    fds.push_back({wake_rd_.get(), POLLIN, 0});
+    for (auto& [id, conn] : conns_) {
+      short events = POLLIN;
+      if (conn.out_off < conn.out.size()) events |= POLLOUT;
+      fds.push_back({conn.fd.get(), events, 0});
+      slots.push_back({Slot::Kind::kClient, id, 0});
+      for (auto& [shard, up] : conn.upstreams) {
+        if (!up.fd.valid()) continue;
+        short uevents = 0;
+        if (up.connecting) {
+          uevents = POLLOUT;
+        } else {
+          uevents = POLLIN;
+          if (up.out_off < up.out.size()) uevents |= POLLOUT;
+        }
+        fds.push_back({up.fd.get(), uevents, 0});
+        slots.push_back({Slot::Kind::kUpstream, id, shard});
+      }
+    }
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      Shard& s = shards_[i];
+      if (!s.ctl.valid()) continue;
+      short events = 0;
+      if (s.connecting) {
+        events = POLLOUT;
+      } else {
+        events = POLLIN;
+        if (s.out_off < s.out.size()) events |= POLLOUT;
+      }
+      fds.push_back({s.ctl.get(), events, 0});
+      slots.push_back({Slot::Kind::kCtl, 0, i});
+    }
+
+    ::poll(fds.data(), fds.size(), 50);
+    if (stopping_.load()) break;
+
+    if (fds[1].revents & POLLIN) {
+      uint8_t buf[64];
+      while (::read(wake_rd_.get(), buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (fds[0].revents & POLLIN) accept_ready();
+
+    std::vector<uint64_t> dead_clients;
+    std::vector<size_t> dead_shards;  // via data-path upstream loss
+
+    for (size_t i = 0; i < slots.size(); ++i) {
+      const Slot& slot = slots[i];
+      const short revents = fds[i + 2].revents;
+      if (revents == 0) continue;
+      const auto it = conns_.find(slot.conn_id);
+
+      switch (slot.kind) {
+        case Slot::Kind::kClient: {
+          if (it == conns_.end()) break;
+          ClientConn& conn = it->second;
+          if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+            if (!(revents & POLLIN)) {
+              dead_clients.push_back(conn.id);
+              break;
+            }
+          }
+          if (revents & POLLIN) client_read(conn);
+          break;
+        }
+        case Slot::Kind::kUpstream: {
+          if (it == conns_.end()) break;
+          ClientConn& conn = it->second;
+          const auto uit = conn.upstreams.find(slot.shard);
+          if (uit == conn.upstreams.end()) break;
+          Upstream& up = uit->second;
+          if (up.connecting && (revents & (POLLOUT | POLLERR | POLLHUP))) {
+            const int err = net::finish_nonblocking_connect(up.fd.get());
+            if (err != 0) {
+              up.broken = true;
+              dead_shards.push_back(up.shard);
+              break;
+            }
+            up.connecting = false;
+          }
+          if (!up.connecting && (revents & POLLIN)) upstream_read(conn, up);
+          if (up.broken) dead_shards.push_back(up.shard);
+          break;
+        }
+        case Slot::Kind::kCtl: {
+          Shard& s = shards_[slot.shard];
+          if (!s.ctl.valid()) break;
+          if (s.connecting && (revents & (POLLOUT | POLLERR | POLLHUP))) {
+            const int err = net::finish_nonblocking_connect(s.ctl.get());
+            if (err != 0) {
+              ctl_failure(s, "connect failed");
+              break;
+            }
+            s.connecting = false;
+            // Handshake first; the first probe follows the hello ack.
+            net::HelloMsg hello;
+            hello.version = net::kProtocolVersion;
+            hello.name = options_.name;
+            std::vector<uint8_t> payload;
+            hello.encode(&payload);
+            queue_message(&s.out, MsgType::kHello, payload);
+          }
+          if (!s.connecting && (revents & POLLIN)) shard_ctl_read(s);
+          break;
+        }
+      }
+    }
+
+    // Flush everything with pending output (newly queued bytes included).
+    for (auto& [id, conn] : conns_) {
+      if (conn.out_off < conn.out.size()) {
+        if (!flush_out(conn.fd.get(), &conn.out, &conn.out_off)) {
+          dead_clients.push_back(id);
+          continue;
+        }
+      }
+      if (conn.out.size() - conn.out_off > options_.max_send_buffer_bytes) {
+        // A reader this slow would make the router buffer frames without
+        // bound (forwarded delta frames cannot be dropped: the codec chain
+        // breaks). Cut the connection instead.
+        metrics_.protocol_errors.fetch_add(1);
+        dead_clients.push_back(id);
+        continue;
+      }
+      if (conn.closing && conn.out_off >= conn.out.size()) {
+        dead_clients.push_back(id);
+        continue;
+      }
+      for (auto& [shard, up] : conn.upstreams) {
+        if (!up.fd.valid() || up.connecting || up.broken) continue;
+        if (up.out_off < up.out.size()) {
+          if (!flush_out(up.fd.get(), &up.out, &up.out_off)) {
+            up.broken = true;
+            dead_shards.push_back(shard);
+          }
+        }
+      }
+    }
+    for (Shard& s : shards_) {
+      if (!s.ctl.valid() || s.connecting) continue;
+      if (s.out_off < s.out.size()) {
+        if (!flush_out(s.ctl.get(), &s.out, &s.out_off)) {
+          ctl_failure(s, "control write failed");
+        }
+      }
+    }
+
+    // Idle-harvest clients with nothing outstanding.
+    if (options_.idle_timeout_ms > 0) {
+      for (auto& [id, conn] : conns_) {
+        bool outstanding = conn.out_off < conn.out.size();
+        for (auto& [shard, up] : conn.upstreams) {
+          if (!up.inflight_requests.empty() || !up.active_streams.empty()) {
+            outstanding = true;
+          }
+        }
+        if (!outstanding && ms_since(conn.last_activity, now) > options_.idle_timeout_ms) {
+          dead_clients.push_back(id);
+        }
+      }
+    }
+
+    // Data-path losses eject the shard (which notifies every affected
+    // client), then dead clients go away.
+    std::sort(dead_shards.begin(), dead_shards.end());
+    dead_shards.erase(std::unique(dead_shards.begin(), dead_shards.end()),
+                      dead_shards.end());
+    for (const size_t shard : dead_shards) {
+      eject_shard(shard, "upstream connection lost");
+    }
+    std::sort(dead_clients.begin(), dead_clients.end());
+    dead_clients.erase(std::unique(dead_clients.begin(), dead_clients.end()),
+                       dead_clients.end());
+    for (const uint64_t id : dead_clients) close_client(id);
+  }
+}
+
+void Router::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) return;
+    if (conns_.size() >= static_cast<size_t>(options_.max_connections)) {
+      metrics_.clients_rejected.fetch_add(1);
+      ::close(fd);
+      continue;
+    }
+    net::set_nonblocking(fd, true);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ClientConn conn;
+    conn.id = next_conn_id_++;
+    conn.fd.reset(fd);
+    conn.last_activity = Clock::now();
+    metrics_.clients_accepted.fetch_add(1);
+    conns_.emplace(conn.id, std::move(conn));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Client face
+// --------------------------------------------------------------------------
+
+void Router::client_read(ClientConn& conn) {
+  if (!read_available(conn.fd.get(), &conn.in)) {
+    conn.closing = true;
+    return;
+  }
+  conn.last_activity = Clock::now();
+  bool framing_error = false;
+  const bool keep = drain_messages(&conn.in, &framing_error, [&](const WireMessage& m) {
+    return handle_client_message(conn, m);
+  });
+  if (framing_error) {
+    metrics_.protocol_errors.fetch_add(1);
+    send_client_error(conn, 0, serve::ServeStatus::kError, "wire error");
+  }
+  if (!keep) conn.closing = true;
+}
+
+bool Router::handle_client_message(ClientConn& conn, const WireMessage& msg) {
+  if (!conn.got_hello && msg.type != MsgType::kHello) {
+    metrics_.protocol_errors.fetch_add(1);
+    send_client_error(conn, 0, serve::ServeStatus::kError, "expected hello first");
+    return false;
+  }
+  switch (msg.type) {
+    case MsgType::kHello: {
+      net::HelloMsg hello;
+      if (!net::HelloMsg::decode(msg.payload, &hello)) break;
+      // Same contract as netserve: the peer's intended protocol version
+      // must match ours — a mixed-version fleet answers with a typed error
+      // instead of bytes the peer cannot parse.
+      if (hello.version != net::kProtocolVersion) {
+        metrics_.hello_rejects.fetch_add(1);
+        send_client_error(conn, 0, serve::ServeStatus::kError,
+                          "unsupported protocol version " +
+                              std::to_string(hello.version) + " (want " +
+                              std::to_string(net::kProtocolVersion) + ")");
+        return false;
+      }
+      conn.got_hello = true;
+      net::HelloMsg ack;
+      ack.version = net::kProtocolVersion;
+      ack.name = options_.name;
+      send_client_payload(conn, MsgType::kHelloAck, ack);
+      return true;
+    }
+    case MsgType::kRenderRequest:
+      route_render_request(conn, msg);
+      return true;
+    case MsgType::kStreamRequest:
+      route_stream_request(conn, msg);
+      return true;
+    case MsgType::kMetricsRequest: {
+      metrics_.metrics_served.fetch_add(1);
+      net::MetricsReplyMsg reply;
+      reply.json = metrics_json();
+      send_client_payload(conn, MsgType::kMetricsReply, reply);
+      return true;
+    }
+    case MsgType::kBye:
+      return false;  // flush, then close (upstreams close with the client)
+    default:
+      break;
+  }
+  metrics_.protocol_errors.fetch_add(1);
+  send_client_error(conn, 0, serve::ServeStatus::kError,
+                    std::string("bad message: ") + to_string(msg.type));
+  return false;
+}
+
+bool Router::pick_shard(ClientConn& conn, uint64_t session_id,
+                        const serve::VolumeKey& volume,
+                        uint64_t error_request_id, size_t* shard_out) {
+  // Affinity first: the pinned shard holds this session's delta-codec and
+  // renderer-profile state, so the pin survives ring churn (including
+  // drain) as long as the shard itself is alive.
+  const auto pin = conn.session_pins.find(session_id);
+  if (pin != conn.session_pins.end()) {
+    if (shards_[pin->second].healthy) {
+      *shard_out = pin->second;
+      return true;
+    }
+    conn.session_pins.erase(pin);
+    conn.lost_pins.insert(session_id);
+  }
+
+  if (ring_.empty()) {
+    metrics_.unavailable_rejections.fetch_add(1);
+    send_client_error(conn, error_request_id, serve::ServeStatus::kUnavailable,
+                      "no healthy shard available");
+    return false;
+  }
+
+  const uint64_t h = HashRing::hash_key(volume.canonical());
+  const std::vector<size_t> ring_candidates = ring_.pick(h, options_.replicate);
+  size_t best = ring_shard_map_[ring_candidates[0]];
+  int64_t best_load = std::numeric_limits<int64_t>::max();
+  for (const size_t ring_idx : ring_candidates) {
+    const size_t shard = ring_shard_map_[ring_idx];
+    const ShardCounters& c = *metrics_.shards[shard];
+    const int64_t load =
+        c.inflight_requests.load() + c.active_streams.load();
+    if (load < best_load) {
+      best_load = load;
+      best = shard;
+    }
+  }
+
+  if (conn.lost_pins.erase(session_id) > 0) metrics_.reroutes.fetch_add(1);
+  conn.session_pins[session_id] = best;
+  *shard_out = best;
+  return true;
+}
+
+Router::Upstream* Router::upstream_for(ClientConn& conn, size_t shard) {
+  auto it = conn.upstreams.find(shard);
+  if (it != conn.upstreams.end() && it->second.fd.valid() && !it->second.broken) {
+    return &it->second;
+  }
+  conn.upstreams.erase(shard);
+
+  Upstream up;
+  up.shard = shard;
+  std::string error;
+  bool in_progress = false;
+  up.fd = net::tcp_connect_start(shards_[shard].spec.host,
+                                 shards_[shard].spec.port, &error, &in_progress);
+  if (!up.fd.valid()) return nullptr;
+  up.connecting = in_progress;
+  net::HelloMsg hello;
+  hello.version = net::kProtocolVersion;
+  hello.name = options_.name;
+  std::vector<uint8_t> payload;
+  hello.encode(&payload);
+  queue_message(&up.out, MsgType::kHello, payload);
+  auto [pos, inserted] = conn.upstreams.emplace(shard, std::move(up));
+  return &pos->second;
+}
+
+void Router::route_render_request(ClientConn& conn, const WireMessage& msg) {
+  net::RenderRequestMsg req;
+  if (!net::RenderRequestMsg::decode(msg.payload, &req)) {
+    metrics_.protocol_errors.fetch_add(1);
+    send_client_error(conn, 0, serve::ServeStatus::kError, "bad render request");
+    return;
+  }
+  size_t shard = 0;
+  if (!pick_shard(conn, req.session_id, req.volume, req.request_id, &shard)) return;
+  Upstream* up = upstream_for(conn, shard);
+  if (up == nullptr) {
+    metrics_.unavailable_rejections.fetch_add(1);
+    send_client_error(conn, req.request_id, serve::ServeStatus::kUnavailable,
+                      "shard " + shards_[shard].spec.id + " unreachable");
+    return;
+  }
+  up->inflight_requests.insert(req.request_id);
+  metrics_.requests_routed.fetch_add(1);
+  metrics_.shards[shard]->routed_requests.fetch_add(1);
+  metrics_.shards[shard]->inflight_requests.fetch_add(1);
+  queue_message(&up->out, MsgType::kRenderRequest, msg.payload);
+}
+
+void Router::route_stream_request(ClientConn& conn, const WireMessage& msg) {
+  net::StreamRequestMsg req;
+  if (!net::StreamRequestMsg::decode(msg.payload, &req)) {
+    metrics_.protocol_errors.fetch_add(1);
+    send_client_error(conn, 0, serve::ServeStatus::kError, "bad stream request");
+    return;
+  }
+  size_t shard = 0;
+  if (!pick_shard(conn, req.session_id, req.volume, req.stream_id, &shard)) return;
+  Upstream* up = upstream_for(conn, shard);
+  if (up == nullptr) {
+    metrics_.unavailable_rejections.fetch_add(1);
+    send_client_error(conn, req.stream_id, serve::ServeStatus::kUnavailable,
+                      "shard " + shards_[shard].spec.id + " unreachable");
+    return;
+  }
+  up->active_streams.insert(req.stream_id);
+  metrics_.streams_routed.fetch_add(1);
+  metrics_.shards[shard]->routed_streams.fetch_add(1);
+  metrics_.shards[shard]->active_streams.fetch_add(1);
+  queue_message(&up->out, MsgType::kStreamRequest, msg.payload);
+}
+
+void Router::send_client_error(ClientConn& conn, uint64_t request_id,
+                               serve::ServeStatus status,
+                               const std::string& message) {
+  net::ErrorMsg err;
+  err.request_id = request_id;
+  err.status = static_cast<uint16_t>(status);
+  err.message = message;
+  send_client_payload(conn, MsgType::kError, err);
+}
+
+template <typename Msg>
+void Router::send_client_payload(ClientConn& conn, MsgType type, const Msg& msg) {
+  std::vector<uint8_t> payload;
+  payload.reserve(msg.encoded_size());
+  msg.encode(&payload);
+  queue_message(&conn.out, type, payload);
+}
+
+void Router::close_client(uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  // Upstream sockets close with the client; the shard sees EOF and reaps
+  // its per-connection state, exactly as with a direct client.
+  conns_.erase(it);
+}
+
+// --------------------------------------------------------------------------
+// Upstream face
+// --------------------------------------------------------------------------
+
+void Router::upstream_read(ClientConn& conn, Upstream& up) {
+  if (!read_available(up.fd.get(), &up.in)) {
+    up.broken = true;
+    return;
+  }
+  bool framing_error = false;
+  const bool keep = drain_messages(&up.in, &framing_error, [&](const WireMessage& m) {
+    return handle_upstream_message(conn, up, m);
+  });
+  if (framing_error) metrics_.protocol_errors.fetch_add(1);
+  if (!keep || framing_error) up.broken = true;
+}
+
+bool Router::handle_upstream_message(ClientConn& conn, Upstream& up,
+                                     const WireMessage& msg) {
+  switch (msg.type) {
+    case MsgType::kHelloAck:
+      return true;  // consumed by the proxy, not forwarded
+    case MsgType::kFrame: {
+      // Peek the fixed-offset metadata (wire.hpp FrameMsg layout) without
+      // touching the codec blob; the frame forwards verbatim either way.
+      net::ByteReader r(msg.payload);
+      const uint64_t request_id = r.read_u64();
+      r.read_u64();  // stream_id
+      r.read_u32();  // seq
+      r.read_u32();  // dropped_before
+      r.read_f64();  // render_ms
+      const double total_ms = r.read_f64();
+      if (r.ok()) {
+        metrics_.shards[up.shard]->frame_latency_ms.record_ms(total_ms);
+        if (request_id != 0 && up.inflight_requests.erase(request_id) > 0) {
+          metrics_.shards[up.shard]->inflight_requests.fetch_sub(1);
+        }
+      }
+      metrics_.frames_forwarded.fetch_add(1);
+      metrics_.shards[up.shard]->forwarded_frames.fetch_add(1);
+      queue_message(&conn.out, MsgType::kFrame, msg.payload);
+      return true;
+    }
+    case MsgType::kStreamEnd: {
+      net::StreamEndMsg end;
+      if (net::StreamEndMsg::decode(msg.payload, &end)) {
+        if (up.active_streams.erase(end.stream_id) > 0) {
+          metrics_.shards[up.shard]->active_streams.fetch_sub(1);
+        }
+      }
+      queue_message(&conn.out, MsgType::kStreamEnd, msg.payload);
+      return true;
+    }
+    case MsgType::kError: {
+      net::ErrorMsg err;
+      if (net::ErrorMsg::decode(msg.payload, &err) && err.request_id != 0) {
+        if (up.inflight_requests.erase(err.request_id) > 0) {
+          metrics_.shards[up.shard]->inflight_requests.fetch_sub(1);
+        }
+        if (up.active_streams.erase(err.request_id) > 0) {
+          metrics_.shards[up.shard]->active_streams.fetch_sub(1);
+        }
+      }
+      metrics_.shards[up.shard]->forwarded_errors.fetch_add(1);
+      queue_message(&conn.out, MsgType::kError, msg.payload);
+      return true;
+    }
+    case MsgType::kBye:
+      return false;  // shard is going away; the loss path takes over
+    default:
+      metrics_.protocol_errors.fetch_add(1);
+      return false;
+  }
+}
+
+void Router::upstream_lost(ClientConn& conn, Upstream& up, const std::string& why) {
+  // Every in-flight request and open stream on this upstream dies with a
+  // typed, per-id error — the client learns exactly which work was lost
+  // and can retry; the session unpins so its next request re-places.
+  for (const uint64_t request_id : up.inflight_requests) {
+    send_client_error(conn, request_id, serve::ServeStatus::kUnavailable,
+                      "shard " + shards_[up.shard].spec.id + " lost: " + why);
+    metrics_.shards[up.shard]->inflight_requests.fetch_sub(1);
+  }
+  up.inflight_requests.clear();
+  for (const uint64_t stream_id : up.active_streams) {
+    send_client_error(conn, stream_id, serve::ServeStatus::kUnavailable,
+                      "shard " + shards_[up.shard].spec.id +
+                          " lost mid-stream: " + why);
+    metrics_.shards[up.shard]->active_streams.fetch_sub(1);
+  }
+  up.active_streams.clear();
+  for (auto it = conn.session_pins.begin(); it != conn.session_pins.end();) {
+    if (it->second == up.shard) {
+      conn.lost_pins.insert(it->first);
+      it = conn.session_pins.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Shard lifecycle
+// --------------------------------------------------------------------------
+
+size_t Router::shard_index(const Shard& s) const {
+  return static_cast<size_t>(&s - shards_.data());
+}
+
+void Router::advance_shard(Shard& s, Clock::time_point now) {
+  if (!s.ctl.valid()) {
+    if (now < s.next_reconnect || stopping_.load()) return;
+    std::string error;
+    bool in_progress = false;
+    s.ctl = net::tcp_connect_start(s.spec.host, s.spec.port, &error, &in_progress);
+    s.in.clear();
+    s.out.clear();
+    s.out_off = 0;
+    s.hello_done = false;
+    s.probe_outstanding = false;
+    if (!s.ctl.valid()) {
+      ctl_failure(s, "connect failed");
+      return;
+    }
+    s.connecting = in_progress;
+    if (!s.connecting) {
+      net::HelloMsg hello;
+      hello.version = net::kProtocolVersion;
+      hello.name = options_.name;
+      std::vector<uint8_t> payload;
+      hello.encode(&payload);
+      queue_message(&s.out, MsgType::kHello, payload);
+    }
+    return;
+  }
+  if (s.connecting || !s.hello_done) return;
+  if (s.probe_outstanding) {
+    if (ms_since(s.probe_sent, now) > options_.probe_timeout_ms) {
+      ctl_failure(s, "probe timeout");
+    }
+    return;
+  }
+  if (now >= s.next_probe) {
+    queue_message(&s.out, MsgType::kMetricsRequest, {});
+    s.probe_outstanding = true;
+    s.probe_sent = now;
+  }
+}
+
+void Router::shard_ctl_read(Shard& s) {
+  if (!read_available(s.ctl.get(), &s.in)) {
+    ctl_failure(s, "control connection closed");
+    return;
+  }
+  bool framing_error = false;
+  const bool keep = drain_messages(&s.in, &framing_error, [&](const WireMessage& m) {
+    return handle_ctl_message(s, m);
+  });
+  if (framing_error || !keep) ctl_failure(s, "control protocol error");
+}
+
+bool Router::handle_ctl_message(Shard& s, const WireMessage& msg) {
+  switch (msg.type) {
+    case MsgType::kHelloAck: {
+      s.hello_done = true;
+      // Probe immediately: health (and the first metrics snapshot) should
+      // not wait out a full probe interval.
+      queue_message(&s.out, MsgType::kMetricsRequest, {});
+      s.probe_outstanding = true;
+      s.probe_sent = Clock::now();
+      return true;
+    }
+    case MsgType::kMetricsReply: {
+      net::MetricsReplyMsg reply;
+      if (!net::MetricsReplyMsg::decode(msg.payload, &reply)) return false;
+      const size_t idx = shard_index(s);
+      s.probe_outstanding = false;
+      s.consecutive_failures = 0;
+      s.next_probe = Clock::now() + std::chrono::milliseconds(static_cast<int64_t>(
+                                        options_.probe_interval_ms));
+      s.backoff_ms = options_.reconnect_backoff_ms;
+      metrics_.shards[idx]->probes_ok.fetch_add(1);
+      {
+        MutexLock lock(snapshot_mutex_);
+        shard_metrics_[idx] = std::move(reply.json);
+      }
+      if (!s.healthy) mark_healthy(s);
+      return true;
+    }
+    case MsgType::kError:
+      // A typed error on the control channel (e.g. version rejection)
+      // means this shard cannot serve us.
+      return false;
+    default:
+      return false;
+  }
+}
+
+void Router::ctl_failure(Shard& s, const std::string& why) {
+  const size_t idx = shard_index(s);
+  metrics_.shards[idx]->probe_failures.fetch_add(1);
+  ++s.consecutive_failures;
+  s.probe_outstanding = false;
+  s.ctl.reset();
+  s.connecting = false;
+  s.hello_done = false;
+  s.in.clear();
+  s.out.clear();
+  s.out_off = 0;
+  s.next_reconnect = Clock::now() + std::chrono::milliseconds(
+                                        static_cast<int64_t>(s.backoff_ms));
+  s.backoff_ms = std::min(s.backoff_ms * 2.0, options_.reconnect_backoff_max_ms);
+  if (s.healthy && s.consecutive_failures >= options_.eject_after_failures) {
+    eject_shard(idx, why);
+  } else {
+    publish_state(idx);
+  }
+}
+
+void Router::eject_shard(size_t shard, const std::string& why) {
+  Shard& s = shards_[shard];
+  if (s.healthy) {
+    s.healthy = false;
+    s.probe_outstanding = false;
+    s.ctl.reset();
+    s.connecting = false;
+    s.hello_done = false;
+    s.in.clear();
+    s.out.clear();
+    s.out_off = 0;
+    s.next_reconnect = Clock::now() +
+                       std::chrono::milliseconds(static_cast<int64_t>(s.backoff_ms));
+    s.backoff_ms = std::min(s.backoff_ms * 2.0, options_.reconnect_backoff_max_ms);
+    metrics_.shards[shard]->ejections.fetch_add(1);
+    rebuild_ring();
+    publish_state(shard);
+  }
+  // Tear down every upstream to this shard across all clients, even when
+  // the shard was already out (a second data-path loss in one iteration
+  // must still notify its client and drop the broken socket).
+  for (auto& [id, conn] : conns_) {
+    const auto it = conn.upstreams.find(shard);
+    if (it == conn.upstreams.end()) continue;
+    upstream_lost(conn, it->second, why);
+    conn.upstreams.erase(it);
+  }
+}
+
+void Router::mark_healthy(Shard& s) {
+  const size_t idx = shard_index(s);
+  const bool rejoin = metrics_.shards[idx]->ejections.load() > 0;
+  s.healthy = true;
+  s.consecutive_failures = 0;
+  if (rejoin) metrics_.shards[idx]->rejoins.fetch_add(1);
+  rebuild_ring();
+  publish_state(idx);
+}
+
+void Router::rebuild_ring() {
+  std::vector<RingNode> nodes;
+  ring_shard_map_.clear();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].healthy && !shards_[i].draining) {
+      nodes.push_back({shards_[i].spec.id, shards_[i].spec.weight});
+      ring_shard_map_.push_back(i);
+    }
+  }
+  ring_.rebuild(nodes);
+}
+
+void Router::publish_state(size_t shard) {
+  const Shard& s = shards_[shard];
+  ShardState state;
+  if (s.healthy) {
+    state = s.draining ? ShardState::kDraining : ShardState::kHealthy;
+  } else {
+    state = metrics_.shards[shard]->ejections.load() > 0 ? ShardState::kEjected
+                                                         : ShardState::kConnecting;
+  }
+  // relaxed: observer gauge; see shard_state().
+  published_state_[shard].store(static_cast<int>(state), std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------------------
+// Shared plumbing
+// --------------------------------------------------------------------------
+
+void Router::queue_message(std::vector<uint8_t>* out, MsgType type,
+                           const std::vector<uint8_t>& payload) {
+  net::encode_message(type, payload, out);
+}
+
+bool Router::flush_out(int fd, std::vector<uint8_t>* out, size_t* out_off) {
+  while (*out_off < out->size()) {
+    const ssize_t n = ::send(fd, out->data() + *out_off, out->size() - *out_off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      *out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) break;
+    return false;
+  }
+  if (*out_off == out->size()) {
+    out->clear();
+    *out_off = 0;
+  } else if (*out_off > kCompactThreshold) {
+    out->erase(out->begin(), out->begin() + static_cast<long>(*out_off));
+    *out_off = 0;
+  }
+  return true;
+}
+
+}  // namespace psw::cluster

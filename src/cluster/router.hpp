@@ -1,0 +1,242 @@
+// PSWN front-end router: the horizontal-scale layer in front of netserve.
+//
+// One poll thread speaks the versioned wire protocol on both faces. On the
+// south face it accepts clients exactly like NetServer (hello handshake,
+// typed errors, orderly bye). On the north face it proxies to N backend
+// netserve shards over non-blocking upstream connections, one per
+// (client, shard) pair — frames are forwarded verbatim, so each shard's
+// per-connection delta-codec chains line up one-to-one with the client's
+// decoders and no pixel is ever re-encoded in flight.
+//
+// Placement: a request names a volume; its canonical key hashes onto a
+// weighted consistent-hash ring of the healthy, non-draining shards
+// (cluster/hash_ring.hpp). Repeated requests for one volume therefore land
+// on the same shard and its VolumeCache stays hot; `replicate` > 1 widens
+// the candidate set to the first k distinct ring successors and the
+// least-loaded candidate wins (k-way replication of hot volumes).
+//
+// Affinity: the first routed request pins its session to the chosen shard;
+// every later request of that session follows the pin regardless of ring
+// churn, because the shard holds the session's delta-encoder state and §4.2
+// renderer profile. Only shard loss breaks a pin: in-flight requests and
+// open streams get a typed kUnavailable error, and the session's next
+// request re-places on the rebuilt ring (counted as a re-route).
+//
+// Health: a control connection per shard probes with kMetricsRequest every
+// probe_interval_ms; the reply doubles as the shard's metrics snapshot for
+// the aggregated cluster document. `eject_after_failures` consecutive
+// probe failures (or any data-path loss) ejects the shard — ring rebuild,
+// typed errors for its in-flight work — and reconnect-with-backoff later
+// rejoins it. set_drain() is the administrative version: the shard leaves
+// the ring (no new placements) but pinned sessions keep flowing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/hash_ring.hpp"
+#include "cluster/metrics.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "serve/request.hpp"
+#include "util/sync.hpp"
+
+namespace psw::cluster {
+
+struct ShardSpec {
+  std::string id;                    // stable ring identity ("shard-0", ...)
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int weight = 1;
+};
+
+struct RouterOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; see Router::port()
+  int backlog = 16;
+  int max_connections = 64;
+  int vnodes = 64;     // ring points per unit of shard weight
+  int replicate = 1;   // k-way placement candidates (least-loaded wins)
+  double probe_interval_ms = 250.0;
+  double probe_timeout_ms = 2'000.0;   // unanswered probe counts as a failure
+  int eject_after_failures = 3;
+  double reconnect_backoff_ms = 50.0;  // control-channel retry, doubles...
+  double reconnect_backoff_max_ms = 2'000.0;  // ...up to this cap
+  size_t max_send_buffer_bytes = 32u << 20;   // per connection, either face
+  double idle_timeout_ms = 30'000.0;  // client connections; 0 disables
+  std::string name = "pswvr-router";
+};
+
+class Router {
+ public:
+  Router(std::vector<ShardSpec> shards, RouterOptions options = {});
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // Binds, listens and starts the poll thread; shard control channels begin
+  // connecting immediately. False (with *error) when the bind fails.
+  bool start(std::string* error = nullptr);
+
+  // Closes every connection (clients, upstreams, control) and joins the
+  // poll thread. Idempotent.
+  void stop();
+
+  bool running() const { return thread_.joinable(); }
+  uint16_t port() const { return port_; }
+  const RouterOptions& options() const { return options_; }
+  const RouterMetrics& metrics() const { return metrics_; }
+
+  // Blocks until at least `n` shards are healthy (probed OK) or timeout.
+  bool wait_healthy(size_t n, double timeout_ms) const;
+
+  ShardState shard_state(size_t shard) const {
+    return static_cast<ShardState>(
+        // relaxed: state is a monotonically published gauge for observers;
+        // no other memory is inferred from it.
+        published_state_[shard].load(std::memory_order_relaxed));
+  }
+
+  // Administrative drain: true if the shard id exists. Applied by the poll
+  // thread on its next wakeup (the call itself never blocks on it).
+  bool set_drain(const std::string& shard_id, bool draining);
+
+  // The aggregated cluster metrics document (also served to any client
+  // sending kMetricsRequest).
+  std::string metrics_json() const;
+
+ private:
+  // One proxied upstream connection: the shard-side half of one client.
+  struct Upstream {
+    size_t shard = 0;
+    net::UniqueFd fd;
+    bool connecting = false;  // non-blocking connect still in progress
+    bool broken = false;
+    std::vector<uint8_t> in;
+    std::vector<uint8_t> out;   // includes the leading hello
+    size_t out_off = 0;
+    std::set<uint64_t> inflight_requests;
+    std::set<uint64_t> active_streams;
+  };
+
+  struct ClientConn {
+    uint64_t id = 0;
+    net::UniqueFd fd;
+    std::vector<uint8_t> in;
+    std::vector<uint8_t> out;
+    size_t out_off = 0;
+    bool got_hello = false;
+    bool closing = false;  // flush `out`, then close
+    serve::Clock::time_point last_activity;
+    std::map<size_t, Upstream> upstreams;       // by shard index
+    std::map<uint64_t, size_t> session_pins;    // session -> shard index
+    // Sessions whose pinned shard was lost; the next request re-places and
+    // counts a re-route.
+    std::set<uint64_t> lost_pins;
+  };
+
+  // Control/probe channel state per shard (poll thread only).
+  struct Shard {
+    ShardSpec spec;
+    net::UniqueFd ctl;
+    bool connecting = false;
+    bool hello_done = false;
+    std::vector<uint8_t> in;
+    std::vector<uint8_t> out;
+    size_t out_off = 0;
+    bool probe_outstanding = false;
+    serve::Clock::time_point probe_sent{};
+    serve::Clock::time_point next_probe{};
+    serve::Clock::time_point next_reconnect{};
+    double backoff_ms = 0.0;
+    int consecutive_failures = 0;
+    bool healthy = false;
+    bool draining = false;
+  };
+
+  void poll_loop();
+  void accept_ready();
+
+  // --- client face ---
+  void client_read(ClientConn& conn);
+  bool handle_client_message(ClientConn& conn, const net::WireMessage& msg);
+  void route_render_request(ClientConn& conn, const net::WireMessage& msg);
+  void route_stream_request(ClientConn& conn, const net::WireMessage& msg);
+  // Ring placement + affinity. Returns false (typed error already sent)
+  // when no shard is eligible.
+  bool pick_shard(ClientConn& conn, uint64_t session_id,
+                  const serve::VolumeKey& volume, uint64_t error_request_id,
+                  size_t* shard_out);
+  void send_client_error(ClientConn& conn, uint64_t request_id,
+                         serve::ServeStatus status, const std::string& message);
+  template <typename Msg>
+  void send_client_payload(ClientConn& conn, net::MsgType type, const Msg& msg);
+  void close_client(uint64_t conn_id);
+
+  // --- upstream face ---
+  Upstream* upstream_for(ClientConn& conn, size_t shard);
+  void upstream_read(ClientConn& conn, Upstream& up);
+  bool handle_upstream_message(ClientConn& conn, Upstream& up,
+                               const net::WireMessage& msg);
+  // Typed kUnavailable for everything in flight on a lost upstream, then
+  // unpins its sessions. Ejects the shard (data-path loss is a failure).
+  void upstream_lost(ClientConn& conn, Upstream& up, const std::string& why);
+
+  // --- shard lifecycle ---
+  void advance_shard(Shard& s, serve::Clock::time_point now);
+  void shard_ctl_read(Shard& s);
+  bool handle_ctl_message(Shard& s, const net::WireMessage& msg);
+  void ctl_failure(Shard& s, const std::string& why);
+  void eject_shard(size_t shard, const std::string& why);
+  void mark_healthy(Shard& s);
+  void rebuild_ring();
+  void publish_state(size_t shard);
+  size_t shard_index(const Shard& s) const;
+
+  // --- shared plumbing ---
+  // Appends one framed message to a flat output buffer.
+  static void queue_message(std::vector<uint8_t>* out, net::MsgType type,
+                            const std::vector<uint8_t>& payload);
+  // Drains [out_off, out) into fd. False on a hard write error.
+  static bool flush_out(int fd, std::vector<uint8_t>* out, size_t* out_off);
+  void wake();
+
+  std::vector<ShardSpec> specs_;
+  RouterOptions options_;
+  RouterMetrics metrics_;
+  HashRing ring_;
+
+  net::UniqueFd listener_;
+  net::UniqueFd wake_rd_;
+  net::UniqueFd wake_wr_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  // Poll-thread-owned state. ring_shard_map_[ring node index] = shard
+  // index, rebuilt alongside the ring (the ring only holds the eligible
+  // subset of shards_).
+  std::vector<Shard> shards_;
+  std::vector<size_t> ring_shard_map_;
+  std::map<uint64_t, ClientConn> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  // Cross-thread surface. published_state_ mirrors each shard's lifecycle
+  // for observers; drain_want_ carries set_drain() requests to the poll
+  // thread; snapshot_mutex_ guards the per-shard metrics JSON copies the
+  // prober refreshes and metrics_json() reads.
+  std::unique_ptr<std::atomic<int>[]> published_state_;
+  std::unique_ptr<std::atomic<bool>[]> drain_want_;
+  mutable Mutex snapshot_mutex_;
+  std::vector<std::string> shard_metrics_ PSW_GUARDED_BY(snapshot_mutex_);
+
+  std::thread thread_;
+};
+
+}  // namespace psw::cluster

@@ -3,7 +3,9 @@
 #include <sys/socket.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace psw::net {
 
@@ -19,8 +21,27 @@ void set_error(std::string* error, std::string what) {
 
 bool NetClient::connect(const std::string& host, uint16_t port, std::string* error) {
   close();
-  fd_ = tcp_connect(host, port, error, options_.recv_buffer_bytes);
-  if (!fd_.valid()) return false;
+  connect_status_ = ConnectStatus::kError;
+  connect_attempts_ = 0;
+  int backoff_ms = options_.connect_backoff_ms > 0 ? options_.connect_backoff_ms : 1;
+  for (int attempt = 0;; ++attempt) {
+    ++connect_attempts_;
+    int connect_errno = 0;
+    fd_ = tcp_connect_errno(host, port, error, &connect_errno,
+                            options_.recv_buffer_bytes);
+    if (fd_.valid()) break;
+    if (!retryable_connect_errno(connect_errno)) return false;
+    if (attempt >= options_.connect_retries) {
+      connect_status_ = ConnectStatus::kUnavailable;
+      set_error(error, "connect to " + host + ":" + std::to_string(port) +
+                           ": unavailable after " +
+                           std::to_string(connect_attempts_) + " attempt(s): " +
+                           (error ? *error : std::string()));
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms *= 2;
+  }
   if (options_.recv_timeout_ms > 0) {
     set_recv_timeout_ms(fd_.get(), options_.recv_timeout_ms);
   }
@@ -41,6 +62,7 @@ bool NetClient::connect(const std::string& host, uint16_t port, std::string* err
     return false;
   }
   server_name_ = ack.name;
+  connect_status_ = ConnectStatus::kOk;
   return true;
 }
 

@@ -29,6 +29,21 @@ struct NetClientOptions {
   double recv_timeout_ms = 30'000.0;
   // Kernel SO_RCVBUF (set before connect); 0 keeps the OS default.
   int recv_buffer_bytes = 0;
+  // Bounded connect retry: a refused/unreachable connect (the server not
+  // up yet — routine at shard startup) is retried up to this many extra
+  // times with exponential backoff before connect() gives up with
+  // ConnectStatus::kUnavailable. Non-transient failures (bad address,
+  // handshake rejection) never retry. 0 restores fail-on-first-refusal.
+  int connect_retries = 4;
+  // First retry delay; each subsequent retry doubles it.
+  int connect_backoff_ms = 25;
+};
+
+// Typed outcome of the last connect() attempt.
+enum class ConnectStatus {
+  kOk = 0,
+  kUnavailable,  // transient refusals persisted through every retry
+  kError,        // non-retryable failure (bad address, handshake, protocol)
 };
 
 class NetClient {
@@ -45,8 +60,14 @@ class NetClient {
 
   explicit NetClient(NetClientOptions options = {}) : options_(options) {}
 
-  // Connects and completes the hello handshake.
+  // Connects and completes the hello handshake, retrying transient
+  // refusals per NetClientOptions. On failure connect_status() tells
+  // whether the target was unavailable (kUnavailable: every retry was
+  // refused) or broken (kError).
   bool connect(const std::string& host, uint16_t port, std::string* error);
+  ConnectStatus connect_status() const { return connect_status_; }
+  // Connect attempts made by the last connect() call (1 = first try).
+  int connect_attempts() const { return connect_attempts_; }
   void close();
   bool connected() const { return fd_.valid(); }
 
@@ -78,6 +99,8 @@ class NetClient {
   bool decode_event(const WireMessage& msg, Event* out, std::string* error);
 
   NetClientOptions options_;
+  ConnectStatus connect_status_ = ConnectStatus::kOk;
+  int connect_attempts_ = 0;
   UniqueFd fd_;
   std::vector<uint8_t> in_;
   size_t in_off_ = 0;

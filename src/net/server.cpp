@@ -338,6 +338,18 @@ bool NetServer::handle_message(Connection& conn, const WireMessage& msg) {
     case MsgType::kHello: {
       HelloMsg hello;
       if (!HelloMsg::decode(msg.payload, &hello)) break;
+      // The header version is checked by decode_message; the hello carries
+      // the version the *client* intends to speak, which may legitimately
+      // differ on a mixed-version fleet — reject it with a typed error
+      // rather than answering in a protocol the peer never claimed.
+      if (hello.version != kProtocolVersion) {
+        metrics_.protocol_errors.fetch_add(1);
+        send_error(conn, 0, serve::ServeStatus::kError,
+                   "unsupported protocol version " +
+                       std::to_string(hello.version) + " (want " +
+                       std::to_string(kProtocolVersion) + ")");
+        return false;  // flush the typed error, then close
+      }
       conn.got_hello = true;
       HelloMsg ack;
       ack.version = kProtocolVersion;

@@ -68,10 +68,19 @@ uint16_t local_port(int fd) {
 
 UniqueFd tcp_connect(const std::string& host, uint16_t port, std::string* error,
                      int recv_buffer_bytes) {
+  int ignored = 0;
+  return tcp_connect_errno(host, port, error, &ignored, recv_buffer_bytes);
+}
+
+UniqueFd tcp_connect_errno(const std::string& host, uint16_t port,
+                           std::string* error, int* connect_errno,
+                           int recv_buffer_bytes) {
+  *connect_errno = 0;
   sockaddr_in sa;
   if (!parse_addr(host, port, &sa, error)) return UniqueFd();
   UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) {
+    *connect_errno = errno;
     set_error(error, "socket");
     return UniqueFd();
   }
@@ -80,6 +89,7 @@ UniqueFd tcp_connect(const std::string& host, uint16_t port, std::string* error,
                  sizeof(recv_buffer_bytes));
   }
   if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    *connect_errno = errno;
     set_error(error, "connect");
     return UniqueFd();
   }
@@ -88,6 +98,45 @@ UniqueFd tcp_connect(const std::string& host, uint16_t port, std::string* error,
   const int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
+}
+
+bool retryable_connect_errno(int err) {
+  return err == ECONNREFUSED || err == ECONNRESET || err == ETIMEDOUT ||
+         err == EHOSTUNREACH || err == ENETUNREACH || err == EAGAIN;
+}
+
+UniqueFd tcp_connect_start(const std::string& host, uint16_t port,
+                           std::string* error, bool* in_progress) {
+  *in_progress = false;
+  sockaddr_in sa;
+  if (!parse_addr(host, port, &sa, error)) return UniqueFd();
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    set_error(error, "socket");
+    return UniqueFd();
+  }
+  if (!set_nonblocking(fd.get(), true)) {
+    set_error(error, "fcntl");
+    return UniqueFd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    if (errno == EINPROGRESS) {
+      *in_progress = true;
+      return fd;
+    }
+    set_error(error, "connect");
+    return UniqueFd();
+  }
+  return fd;  // connected immediately (loopback fast path)
+}
+
+int finish_nonblocking_connect(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return errno;
+  return err;
 }
 
 bool set_nonblocking(int fd, bool on) {

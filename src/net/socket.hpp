@@ -48,6 +48,30 @@ uint16_t local_port(int fd);
 UniqueFd tcp_connect(const std::string& host, uint16_t port, std::string* error,
                      int recv_buffer_bytes = 0);
 
+// As tcp_connect, but additionally reports the failing errno through
+// *connect_errno (0 on success) so callers can classify transient refusals
+// (server not up yet) from permanent failures. `retryable_connect_errno`
+// encodes that classification in one place.
+UniqueFd tcp_connect_errno(const std::string& host, uint16_t port,
+                           std::string* error, int* connect_errno,
+                           int recv_buffer_bytes = 0);
+
+// True for errnos worth retrying with backoff: the address is fine but the
+// peer is not (yet) accepting — ECONNREFUSED, ECONNRESET, ETIMEDOUT,
+// EHOSTUNREACH, ENETUNREACH, EAGAIN.
+bool retryable_connect_errno(int err);
+
+// Starts a non-blocking connect: returns the socket (already O_NONBLOCK,
+// TCP_NODELAY) with *in_progress = true when the connect is pending
+// (EINPROGRESS; poll for writability, then finish_nonblocking_connect) and
+// false when it completed immediately. Invalid fd + *error on failure.
+UniqueFd tcp_connect_start(const std::string& host, uint16_t port,
+                           std::string* error, bool* in_progress);
+
+// After writability on a pending non-blocking connect: returns the
+// SO_ERROR value (0 = connected).
+int finish_nonblocking_connect(int fd);
+
 bool set_nonblocking(int fd, bool on);
 
 // Sets SO_RCVTIMEO so a blocking read cannot hang forever (0 disables).

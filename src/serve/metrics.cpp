@@ -11,6 +11,7 @@ const char* to_string(ServeStatus s) {
     case ServeStatus::kDeadlineMissed: return "deadline-missed";
     case ServeStatus::kShutdown: return "shutdown";
     case ServeStatus::kError: return "error";
+    case ServeStatus::kUnavailable: return "unavailable";
   }
   return "?";
 }

@@ -27,6 +27,8 @@ enum class ServeStatus {
   kDeadlineMissed,  // rejected at admission or shed at dispatch: deadline past
   kShutdown,        // shed: service stopped before the request was scheduled
   kError,           // processing failed (e.g. the volume builder threw)
+  kUnavailable,     // no backend reachable (connect exhausted retries, or a
+                    // cluster router found no healthy shard for the volume)
 };
 
 const char* to_string(ServeStatus s);

@@ -238,6 +238,19 @@ void RenderService::drain() {
   while (total_queued_ != 0 || in_flight_ != 0) drain_cv_.wait(mutex_);
 }
 
+bool RenderService::drain_for(int64_t timeout_ms) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
+  MutexLock lock(mutex_);
+  while (total_queued_ != 0 || in_flight_ != 0) {
+    const auto now = Clock::now();
+    if (now >= deadline) return false;
+    drain_cv_.wait_for(mutex_, std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   deadline - now));
+  }
+  return true;
+}
+
 void RenderService::stop() {
   MutexLock stop_lock(stop_mutex_);
   {

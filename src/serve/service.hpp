@@ -74,6 +74,12 @@ class RenderService {
   // Blocks until the queue is empty and no batch is in flight.
   void drain();
 
+  // Bounded drain: waits at most `timeout_ms` for the queue to empty.
+  // Returns true when fully drained, false on timeout (work may still be
+  // queued or in flight — the caller decides whether to stop() anyway).
+  // timeout_ms <= 0 degenerates to a single non-blocking check.
+  bool drain_for(int64_t timeout_ms);
+
   // Sheds all still-queued requests with kShutdown and joins the scheduler.
   // Idempotent; called by the destructor. Call drain() first for a
   // graceful wind-down.

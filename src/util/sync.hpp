@@ -26,6 +26,7 @@
 // condition happen in a scope that provably holds the mutex.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -135,6 +136,18 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  // Timed variant for bounded waits (e.g. a drain with a shutdown
+  // deadline). Returns false on timeout, true when notified — either way
+  // the mutex is held again on return, and callers still re-check their
+  // condition in a loop exactly as with wait().
+  bool wait_for(Mutex& mu, std::chrono::milliseconds timeout)
+      PSW_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const bool notified = cv_.wait_for(native, timeout) == std::cv_status::no_timeout;
+    native.release();
+    return notified;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

@@ -1,0 +1,554 @@
+// Sharded-cluster tests: consistent-hash ring properties (balance,
+// weighting, minimal disruption, replication candidates), and router
+// end-to-end behavior against real in-process netserve shards — frames
+// proxied through the router stay bit-identical to direct renderer output,
+// session affinity survives an administrative drain, streams arrive in
+// order, the aggregated metrics document rolls shard counters up, a hello
+// with the wrong protocol version gets a typed error then close, and
+// losing a shard mid-stream yields typed kUnavailable errors, an ejection,
+// a ring rebuild and a counted re-route instead of a hang.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/hash_ring.hpp"
+#include "cluster/metrics.hpp"
+#include "cluster/router.hpp"
+#include "core/classify.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "parallel/new_renderer.hpp"
+#include "phantom/phantom.hpp"
+#include "serve/service.hpp"
+
+namespace psw::cluster {
+namespace {
+
+constexpr double kDeg = 3.14159265358979323846 / 180.0;
+
+uint64_t pixel_hash(const ImageU8& img) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  const auto* bytes = reinterpret_cast<const uint8_t*>(img.data());
+  for (size_t i = 0; i < img.pixel_count() * sizeof(Pixel8); ++i) {
+    h = (h ^ bytes[i]) * 1099511628211ull;
+  }
+  return h ^ (static_cast<uint64_t>(img.width()) << 32) ^
+         static_cast<uint64_t>(img.height());
+}
+
+// --- hash ring ------------------------------------------------------------
+
+HashRing ring_of(const std::vector<RingNode>& nodes, int vnodes = 64) {
+  HashRing ring(vnodes);
+  ring.rebuild(nodes);
+  return ring;
+}
+
+std::vector<RingNode> shard_nodes(int n) {
+  std::vector<RingNode> nodes;
+  for (int i = 0; i < n; ++i) nodes.push_back({"shard-" + std::to_string(i), 1});
+  return nodes;
+}
+
+TEST(HashRing, TwoAndFourNodeOwnershipIsBalanced) {
+  const int kKeys = 4000;
+  {
+    const HashRing ring = ring_of(shard_nodes(2));
+    int counts[2] = {0, 0};
+    for (int i = 0; i < kKeys; ++i) {
+      ++counts[ring.owner(HashRing::hash_key("key-" + std::to_string(i)))];
+    }
+    for (int c : counts) {
+      EXPECT_GT(c, kKeys / 4);
+      EXPECT_LT(c, 3 * kKeys / 4);
+    }
+  }
+  {
+    const HashRing ring = ring_of(shard_nodes(4));
+    int counts[4] = {0, 0, 0, 0};
+    for (int i = 0; i < kKeys; ++i) {
+      ++counts[ring.owner(HashRing::hash_key("key-" + std::to_string(i)))];
+    }
+    for (int c : counts) {
+      EXPECT_GT(c, kKeys / 10);
+      EXPECT_LT(c, 2 * kKeys / 5);
+    }
+  }
+}
+
+TEST(HashRing, WeightScalesOwnedKeyspace) {
+  const HashRing ring = ring_of({{"light", 1}, {"heavy", 2}});
+  int light = 0, heavy = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const size_t o = ring.owner(HashRing::hash_key("key-" + std::to_string(i)));
+    (o == 0 ? light : heavy) += 1;
+  }
+  // A weight-2 node owns ~2x the keyspace of a weight-1 node.
+  EXPECT_GT(heavy, light * 13 / 10);
+  EXPECT_LT(heavy, light * 3);
+}
+
+TEST(HashRing, RemovingANodeOnlyMovesItsOwnKeys) {
+  const HashRing before = ring_of(shard_nodes(4));
+  // Dropping the *last* node keeps the surviving indices aligned, so the
+  // minimal-disruption property is directly comparable.
+  const HashRing after = ring_of(shard_nodes(3));
+  int moved_from_survivor = 0, remapped = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t h = HashRing::hash_key("key-" + std::to_string(i));
+    const size_t o1 = before.owner(h);
+    const size_t o2 = after.owner(h);
+    if (o1 == 3) {
+      ++remapped;
+      EXPECT_LT(o2, 3u);
+    } else if (o1 != o2) {
+      ++moved_from_survivor;
+    }
+  }
+  EXPECT_EQ(moved_from_survivor, 0);
+  EXPECT_GT(remapped, 0);
+}
+
+TEST(HashRing, PickReturnsDistinctNodesOwnerFirst) {
+  const HashRing ring = ring_of(shard_nodes(4));
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t h = HashRing::hash_key("volume-" + std::to_string(i));
+    const std::vector<size_t> three = ring.pick(h, 3);
+    ASSERT_EQ(three.size(), 3u);
+    EXPECT_EQ(three[0], ring.owner(h));
+    EXPECT_NE(three[0], three[1]);
+    EXPECT_NE(three[0], three[2]);
+    EXPECT_NE(three[1], three[2]);
+    // k beyond the node count saturates at every distinct node.
+    EXPECT_EQ(ring.pick(h, 99).size(), 4u);
+  }
+}
+
+// --- router end-to-end ----------------------------------------------------
+
+// N in-process netserve shards fronted by a Router, all on ephemeral ports.
+class MiniCluster {
+ public:
+  explicit MiniCluster(int n) {
+    std::vector<ShardSpec> specs;
+    for (int i = 0; i < n; ++i) {
+      serve::ServiceOptions sopt;
+      sopt.worker_threads = 2;
+      services_.push_back(std::make_unique<serve::RenderService>(sopt));
+      net::NetServerOptions nopt;
+      servers_.push_back(
+          std::make_unique<net::NetServer>(*services_.back(), nopt));
+      std::string error;
+      ok_ = servers_.back()->start(&error);
+      EXPECT_TRUE(ok_) << error;
+      if (!ok_) return;
+      specs.push_back({"shard-" + std::to_string(i), "127.0.0.1",
+                       servers_.back()->port(), 1});
+    }
+    RouterOptions ropt;
+    ropt.probe_interval_ms = 50.0;
+    router_ = std::make_unique<Router>(specs, ropt);
+    std::string error;
+    ok_ = router_->start(&error);
+    EXPECT_TRUE(ok_) << error;
+  }
+
+  ~MiniCluster() {
+    if (router_) router_->stop();
+    for (auto& s : servers_) s->stop();
+  }
+
+  bool healthy(size_t n) const {
+    return ok_ && router_->wait_healthy(n, 10'000.0);
+  }
+
+  Router& router() { return *router_; }
+  net::NetServer& server(size_t i) { return *servers_[i]; }
+
+ private:
+  bool ok_ = false;
+  std::vector<std::unique_ptr<serve::RenderService>> services_;
+  std::vector<std::unique_ptr<net::NetServer>> servers_;
+  std::unique_ptr<Router> router_;
+};
+
+// First seed >= start_seed whose mri-36 volume the n-shard ring (built
+// exactly as the router builds it) places on shard `want`.
+serve::VolumeKey key_owned_by(size_t want, int nshards, uint64_t start_seed = 1) {
+  const HashRing ring = ring_of(shard_nodes(nshards));
+  serve::VolumeKey key;
+  key.kind = "mri";
+  key.nx = key.ny = key.nz = 36;
+  for (uint64_t seed = start_seed; seed < start_seed + 100'000; ++seed) {
+    key.seed = seed;
+    if (ring.owner(HashRing::hash_key(key.canonical())) == want) return key;
+  }
+  ADD_FAILURE() << "no seed places a volume on shard " << want;
+  return key;
+}
+
+bool wait_state(const Router& router, size_t shard, ShardState want,
+                double timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(static_cast<int64_t>(timeout_ms));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (router.shard_state(shard) == want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return router.shard_state(shard) == want;
+}
+
+TEST(ClusterRouter, ProxiedFramesBitIdenticalToDirectRender) {
+  MiniCluster cluster(2);
+  ASSERT_TRUE(cluster.healthy(2));
+
+  serve::VolumeKey key;
+  key.kind = "mri";
+  key.nx = key.ny = key.nz = 40;
+  const int kFrames = 4;
+  const double start_yaw = 0.4, pitch = 0.3, step_deg = 3.0;
+
+  net::NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect("127.0.0.1", cluster.router().port(), &error))
+      << error;
+
+  std::vector<uint64_t> served;
+  for (int f = 0; f < kFrames; ++f) {
+    net::RenderRequestMsg req;
+    req.request_id = static_cast<uint64_t>(f) + 1;
+    req.session_id = 7;
+    req.volume = key;
+    req.camera = Camera::orbit({key.nx, key.ny, key.nz},
+                               start_yaw + f * step_deg * kDeg, pitch);
+    ImageU8 image;
+    net::FrameMsg meta;
+    ASSERT_TRUE(client.render(req, &image, &meta, &error)) << error;
+    served.push_back(pixel_hash(image));
+  }
+  client.send_bye(nullptr);
+
+  // Same frames, no network, no router.
+  serve::ServiceOptions sopt;
+  sopt.worker_threads = 2;
+  const DensityVolume density = make_mri_brain(key.nx, key.ny, key.nz);
+  const ClassifiedVolume classified =
+      classify(density, TransferFunction::mri_preset(), key.classify);
+  const EncodedVolume volume =
+      EncodedVolume::build(classified, key.classify.alpha_threshold);
+  NewParallelRenderer renderer(sopt.parallel);
+  ThreadedExecutor exec(sopt.worker_threads);
+  ImageU8 direct;
+  for (int f = 0; f < kFrames; ++f) {
+    renderer.render(volume,
+                    Camera::orbit({key.nx, key.ny, key.nz},
+                                  start_yaw + f * step_deg * kDeg, pitch),
+                    exec, &direct);
+    EXPECT_EQ(pixel_hash(direct), served[f]) << "frame " << f;
+  }
+
+  const RouterMetrics& m = cluster.router().metrics();
+  EXPECT_EQ(m.requests_routed.load(), static_cast<uint64_t>(kFrames));
+  EXPECT_EQ(m.frames_forwarded.load(), static_cast<uint64_t>(kFrames));
+  EXPECT_EQ(m.protocol_errors.load(), 0u);
+  // Affinity: one session, one shard — all four frames on the same shard.
+  const uint64_t s0 = m.shards[0]->routed_requests.load();
+  const uint64_t s1 = m.shards[1]->routed_requests.load();
+  EXPECT_TRUE((s0 == 4 && s1 == 0) || (s0 == 0 && s1 == 4))
+      << "s0=" << s0 << " s1=" << s1;
+}
+
+TEST(ClusterRouter, AffinityHoldsThroughDrainAndNewPlacementsAvoidIt) {
+  MiniCluster cluster(2);
+  ASSERT_TRUE(cluster.healthy(2));
+  Router& router = cluster.router();
+
+  const serve::VolumeKey key_a = key_owned_by(0, 2);
+  const serve::VolumeKey key_b = key_owned_by(0, 2, key_a.seed + 1);
+  ASSERT_NE(key_a.canonical(), key_b.canonical());
+
+  net::NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect("127.0.0.1", router.port(), &error)) << error;
+
+  const auto render = [&](uint64_t session, const serve::VolumeKey& key,
+                          uint64_t id) {
+    net::RenderRequestMsg req;
+    req.request_id = id;
+    req.session_id = session;
+    req.volume = key;
+    req.camera = Camera::orbit({key.nx, key.ny, key.nz}, 0.3, 0.3);
+    ImageU8 image;
+    net::FrameMsg meta;
+    ASSERT_TRUE(client.render(req, &image, &meta, &error)) << error;
+  };
+
+  // Session 1 pins to shard-0 (key_a's ring owner).
+  render(1, key_a, 1);
+  EXPECT_EQ(router.metrics().shards[0]->routed_requests.load(), 1u);
+
+  ASSERT_TRUE(router.set_drain("shard-0", true));
+  ASSERT_TRUE(wait_state(router, 0, ShardState::kDraining, 5'000.0));
+
+  // The pinned session keeps flowing to the draining shard...
+  render(1, key_a, 2);
+  EXPECT_EQ(router.metrics().shards[0]->routed_requests.load(), 2u);
+  // ...but a new session's placement avoids it, even for a volume the ring
+  // would have put there.
+  render(2, key_b, 3);
+  EXPECT_EQ(router.metrics().shards[1]->routed_requests.load(), 1u);
+
+  // Undrain: the shard rejoins the ring and fresh placements return.
+  ASSERT_TRUE(router.set_drain("shard-0", false));
+  ASSERT_TRUE(wait_state(router, 0, ShardState::kHealthy, 5'000.0));
+  render(3, key_b, 4);
+  EXPECT_EQ(router.metrics().shards[0]->routed_requests.load(), 3u);
+
+  client.send_bye(nullptr);
+  EXPECT_EQ(router.metrics().reroutes.load(), 0u);  // drain never breaks pins
+}
+
+TEST(ClusterRouter, StreamArrivesInOrderAndComplete) {
+  MiniCluster cluster(2);
+  ASSERT_TRUE(cluster.healthy(2));
+
+  net::NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect("127.0.0.1", cluster.router().port(), &error))
+      << error;
+
+  net::StreamRequestMsg req;
+  req.stream_id = 11;
+  req.session_id = 4;
+  req.volume = key_owned_by(1, 2);
+  req.frames = 6;
+  req.step_deg = 4.0;
+  ASSERT_TRUE(client.open_stream(req, &error)) << error;
+
+  uint32_t next_seq = 0;
+  net::StreamEndMsg end;
+  bool ended = false;
+  while (!ended) {
+    net::NetClient::Event event;
+    ASSERT_TRUE(client.next_event(&event, &error)) << error;
+    ASSERT_NE(event.kind, net::NetClient::Event::Kind::kError);
+    if (event.kind == net::NetClient::Event::Kind::kStreamEnd) {
+      end = event.end;
+      ended = true;
+      continue;
+    }
+    EXPECT_EQ(event.frame.stream_id, req.stream_id);
+    EXPECT_EQ(event.frame.seq, next_seq++);
+  }
+  client.send_bye(nullptr);
+
+  EXPECT_EQ(end.frames_sent, req.frames);
+  EXPECT_EQ(end.frames_dropped, 0u);
+  EXPECT_EQ(next_seq, req.frames);
+  EXPECT_EQ(cluster.router().metrics().streams_routed.load(), 1u);
+  EXPECT_GE(cluster.router().metrics().frames_forwarded.load(),
+            static_cast<uint64_t>(req.frames));
+}
+
+TEST(ClusterRouter, AggregatedMetricsRollUpBothShards) {
+  MiniCluster cluster(2);
+  ASSERT_TRUE(cluster.healthy(2));
+  Router& router = cluster.router();
+
+  net::NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect("127.0.0.1", router.port(), &error)) << error;
+
+  // One frame on each shard: distinct sessions, ring-targeted volumes.
+  for (size_t shard = 0; shard < 2; ++shard) {
+    net::RenderRequestMsg req;
+    req.request_id = shard + 1;
+    req.session_id = shard + 1;
+    req.volume = key_owned_by(shard, 2);
+    req.camera = Camera::orbit({req.volume.nx, req.volume.ny, req.volume.nz},
+                               0.2, 0.3);
+    ImageU8 image;
+    net::FrameMsg meta;
+    ASSERT_TRUE(client.render(req, &image, &meta, &error)) << error;
+  }
+
+  // The cluster rollup sums the shard documents the prober snapshots, so
+  // give the next probe cycle a chance to pick the renders up.
+  std::string json;
+  uint64_t completed = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (completed < 2 && std::chrono::steady_clock::now() < deadline) {
+    ASSERT_TRUE(client.fetch_metrics(&json, &error)) << error;
+    completed = scan_json_u64_in(json, "cluster", "frames_completed");
+    if (completed < 2) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  client.send_bye(nullptr);
+
+  EXPECT_EQ(completed, 2u);
+  EXPECT_EQ(scan_json_u64_in(json, "router", "requests_routed"), 2u);
+  EXPECT_EQ(scan_json_u64_in(json, "cluster", "shards"), 2u);
+  EXPECT_EQ(scan_json_u64_in(json, "cluster", "shards_in_ring"), 2u);
+  EXPECT_NE(json.find("\"shard-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard-1\""), std::string::npos);
+  // Each shard's own document is embedded verbatim.
+  EXPECT_NE(json.find("\"volume_cache\""), std::string::npos);
+  EXPECT_GE(router.metrics().metrics_served.load(), 1u);
+}
+
+TEST(ClusterRouter, HelloVersionMismatchGetsTypedErrorThenClose) {
+  MiniCluster cluster(1);
+  ASSERT_TRUE(cluster.healthy(1));
+
+  std::string error;
+  net::UniqueFd fd =
+      net::tcp_connect("127.0.0.1", cluster.router().port(), &error);
+  ASSERT_TRUE(fd.valid()) << error;
+  net::HelloMsg hello;
+  hello.version = 99;
+  hello.name = "from-the-future";
+  std::vector<uint8_t> payload, wire;
+  hello.encode(&payload);
+  net::encode_message(net::MsgType::kHello, payload, &wire);
+  ASSERT_GT(::send(fd.get(), wire.data(), wire.size(), 0), 0);
+
+  // Typed kError, then EOF — never a HelloAck in a protocol the peer
+  // cannot parse.
+  std::vector<uint8_t> in(4096);
+  size_t have = 0;
+  bool got_eof = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!got_eof && std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::recv(fd.get(), in.data() + have, in.size() - have, 0);
+    if (n == 0) got_eof = true;
+    if (n > 0) have += static_cast<size_t>(n);
+  }
+  ASSERT_TRUE(got_eof);
+  net::WireMessage msg;
+  size_t consumed = 0;
+  ASSERT_EQ(net::decode_message(in.data(), have, &msg, &consumed),
+            net::WireStatus::kOk);
+  EXPECT_EQ(msg.type, net::MsgType::kError);
+  net::ErrorMsg err;
+  ASSERT_TRUE(net::ErrorMsg::decode(msg.payload, &err));
+  EXPECT_NE(err.message.find("unsupported protocol version"), std::string::npos)
+      << err.message;
+  EXPECT_GE(cluster.router().metrics().hello_rejects.load(), 1u);
+}
+
+// The acceptance fault-injection scenario: kill the shard a stream is
+// pinned to, mid-stream. The client must get a typed kUnavailable error
+// (not a hang or a crash), the router must eject the shard and rebuild the
+// ring, and the session's next request must re-place on the survivor and
+// count as a re-route.
+TEST(ClusterRouter, ShardLossMidStreamYieldsTypedErrorAndReroutes) {
+  MiniCluster cluster(2);
+  ASSERT_TRUE(cluster.healthy(2));
+  Router& router = cluster.router();
+
+  const size_t owner = 0;
+  const size_t survivor = 1;
+  const serve::VolumeKey key = key_owned_by(owner, 2);
+
+  net::NetClientOptions copt;
+  copt.recv_timeout_ms = 15'000.0;
+  net::NetClient client(copt);
+  std::string error;
+  ASSERT_TRUE(client.connect("127.0.0.1", router.port(), &error)) << error;
+
+  net::StreamRequestMsg req;
+  req.stream_id = 21;
+  req.session_id = 9;
+  req.volume = key;
+  req.frames = 400;  // far more than can finish before the kill
+  ASSERT_TRUE(client.open_stream(req, &error)) << error;
+
+  // Confirm the stream is flowing, then pull the shard out from under it.
+  for (int i = 0; i < 2; ++i) {
+    net::NetClient::Event event;
+    ASSERT_TRUE(client.next_event(&event, &error)) << error;
+    ASSERT_EQ(event.kind, net::NetClient::Event::Kind::kFrame);
+  }
+  cluster.server(owner).stop();
+
+  // In-flight frames may still drain; the next non-frame event must be the
+  // typed loss error, and it must arrive well before the recv timeout.
+  bool got_error = false;
+  net::ErrorMsg err;
+  for (int i = 0; i < 1000 && !got_error; ++i) {
+    net::NetClient::Event event;
+    ASSERT_TRUE(client.next_event(&event, &error)) << error;
+    if (event.kind == net::NetClient::Event::Kind::kError) {
+      err = event.error;
+      got_error = true;
+    }
+  }
+  ASSERT_TRUE(got_error);
+  EXPECT_EQ(err.status,
+            static_cast<uint16_t>(serve::ServeStatus::kUnavailable));
+  EXPECT_EQ(err.request_id, req.stream_id);
+  EXPECT_NE(err.message.find("lost"), std::string::npos) << err.message;
+
+  // Data-path loss ejects immediately; the ring rebuilds around the hole.
+  ASSERT_TRUE(wait_state(router, owner, ShardState::kEjected, 5'000.0));
+  EXPECT_GE(router.metrics().shards[owner]->ejections.load(), 1u);
+
+  // Same session, same volume: the broken pin re-places on the survivor.
+  net::RenderRequestMsg rreq;
+  rreq.request_id = 100;
+  rreq.session_id = req.session_id;
+  rreq.volume = key;
+  rreq.camera = Camera::orbit({key.nx, key.ny, key.nz}, 0.5, 0.3);
+  ImageU8 image;
+  net::FrameMsg meta;
+  ASSERT_TRUE(client.render(rreq, &image, &meta, &error)) << error;
+  EXPECT_GT(image.pixel_count(), 0u);
+  EXPECT_GE(router.metrics().reroutes.load(), 1u);
+  EXPECT_GE(router.metrics().shards[survivor]->routed_requests.load(), 1u);
+  client.send_bye(nullptr);
+}
+
+TEST(ClusterRouter, NoHealthyShardGivesTypedUnavailable) {
+  // Reserve a port nobody listens on: the router's only shard is dead on
+  // arrival, so the ring never has a member.
+  std::string error;
+  net::UniqueFd placeholder = net::tcp_listen("127.0.0.1", 0, 1, &error);
+  ASSERT_TRUE(placeholder.valid()) << error;
+  const uint16_t dead_port = net::local_port(placeholder.get());
+  placeholder.reset();
+
+  RouterOptions ropt;
+  ropt.probe_interval_ms = 50.0;
+  Router router({{"shard-0", "127.0.0.1", dead_port, 1}}, ropt);
+  ASSERT_TRUE(router.start(&error)) << error;
+
+  // The south face still welcomes clients; placement is what fails, with
+  // a typed kUnavailable naming the condition.
+  net::NetClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", router.port(), &error)) << error;
+  net::RenderRequestMsg req;
+  req.request_id = 1;
+  req.session_id = 1;
+  req.volume = key_owned_by(0, 1);
+  req.camera = Camera::orbit({req.volume.nx, req.volume.ny, req.volume.nz},
+                             0.2, 0.3);
+  ImageU8 image;
+  net::FrameMsg meta;
+  EXPECT_FALSE(client.render(req, &image, &meta, &error));
+  EXPECT_NE(error.find("no healthy shard"), std::string::npos) << error;
+  EXPECT_GE(router.metrics().unavailable_rejections.load(), 1u);
+  router.stop();
+}
+
+}  // namespace
+}  // namespace psw::cluster

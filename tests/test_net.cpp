@@ -858,6 +858,96 @@ TEST(Net, RequestBeforeHelloIsRejected) {
   EXPECT_EQ(msg.type, MsgType::kError);
 }
 
+// Satellite regression: a hello carrying an unsupported protocol version
+// gets a typed kError naming both versions, then close — never a HelloAck
+// in a protocol the peer never claimed to speak.
+TEST(Net, HelloVersionMismatchGetsTypedErrorThenClose) {
+  serve::RenderService service;
+  NetServer server(service);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  UniqueFd fd = tcp_connect("127.0.0.1", server.port(), &error);
+  ASSERT_TRUE(fd.valid()) << error;
+  HelloMsg hello;
+  hello.version = 99;
+  hello.name = "from-the-future";
+  std::vector<uint8_t> payload, wire;
+  hello.encode(&payload);
+  encode_message(MsgType::kHello, payload, &wire);
+  ASSERT_GT(::send(fd.get(), wire.data(), wire.size(), 0), 0);
+
+  std::vector<uint8_t> in(4096);
+  size_t have = 0;
+  bool got_eof = false;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!got_eof && std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::recv(fd.get(), in.data() + have, in.size() - have, 0);
+    if (n == 0) got_eof = true;
+    if (n > 0) have += static_cast<size_t>(n);
+  }
+  ASSERT_TRUE(got_eof);
+  WireMessage msg;
+  size_t consumed = 0;
+  ASSERT_EQ(decode_message(in.data(), have, &msg, &consumed), WireStatus::kOk);
+  EXPECT_EQ(msg.type, MsgType::kError);
+  ErrorMsg err;
+  ASSERT_TRUE(ErrorMsg::decode(msg.payload, &err));
+  EXPECT_NE(err.message.find("unsupported protocol version"), std::string::npos)
+      << err.message;
+  EXPECT_GE(server.metrics().protocol_errors.load(), 1u);
+}
+
+// Satellite regression: transient refusals retry with backoff and, when
+// exhausted, surface as the typed ConnectStatus::kUnavailable (not a
+// generic error string the caller has to pattern-match).
+TEST(Net, ConnectRetryExhaustionReportsUnavailable) {
+  // Reserve a port nobody listens on.
+  std::string error;
+  UniqueFd placeholder = tcp_listen("127.0.0.1", 0, 1, &error);
+  ASSERT_TRUE(placeholder.valid()) << error;
+  const uint16_t port = local_port(placeholder.get());
+  placeholder.reset();
+
+  NetClientOptions copt;
+  copt.connect_retries = 2;
+  copt.connect_backoff_ms = 5;
+  NetClient client(copt);
+  EXPECT_FALSE(client.connect("127.0.0.1", port, &error));
+  EXPECT_EQ(client.connect_status(), ConnectStatus::kUnavailable);
+  EXPECT_EQ(client.connect_attempts(), 3);  // first try + 2 retries
+}
+
+TEST(Net, ConnectRetriesUntilServerAppears) {
+  std::string error;
+  UniqueFd placeholder = tcp_listen("127.0.0.1", 0, 1, &error);
+  ASSERT_TRUE(placeholder.valid()) << error;
+  const uint16_t port = local_port(placeholder.get());
+  placeholder.reset();
+
+  serve::RenderService service;
+  NetServerOptions nopt;
+  nopt.port = port;
+  NetServer server(service, nopt);
+
+  NetClientOptions copt;
+  copt.connect_retries = 10;
+  copt.connect_backoff_ms = 25;
+  NetClient client(copt);
+  std::string connect_error;
+  bool connected = false;
+  std::thread connector(
+      [&] { connected = client.connect("127.0.0.1", port, &connect_error); });
+  // Let the first attempt(s) hit a closed port, then bring the server up.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  ASSERT_TRUE(server.start(&error)) << error;
+  connector.join();
+  EXPECT_TRUE(connected) << connect_error;
+  EXPECT_EQ(client.connect_status(), ConnectStatus::kOk);
+  EXPECT_GT(client.connect_attempts(), 1);
+  client.send_bye(nullptr);
+}
+
 TEST(Net, IdleConnectionsAreHarvested) {
   serve::RenderService service;
   NetServerOptions nopt;

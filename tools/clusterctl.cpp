@@ -1,0 +1,245 @@
+// Cluster supervisor: spawns N local netserve shard processes, fronts them
+// with an in-process cluster::Router speaking the PSWN wire protocol, and
+// supervises both until SIGINT/SIGTERM. A shard that exits unexpectedly is
+// restarted with backoff (the router's health probes eject it meanwhile and
+// rejoin it once the replacement answers); shutdown SIGTERMs every shard,
+// escalating to SIGKILL when a drain outlives --drain-timeout-ms plus a
+// grace period, and flushes the aggregated cluster metrics document last so
+// a Ctrl-C never loses the report.
+//
+//   ./tools/clusterctl [--shards=2] [--port=7421] [--bind=127.0.0.1]
+//                      [--shard-port-base=7510] [--netserve=<path>]
+//                      [--threads=2] [--cache-mb=128] [--batch=4]
+//                      [--vnodes=64] [--replicate=1]
+//                      [--probe-interval-ms=250] [--restart=1]
+//                      [--drain-timeout-ms=5000]
+//                      [--json=clusterctl_metrics.json]
+//
+// --netserve defaults to a `netserve` binary next to this one, so running
+// from the build tree needs no flags.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "shutdown.hpp"
+#include "util/cli.hpp"
+
+using namespace psw;
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+struct ShardProc {
+  std::string id;
+  uint16_t port = 0;
+  pid_t pid = -1;
+  int restarts = 0;
+  double backoff_ms = 500.0;
+  SteadyClock::time_point next_restart{};  // epoch = restart immediately
+  int last_exit = 0;
+};
+
+pid_t spawn(const std::string& exe, const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 2);
+  argv.push_back(const_cast<char*>(exe.c_str()));
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(exe.c_str(), argv.data());
+    std::fprintf(stderr, "clusterctl: exec %s: %s\n", exe.c_str(),
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+  return pid;
+}
+
+pid_t spawn_shard(const std::string& exe, const ShardProc& shard,
+                  const std::string& bind, int threads, int cache_mb, int batch,
+                  int drain_timeout_ms) {
+  return spawn(exe, {"--port=" + std::to_string(shard.port),
+                     "--bind=" + bind,
+                     "--threads=" + std::to_string(threads),
+                     "--cache-mb=" + std::to_string(cache_mb),
+                     "--batch=" + std::to_string(batch),
+                     "--drain-timeout-ms=" + std::to_string(drain_timeout_ms),
+                     "--json="});  // shards skip their own report; the
+                                   // router aggregates live metrics instead
+}
+
+// One WNOHANG sweep; true if `shard` was reaped.
+bool reap(ShardProc* shard) {
+  if (shard->pid < 0) return false;
+  int status = 0;
+  const pid_t r = ::waitpid(shard->pid, &status, WNOHANG);
+  if (r != shard->pid) return false;
+  shard->pid = -1;
+  shard->last_exit = WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+  return true;
+}
+
+std::string dirname_of(const char* argv0) {
+  const std::string s(argv0);
+  const size_t slash = s.rfind('/');
+  return slash == std::string::npos ? std::string(".") : s.substr(0, slash);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  flags.require_known({"shards", "port", "bind", "shard-port-base", "netserve",
+                       "threads", "cache-mb", "batch", "vnodes", "replicate",
+                       "probe-interval-ms", "restart", "drain-timeout-ms",
+                       "json"});
+  const int nshards = flags.get_int("shards", 2);
+  const std::string bind = flags.get("bind", "127.0.0.1");
+  const uint16_t router_port = static_cast<uint16_t>(flags.get_int("port", 7421));
+  const int port_base = flags.get_int("shard-port-base", 7510);
+  const std::string netserve =
+      flags.get("netserve", dirname_of(argv[0]) + "/netserve");
+  const int threads = flags.get_int("threads", 2);
+  const int cache_mb = flags.get_int("cache-mb", 128);
+  const int batch = flags.get_int("batch", 4);
+  const bool restart = flags.get_bool("restart", true);
+  const int drain_timeout_ms = flags.get_int("drain-timeout-ms", 5'000);
+  const std::string json_path = flags.get("json", "clusterctl_metrics.json");
+  if (nshards < 1 || nshards > 64) {
+    std::fprintf(stderr, "clusterctl: --shards must be in [1, 64]\n");
+    return 2;
+  }
+
+  tools::install_shutdown_handler();
+
+  std::vector<ShardProc> procs(static_cast<size_t>(nshards));
+  std::vector<cluster::ShardSpec> specs;
+  for (int i = 0; i < nshards; ++i) {
+    ShardProc& p = procs[static_cast<size_t>(i)];
+    p.id = "shard-" + std::to_string(i);
+    p.port = static_cast<uint16_t>(port_base + i);
+    p.pid = spawn_shard(netserve, p, bind, threads, cache_mb, batch,
+                        drain_timeout_ms);
+    if (p.pid < 0) {
+      std::fprintf(stderr, "clusterctl: fork: %s\n", std::strerror(errno));
+      return 1;
+    }
+    specs.push_back({p.id, bind, p.port, 1});
+  }
+
+  cluster::RouterOptions ropt;
+  ropt.bind_address = bind;
+  ropt.port = router_port;
+  ropt.vnodes = flags.get_int("vnodes", 64);
+  ropt.replicate = flags.get_int("replicate", 1);
+  ropt.probe_interval_ms = flags.get_double("probe-interval-ms", 250.0);
+  cluster::Router router(specs, ropt);
+  std::string error;
+  if (!router.start(&error)) {
+    std::fprintf(stderr, "clusterctl: cannot start router: %s\n", error.c_str());
+    for (ShardProc& p : procs) {
+      if (p.pid > 0) ::kill(p.pid, SIGTERM);
+    }
+    return 1;
+  }
+
+  std::printf("clusterctl: router on %s:%u -> %d shard(s):\n", bind.c_str(),
+              router.port(), nshards);
+  for (const ShardProc& p : procs) {
+    std::printf("clusterctl:   %s %s:%u (pid %d)\n", p.id.c_str(), bind.c_str(),
+                p.port, static_cast<int>(p.pid));
+  }
+  if (router.wait_healthy(static_cast<size_t>(nshards), 10'000.0)) {
+    std::printf("clusterctl: all %d shard(s) healthy\n", nshards);
+  } else {
+    std::printf("clusterctl: warning: not all shards healthy after 10 s "
+                "(probes keep retrying)\n");
+  }
+  std::printf("clusterctl: Ctrl-C to drain and exit\n");
+  std::fflush(stdout);
+
+  // Supervision loop: reap exited shards and (optionally) restart them with
+  // doubling backoff. The router's probes handle the routing side — eject
+  // on loss, rejoin when the replacement answers — so all this loop owes
+  // the cluster is a fresh process.
+  while (!tools::shutdown_requested()) {
+    const SteadyClock::time_point now = SteadyClock::now();
+    for (ShardProc& p : procs) {
+      if (p.pid > 0 && reap(&p)) {
+        std::printf("clusterctl: %s (port %u) exited with status %d\n",
+                    p.id.c_str(), p.port, p.last_exit);
+        p.next_restart = now + std::chrono::milliseconds(
+                                   static_cast<int64_t>(p.backoff_ms));
+        p.backoff_ms = std::min(p.backoff_ms * 2.0, 5'000.0);
+        std::fflush(stdout);
+      }
+      if (p.pid < 0 && restart && now >= p.next_restart) {
+        p.pid = spawn_shard(netserve, p, bind, threads, cache_mb, batch,
+                            drain_timeout_ms);
+        ++p.restarts;
+        std::printf("clusterctl: restarted %s (pid %d, restart #%d)\n",
+                    p.id.c_str(), static_cast<int>(p.pid), p.restarts);
+        std::fflush(stdout);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+
+  std::printf("clusterctl: shutdown requested\n");
+  // Capture the aggregate document while every face is still live, then
+  // tear down front-to-back: router first (no new work reaches a shard),
+  // then SIGTERM the shards and give each drain-timeout + 2 s of grace
+  // before escalating to SIGKILL.
+  const std::string doc = router.metrics_json();
+  router.stop();
+  for (ShardProc& p : procs) {
+    if (p.pid > 0) ::kill(p.pid, SIGTERM);
+  }
+  const SteadyClock::time_point deadline =
+      SteadyClock::now() + std::chrono::milliseconds(drain_timeout_ms + 2'000);
+  bool any_alive = true;
+  while (any_alive && SteadyClock::now() < deadline) {
+    any_alive = false;
+    for (ShardProc& p : procs) {
+      if (p.pid > 0 && !reap(&p)) any_alive = true;
+    }
+    if (any_alive) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  for (ShardProc& p : procs) {
+    if (p.pid > 0) {
+      std::fprintf(stderr, "clusterctl: %s ignored SIGTERM, killing\n",
+                   p.id.c_str());
+      ::kill(p.pid, SIGKILL);
+      ::waitpid(p.pid, nullptr, 0);
+      p.pid = -1;
+      p.last_exit = 137;
+    }
+    if (p.last_exit == 3) {
+      std::printf("clusterctl: note: %s drain timed out (exit 3)\n", p.id.c_str());
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "clusterctl: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("clusterctl: wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -9,15 +9,36 @@
 //   ./tools/netbench [--mode=stream|request] [--sessions=4] [--frames=30]
 //                    [--size=48] [--threads=4] [--kind=mri] [--step=2.0]
 //                    [--window=4] [--pending=4] [--json=BENCH_net.json]
+//
+// Cluster mode (--cluster) benchmarks the sharded path instead: it boots N
+// in-process netserve shards behind a cluster::Router on loopback and
+// drives a fixed working set of 8 volumes (one session each) through the
+// router, sweeping the shard counts in --shards:
+//
+//   ./tools/netbench --cluster [--shards=1,2,4] [--frames=24] [--image=64]
+//                    [--json=BENCH_cluster.json]
+//
+// The working set is constructed so that aggregate VolumeCache capacity is
+// the scaling resource (the point of consistent-hash placement): per-shard
+// budgets are sized so one shard thrashes on the full set, two shards keep
+// exactly the warm half hot, and four shards hold everything. Volume seeds
+// are searched against the same HashRing the router builds, so placement
+// is deterministic and verified, not assumed.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "alloc_probe.hpp"
+#include "cluster/hash_ring.hpp"
+#include "cluster/router.hpp"
 #include "core/factorization.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "serve/volume_cache.hpp"
 #include "util/cli.hpp"
 #include "util/histogram.hpp"
 #include "util/json.hpp"
@@ -132,12 +153,451 @@ void run_stream_session(uint16_t port, uint64_t session, int frames,
   client.send_bye(nullptr);
 }
 
+// ---------------------------------------------------------------------------
+// Cluster mode.
+// ---------------------------------------------------------------------------
+
+// One volume of the cluster working set, with its placement targets on the
+// 2-shard and 4-shard rings and its measured encoded size.
+struct ClusterVolume {
+  serve::VolumeKey key;
+  bool warm = false;   // belongs to the half that stays cached at 2 shards
+  size_t owner2 = 0;   // required ring owner at 2 shards
+  size_t owner4 = 0;   // required ring owner at 4 shards
+  uint64_t bytes = 0;
+  double build_ms = 0.0;
+};
+
+// Searches seeds until the volume's canonical key lands on its target shard
+// in BOTH the 2-shard and 4-shard rings. Consistent hashing makes the pair
+// feasible (a key owned by shard 0 of 2 is owned by shard 0, 2 or 3 of 4),
+// so a few dozen tries suffice; the cap only guards against a logic bug.
+bool place_volume(const cluster::HashRing& ring2, const cluster::HashRing& ring4,
+                  ClusterVolume* v, uint64_t* next_seed) {
+  for (uint64_t seed = *next_seed; seed < *next_seed + 1'000'000; ++seed) {
+    v->key.seed = seed;
+    const uint64_t h = cluster::HashRing::hash_key(v->key.canonical());
+    if (ring2.owner(h) == v->owner2 && ring4.owner(h) == v->owner4) {
+      *next_seed = seed + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+void run_cluster_session(uint16_t port, uint64_t session, int frames,
+                         const serve::VolumeKey& key, int image,
+                         SessionResult* out) {
+  net::NetClient client;
+  std::string error;
+  if (!client.connect("127.0.0.1", port, &error)) {
+    out->failures += static_cast<uint64_t>(frames);
+    out->error = error;
+    return;
+  }
+  for (int f = 0; f < frames; ++f) {
+    net::RenderRequestMsg req;
+    req.request_id = static_cast<uint64_t>(f) + 1;
+    req.session_id = session;
+    req.volume = key;
+    req.camera = Camera::orbit({key.nx, key.ny, key.nz},
+                               0.13 * static_cast<double>(session) + f * 2.0 * kDeg,
+                               0.35);
+    req.camera.image_width = req.camera.image_height = image;
+    ImageU8 frame_image;
+    net::FrameMsg meta;
+    WallTimer rtt;
+    if (!client.render(req, &frame_image, &meta, &error)) {
+      ++out->failures;
+      out->error = error;
+      continue;
+    }
+    out->latency.record_ms(rtt.millis());
+    ++out->frames;
+  }
+  client.send_bye(nullptr);
+}
+
+struct ClusterShardReport {
+  uint64_t routed_requests = 0;
+  uint64_t forwarded_frames = 0;
+  serve::CacheStats cache;
+};
+
+struct ClusterConfigResult {
+  int shards = 0;
+  double wall_ms = 0.0;
+  uint64_t frames_ok = 0;
+  uint64_t failures = 0;
+  uint64_t protocol_errors = 0;
+  double fps = 0.0;
+  LatencyHistogram latency;
+  std::vector<ClusterShardReport> per_shard;
+  std::string error;
+};
+
+ClusterConfigResult run_cluster_config(int nshards, uint64_t budget, int frames,
+                                       int image,
+                                       const std::vector<ClusterVolume>& vols) {
+  ClusterConfigResult result;
+  result.shards = nshards;
+
+  std::vector<std::unique_ptr<serve::RenderService>> services;
+  std::vector<std::unique_ptr<net::NetServer>> servers;
+  std::vector<cluster::ShardSpec> specs;
+  for (int i = 0; i < nshards; ++i) {
+    serve::ServiceOptions sopt;
+    // One worker and one un-sharded cache per shard: the bench runs on any
+    // core count, so throughput scaling must come from cache capacity (each
+    // added shard adds budget), not from parallelism the host may not have.
+    sopt.worker_threads = 1;
+    sopt.prepare_threads = 1;
+    sopt.batch_max = 1;
+    sopt.cache_bytes = budget;
+    sopt.cache_shards = 1;
+    services.push_back(std::make_unique<serve::RenderService>(sopt));
+    net::NetServerOptions nopt;
+    nopt.port = 0;
+    servers.push_back(std::make_unique<net::NetServer>(*services.back(), nopt));
+    std::string error;
+    if (!servers.back()->start(&error)) {
+      result.error = "shard start: " + error;
+      return result;
+    }
+    specs.push_back({"shard-" + std::to_string(i), "127.0.0.1",
+                     servers.back()->port(), 1});
+  }
+
+  cluster::RouterOptions ropt;
+  ropt.port = 0;
+  ropt.probe_interval_ms = 100.0;
+  cluster::Router router(specs, ropt);
+  std::string error;
+  if (!router.start(&error)) {
+    result.error = "router start: " + error;
+  } else if (!router.wait_healthy(static_cast<size_t>(nshards), 10'000.0)) {
+    result.error = "shards did not become healthy";
+  } else {
+    std::vector<SessionResult> sessions(vols.size());
+    WallTimer wall;
+    {
+      std::vector<std::thread> drivers;
+      drivers.reserve(vols.size());
+      for (size_t s = 0; s < vols.size(); ++s) {
+        SessionResult* out = &sessions[s];
+        const serve::VolumeKey* key = &vols[s].key;
+        const uint64_t session = static_cast<uint64_t>(s) + 1;
+        drivers.emplace_back([&router, session, frames, key, image, out] {
+          run_cluster_session(router.port(), session, frames, *key, image, out);
+        });
+      }
+      for (auto& d : drivers) d.join();
+    }
+    result.wall_ms = wall.millis();
+    for (SessionResult& s : sessions) {
+      result.latency.merge(s.latency);
+      result.frames_ok += s.frames;
+      result.failures += s.failures;
+      if (!s.error.empty() && result.error.empty()) result.error = s.error;
+    }
+    result.fps = result.wall_ms > 0
+                     ? 1e3 * static_cast<double>(result.frames_ok) / result.wall_ms
+                     : 0.0;
+  }
+
+  result.protocol_errors = router.metrics().protocol_errors.load();
+  for (int i = 0; i < nshards; ++i) {
+    ClusterShardReport report;
+    report.routed_requests =
+        router.metrics().shards[static_cast<size_t>(i)]->routed_requests.load();
+    report.forwarded_frames =
+        router.metrics().shards[static_cast<size_t>(i)]->forwarded_frames.load();
+    report.cache = services[static_cast<size_t>(i)]->cache_stats();
+    result.protocol_errors += servers[static_cast<size_t>(i)]->metrics().protocol_errors.load();
+    result.per_shard.push_back(report);
+  }
+
+  router.stop();
+  for (int i = 0; i < nshards; ++i) {
+    servers[static_cast<size_t>(i)]->stop();
+    services[static_cast<size_t>(i)]->drain();
+  }
+  return result;
+}
+
+int run_cluster(const CliFlags& flags) {
+  const int frames = flags.get_int("frames", 24);
+  const int image = flags.get_int("image", 64);
+  const std::string shard_list = flags.get("shards", "1,2,4");
+  const std::string json_path = flags.get("json", "BENCH_cluster.json");
+
+  std::vector<int> counts;
+  for (size_t pos = 0; pos < shard_list.size();) {
+    const size_t comma = shard_list.find(',', pos);
+    const std::string tok = shard_list.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    counts.push_back(std::atoi(tok.c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] != 1 && counts[i] != 2 && counts[i] != 4) {
+      std::fprintf(stderr, "netbench: --shards entries must be 1, 2 or 4\n");
+      return 2;
+    }
+    if (i > 0 && counts[i] <= counts[i - 1]) {
+      std::fprintf(stderr, "netbench: --shards must be ascending\n");
+      return 2;
+    }
+  }
+  if (counts.empty()) {
+    std::fprintf(stderr, "netbench: --shards is empty\n");
+    return 2;
+  }
+
+  // The rings the placement search runs against — built exactly like the
+  // router builds its own (same ids, same weights, same vnodes), so the
+  // searched owners are the owners the router will actually pick.
+  const cluster::RouterOptions defaults;
+  cluster::HashRing ring2(defaults.vnodes), ring4(defaults.vnodes);
+  ring2.rebuild({{"shard-0", 1}, {"shard-1", 1}});
+  ring4.rebuild({{"shard-0", 1}, {"shard-1", 1}, {"shard-2", 1}, {"shard-3", 1}});
+
+  // 8 volumes, one session each. The warm half (sparse high-threshold MRI:
+  // expensive to build, few encoded bytes) lands on shard 0 of 2; the
+  // thrash half (dense CT: cheap to build per byte, many bytes) lands on
+  // shard 1 of 2 and overflows it. At 4 shards every pair fits its shard.
+  // A key owned by shard 0 of 2 can only move to shard 2 or 3 when the ring
+  // doubles, which fixes the feasible owner4 targets below.
+  std::vector<ClusterVolume> vols(8);
+  for (size_t i = 0; i < 4; ++i) {
+    vols[i].key.kind = "mri";
+    vols[i].key.tf_preset = 0;
+    vols[i].key.nx = vols[i].key.ny = vols[i].key.nz = 72;
+    vols[i].key.classify.alpha_threshold = 120;
+    vols[i].warm = true;
+    vols[i].owner2 = 0;
+    vols[i].owner4 = i < 2 ? 0 : 2;
+  }
+  for (size_t i = 4; i < 8; ++i) {
+    vols[i].key.kind = "ct";
+    vols[i].key.tf_preset = 1;
+    vols[i].key.nx = vols[i].key.ny = vols[i].key.nz = 64;
+    vols[i].warm = false;
+    vols[i].owner2 = 1;
+    vols[i].owner4 = i < 6 ? 1 : 3;
+  }
+  uint64_t next_seed = 1;
+  for (ClusterVolume& v : vols) {
+    if (!place_volume(ring2, ring4, &v, &next_seed)) {
+      std::fprintf(stderr, "netbench: placement search failed\n");
+      return 1;
+    }
+  }
+
+  // Measure each volume's encoded size (seed-dependent: the phantom content
+  // changes with the seed) and derive the per-shard budget: every fitting
+  // load gets 10% headroom, and the overflowing loads must clear the budget
+  // by 25% so LRU cycling cannot accidentally fit.
+  auto builder = serve::VolumeCache::phantom_builder();
+  for (ClusterVolume& v : vols) {
+    WallTimer t;
+    v.bytes = builder(v.key)->storage_bytes();
+    v.build_ms = t.millis();
+  }
+  uint64_t load2[2] = {0, 0}, load4[4] = {0, 0, 0, 0}, total = 0;
+  for (const ClusterVolume& v : vols) {
+    load2[v.owner2] += v.bytes;
+    load4[v.owner4] += v.bytes;
+    total += v.bytes;
+  }
+  uint64_t fit = load2[0];
+  for (const uint64_t l : load4) fit = std::max(fit, l);
+  const uint64_t budget = fit + fit / 10;
+  if (load2[1] < budget + budget / 4 || total < budget + budget / 4) {
+    std::fprintf(stderr,
+                 "netbench: working set no longer overflows the budget "
+                 "(budget %llu, 2-shard overflow load %llu, total %llu) — "
+                 "retune the volume dims\n",
+                 static_cast<unsigned long long>(budget),
+                 static_cast<unsigned long long>(load2[1]),
+                 static_cast<unsigned long long>(total));
+    return 1;
+  }
+
+  std::printf("netbench --cluster: 8 sessions x %d frames, image %dx%d, "
+              "per-shard cache budget %.2f MiB\n",
+              frames, image, image, static_cast<double>(budget) / (1u << 20));
+  std::printf("  working set: 4 warm mri-72 (%.2f MiB, %.0f ms build each) + "
+              "4 overflow ct-64 (%.2f MiB, %.0f ms build each)\n",
+              static_cast<double>(vols[0].bytes) / (1u << 20), vols[0].build_ms,
+              static_cast<double>(vols[4].bytes) / (1u << 20), vols[4].build_ms);
+
+  std::vector<ClusterConfigResult> sweep;
+  for (const int n : counts) {
+    ClusterConfigResult r = run_cluster_config(n, budget, frames, image, vols);
+    std::printf("  %d shard(s): %llu frames in %.0f ms -> %.1f frames/sec "
+                "(%llu failed, %llu protocol errors)\n",
+                n, static_cast<unsigned long long>(r.frames_ok), r.wall_ms,
+                r.fps, static_cast<unsigned long long>(r.failures),
+                static_cast<unsigned long long>(r.protocol_errors));
+    for (size_t i = 0; i < r.per_shard.size(); ++i) {
+      const ClusterShardReport& s = r.per_shard[i];
+      std::printf("    shard-%zu: %llu requests routed, cache %llu/%llu hits "
+                  "(%.1f%%), %llu evictions\n",
+                  i, static_cast<unsigned long long>(s.routed_requests),
+                  static_cast<unsigned long long>(s.cache.hits),
+                  static_cast<unsigned long long>(s.cache.hits + s.cache.misses),
+                  100.0 * s.cache.hit_rate(),
+                  static_cast<unsigned long long>(s.cache.evictions));
+    }
+    if (!r.error.empty()) {
+      std::fprintf(stderr, "netbench: %d-shard run error: %s\n", n,
+                   r.error.c_str());
+    }
+    sweep.push_back(std::move(r));
+  }
+
+  // --- acceptance checks ---
+  bool ok = true;
+  const double fps1 = sweep.front().shards == 1 ? sweep.front().fps : 0.0;
+  double speedup2 = 0.0, speedup4 = 0.0;
+  double prev_fps = 0.0;
+  for (const ClusterConfigResult& r : sweep) {
+    const uint64_t expected =
+        static_cast<uint64_t>(vols.size()) * static_cast<uint64_t>(frames);
+    if (r.failures != 0 || r.frames_ok != expected || r.protocol_errors != 0) {
+      std::fprintf(stderr,
+                   "netbench: FAIL %d-shard: %llu/%llu frames, %llu failures, "
+                   "%llu protocol errors\n",
+                   r.shards, static_cast<unsigned long long>(r.frames_ok),
+                   static_cast<unsigned long long>(expected),
+                   static_cast<unsigned long long>(r.failures),
+                   static_cast<unsigned long long>(r.protocol_errors));
+      ok = false;
+    }
+    if (r.fps <= prev_fps) {
+      std::fprintf(stderr,
+                   "netbench: FAIL throughput not monotonic at %d shards "
+                   "(%.1f <= %.1f fps)\n",
+                   r.shards, r.fps, prev_fps);
+      ok = false;
+    }
+    prev_fps = r.fps;
+    // Placement + warmth: every shard must have served work, and every
+    // shard whose assigned load fits the budget must run >= 90% warm.
+    for (size_t i = 0; i < r.per_shard.size(); ++i) {
+      const ClusterShardReport& s = r.per_shard[i];
+      if (r.shards > 1 && s.routed_requests == 0) {
+        std::fprintf(stderr, "netbench: FAIL shard-%zu served nothing at %d shards\n",
+                     i, r.shards);
+        ok = false;
+      }
+      const bool should_be_warm =
+          (r.shards == 4) || (r.shards == 2 && i == 0);
+      if (should_be_warm && s.cache.hit_rate() < 0.90) {
+        std::fprintf(stderr,
+                     "netbench: FAIL shard-%zu at %d shards: %.1f%% hit rate "
+                     "(want >= 90%% warm)\n",
+                     i, r.shards, 100.0 * s.cache.hit_rate());
+        ok = false;
+      }
+    }
+    if (fps1 > 0.0 && r.shards == 2) speedup2 = r.fps / fps1;
+    if (fps1 > 0.0 && r.shards == 4) speedup4 = r.fps / fps1;
+  }
+  if (fps1 > 0.0 && speedup2 > 0.0 && speedup2 < 1.6) {
+    std::fprintf(stderr, "netbench: FAIL 2-shard speedup %.2fx < 1.6x\n", speedup2);
+    ok = false;
+  }
+  if (fps1 > 0.0 && speedup4 > 0.0 && speedup4 < 2.5) {
+    std::fprintf(stderr, "netbench: FAIL 4-shard speedup %.2fx < 2.5x\n", speedup4);
+    ok = false;
+  }
+  if (speedup2 > 0.0 || speedup4 > 0.0) {
+    std::printf("  speedup vs 1 shard: %.2fx at 2, %.2fx at 4\n", speedup2,
+                speedup4);
+  }
+
+  if (!json_path.empty()) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("config").begin_object()
+        .field("sessions", static_cast<uint64_t>(vols.size()))
+        .field("frames_per_session", frames)
+        .field("image", image)
+        .field("vnodes", defaults.vnodes)
+        .field("cache_budget_bytes", budget);
+    w.key("volumes").begin_array();
+    for (const ClusterVolume& v : vols) {
+      w.begin_object()
+          .field("key", v.key.canonical())
+          .field("warm", v.warm)
+          .field("owner_at_2", static_cast<uint64_t>(v.owner2))
+          .field("owner_at_4", static_cast<uint64_t>(v.owner4))
+          .field("bytes", v.bytes)
+          .field("build_ms", v.build_ms)
+          .end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.key("sweep").begin_array();
+    for (const ClusterConfigResult& r : sweep) {
+      w.begin_object()
+          .field("shards", r.shards)
+          .field("wall_ms", r.wall_ms)
+          .field("frames_delivered", r.frames_ok)
+          .field("frames_per_second", r.fps)
+          .field("failures", r.failures)
+          .field("protocol_errors", r.protocol_errors)
+          .field("speedup_vs_1", fps1 > 0.0 ? r.fps / fps1 : 0.0);
+      w.key("latency");
+      r.latency.write_json(w);
+      w.key("per_shard").begin_array();
+      for (const ClusterShardReport& s : r.per_shard) {
+        w.begin_object()
+            .field("requests_routed", s.routed_requests)
+            .field("frames_forwarded", s.forwarded_frames)
+            .field("cache_hits", s.cache.hits)
+            .field("cache_misses", s.cache.misses)
+            .field("cache_hit_rate", s.cache.hit_rate())
+            .field("cache_evictions", s.cache.evictions)
+            .field("cache_bytes", s.cache.bytes)
+            .end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.key("results").begin_object()
+        .field("speedup_2x", speedup2)
+        .field("speedup_4x", speedup4)
+        .field("passed", ok)
+        .end_object();
+    w.end_object();
+    std::string body = w.str();
+    body += '\n';
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "netbench: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   flags.require_known({"mode", "sessions", "frames", "size", "threads", "kind",
-                       "step", "window", "pending", "prepare-threads", "json"});
+                       "step", "window", "pending", "prepare-threads", "json",
+                       "cluster", "shards", "image"});
+  if (flags.get_bool("cluster", false)) return run_cluster(flags);
   const std::string mode = flags.get("mode", "stream");
   const int sessions = flags.get_int("sessions", 4);
   const int frames = flags.get_int("frames", 30);

@@ -5,10 +5,17 @@
 //
 //   ./tools/netserve --port=7420 [--bind=127.0.0.1] [--threads=4]
 //                    [--queue-capacity=64] [--batch=4] [--cache-mb=256]
-//                    [--max-connections=64] [--window=4] [--pending=4]
-//                    [--idle-timeout-ms=30000] [--pool-buffers=8]
-//                    [--pool-mb=64] [--pool-poison=0] [--frame-pool=32]
+//                    [--cache-kb=0] [--max-connections=64] [--window=4]
+//                    [--pending=4] [--idle-timeout-ms=30000]
+//                    [--pool-buffers=8] [--pool-mb=64] [--pool-poison=0]
+//                    [--frame-pool=32] [--drain-timeout-ms=0]
 //                    [--json=netserve_metrics.json]
+//
+// --drain-timeout-ms bounds the SIGTERM drain: 0 waits indefinitely (the
+// historical behavior); a positive value gives queued work that long to
+// finish, then stops anyway and exits with code 3 so supervisors can tell
+// a timed-out drain from a clean one. --cache-kb (when nonzero) overrides
+// --cache-mb with a finer-grained volume-cache budget.
 //
 // --pool-buffers / --pool-mb bound the wire-payload buffer pool (buffers
 // retained per size class and the total retained-byte budget);
@@ -27,9 +34,10 @@ using namespace psw;
 int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   flags.require_known({"port", "bind", "threads", "queue-capacity", "batch",
-                       "cache-mb", "max-connections", "window", "pending",
-                       "idle-timeout-ms", "prepare-threads", "pool-buffers",
-                       "pool-mb", "pool-poison", "frame-pool", "json"});
+                       "cache-mb", "cache-kb", "max-connections", "window",
+                       "pending", "idle-timeout-ms", "prepare-threads",
+                       "pool-buffers", "pool-mb", "pool-poison", "frame-pool",
+                       "drain-timeout-ms", "json"});
 
   serve::ServiceOptions sopt;
   sopt.worker_threads = flags.get_int("threads", 4);
@@ -37,6 +45,9 @@ int main(int argc, char** argv) {
   sopt.queue_capacity = flags.get_int("queue-capacity", 64);
   sopt.batch_max = flags.get_int("batch", 4);
   sopt.cache_bytes = static_cast<uint64_t>(flags.get_int("cache-mb", 256)) << 20;
+  if (flags.get_int("cache-kb", 0) > 0) {
+    sopt.cache_bytes = static_cast<uint64_t>(flags.get_int("cache-kb", 0)) << 10;
+  }
   sopt.frame_pool_frames = flags.get_int("frame-pool", 32);
 
   net::NetServerOptions nopt;
@@ -51,6 +62,7 @@ int main(int argc, char** argv) {
   nopt.stream_window = flags.get_int("window", 4);
   nopt.max_pending_frames = static_cast<size_t>(flags.get_int("pending", 4));
   nopt.idle_timeout_ms = flags.get_double("idle-timeout-ms", 30'000.0);
+  const int drain_timeout_ms = flags.get_int("drain-timeout-ms", 0);
   const std::string json_path = flags.get("json", "netserve_metrics.json");
 
   tools::install_shutdown_handler();
@@ -75,7 +87,17 @@ int main(int argc, char** argv) {
   // callbacks land in a closed queue), then let queued renders finish so
   // the latency histograms are complete, then capture the document.
   server.stop();
-  service.drain();
+  bool drained = true;
+  if (drain_timeout_ms > 0) {
+    drained = service.drain_for(drain_timeout_ms);
+    if (!drained) {
+      std::printf("netserve: drain timed out after %d ms, stopping anyway\n",
+                  drain_timeout_ms);
+      service.stop();  // sheds what's left with typed kShutdown
+    }
+  } else {
+    service.drain();
+  }
   const std::string doc = server.metrics_json();
 
   const net::NetMetrics& m = server.metrics();
@@ -98,5 +120,7 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("netserve: wrote %s\n", json_path.c_str());
   }
-  return 0;
+  // Distinct exit code for a timed-out drain: the metrics document is
+  // still flushed above, but a supervisor can tell the difference.
+  return drained ? 0 : 3;
 }

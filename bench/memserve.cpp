@@ -12,6 +12,14 @@
 //                    bytes; the bench exits 1 otherwise, and scripts/ci.sh
 //                    runs it as a smoke gate.
 //
+//   traced_delivery  the same path with a sampled trace on every frame:
+//                    span records into a SpanRecorder plus the wall-
+//                    anchored trace tail appended to the payload. This is
+//                    the worst case (100% sampling); the delta against
+//                    `delivery` is the whole observability overhead, and
+//                    it is reported, not gated — sampling off must stay at
+//                    the `delivery` figure, which IS gated.
+//
 //   legacy_delivery  the pre-pool shape for contrast: a fresh blob vector
 //                    per frame, FrameMsg::encode into a fresh payload
 //                    (copying the blob), encode_message into a fresh flat
@@ -32,6 +40,7 @@
 
 #include "net/frame_codec.hpp"
 #include "net/wire.hpp"
+#include "obs/trace.hpp"
 #include "parallel/animation.hpp"
 #include "serve/service.hpp"
 #include "tools/alloc_probe.hpp"
@@ -174,6 +183,90 @@ int main(int argc, char** argv) {
     if (sink == 0x7F) std::printf(" ");  // defeat dead-code elimination
   }
 
+  // --- traced_delivery: same path, 100%-sampled — recorder writes + tail
+  SectionResult traced;
+  {
+    net::FrameEncoder encoder;
+    BufferPool pool;
+    obs::SpanRecorder recorder;
+    uint64_t wire_bytes = 0;
+    uint8_t sink = 0;
+    auto deliver_one = [&](const ImageU8& img, uint32_t seq) {
+      net::FrameMsg msg;
+      msg.stream_id = 1;
+      msg.seq = seq;
+      msg.render_ms = 1.0;
+      msg.total_ms = 2.0;
+      msg.cache_hit = 1;
+      uint64_t root = 0;
+      msg.trace = obs::make_sampled_trace(&root);
+      // The stage spans a warm served frame carries: request + queue wait
+      // + composite + warp, parented the way the service emits them.
+      const int64_t now = steady_now_ns();
+      obs::SpanRecord stage;
+      stage.trace_hi = msg.trace.trace_hi;
+      stage.trace_lo = msg.trace.trace_lo;
+      stage.tag = seq;
+      const obs::SpanKind kinds[] = {
+          obs::SpanKind::kQueueWait, obs::SpanKind::kComposite,
+          obs::SpanKind::kWarp, obs::SpanKind::kRequest};
+      uint64_t request_span = 0;
+      for (const obs::SpanKind k : kinds) {
+        stage.kind = k;
+        stage.span_id = obs::next_span_id();
+        stage.parent_id = k == obs::SpanKind::kRequest ? root : request_span;
+        if (k == obs::SpanKind::kRequest) request_span = stage.span_id;
+        stage.t_start_ns = now - 1'000'000;
+        stage.t_end_ns = now;
+        recorder.record(msg.trace, stage);
+        msg.spans.push_back(stage);
+      }
+      PooledBuffer payload = pool.acquire(
+          net::FrameMsg::kMetaSize + 4 + kCodecHeader + img.pixel_count() * 4 +
+          net::kTraceTailHeaderSize +
+          (msg.spans.size() + 1) * net::kWireSpanSize);
+      msg.encode_meta(&payload.vec());
+      const size_t blob_len_at = payload.vec().size();
+      net::put_u32(&payload.vec(), 0);
+      encoder.encode_append(img, &payload.vec());
+      net::put_u32_at(&payload.vec(), blob_len_at,
+                      static_cast<uint32_t>(payload.vec().size() - blob_len_at - 4));
+      obs::SpanRecord enc = stage;
+      enc.kind = obs::SpanKind::kFrameEncode;
+      enc.span_id = obs::next_span_id();
+      enc.parent_id = request_span;
+      recorder.record(msg.trace, enc);
+      msg.spans.push_back(enc);
+      for (obs::SpanRecord& s : msg.spans) {
+        s.t_start_ns = steady_to_wall_ns(s.t_start_ns);
+        s.t_end_ns = steady_to_wall_ns(s.t_end_ns);
+      }
+      msg.encode_trace_tail(&payload.vec());
+      uint8_t header[net::kHeaderSize];
+      net::encode_header(net::MsgType::kFrame, payload.vec().data(),
+                         payload.vec().size(), header);
+      sink ^= header[12];
+      wire_bytes += net::kHeaderSize + payload.vec().size();
+    };
+    uint32_t seq = 0;
+    for (int f = 0; f < warmup; ++f)
+      deliver_one(rendered[static_cast<size_t>(f % inputs)], seq++);
+    wire_bytes = 0;
+    const tools::AllocSnapshot before = tools::alloc_snapshot();
+    WallTimer timer;
+    for (int f = 0; f < frames; ++f)
+      deliver_one(rendered[static_cast<size_t>(f % inputs)], seq++);
+    const double ms = timer.millis();
+    const tools::AllocSnapshot d = tools::alloc_delta(before);
+    traced.frames = static_cast<uint64_t>(frames);
+    traced.allocs_per_frame = static_cast<double>(d.allocations) / frames;
+    traced.alloc_bytes_per_frame = static_cast<double>(d.bytes) / frames;
+    traced.copied_bytes_per_frame = 0.0;
+    traced.wire_bytes_per_frame = static_cast<double>(wire_bytes) / frames;
+    traced.ms_per_frame = ms / frames;
+    if (sink == 0x7F) std::printf(" ");
+  }
+
   // --- legacy_delivery: fresh vectors + flat-copy, the pre-pool shape
   SectionResult legacy;
   {
@@ -249,6 +342,11 @@ int main(int argc, char** argv) {
               delivery.allocs_per_frame, delivery.alloc_bytes_per_frame,
               delivery.copied_bytes_per_frame, delivery.wire_bytes_per_frame,
               delivery.ms_per_frame);
+  std::printf("traced_delivery: %6.2f allocs/frame, %8.0f B allocated, "
+              "%8.0f B copied, %8.0f B wire, %.3f ms (100%% sampled)\n",
+              traced.allocs_per_frame, traced.alloc_bytes_per_frame,
+              traced.copied_bytes_per_frame, traced.wire_bytes_per_frame,
+              traced.ms_per_frame);
   std::printf("legacy_delivery: %6.2f allocs/frame, %8.0f B allocated, "
               "%8.0f B copied, %8.0f B wire, %.3f ms\n",
               legacy.allocs_per_frame, legacy.alloc_bytes_per_frame,
@@ -273,6 +371,8 @@ int main(int argc, char** argv) {
         .end_object();
     w.key("delivery");
     write_section(w, delivery);
+    w.key("traced_delivery");
+    write_section(w, traced);
     w.key("legacy_delivery");
     write_section(w, legacy);
     w.key("end_to_end");

@@ -39,7 +39,8 @@ cmake -B "$out/tsan" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPSW_WERROR=ON -DPSW_SANITIZE=thread
 cmake --build "$out/tsan" -j "$jobs" \
   --target test_parallel_infra test_parallel_renderers test_fastpath test_serve \
-  test_prepare test_net test_cluster test_buffer_pool test_sync loadgen netbench
+  test_prepare test_net test_cluster test_buffer_pool test_sync test_obs \
+  loadgen netbench
 # The annotated Mutex/CondVar wrappers themselves (adopt/release handoff
 # across the condvar sleep) under the race detector.
 "$out/tsan/tests/test_sync"
@@ -60,6 +61,9 @@ cmake --build "$out/tsan" -j "$jobs" \
 # Buffer/frame pool concurrency: the multi-threaded acquire/release hammers
 # run here under TSan (and under ASan in the full suite above).
 "$out/tsan/tests/test_buffer_pool"
+# The span recorder's striped rings and seqlock slots under the race
+# detector: many writer threads against a concurrent snapshot reader.
+"$out/tsan/tests/test_obs"
 
 echo "==> clang-tidy"
 "$root/scripts/lint.sh" "$out/lint"
@@ -138,6 +142,24 @@ two = [s for s in d['sweep'] if s['shards'] == 2][0]; \
 assert all(p['frames_forwarded'] > 0 for p in two['per_shard']), d" \
   "$out/BENCH_cluster.json"
 
+echo "==> Tracing smoke run (sampled request through 2 shards + traceview)"
+# The cluster sweep again, this time with span dumps: the traced probe at
+# width 2 must yield a Prometheus exposition from the router and per-node
+# trace dumps that traceview reassembles into one tree containing the
+# router-proxy span and the shard-side stage spans.
+"$out/release/tools/netbench" --cluster --shards=2 --trace-out="$out/traces" \
+  --json=
+grep -q '# TYPE psw_router_requests_routed_total counter' "$out/traces/router_prom.txt"
+grep -q 'psw_trace_spans_recorded_total' "$out/traces/router_prom.txt"
+"$out/release/tools/traceview" "$out/traces"/*_trace.json > "$out/traces/tree.txt"
+python3 - "$out/traces/tree.txt" <<'EOF'
+import sys
+text = open(sys.argv[1]).read()
+for needle in ("trace ", "router-proxy", "request", "composite", "warp",
+               "frame-encode", "send", "queue-wait"):
+    assert needle in text, (needle, text)
+EOF
+
 echo "==> Serving memory-path smoke run (memserve, allocs-per-frame gate)"
 # memserve exits non-zero when the warm delivery path (pooled payload ->
 # encode-in-place -> header stamp) costs more than --gate allocations per
@@ -148,7 +170,8 @@ echo "==> Serving memory-path smoke run (memserve, allocs-per-frame gate)"
 python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
 assert d['delivery']['allocs_per_frame'] <= 2, d; \
 assert d['delivery']['bytes_copied_per_frame'] == 0, d; \
-assert d['legacy_delivery']['allocs_per_frame'] > d['delivery']['allocs_per_frame'], d" \
+assert d['legacy_delivery']['allocs_per_frame'] > d['delivery']['allocs_per_frame'], d; \
+assert d['traced_delivery']['wire_bytes_per_frame'] > d['delivery']['wire_bytes_per_frame'], d" \
   "$out/BENCH_memserve.json"
 
 echo "CI OK"

@@ -9,8 +9,13 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <limits>
+
+#include "obs/export.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
 
 namespace psw::cluster {
 
@@ -194,6 +199,70 @@ std::string Router::metrics_json() const {
     snaps[i].in_ring = snaps[i].state == ShardState::kHealthy;
   }
   return aggregate_metrics_json(metrics_, snaps);
+}
+
+std::string Router::prometheus_text() const {
+  obs::PromText p;
+  p.counter("psw_router_clients_accepted_total", "Client connections accepted",
+            metrics_.clients_accepted.load());
+  p.counter("psw_router_clients_rejected_total",
+            "Client connections rejected at the accept cap",
+            metrics_.clients_rejected.load());
+  p.counter("psw_router_protocol_errors_total", "Framing/decode failures",
+            metrics_.protocol_errors.load());
+  p.counter("psw_router_requests_routed_total", "Render requests routed",
+            metrics_.requests_routed.load());
+  p.counter("psw_router_streams_routed_total", "Streams routed",
+            metrics_.streams_routed.load());
+  p.counter("psw_router_frames_forwarded_total", "Frames forwarded",
+            metrics_.frames_forwarded.load());
+  p.counter("psw_router_reroutes_total", "Sessions re-pinned after shard loss",
+            metrics_.reroutes.load());
+  p.counter("psw_router_unavailable_total",
+            "Requests rejected with no eligible shard",
+            metrics_.unavailable_rejections.load());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const ShardCounters& c = *metrics_.shards[i];
+    const std::string label = "shard=\"" + specs_[i].id + "\"";
+    p.counter("psw_router_shard_requests_total", "Requests routed per shard",
+              c.routed_requests.load(), label);
+    p.counter("psw_router_shard_frames_total", "Frames forwarded per shard",
+              c.forwarded_frames.load(), label);
+    p.counter("psw_router_shard_ejections_total", "Shard ejections",
+              c.ejections.load(), label);
+    p.gauge("psw_router_shard_inflight", "Routed, unanswered requests",
+            static_cast<double>(c.inflight_requests.load()), label);
+    p.summary_ms("psw_router_shard_frame_latency_ms",
+                 "Server total_ms of forwarded frames", c.frame_latency_ms,
+                 label);
+  }
+  if (options_.recorder != nullptr) {
+    p.counter("psw_trace_spans_recorded_total", "Spans recorded",
+              options_.recorder->recorded());
+    p.counter("psw_trace_spans_overwritten_total", "Spans lost to ring wrap",
+              options_.recorder->overwritten());
+  }
+  return p.str();
+}
+
+std::string Router::trace_dump_json() const {
+  if (options_.recorder != nullptr) {
+    return options_.recorder->dump_json(options_.trace_node);
+  }
+  JsonWriter w;
+  w.begin_object();
+  w.field("node", options_.trace_node);
+  w.field("anchor_unix_ns", static_cast<uint64_t>(clock_anchor().wall_ns));
+  w.field("recorded", static_cast<uint64_t>(0));
+  w.field("overwritten", static_cast<uint64_t>(0));
+  w.key("spans");
+  w.begin_array();
+  w.end_array();
+  w.key("slow");
+  w.begin_array();
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 // --------------------------------------------------------------------------
@@ -485,8 +554,22 @@ bool Router::handle_client_message(ClientConn& conn, const WireMessage& msg) {
       return true;
     case MsgType::kMetricsRequest: {
       metrics_.metrics_served.fetch_add(1);
+      // Same selector contract as netserve: empty payload keeps the
+      // aggregated-JSON document, one byte picks an alternative exposition.
+      uint8_t selector = net::kMetricsSelectorJson;
+      if (msg.payload.size() == 1) selector = msg.payload[0];
       net::MetricsReplyMsg reply;
-      reply.json = metrics_json();
+      switch (selector) {
+        case net::kMetricsSelectorPrometheus:
+          reply.json = prometheus_text();
+          break;
+        case net::kMetricsSelectorTrace:
+          reply.json = trace_dump_json();
+          break;
+        default:
+          reply.json = metrics_json();
+          break;
+      }
       send_client_payload(conn, MsgType::kMetricsReply, reply);
       return true;
     }
@@ -503,7 +586,8 @@ bool Router::handle_client_message(ClientConn& conn, const WireMessage& msg) {
 
 bool Router::pick_shard(ClientConn& conn, uint64_t session_id,
                         const serve::VolumeKey& volume,
-                        uint64_t error_request_id, size_t* shard_out) {
+                        uint64_t error_request_id,
+                        const obs::TraceContext& trace, size_t* shard_out) {
   // Affinity first: the pinned shard holds this session's delta-codec and
   // renderer-profile state, so the pin survives ring churn (including
   // drain) as long as the shard itself is alive.
@@ -520,7 +604,7 @@ bool Router::pick_shard(ClientConn& conn, uint64_t session_id,
   if (ring_.empty()) {
     metrics_.unavailable_rejections.fetch_add(1);
     send_client_error(conn, error_request_id, serve::ServeStatus::kUnavailable,
-                      "no healthy shard available");
+                      "no healthy shard available", trace);
     return false;
   }
 
@@ -539,7 +623,16 @@ bool Router::pick_shard(ClientConn& conn, uint64_t session_id,
     }
   }
 
-  if (conn.lost_pins.erase(session_id) > 0) metrics_.reroutes.fetch_add(1);
+  if (conn.lost_pins.erase(session_id) > 0) {
+    metrics_.reroutes.fetch_add(1);
+    if (trace.sampled()) {
+      std::fprintf(stderr,
+                   "[router] session %llu rerouted to shard %s trace=%s\n",
+                   static_cast<unsigned long long>(session_id),
+                   shards_[best].spec.id.c_str(),
+                   obs::trace_id_hex(trace).c_str());
+    }
+  }
   conn.session_pins[session_id] = best;
   *shard_out = best;
   return true;
@@ -578,15 +671,19 @@ void Router::route_render_request(ClientConn& conn, const WireMessage& msg) {
     return;
   }
   size_t shard = 0;
-  if (!pick_shard(conn, req.session_id, req.volume, req.request_id, &shard)) return;
+  if (!pick_shard(conn, req.session_id, req.volume, req.request_id, req.trace,
+                  &shard)) {
+    return;
+  }
   Upstream* up = upstream_for(conn, shard);
   if (up == nullptr) {
     metrics_.unavailable_rejections.fetch_add(1);
     send_client_error(conn, req.request_id, serve::ServeStatus::kUnavailable,
-                      "shard " + shards_[shard].spec.id + " unreachable");
+                      "shard " + shards_[shard].spec.id + " unreachable",
+                      req.trace);
     return;
   }
-  up->inflight_requests.insert(req.request_id);
+  up->inflight_requests[req.request_id] = ProxyEntry{req.trace, steady_now_ns()};
   metrics_.requests_routed.fetch_add(1);
   metrics_.shards[shard]->routed_requests.fetch_add(1);
   metrics_.shards[shard]->inflight_requests.fetch_add(1);
@@ -601,15 +698,19 @@ void Router::route_stream_request(ClientConn& conn, const WireMessage& msg) {
     return;
   }
   size_t shard = 0;
-  if (!pick_shard(conn, req.session_id, req.volume, req.stream_id, &shard)) return;
+  if (!pick_shard(conn, req.session_id, req.volume, req.stream_id, req.trace,
+                  &shard)) {
+    return;
+  }
   Upstream* up = upstream_for(conn, shard);
   if (up == nullptr) {
     metrics_.unavailable_rejections.fetch_add(1);
     send_client_error(conn, req.stream_id, serve::ServeStatus::kUnavailable,
-                      "shard " + shards_[shard].spec.id + " unreachable");
+                      "shard " + shards_[shard].spec.id + " unreachable",
+                      req.trace);
     return;
   }
-  up->active_streams.insert(req.stream_id);
+  up->active_streams[req.stream_id] = ProxyEntry{req.trace, steady_now_ns()};
   metrics_.streams_routed.fetch_add(1);
   metrics_.shards[shard]->routed_streams.fetch_add(1);
   metrics_.shards[shard]->active_streams.fetch_add(1);
@@ -618,12 +719,31 @@ void Router::route_stream_request(ClientConn& conn, const WireMessage& msg) {
 
 void Router::send_client_error(ClientConn& conn, uint64_t request_id,
                                serve::ServeStatus status,
-                               const std::string& message) {
+                               const std::string& message,
+                               const obs::TraceContext& trace) {
   net::ErrorMsg err;
   err.request_id = request_id;
   err.status = static_cast<uint16_t>(status);
   err.message = message;
+  err.trace = trace;  // correlates router-originated errors with the trace
   send_client_payload(conn, MsgType::kError, err);
+}
+
+void Router::record_proxy_span(const ProxyEntry& entry, uint64_t tag) {
+  if (options_.recorder == nullptr || !entry.trace.sampled()) return;
+  obs::SpanRecord s;
+  s.trace_hi = entry.trace.trace_hi;
+  s.trace_lo = entry.trace.trace_lo;
+  s.span_id = obs::next_span_id();
+  // The router forwards the payload verbatim, so the shard's request span
+  // parents to the same wire parent — the proxy span sits beside it under
+  // the client root, wrapping it in time.
+  s.parent_id = entry.trace.parent_span;
+  s.kind = obs::SpanKind::kRouterProxy;
+  s.t_start_ns = entry.start_ns;
+  s.t_end_ns = steady_now_ns();
+  s.tag = tag;
+  options_.recorder->record(entry.trace, s);
 }
 
 template <typename Msg>
@@ -676,8 +796,13 @@ bool Router::handle_upstream_message(ClientConn& conn, Upstream& up,
       const double total_ms = r.read_f64();
       if (r.ok()) {
         metrics_.shards[up.shard]->frame_latency_ms.record_ms(total_ms);
-        if (request_id != 0 && up.inflight_requests.erase(request_id) > 0) {
-          metrics_.shards[up.shard]->inflight_requests.fetch_sub(1);
+        if (request_id != 0) {
+          const auto rit = up.inflight_requests.find(request_id);
+          if (rit != up.inflight_requests.end()) {
+            record_proxy_span(rit->second, request_id);
+            up.inflight_requests.erase(rit);
+            metrics_.shards[up.shard]->inflight_requests.fetch_sub(1);
+          }
         }
       }
       metrics_.frames_forwarded.fetch_add(1);
@@ -688,7 +813,11 @@ bool Router::handle_upstream_message(ClientConn& conn, Upstream& up,
     case MsgType::kStreamEnd: {
       net::StreamEndMsg end;
       if (net::StreamEndMsg::decode(msg.payload, &end)) {
-        if (up.active_streams.erase(end.stream_id) > 0) {
+        const auto sit = up.active_streams.find(end.stream_id);
+        if (sit != up.active_streams.end()) {
+          // One proxy span covers the whole stream: forwarded -> stream end.
+          record_proxy_span(sit->second, end.stream_id);
+          up.active_streams.erase(sit);
           metrics_.shards[up.shard]->active_streams.fetch_sub(1);
         }
       }
@@ -721,16 +850,30 @@ void Router::upstream_lost(ClientConn& conn, Upstream& up, const std::string& wh
   // Every in-flight request and open stream on this upstream dies with a
   // typed, per-id error — the client learns exactly which work was lost
   // and can retry; the session unpins so its next request re-places.
-  for (const uint64_t request_id : up.inflight_requests) {
+  for (const auto& [request_id, entry] : up.inflight_requests) {
+    if (entry.trace.sampled()) {
+      std::fprintf(stderr, "[router] shard %s lost request %llu trace=%s: %s\n",
+                   shards_[up.shard].spec.id.c_str(),
+                   static_cast<unsigned long long>(request_id),
+                   obs::trace_id_hex(entry.trace).c_str(), why.c_str());
+    }
     send_client_error(conn, request_id, serve::ServeStatus::kUnavailable,
-                      "shard " + shards_[up.shard].spec.id + " lost: " + why);
+                      "shard " + shards_[up.shard].spec.id + " lost: " + why,
+                      entry.trace);
     metrics_.shards[up.shard]->inflight_requests.fetch_sub(1);
   }
   up.inflight_requests.clear();
-  for (const uint64_t stream_id : up.active_streams) {
+  for (const auto& [stream_id, entry] : up.active_streams) {
+    if (entry.trace.sampled()) {
+      std::fprintf(stderr, "[router] shard %s lost stream %llu trace=%s: %s\n",
+                   shards_[up.shard].spec.id.c_str(),
+                   static_cast<unsigned long long>(stream_id),
+                   obs::trace_id_hex(entry.trace).c_str(), why.c_str());
+    }
     send_client_error(conn, stream_id, serve::ServeStatus::kUnavailable,
                       "shard " + shards_[up.shard].spec.id +
-                          " lost mid-stream: " + why);
+                          " lost mid-stream: " + why,
+                      entry.trace);
     metrics_.shards[up.shard]->active_streams.fetch_sub(1);
   }
   up.active_streams.clear();

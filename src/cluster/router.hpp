@@ -44,6 +44,7 @@
 #include "cluster/metrics.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/trace.hpp"
 #include "serve/request.hpp"
 #include "util/sync.hpp"
 
@@ -71,6 +72,11 @@ struct RouterOptions {
   size_t max_send_buffer_bytes = 32u << 20;   // per connection, either face
   double idle_timeout_ms = 30'000.0;  // client connections; 0 disables
   std::string name = "pswvr-router";
+  // Distributed tracing: kRouterProxy spans of sampled proxied requests
+  // land here (not owned; null disables recording — trace contexts still
+  // forward verbatim). `trace_node` labels the router in trace dumps.
+  obs::SpanRecorder* recorder = nullptr;
+  std::string trace_node = "router";
 };
 
 class Router {
@@ -112,7 +118,23 @@ class Router {
   // sending kMetricsRequest).
   std::string metrics_json() const;
 
+  // Router-level Prometheus text exposition (kMetricsSelectorPrometheus).
+  std::string prometheus_text() const;
+
+  // Span-dump JSON from the configured recorder (kMetricsSelectorTrace);
+  // empty but well-formed without one.
+  std::string trace_dump_json() const;
+
  private:
+  // In-flight proxy bookkeeping, one entry per forwarded request or open
+  // stream. Sampled entries carry the trace context, so frame receipt can
+  // close a kRouterProxy span and a shard loss can correlate its typed
+  // errors and log lines with the trace.
+  struct ProxyEntry {
+    obs::TraceContext trace;
+    int64_t start_ns = 0;  // steady ns when the request was forwarded
+  };
+
   // One proxied upstream connection: the shard-side half of one client.
   struct Upstream {
     size_t shard = 0;
@@ -122,8 +144,8 @@ class Router {
     std::vector<uint8_t> in;
     std::vector<uint8_t> out;   // includes the leading hello
     size_t out_off = 0;
-    std::set<uint64_t> inflight_requests;
-    std::set<uint64_t> active_streams;
+    std::map<uint64_t, ProxyEntry> inflight_requests;  // by request id
+    std::map<uint64_t, ProxyEntry> active_streams;     // by stream id
   };
 
   struct ClientConn {
@@ -173,9 +195,12 @@ class Router {
   // when no shard is eligible.
   bool pick_shard(ClientConn& conn, uint64_t session_id,
                   const serve::VolumeKey& volume, uint64_t error_request_id,
-                  size_t* shard_out);
+                  const obs::TraceContext& trace, size_t* shard_out);
   void send_client_error(ClientConn& conn, uint64_t request_id,
-                         serve::ServeStatus status, const std::string& message);
+                         serve::ServeStatus status, const std::string& message,
+                         const obs::TraceContext& trace = {});
+  // Closes a kRouterProxy span (forwarded -> reply) for a sampled entry.
+  void record_proxy_span(const ProxyEntry& entry, uint64_t tag);
   template <typename Msg>
   void send_client_payload(ClientConn& conn, net::MsgType type, const Msg& msg);
   void close_client(uint64_t conn_id);

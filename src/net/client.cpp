@@ -173,8 +173,13 @@ bool NetClient::decode_event(const WireMessage& msg, Event* out, std::string* er
   }
 }
 
-bool NetClient::fetch_metrics(std::string* json, std::string* error) {
-  if (!send_msg(MsgType::kMetricsRequest, {}, error)) return false;
+bool NetClient::fetch_metrics(std::string* json, std::string* error,
+                              uint8_t selector) {
+  std::vector<uint8_t> payload;
+  // The JSON default stays an empty payload so pre-selector servers (and
+  // the router's probe contract) see unchanged bytes.
+  if (selector != kMetricsSelectorJson) payload.push_back(selector);
+  if (!send_msg(MsgType::kMetricsRequest, payload, error)) return false;
   // Frames from concurrent streams may be interleaved ahead of the reply;
   // skip them (their decoders still see every frame, keeping deltas valid).
   for (;;) {

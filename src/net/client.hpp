@@ -82,8 +82,11 @@ class NetClient {
   // Blocks for the next frame / stream-end / error event.
   bool next_event(Event* out, std::string* error);
 
-  // Server metrics document (service + net JSON).
-  bool fetch_metrics(std::string* json, std::string* error);
+  // Server metrics document. `selector` picks the exposition
+  // (kMetricsSelectorJson / Prometheus / Trace); the JSON default sends an
+  // empty payload, byte-identical to pre-selector clients.
+  bool fetch_metrics(std::string* json, std::string* error,
+                     uint8_t selector = kMetricsSelectorJson);
 
   // Polite goodbye; the server flushes pending output and closes.
   bool send_bye(std::string* error);

@@ -8,8 +8,10 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/export.hpp"
 #include "util/json.hpp"
 #include "util/sync.hpp"
+#include "util/timer.hpp"
 
 namespace psw::net {
 
@@ -138,6 +140,103 @@ void NetServer::stop() {
   conns_.clear();
   listener_.reset();
   wake_rd_.reset();
+}
+
+std::string NetServer::prometheus_text() const {
+  obs::PromText p;
+  const serve::ServiceMetrics& sm = service_.metrics();
+  p.counter("psw_requests_submitted_total", "Render requests submitted",
+            sm.submitted.load());
+  p.counter("psw_requests_accepted_total", "Render requests accepted",
+            sm.accepted.load());
+  p.counter("psw_requests_rejected_total", "Admission rejections by reason",
+            sm.rejected_queue_full.load(), "reason=\"queue_full\"");
+  p.counter("psw_requests_rejected_total", "Admission rejections by reason",
+            sm.rejected_deadline.load(), "reason=\"deadline\"");
+  p.counter("psw_requests_rejected_total", "Admission rejections by reason",
+            sm.rejected_shutdown.load(), "reason=\"shutdown\"");
+  p.counter("psw_requests_completed_total", "Frames rendered to completion",
+            sm.completed.load());
+  p.counter("psw_requests_shed_total", "Accepted requests shed by reason",
+            sm.shed_deadline.load(), "reason=\"deadline\"");
+  p.counter("psw_requests_shed_total", "Accepted requests shed by reason",
+            sm.shed_shutdown.load(), "reason=\"shutdown\"");
+  p.counter("psw_requests_failed_total", "Render failures", sm.failed.load());
+  p.gauge("psw_queue_depth", "Admission queue depth",
+          static_cast<double>(sm.queue_depth.load()));
+  p.summary_ms("psw_queue_wait_ms", "Admission queue residency",
+               sm.queue_wait);
+  p.summary_ms("psw_cache_build_ms", "Cache-miss volume preparation",
+               sm.cache_miss_build);
+  p.summary_ms("psw_composite_ms", "Compositing stage", sm.composite);
+  p.summary_ms("psw_warp_ms", "Warp stage", sm.warp);
+  p.summary_ms("psw_request_total_ms", "Submit-to-completion latency",
+               sm.total);
+  const serve::CacheStats cache = service_.cache_stats();
+  p.counter("psw_volume_cache_hits_total", "Volume cache hits", cache.hits);
+  p.counter("psw_volume_cache_misses_total", "Volume cache misses",
+            cache.misses);
+  p.counter("psw_volume_cache_evictions_total", "Volume cache evictions",
+            cache.evictions);
+  p.gauge("psw_volume_cache_bytes", "Resident encoded-volume bytes",
+          static_cast<double>(cache.bytes));
+  p.counter("psw_net_connections_accepted_total", "Connections accepted",
+            metrics_.connections_accepted.load());
+  p.counter("psw_net_connections_closed_total", "Connections closed",
+            metrics_.connections_closed.load());
+  p.counter("psw_net_protocol_errors_total", "Framing/decode failures",
+            metrics_.protocol_errors.load());
+  p.counter("psw_net_requests_received_total", "One-shot render requests",
+            metrics_.requests_received.load());
+  p.counter("psw_net_streams_opened_total", "Streams opened",
+            metrics_.streams_opened.load());
+  p.counter("psw_net_streams_completed_total", "Streams completed",
+            metrics_.streams_completed.load());
+  p.counter("psw_net_frames_sent_total", "Frames delivered",
+            metrics_.frames_sent.load());
+  p.counter("psw_net_frames_dropped_total", "Frames shed by backpressure",
+            metrics_.frames_dropped.load());
+  p.counter("psw_net_errors_sent_total", "kError replies",
+            metrics_.errors_sent.load());
+  p.counter("psw_net_bytes_in_total", "Bytes received",
+            metrics_.bytes_in.load());
+  p.counter("psw_net_bytes_out_total", "Bytes sent", metrics_.bytes_out.load());
+  p.counter("psw_net_frame_raw_bytes_total", "Raw RGBA bytes of sent frames",
+            metrics_.frame_raw_bytes.load());
+  p.counter("psw_net_frame_wire_bytes_total", "Encoded blob bytes sent",
+            metrics_.frame_wire_bytes.load());
+  p.counter("psw_net_frame_copy_bytes_total",
+            "Post-encode bytes copied (0 on the zero-copy path)",
+            metrics_.frame_copy_bytes.load());
+  if (options_.recorder != nullptr) {
+    p.counter("psw_trace_spans_recorded_total", "Spans recorded",
+              options_.recorder->recorded());
+    p.counter("psw_trace_spans_overwritten_total", "Spans lost to ring wrap",
+              options_.recorder->overwritten());
+  }
+  return p.str();
+}
+
+std::string NetServer::trace_dump_json() const {
+  if (options_.recorder != nullptr) {
+    return options_.recorder->dump_json(options_.trace_node);
+  }
+  // Recorder-less servers answer with an empty but well-formed dump so
+  // tools can aggregate without special-casing.
+  JsonWriter w;
+  w.begin_object();
+  w.field("node", options_.trace_node);
+  w.field("anchor_unix_ns", static_cast<uint64_t>(clock_anchor().wall_ns));
+  w.field("recorded", static_cast<uint64_t>(0));
+  w.field("overwritten", static_cast<uint64_t>(0));
+  w.key("spans");
+  w.begin_array();
+  w.end_array();
+  w.key("slow");
+  w.begin_array();
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 std::string NetServer::metrics_json() const {
@@ -306,6 +405,20 @@ void NetServer::write_ready(Connection& conn) {
             kHeaderSize + front.payload.vec().size() - front.sent;
         if (left >= remaining) {
           left -= remaining;
+          if (front.trace.sampled() && options_.recorder != nullptr) {
+            // Sendq residency: queued -> last byte accepted by the kernel.
+            // Recorder-only — the frame this measures is already encoded.
+            obs::SpanRecord span;
+            span.trace_hi = front.trace.trace_hi;
+            span.trace_lo = front.trace.trace_lo;
+            span.span_id = obs::next_span_id();
+            span.parent_id = front.send_parent;
+            span.kind = obs::SpanKind::kSend;
+            span.t_start_ns = front.queued_ns;
+            span.t_end_ns = steady_now_ns();
+            span.tag = front.payload.vec().size();
+            options_.recorder->record(front.trace, span);
+          }
           conn.sendq.pop_front();  // returns the payload to the pool
         } else {
           front.sent += left;
@@ -370,8 +483,23 @@ bool NetServer::handle_message(Connection& conn, const WireMessage& msg) {
       return true;
     }
     case MsgType::kMetricsRequest: {
+      // Payload selector: empty keeps the original combined-JSON document
+      // (the router's health prober depends on that), one byte picks an
+      // alternative exposition; anything unrecognized degrades to JSON.
+      uint8_t selector = kMetricsSelectorJson;
+      if (msg.payload.size() == 1) selector = msg.payload[0];
       MetricsReplyMsg reply;
-      reply.json = metrics_json();
+      switch (selector) {
+        case kMetricsSelectorPrometheus:
+          reply.json = prometheus_text();
+          break;
+        case kMetricsSelectorTrace:
+          reply.json = trace_dump_json();
+          break;
+        default:
+          reply.json = metrics_json();
+          break;
+      }
       send_payload(conn, MsgType::kMetricsReply, reply);
       return true;
     }
@@ -392,10 +520,14 @@ void NetServer::handle_render_request(Connection& conn, const RenderRequestMsg& 
   render.session_id = req.session_id;
   render.volume = req.volume;
   render.camera = req.camera;
+  render.trace = req.trace;
+  maybe_head_sample(&render.trace);
+  render.trace_tag = req.request_id;
   if (req.deadline_ms > 0) {
     render.deadline = serve::Clock::now() + std::chrono::microseconds(static_cast<int64_t>(
                                                 req.deadline_ms * 1e3));
   }
+  const obs::TraceContext trace = render.trace;  // survives the move below
   auto queue = queue_;
   const uint64_t conn_id = conn.id;
   const uint64_t request_id = req.request_id;
@@ -410,7 +542,7 @@ void NetServer::handle_render_request(Connection& conn, const RenderRequestMsg& 
         queue->push(std::move(item));
       });
   if (admission != serve::ServeStatus::kOk) {
-    send_error(conn, request_id, admission, to_string(admission));
+    send_error(conn, request_id, admission, to_string(admission), trace);
     return;
   }
   ++conn.outstanding_requests;
@@ -428,6 +560,9 @@ void NetServer::handle_stream_request(Connection& conn, const StreamRequestMsg& 
   metrics_.streams_opened.fetch_add(1);
   Stream stream;
   stream.request = req;
+  // A head-sampled stream traces every pushed frame under one trace id,
+  // exactly as a client-sampled stream would.
+  maybe_head_sample(&stream.request.trace);
   auto [it, inserted] = conn.streams.emplace(req.stream_id, std::move(stream));
   pump_one_stream(conn, it->second);
   if (it->second.ended) conn.streams.erase(it);
@@ -458,7 +593,7 @@ void NetServer::apply_completion(CompletionItem&& item) {
     --conn.outstanding_requests;
     if (item.result.status != serve::ServeStatus::kOk) {
       send_error(conn, item.request_id, item.result.status,
-                 to_string(item.result.status));
+                 to_string(item.result.status), item.result.trace);
       return;
     }
     FrameMsg frame;
@@ -522,6 +657,8 @@ void NetServer::pump_one_stream(Connection& conn, Stream& stream) {
     serve::RenderRequest render;
     render.session_id = req.session_id;
     render.volume = req.volume;
+    render.trace = req.trace;
+    render.trace_tag = stream.next_submit;  // frame seq correlates the spans
     render.camera = Camera::orbit(
         {req.volume.nx, req.volume.ny, req.volume.nz},
         req.start_yaw + stream.next_submit * req.step_deg * kDeg, req.pitch);
@@ -590,20 +727,64 @@ void NetServer::send_frame(Connection& conn, FrameMsg& frame,
   // exists outside the wire payload, and the payload buffer is pooled. The
   // acquire hint covers the raw-fallback worst case so a warm pool means no
   // allocation and no mid-encode regrowth.
+  const bool traced = item.result.trace.sampled();
   const size_t raw_bytes = item.result.image.pixel_count() * 4;
-  PooledBuffer payload =
-      pool_.acquire(FrameMsg::kMetaSize + 4 + kCodecHeader + raw_bytes);
+  size_t acquire_hint = FrameMsg::kMetaSize + 4 + kCodecHeader + raw_bytes;
+  if (traced) {
+    // Sampled frames carry their stage spans in the trace tail; covering
+    // the tail (plus the encode span added below) in the acquire hint keeps
+    // even the sampled path free of mid-append regrowth.
+    frame.trace = item.result.trace;
+    frame.spans = std::move(item.result.spans);
+    acquire_hint +=
+        kTraceTailHeaderSize + (frame.spans.size() + 1) * kWireSpanSize;
+  }
+  PooledBuffer payload = pool_.acquire(acquire_hint);
   frame.encode_meta(&payload.vec());
   const size_t blob_len_at = payload.vec().size();
   put_u32(&payload.vec(), 0);  // patched once the blob size is known
+  const int64_t encode_start = traced ? steady_now_ns() : 0;
   encoder.encode_append(item.result.image, &payload.vec());
   const size_t blob_bytes = payload.vec().size() - blob_len_at - 4;
   put_u32_at(&payload.vec(), blob_len_at, static_cast<uint32_t>(blob_bytes));
+  uint64_t request_span = 0;
+  if (traced) {
+    // The codec encode gets its own span under the whole-request span the
+    // scheduler recorded (the wire parent when the scheduler recorded none).
+    for (const obs::SpanRecord& s : frame.spans) {
+      if (s.kind == obs::SpanKind::kRequest) request_span = s.span_id;
+    }
+    if (request_span == 0) request_span = frame.trace.parent_span;
+    obs::SpanRecord enc;
+    enc.trace_hi = frame.trace.trace_hi;
+    enc.trace_lo = frame.trace.trace_lo;
+    enc.span_id = obs::next_span_id();
+    enc.parent_id = request_span;
+    enc.kind = obs::SpanKind::kFrameEncode;
+    enc.t_start_ns = encode_start;
+    enc.t_end_ns = steady_now_ns();
+    enc.tag = blob_bytes;
+    if (options_.recorder != nullptr) options_.recorder->record(frame.trace, enc);
+    frame.spans.push_back(enc);
+    // The tail travels wall-anchored so router- and shard-side dumps share
+    // one time axis with the client.
+    for (obs::SpanRecord& s : frame.spans) {
+      s.t_start_ns = steady_to_wall_ns(s.t_start_ns);
+      s.t_end_ns = steady_to_wall_ns(s.t_end_ns);
+    }
+    frame.encode_trace_tail(&payload.vec());
+  }
   metrics_.frames_sent.fetch_add(1);
   metrics_.frame_raw_bytes.fetch_add(raw_bytes);
   metrics_.frame_wire_bytes.fetch_add(blob_bytes);
   service_.recycle_frame(std::move(item.result.image));
   queue_send(conn, MsgType::kFrame, std::move(payload));
+  if (traced) {
+    SendItem& queued = conn.sendq.back();
+    queued.trace = frame.trace;
+    queued.send_parent = request_span;
+    queued.queued_ns = steady_now_ns();
+  }
 }
 
 void NetServer::queue_send(Connection& conn, MsgType type, PooledBuffer&& payload) {
@@ -623,13 +804,21 @@ void NetServer::send_payload(Connection& conn, MsgType type, const Msg& msg) {
 }
 
 void NetServer::send_error(Connection& conn, uint64_t request_id,
-                           serve::ServeStatus status, const std::string& message) {
+                           serve::ServeStatus status, const std::string& message,
+                           const obs::TraceContext& trace) {
   ErrorMsg err;
   err.request_id = request_id;
   err.status = static_cast<uint16_t>(status);
   err.message = message;
+  err.trace = trace;  // correlates the client-visible error with the trace
   send_payload(conn, MsgType::kError, err);
   metrics_.errors_sent.fetch_add(1);
+}
+
+void NetServer::maybe_head_sample(obs::TraceContext* trace) {
+  if (trace->sampled() || options_.trace_sample == 0) return;
+  if (++trace_candidates_ % options_.trace_sample != 0) return;
+  *trace = obs::make_sampled_trace();
 }
 
 void NetServer::discard_outbound(Connection& conn) {

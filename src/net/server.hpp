@@ -59,6 +59,15 @@ struct NetServerOptions {
   size_t pool_buffers_per_class = 8;
   size_t pool_retained_bytes = 64u << 20;
   bool pool_poison = false;
+  // Distributed tracing. `recorder` (not owned; must outlive the server)
+  // receives the stage spans of sampled requests — null records nothing
+  // locally, but client-sampled traces still travel in the frame tail.
+  // `trace_sample` head-samples every Nth request/stream that arrives
+  // without a sampled context (0 disables); `trace_node` labels this
+  // process in trace dumps.
+  obs::SpanRecorder* recorder = nullptr;
+  uint32_t trace_sample = 0;
+  std::string trace_node = "netserve";
 };
 
 class NetServer {
@@ -90,6 +99,14 @@ class NetServer {
   // One JSON object combining the render service's metrics with the
   // network layer's (the document netserve flushes on shutdown).
   std::string metrics_json() const;
+
+  // Prometheus text exposition of the same counters/histograms (the
+  // kMetricsSelectorPrometheus document).
+  std::string prometheus_text() const;
+
+  // Span-dump JSON from the configured recorder (kMetricsSelectorTrace);
+  // an empty-but-well-formed document when no recorder is attached.
+  std::string trace_dump_json() const;
 
  private:
   struct CompletionItem {
@@ -129,6 +146,11 @@ class NetServer {
     std::array<uint8_t, kHeaderSize> header;
     PooledBuffer payload;
     size_t sent = 0;  // bytes of header+payload already accepted by the kernel
+    // Sampled frames record a kSend span (queued -> fully handed to the
+    // kernel) when the item drains; unsampled items leave these untouched.
+    obs::TraceContext trace;
+    uint64_t send_parent = 0;  // parent span id for the kSend span
+    int64_t queued_ns = 0;     // steady ns at sendq entry
   };
 
   struct Connection {
@@ -172,7 +194,11 @@ class NetServer {
   template <typename Msg>
   void send_payload(Connection& conn, MsgType type, const Msg& msg);
   void send_error(Connection& conn, uint64_t request_id, serve::ServeStatus status,
-                  const std::string& message);
+                  const std::string& message,
+                  const obs::TraceContext& trace = {});
+  // Head sampling: promotes every trace_sample-th unsampled context to a
+  // fresh sampled trace rooted at this server. Poll thread only.
+  void maybe_head_sample(obs::TraceContext* trace);
   void discard_outbound(Connection& conn);
   void close_connection(uint64_t conn_id);
   void harvest_idle();
@@ -192,6 +218,7 @@ class NetServer {
   std::atomic<bool> stopping_{false};
   std::map<uint64_t, Connection> conns_;
   uint64_t next_conn_id_ = 1;
+  uint64_t trace_candidates_ = 0;  // head-sampling counter; poll thread only
   std::thread thread_;
 };
 

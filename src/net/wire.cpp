@@ -274,6 +274,32 @@ bool read_camera(ByteReader* r, Camera* camera) {
          camera->image_width <= kMaxImage && camera->image_height <= kMaxImage;
 }
 
+// Shared optional-trace-block helpers. A block is appended only for
+// sampled contexts, and decoders consult it only when bytes remain after
+// the versioned fields — exact backward compatibility in both directions.
+size_t trace_block_size(const obs::TraceContext& trace) {
+  return trace.sampled() ? kTraceBlockSize : 0;
+}
+
+void put_trace_block(std::vector<uint8_t>* out, const obs::TraceContext& trace) {
+  if (!trace.sampled()) return;
+  put_u8(out, kTraceBlockVersion);
+  put_u64(out, trace.trace_hi);
+  put_u64(out, trace.trace_lo);
+  put_u64(out, trace.parent_span);
+  put_u8(out, trace.flags);
+}
+
+bool read_trace_block(ByteReader* r, obs::TraceContext* trace) {
+  const uint8_t version = r->read_u8();
+  if (!r->ok() || version != kTraceBlockVersion) return false;
+  trace->trace_hi = r->read_u64();
+  trace->trace_lo = r->read_u64();
+  trace->parent_span = r->read_u64();
+  trace->flags = r->read_u8();
+  return r->ok() && trace->valid();
+}
+
 }  // namespace
 
 size_t HelloMsg::encoded_size() const { return 2 + 4 + name.size(); }
@@ -292,7 +318,8 @@ bool HelloMsg::decode(const std::vector<uint8_t>& payload, HelloMsg* out) {
 }
 
 size_t RenderRequestMsg::encoded_size() const {
-  return 8 + 8 + volume_key_size(volume) + kCameraSize + 8;
+  return 8 + 8 + volume_key_size(volume) + kCameraSize + 8 +
+         trace_block_size(trace);
 }
 
 void RenderRequestMsg::encode(std::vector<uint8_t>* out) const {
@@ -302,6 +329,7 @@ void RenderRequestMsg::encode(std::vector<uint8_t>* out) const {
   put_volume_key(out, volume);
   put_camera(out, camera);
   put_f64(out, deadline_ms);
+  put_trace_block(out, trace);
 }
 
 bool RenderRequestMsg::decode(const std::vector<uint8_t>& payload,
@@ -312,11 +340,14 @@ bool RenderRequestMsg::decode(const std::vector<uint8_t>& payload,
   if (!read_volume_key(&r, &out->volume)) return false;
   if (!read_camera(&r, &out->camera)) return false;
   out->deadline_ms = r.read_f64();
+  if (!r.ok()) return false;
+  out->trace = obs::TraceContext{};
+  if (r.remaining() > 0 && !read_trace_block(&r, &out->trace)) return false;
   return r.exhausted();
 }
 
 size_t StreamRequestMsg::encoded_size() const {
-  return 8 + 8 + volume_key_size(volume) + 3 * 8 + 4;
+  return 8 + 8 + volume_key_size(volume) + 3 * 8 + 4 + trace_block_size(trace);
 }
 
 void StreamRequestMsg::encode(std::vector<uint8_t>* out) const {
@@ -328,6 +359,7 @@ void StreamRequestMsg::encode(std::vector<uint8_t>* out) const {
   put_f64(out, pitch);
   put_f64(out, step_deg);
   put_u32(out, frames);
+  put_trace_block(out, trace);
 }
 
 bool StreamRequestMsg::decode(const std::vector<uint8_t>& payload,
@@ -340,12 +372,22 @@ bool StreamRequestMsg::decode(const std::vector<uint8_t>& payload,
   out->pitch = r.read_f64();
   out->step_deg = r.read_f64();
   out->frames = r.read_u32();
+  if (!r.ok()) return false;
+  out->trace = obs::TraceContext{};
+  if (r.remaining() > 0 && !read_trace_block(&r, &out->trace)) return false;
   // A zero-frame stream is legal (it just ends immediately); an enormous
   // one is a typed rejection rather than an unbounded server commitment.
   return r.exhausted() && out->frames <= 1u << 20;
 }
 
-size_t FrameMsg::encoded_size() const { return kMetaSize + 4 + encoded.size(); }
+size_t FrameMsg::encoded_size() const {
+  return kMetaSize + 4 + encoded.size() + trace_tail_size();
+}
+
+size_t FrameMsg::trace_tail_size() const {
+  if (!trace.sampled()) return 0;
+  return kTraceTailHeaderSize + spans.size() * kWireSpanSize;
+}
 
 void FrameMsg::encode_meta(std::vector<uint8_t>* out) const {
   put_u64(out, request_id);
@@ -357,11 +399,29 @@ void FrameMsg::encode_meta(std::vector<uint8_t>* out) const {
   put_u8(out, cache_hit);
 }
 
+void FrameMsg::encode_trace_tail(std::vector<uint8_t>* out) const {
+  if (!trace.sampled()) return;
+  put_u8(out, kTraceBlockVersion);
+  put_u64(out, trace.trace_hi);
+  put_u64(out, trace.trace_lo);
+  put_u8(out, trace.flags);
+  put_u16(out, static_cast<uint16_t>(spans.size()));
+  for (const obs::SpanRecord& s : spans) {
+    put_u64(out, s.span_id);
+    put_u64(out, s.parent_id);
+    put_u8(out, static_cast<uint8_t>(s.kind));
+    put_u64(out, static_cast<uint64_t>(s.t_start_ns));
+    put_u64(out, static_cast<uint64_t>(s.t_end_ns));
+    put_u64(out, s.tag);
+  }
+}
+
 void FrameMsg::encode(std::vector<uint8_t>* out) const {
   out->reserve(out->size() + encoded_size());
   encode_meta(out);
   put_u32(out, static_cast<uint32_t>(encoded.size()));
   out->insert(out->end(), encoded.begin(), encoded.end());
+  encode_trace_tail(out);
 }
 
 bool FrameMsg::decode(const std::vector<uint8_t>& payload, FrameMsg* out) {
@@ -374,9 +434,37 @@ bool FrameMsg::decode(const std::vector<uint8_t>& payload, FrameMsg* out) {
   out->total_ms = r.read_f64();
   out->cache_hit = r.read_u8();
   const uint32_t n = r.read_u32();
-  if (!r.ok() || r.remaining() != n) return false;
+  if (!r.ok() || r.remaining() < n) return false;
   out->encoded.resize(n);
-  return n == 0 || r.read_bytes(out->encoded.data(), n);
+  if (n != 0 && !r.read_bytes(out->encoded.data(), n)) return false;
+  out->trace = obs::TraceContext{};
+  out->spans.clear();
+  if (r.remaining() > 0) {
+    const uint8_t version = r.read_u8();
+    if (!r.ok() || version != kTraceBlockVersion) return false;
+    out->trace.trace_hi = r.read_u64();
+    out->trace.trace_lo = r.read_u64();
+    out->trace.flags = r.read_u8();
+    const uint16_t count = r.read_u16();
+    if (!r.ok() || !out->trace.valid() ||
+        r.remaining() != count * kWireSpanSize) {
+      return false;
+    }
+    out->spans.resize(count);
+    for (obs::SpanRecord& s : out->spans) {
+      s.trace_hi = out->trace.trace_hi;
+      s.trace_lo = out->trace.trace_lo;
+      s.span_id = r.read_u64();
+      s.parent_id = r.read_u64();
+      const uint8_t kind = r.read_u8();
+      if (kind >= static_cast<uint8_t>(obs::SpanKind::kCount)) return false;
+      s.kind = static_cast<obs::SpanKind>(kind);
+      s.t_start_ns = static_cast<int64_t>(r.read_u64());
+      s.t_end_ns = static_cast<int64_t>(r.read_u64());
+      s.tag = r.read_u64();
+    }
+  }
+  return r.exhausted();
 }
 
 size_t StreamEndMsg::encoded_size() const { return 8 + 4 + 4; }
@@ -396,13 +484,16 @@ bool StreamEndMsg::decode(const std::vector<uint8_t>& payload, StreamEndMsg* out
   return r.exhausted();
 }
 
-size_t ErrorMsg::encoded_size() const { return 8 + 2 + 4 + message.size(); }
+size_t ErrorMsg::encoded_size() const {
+  return 8 + 2 + 4 + message.size() + trace_block_size(trace);
+}
 
 void ErrorMsg::encode(std::vector<uint8_t>* out) const {
   out->reserve(out->size() + encoded_size());
   put_u64(out, request_id);
   put_u16(out, status);
   put_string(out, message);
+  put_trace_block(out, trace);
 }
 
 bool ErrorMsg::decode(const std::vector<uint8_t>& payload, ErrorMsg* out) {
@@ -410,6 +501,9 @@ bool ErrorMsg::decode(const std::vector<uint8_t>& payload, ErrorMsg* out) {
   out->request_id = r.read_u64();
   out->status = r.read_u16();
   out->message = r.read_string();
+  if (!r.ok()) return false;
+  out->trace = obs::TraceContext{};
+  if (r.remaining() > 0 && !read_trace_block(&r, &out->trace)) return false;
   return r.exhausted();
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/factorization.hpp"
+#include "obs/trace.hpp"
 #include "serve/request.hpp"
 
 namespace psw::net {
@@ -49,6 +50,22 @@ enum class MsgType : uint16_t {
 
 bool valid_msg_type(uint16_t t);
 const char* to_string(MsgType t);
+
+// kMetricsRequest payload selector. An empty payload keeps the original
+// meaning (the combined metrics JSON), so pre-trace peers — including the
+// router's health prober — interoperate unchanged; one selector byte asks
+// for an alternative document.
+inline constexpr uint8_t kMetricsSelectorJson = 0;        // default document
+inline constexpr uint8_t kMetricsSelectorPrometheus = 1;  // text exposition
+inline constexpr uint8_t kMetricsSelectorTrace = 2;       // span dump JSON
+
+// Version tag leading every optional trace block on the wire.
+inline constexpr uint8_t kTraceBlockVersion = 1;
+// Request-side trace block: version + 128-bit id + parent span + flags.
+inline constexpr size_t kTraceBlockSize = 1 + 8 + 8 + 8 + 1;
+// Frame-side tail header (version + id + flags + span count) and one span.
+inline constexpr size_t kTraceTailHeaderSize = 1 + 8 + 8 + 1 + 2;
+inline constexpr size_t kWireSpanSize = 8 + 8 + 1 + 8 + 8 + 8;
 
 // Decode outcome. kNeedMore is the only non-terminal status: everything
 // else means the stream is unrecoverable (a framing error implies we no
@@ -165,6 +182,10 @@ struct RenderRequestMsg {
   serve::VolumeKey volume;
   Camera camera;
   double deadline_ms = 0.0;  // relative to server receipt; 0 = none
+  // Optional distributed-tracing context. Encoded as a versioned trailing
+  // block only when sampled, so untraced requests are byte-identical to
+  // protocol-v1 peers and decoders without the block still parse.
+  obs::TraceContext trace;
 
   size_t encoded_size() const;
   void encode(std::vector<uint8_t>* out) const;
@@ -181,6 +202,9 @@ struct StreamRequestMsg {
   double pitch = 0.35;
   double step_deg = 2.0;
   uint32_t frames = 30;
+  // Optional trailing trace block, as in RenderRequestMsg; a sampled stream
+  // traces every pushed frame under one trace id.
+  obs::TraceContext trace;
 
   size_t encoded_size() const;
   void encode(std::vector<uint8_t>* out) const;
@@ -197,6 +221,13 @@ struct FrameMsg {
   double total_ms = 0.0;        // server-side submit->completion time
   uint8_t cache_hit = 0;
   std::vector<uint8_t> encoded;  // frame-codec blob (see frame_codec.hpp)
+  // Optional trace tail after the blob: context + the server-side stage
+  // spans of this frame (timestamps already wall-anchored). Encoded only
+  // when `trace` is sampled; untraced frames stay byte-identical. The tail
+  // sits past the fixed metadata prefix, so the router's fixed-offset
+  // latency peek never sees it.
+  obs::TraceContext trace;
+  std::vector<obs::SpanRecord> spans;
 
   // Fixed-size metadata prefix (everything before the blob length + bytes).
   static constexpr size_t kMetaSize = 41;
@@ -209,6 +240,10 @@ struct FrameMsg {
   // encode() without the blob ever existing separately. `this->encoded` is
   // not read.
   void encode_meta(std::vector<uint8_t>* out) const;
+  // Second half of the zero-copy path: appends the optional trace tail
+  // (no-op when unsampled) after the caller has encoded the blob in place.
+  void encode_trace_tail(std::vector<uint8_t>* out) const;
+  size_t trace_tail_size() const;
   static bool decode(const std::vector<uint8_t>& payload, FrameMsg* out);
 };
 
@@ -226,6 +261,10 @@ struct ErrorMsg {
   uint64_t request_id = 0;  // 0 when the error is connection-level
   uint16_t status = 0;      // serve::ServeStatus for admission failures
   std::string message;
+  // Correlation: the failing request's trace context (trailing optional
+  // block, encoded when sampled) so a client-visible error can be matched
+  // to the shard- or router-side trace that recorded it.
+  obs::TraceContext trace;
 
   size_t encoded_size() const;
   void encode(std::vector<uint8_t>* out) const;

@@ -10,8 +10,11 @@
 #include <future>
 #include <string>
 
+#include <vector>
+
 #include "core/classify.hpp"
 #include "core/factorization.hpp"
+#include "obs/trace.hpp"
 #include "util/image.hpp"
 
 namespace psw::serve {
@@ -55,6 +58,11 @@ struct RenderRequest {
   Camera camera;
   // Latest acceptable dispatch time; default (epoch) means "no deadline".
   Clock::time_point deadline{};
+  // Distributed-tracing context; default-constructed (unsampled) requests
+  // take the zero-overhead path through the scheduler.
+  obs::TraceContext trace;
+  // Correlator recorded as the span tag (the wire request/stream id).
+  uint64_t trace_tag = 0;
 
   bool has_deadline() const { return deadline != Clock::time_point{}; }
 };
@@ -75,6 +83,11 @@ struct FrameResult {
   ImageU8 image;  // empty unless status == kOk
   FrameTiming timing;
   uint64_t frame_seq = 0;  // service-wide completion sequence number
+  // Echo of the request's trace context plus the stage spans the scheduler
+  // recorded for it. Both stay empty on the unsampled path (no allocation);
+  // timestamps are steady-clock ns (the wire layer wall-anchors them).
+  obs::TraceContext trace;
+  std::vector<obs::SpanRecord> spans;
 };
 
 // submit()'s answer. When `admission` is not kOk the request was rejected

@@ -11,6 +11,14 @@ namespace {
 double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
+
+// Span timestamps share Clock's (steady_clock) epoch, so scheduler time
+// points convert directly to recorder nanoseconds.
+int64_t to_ns(Clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
+}
 }  // namespace
 
 namespace {
@@ -109,6 +117,7 @@ void RenderService::shed(Pending& p, ServeStatus status) {
   }
   FrameResult result;
   result.status = status;
+  result.trace = p.request.trace;  // correlate the typed shed with its trace
   result.timing.queue_wait_ms = ms_between(p.enqueued, Clock::now());
   deliver(p, std::move(result));
 }
@@ -127,6 +136,7 @@ void RenderService::process(Pending& p) {
     metrics_.failed.fetch_add(1);
     FrameResult result;
     result.status = ServeStatus::kError;
+    result.trace = p.request.trace;
     result.timing.queue_wait_ms = ms_between(p.enqueued, dispatched);
     deliver(p, std::move(result));
   }
@@ -143,6 +153,33 @@ void RenderService::render_one(Pending& p, Clock::time_point dispatched) {
   result.timing.queue_wait_ms = ms_between(p.enqueued, dispatched);
   metrics_.queue_wait.record_ms(result.timing.queue_wait_ms);
 
+  // Sampled requests get a server-side request span; every stage span below
+  // parents to it. The unsampled path takes none of these branches beyond
+  // one boolean test — no allocation, no recorder traffic.
+  const bool traced = p.request.trace.sampled();
+  const obs::TraceContext& ctx = p.request.trace;
+  uint64_t request_span = 0;
+  auto add_span = [&](obs::SpanKind kind, uint64_t parent, int64_t start_ns,
+                      int64_t end_ns) {
+    obs::SpanRecord s;
+    s.trace_hi = ctx.trace_hi;
+    s.trace_lo = ctx.trace_lo;
+    s.span_id = obs::next_span_id();
+    s.parent_id = parent;
+    s.kind = kind;
+    s.t_start_ns = start_ns;
+    s.t_end_ns = end_ns;
+    s.tag = p.request.trace_tag;
+    result.spans.push_back(s);
+    return s.span_id;
+  };
+  if (traced) {
+    result.trace = ctx;
+    request_span = obs::next_span_id();
+    add_span(obs::SpanKind::kQueueWait, request_span, to_ns(p.enqueued),
+             to_ns(dispatched));
+  }
+
   SessionState& session = sessions_.acquire(p.request.session_id);
   metrics_.sessions_created.store(sessions_.created());
   metrics_.sessions_evicted.store(sessions_.evicted());
@@ -151,11 +188,34 @@ void RenderService::render_one(Pending& p, Clock::time_point dispatched) {
   // and the hit/miss counters then measure per-frame sharing, not just
   // first-touch binding.
   double build_ms = 0.0;
+  PrepareTiming prep;
   const std::string canonical = p.request.volume.canonical();
-  std::shared_ptr<const EncodedVolume> volume = cache_.get(p.request.volume, &build_ms);
+  const Clock::time_point build_start = Clock::now();
+  std::shared_ptr<const EncodedVolume> volume =
+      cache_.get(p.request.volume, &build_ms, &prep);
+  const Clock::time_point build_end = Clock::now();
   result.timing.cache_hit = build_ms == 0.0;
   result.timing.classify_ms = build_ms;
   if (build_ms > 0.0) metrics_.cache_miss_build.record_ms(build_ms);
+  if (traced && build_ms > 0.0) {
+    // Child spans are reconstructed from the builder's stage durations:
+    // classify leads the build, encoding finishes it (the gap between them
+    // is phantom generation + bookkeeping).
+    const uint64_t build_span =
+        add_span(obs::SpanKind::kCacheBuild, request_span, to_ns(build_start),
+                 to_ns(build_end));
+    const int64_t classify_ns = static_cast<int64_t>(prep.classify_ms * 1e6);
+    const int64_t encode_ns = static_cast<int64_t>(prep.encode_ms * 1e6);
+    if (prep.classify_ms > 0.0) {
+      add_span(obs::SpanKind::kClassify, build_span,
+               to_ns(build_end) - encode_ns - classify_ns,
+               to_ns(build_end) - encode_ns);
+    }
+    if (prep.encode_ms > 0.0) {
+      add_span(obs::SpanKind::kEncodeVolume, build_span,
+               to_ns(build_end) - encode_ns, to_ns(build_end));
+    }
+  }
   if (session.volume_key != canonical) {
     // New volume for this session: the old profile describes a different
     // dataset (or transfer function), so partition prediction restarts.
@@ -164,8 +224,10 @@ void RenderService::render_one(Pending& p, Clock::time_point dispatched) {
   }
   session.volume = std::move(volume);
 
+  const Clock::time_point render_start = Clock::now();
   const ParallelRenderStats stats =
       session.renderer.render(*session.volume, p.request.camera, exec_, &result.image);
+  const Clock::time_point render_end = Clock::now();
   ++session.frames_rendered;
 
   result.timing.composite_ms = stats.composite_ms;
@@ -176,6 +238,34 @@ void RenderService::render_one(Pending& p, Clock::time_point dispatched) {
   metrics_.warp.record_ms(stats.warp_ms);
   metrics_.total.record_ms(result.timing.total_ms);
   if (stats.profiled) metrics_.profiled_frames.fetch_add(1);
+  if (traced) {
+    // The paper's phase split, live: composite leads the render interval,
+    // warp ends it (with fused phases the boundary is approximate — each
+    // processor's warp overlaps its neighbours' compositing).
+    add_span(obs::SpanKind::kComposite, request_span, to_ns(render_start),
+             to_ns(render_start) + static_cast<int64_t>(stats.composite_ms * 1e6));
+    add_span(obs::SpanKind::kWarp, request_span,
+             to_ns(render_end) - static_cast<int64_t>(stats.warp_ms * 1e6),
+             to_ns(render_end));
+    // The request span closes here (delivery to the wire is traced by the
+    // network layer as frame-encode/send spans under the same parent).
+    obs::SpanRecord req;
+    req.trace_hi = ctx.trace_hi;
+    req.trace_lo = ctx.trace_lo;
+    req.span_id = request_span;
+    req.parent_id = ctx.parent_span;
+    req.kind = obs::SpanKind::kRequest;
+    req.t_start_ns = to_ns(p.enqueued);
+    req.t_end_ns = to_ns(Clock::now());
+    req.tag = p.request.trace_tag;
+    result.spans.push_back(req);
+    if (options_.recorder != nullptr) {
+      for (const obs::SpanRecord& s : result.spans) {
+        options_.recorder->record(ctx, s);
+      }
+      options_.recorder->note_request(ctx, result.spans, result.timing.total_ms);
+    }
+  }
   result.status = ServeStatus::kOk;
   result.frame_seq = metrics_.completed.fetch_add(1) + 1;
   deliver(p, std::move(result));

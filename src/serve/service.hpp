@@ -47,6 +47,10 @@ struct ServiceOptions {
   // a fresh image per frame.
   int frame_pool_frames = 32;
   ParallelOptions parallel;        // forwarded to per-session renderers
+  // Span sink for sampled requests (not owned; may outlive the service or
+  // be shared with the network front end). Null disables recording;
+  // unsampled requests never touch it either way.
+  obs::SpanRecorder* recorder = nullptr;
 };
 
 class RenderService {

@@ -21,7 +21,7 @@ std::string VolumeKey::canonical() const {
 }
 
 VolumeCache::Builder VolumeCache::phantom_builder(const PrepareOptions& prep) {
-  return [prep](const VolumeKey& key) {
+  return [prep](const VolumeKey& key, PrepareTiming* timing) {
     DensityVolume density =
         key.kind == "ct"
             ? (key.seed ? make_ct_head(key.nx, key.ny, key.nz, key.seed)
@@ -31,7 +31,7 @@ VolumeCache::Builder VolumeCache::phantom_builder(const PrepareOptions& prep) {
     const TransferFunction tf =
         key.tf_preset == 1 ? TransferFunction::ct_preset() : TransferFunction::mri_preset();
     return std::make_shared<const EncodedVolume>(
-        prepare_volume(density, tf, key.classify, prep));
+        prepare_volume(density, tf, key.classify, prep, nullptr, timing));
   };
 }
 
@@ -60,8 +60,10 @@ void VolumeCache::evict_locked(Shard& s, uint64_t shard_budget) {
 }
 
 std::shared_ptr<const EncodedVolume> VolumeCache::get(const VolumeKey& key,
-                                                      double* build_ms) {
+                                                      double* build_ms,
+                                                      PrepareTiming* prep) {
   if (build_ms) *build_ms = 0.0;
+  if (prep) *prep = PrepareTiming{};
   const std::string canonical = key.canonical();
   Shard& s = shard_for(canonical);
   MutexLock lock(s.mutex);
@@ -73,7 +75,7 @@ std::shared_ptr<const EncodedVolume> VolumeCache::get(const VolumeKey& key,
   }
   ++s.misses;
   WallTimer timer;
-  std::shared_ptr<const EncodedVolume> volume = builder_(key);
+  std::shared_ptr<const EncodedVolume> volume = builder_(key, prep);
   if (build_ms) *build_ms = timer.millis();
   const uint64_t bytes = volume->storage_bytes();
   s.lru.push_front(Entry{canonical, volume, bytes});

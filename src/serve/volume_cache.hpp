@@ -37,16 +37,21 @@ class VolumeCache {
   // Builds the encoded volume for a key on a miss. The default builder
   // generates the phantom named by key.kind, classifies it with the keyed
   // transfer-function preset and options, and encodes all three axes.
-  using Builder = std::function<std::shared_ptr<const EncodedVolume>(const VolumeKey&)>;
+  // `timing` (may be null) receives the classify/encode stage split — the
+  // tracing subsystem turns it into cache-build child spans.
+  using Builder = std::function<std::shared_ptr<const EncodedVolume>(
+      const VolumeKey&, PrepareTiming* timing)>;
 
   VolumeCache(uint64_t byte_budget, int shards = 8, Builder builder = {});
 
   // Returns the cached volume for `key`, building it on a miss (the build
   // runs under the shard lock, so concurrent requests for one key build
-  // once). On a miss, `*build_ms` (if non-null) receives the build time;
-  // it is 0.0 on a hit.
+  // once). On a miss, `*build_ms` (if non-null) receives the build time
+  // and `*prep` (if non-null) the builder's stage split; both are zeroed
+  // on a hit.
   std::shared_ptr<const EncodedVolume> get(const VolumeKey& key,
-                                           double* build_ms = nullptr);
+                                           double* build_ms = nullptr,
+                                           PrepareTiming* prep = nullptr);
 
   CacheStats stats() const;
   uint64_t byte_budget() const { return budget_; }

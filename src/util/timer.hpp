@@ -1,7 +1,10 @@
-// Wall-clock timing helper for the benchmark harness and renderer stats.
+// Wall-clock timing helper for the benchmark harness and renderer stats,
+// plus the monotonic→wall-clock anchor that makes span timestamps exported
+// by different processes (router vs. shards) comparable.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace psw {
 
@@ -20,5 +23,55 @@ class WallTimer {
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };
+
+// One paired (steady, system) clock reading. Spans are timed on the steady
+// clock — immune to NTP steps — and converted to wall nanoseconds only at
+// export, through this anchor, so dumps from separate processes line up on
+// a shared Unix-epoch axis (drift is bounded by NTP slew between process
+// starts, microseconds over the lifetimes that matter here).
+struct ClockAnchor {
+  int64_t steady_ns = 0;  // steady_clock reading at capture
+  int64_t wall_ns = 0;    // system_clock reading (Unix ns) at the same instant
+};
+
+// The process-wide anchor, captured once at process start (static
+// initialization below forces the capture before main begins, so every
+// exporter in the process shares one pairing).
+inline const ClockAnchor& clock_anchor() {
+  static const ClockAnchor anchor = [] {
+    ClockAnchor a;
+    a.steady_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+    a.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::system_clock::now().time_since_epoch())
+                    .count();
+    return a;
+  }();
+  return anchor;
+}
+
+namespace detail {
+struct ClockAnchorInit {
+  ClockAnchorInit() { (void)clock_anchor(); }
+};
+inline ClockAnchorInit clock_anchor_init{};
+}  // namespace detail
+
+// Current steady-clock reading in nanoseconds (the span timestamp base).
+inline int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Maps a steady-clock nanosecond reading onto the wall clock (Unix ns)
+// through the process anchor.
+inline int64_t steady_to_wall_ns(int64_t steady_ns) {
+  const ClockAnchor& a = clock_anchor();
+  return a.wall_ns + (steady_ns - a.steady_ns);
+}
+
+inline int64_t wall_now_ns() { return steady_to_wall_ns(steady_now_ns()); }
 
 }  // namespace psw

@@ -6,7 +6,10 @@
 // order, the aggregated metrics document rolls shard counters up, a hello
 // with the wrong protocol version gets a typed error then close, and
 // losing a shard mid-stream yields typed kUnavailable errors, an ejection,
-// a ring rebuild and a counted re-route instead of a hang.
+// a ring rebuild and a counted re-route instead of a hang. The ClusterTrace
+// suite pins the tracing contract across the router hop: span parentage,
+// bit-identity of traced frames, duration consistency with measured e2e
+// latency, metrics-selector dumps, and trace ids on typed errors.
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
@@ -26,9 +29,12 @@
 #include "net/server.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "parallel/new_renderer.hpp"
 #include "phantom/phantom.hpp"
 #include "serve/service.hpp"
+#include "util/timer.hpp"
 
 namespace psw::cluster {
 namespace {
@@ -136,15 +142,23 @@ TEST(HashRing, PickReturnsDistinctNodesOwnerFirst) {
 // --- router end-to-end ----------------------------------------------------
 
 // N in-process netserve shards fronted by a Router, all on ephemeral ports.
+// With `traced` every process-level component gets its own SpanRecorder,
+// exactly like netserve --trace-sample / clusterctl wire them up.
 class MiniCluster {
  public:
-  explicit MiniCluster(int n) {
+  explicit MiniCluster(int n, bool traced = false) {
     std::vector<ShardSpec> specs;
     for (int i = 0; i < n; ++i) {
       serve::ServiceOptions sopt;
       sopt.worker_threads = 2;
-      services_.push_back(std::make_unique<serve::RenderService>(sopt));
       net::NetServerOptions nopt;
+      if (traced) {
+        recorders_.push_back(std::make_unique<obs::SpanRecorder>());
+        sopt.recorder = recorders_.back().get();
+        nopt.recorder = recorders_.back().get();
+        nopt.trace_node = "shard-" + std::to_string(i);
+      }
+      services_.push_back(std::make_unique<serve::RenderService>(sopt));
       servers_.push_back(
           std::make_unique<net::NetServer>(*services_.back(), nopt));
       std::string error;
@@ -156,6 +170,10 @@ class MiniCluster {
     }
     RouterOptions ropt;
     ropt.probe_interval_ms = 50.0;
+    if (traced) {
+      ropt.recorder = &router_recorder_;
+      ropt.trace_node = "router";
+    }
     router_ = std::make_unique<Router>(specs, ropt);
     std::string error;
     ok_ = router_->start(&error);
@@ -173,9 +191,13 @@ class MiniCluster {
 
   Router& router() { return *router_; }
   net::NetServer& server(size_t i) { return *servers_[i]; }
+  obs::SpanRecorder& shard_recorder(size_t i) { return *recorders_[i]; }
+  obs::SpanRecorder& router_recorder() { return router_recorder_; }
 
  private:
   bool ok_ = false;
+  obs::SpanRecorder router_recorder_;
+  std::vector<std::unique_ptr<obs::SpanRecorder>> recorders_;
   std::vector<std::unique_ptr<serve::RenderService>> services_;
   std::vector<std::unique_ptr<net::NetServer>> servers_;
   std::unique_ptr<Router> router_;
@@ -547,6 +569,213 @@ TEST(ClusterRouter, NoHealthyShardGivesTypedUnavailable) {
   EXPECT_FALSE(client.render(req, &image, &meta, &error));
   EXPECT_NE(error.find("no healthy shard"), std::string::npos) << error;
   EXPECT_GE(router.metrics().unavailable_rejections.load(), 1u);
+  router.stop();
+}
+
+// --- tracing across the router hop ----------------------------------------
+
+TEST(ClusterTrace, SampledRequestYieldsOneTreeSpanningRouterAndShard) {
+  MiniCluster cluster(2, /*traced=*/true);
+  ASSERT_TRUE(cluster.healthy(2));
+
+  serve::VolumeKey key;
+  key.kind = "mri";
+  key.nx = key.ny = key.nz = 36;
+
+  net::NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect("127.0.0.1", cluster.router().port(), &error))
+      << error;
+
+  const auto request_for = [&key](uint64_t id) {
+    net::RenderRequestMsg req;
+    req.request_id = id;
+    req.session_id = 5;
+    req.volume = key;
+    req.camera = Camera::orbit({key.nx, key.ny, key.nz}, 0.5, 0.3);
+    return req;
+  };
+
+  // Untraced first: nothing recorded anywhere on the unsampled path.
+  net::RenderRequestMsg plain = request_for(1);
+  ImageU8 plain_img;
+  net::FrameMsg plain_meta;
+  ASSERT_TRUE(client.render(plain, &plain_img, &plain_meta, &error)) << error;
+  EXPECT_EQ(cluster.router_recorder().recorded(), 0u);
+  EXPECT_EQ(cluster.shard_recorder(0).recorded(), 0u);
+  EXPECT_EQ(cluster.shard_recorder(1).recorded(), 0u);
+
+  // Same camera, sampled: pixels must not change, spans must appear.
+  uint64_t root = 0;
+  net::RenderRequestMsg traced = request_for(2);
+  traced.trace = obs::make_sampled_trace(&root);
+  ImageU8 traced_img;
+  net::FrameMsg traced_meta;
+  WallTimer rtt;
+  ASSERT_TRUE(client.render(traced, &traced_img, &traced_meta, &error)) << error;
+  const double rtt_ms = rtt.millis();
+  EXPECT_EQ(pixel_hash(plain_img), pixel_hash(traced_img));
+  ASSERT_TRUE(traced_meta.trace.sampled());
+
+  // The shard-side kSend span lands on the shard's poll thread right after
+  // the frame drains; the router's proxy span on frame receipt.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::vector<obs::SpanRecord> all = cluster.router_recorder().snapshot();
+  for (size_t i = 0; i < 2; ++i) {
+    const std::vector<obs::SpanRecord> s = cluster.shard_recorder(i).snapshot();
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  const std::vector<obs::TraceTree> trees = obs::assemble_traces(std::move(all));
+  ASSERT_EQ(trees.size(), 1u);
+  const obs::TraceTree& t = trees[0];
+  EXPECT_EQ(t.trace_hi, traced.trace.trace_hi);
+  EXPECT_EQ(t.trace_lo, traced.trace.trace_lo);
+
+  // Parentage across the hop: the router's proxy span and the shard's
+  // request span are siblings under the client root (the router forwards
+  // the payload verbatim, it cannot rewrite the parent id inside it).
+  const obs::SpanRecord* proxy = nullptr;
+  const obs::SpanRecord* request = nullptr;
+  for (const obs::SpanRecord& s : t.spans) {
+    if (s.kind == obs::SpanKind::kRouterProxy) proxy = &s;
+    if (s.kind == obs::SpanKind::kRequest) request = &s;
+  }
+  ASSERT_NE(proxy, nullptr);
+  ASSERT_NE(request, nullptr);
+  EXPECT_EQ(proxy->parent_id, root);
+  EXPECT_EQ(request->parent_id, root);
+  for (const obs::SpanRecord& s : t.spans) {
+    if (s.kind == obs::SpanKind::kRouterProxy ||
+        s.kind == obs::SpanKind::kRequest) {
+      continue;
+    }
+    EXPECT_EQ(s.parent_id, request->span_id) << obs::to_string(s.kind);
+  }
+
+  // Phase coverage: the tree must contain the stages named in the issue's
+  // acceptance criterion (cache build appears because request 2 re-renders
+  // a cached volume — the *first* request built it, untraced).
+  EXPECT_TRUE(t.has_kind(obs::SpanKind::kQueueWait));
+  EXPECT_TRUE(t.has_kind(obs::SpanKind::kComposite));
+  EXPECT_TRUE(t.has_kind(obs::SpanKind::kWarp));
+  EXPECT_TRUE(t.has_kind(obs::SpanKind::kFrameEncode));
+  EXPECT_TRUE(t.has_kind(obs::SpanKind::kSend));
+
+  // Duration consistency: stage spans nest inside the request span, the
+  // request span inside the proxy span (same steady clock, one process),
+  // and everything inside the measured round-trip.
+  EXPECT_LE(t.kind_ms(obs::SpanKind::kQueueWait) +
+                t.kind_ms(obs::SpanKind::kComposite) +
+                t.kind_ms(obs::SpanKind::kWarp),
+            request->duration_ms() + 0.5);
+  EXPECT_GE(proxy->duration_ms() + 0.5, request->duration_ms());
+  EXPECT_LE(proxy->duration_ms(), rtt_ms + 0.5);
+
+  // A traced cache MISS records the build stages too.
+  serve::VolumeKey cold = key;
+  cold.seed = 77;
+  net::RenderRequestMsg miss = request_for(3);
+  miss.volume = cold;
+  miss.trace = obs::make_sampled_trace();
+  ImageU8 miss_img;
+  net::FrameMsg miss_meta;
+  ASSERT_TRUE(client.render(miss, &miss_img, &miss_meta, &error)) << error;
+  bool saw_build = false, saw_classify = false, saw_encode = false;
+  for (const obs::SpanRecord& s : miss_meta.spans) {
+    saw_build |= s.kind == obs::SpanKind::kCacheBuild;
+    saw_classify |= s.kind == obs::SpanKind::kClassify;
+    saw_encode |= s.kind == obs::SpanKind::kEncodeVolume;
+  }
+  EXPECT_TRUE(saw_build);
+  EXPECT_TRUE(saw_classify);
+  EXPECT_TRUE(saw_encode);
+  client.send_bye(nullptr);
+}
+
+TEST(ClusterTrace, SelectorFetchesPrometheusAndTraceDumpThroughRouter) {
+  MiniCluster cluster(2, /*traced=*/true);
+  ASSERT_TRUE(cluster.healthy(2));
+
+  net::NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect("127.0.0.1", cluster.router().port(), &error))
+      << error;
+
+  net::RenderRequestMsg req;
+  req.request_id = 1;
+  req.session_id = 2;
+  req.volume.kind = "mri";
+  req.volume.nx = req.volume.ny = req.volume.nz = 36;
+  req.camera = Camera::orbit({36, 36, 36}, 0.2, 0.3);
+  req.trace = obs::make_sampled_trace();
+  ImageU8 image;
+  net::FrameMsg meta;
+  ASSERT_TRUE(client.render(req, &image, &meta, &error)) << error;
+
+  // Selector 0 (empty payload) keeps the legacy JSON document.
+  std::string json;
+  ASSERT_TRUE(client.fetch_metrics(&json, &error)) << error;
+  EXPECT_EQ(json.front(), '{');
+
+  // Selector 1: Prometheus exposition with router counters.
+  std::string prom;
+  ASSERT_TRUE(
+      client.fetch_metrics(&prom, &error, net::kMetricsSelectorPrometheus))
+      << error;
+  EXPECT_NE(prom.find("# TYPE psw_router_requests_routed_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("psw_router_requests_routed_total 1"), std::string::npos);
+
+  // Selector 2: the router's span dump, with the proxy span of our trace.
+  std::string dump;
+  ASSERT_TRUE(client.fetch_metrics(&dump, &error, net::kMetricsSelectorTrace))
+      << error;
+  EXPECT_NE(dump.find("\"node\": \"router\""), std::string::npos);
+  EXPECT_NE(dump.find(obs::trace_id_hex(req.trace)), std::string::npos);
+  EXPECT_NE(dump.find("router-proxy"), std::string::npos);
+
+  // An unknown selector degrades to the JSON document, never an error.
+  std::string fallback;
+  ASSERT_TRUE(client.fetch_metrics(&fallback, &error, 250)) << error;
+  EXPECT_EQ(fallback.front(), '{');
+  client.send_bye(nullptr);
+}
+
+TEST(ClusterTrace, UnavailableErrorCarriesTheTraceId) {
+  // Router with one dead-on-arrival shard: a traced request fails with a
+  // typed kUnavailable that must carry the request's trace context so the
+  // client-side error can be correlated with server-side dumps.
+  std::string error;
+  net::UniqueFd placeholder = net::tcp_listen("127.0.0.1", 0, 1, &error);
+  ASSERT_TRUE(placeholder.valid()) << error;
+  const uint16_t dead_port = net::local_port(placeholder.get());
+  placeholder.reset();
+
+  RouterOptions ropt;
+  ropt.probe_interval_ms = 50.0;
+  Router router({{"shard-0", "127.0.0.1", dead_port, 1}}, ropt);
+  ASSERT_TRUE(router.start(&error)) << error;
+
+  // Drive a stream request so next_event() surfaces the raw ErrorMsg (with
+  // its trace block) instead of render() flattening it into a string.
+  net::NetClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", router.port(), &error)) << error;
+  net::StreamRequestMsg req;
+  req.stream_id = 4;
+  req.session_id = 1;
+  req.volume = key_owned_by(0, 1);
+  req.frames = 8;
+  req.trace = obs::make_sampled_trace();
+  ASSERT_TRUE(client.open_stream(req, &error)) << error;
+
+  net::NetClient::Event event;
+  ASSERT_TRUE(client.next_event(&event, &error)) << error;
+  ASSERT_EQ(event.kind, net::NetClient::Event::Kind::kError);
+  EXPECT_EQ(event.error.status,
+            static_cast<uint16_t>(serve::ServeStatus::kUnavailable));
+  ASSERT_TRUE(event.error.trace.sampled());
+  EXPECT_EQ(event.error.trace.trace_hi, req.trace.trace_hi);
+  EXPECT_EQ(event.error.trace.trace_lo, req.trace.trace_lo);
   router.stop();
 }
 

@@ -7,6 +7,7 @@
 // counts, and that idle connections and protocol violations are handled.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <random>
@@ -383,6 +384,170 @@ TEST(Wire, FuzzNeverCrashesAndNeverOverreads) {
   EXPECT_FALSE(RenderRequestMsg::decode(trailing, &out));
 }
 
+// --- optional trace block / tail -------------------------------------------
+
+TEST(WireTrace, SampledContextRoundTripsOnEveryCarrier) {
+  uint64_t root = 0;
+  const obs::TraceContext ctx = obs::make_sampled_trace(&root);
+  {
+    RenderRequestMsg m;
+    m.request_id = 7;
+    m.camera = Camera::orbit({32, 32, 32}, 0.2, 0.3);
+    m.trace = ctx;
+    std::vector<uint8_t> p;
+    m.encode(&p);
+    EXPECT_EQ(p.size(), m.encoded_size());
+    RenderRequestMsg b;
+    ASSERT_TRUE(RenderRequestMsg::decode(p, &b));
+    EXPECT_EQ(b.trace.trace_hi, ctx.trace_hi);
+    EXPECT_EQ(b.trace.trace_lo, ctx.trace_lo);
+    EXPECT_EQ(b.trace.parent_span, root);
+    EXPECT_TRUE(b.trace.sampled());
+  }
+  {
+    StreamRequestMsg m;
+    m.stream_id = 3;
+    m.frames = 4;
+    m.trace = ctx;
+    std::vector<uint8_t> p;
+    m.encode(&p);
+    StreamRequestMsg b;
+    ASSERT_TRUE(StreamRequestMsg::decode(p, &b));
+    EXPECT_EQ(b.trace.trace_lo, ctx.trace_lo);
+    EXPECT_TRUE(b.trace.sampled());
+  }
+  {
+    ErrorMsg m;
+    m.request_id = 9;
+    m.status = 2;
+    m.message = "queue full";
+    m.trace = ctx;
+    std::vector<uint8_t> p;
+    m.encode(&p);
+    EXPECT_EQ(p.size(), m.encoded_size());
+    ErrorMsg b;
+    ASSERT_TRUE(ErrorMsg::decode(p, &b));
+    EXPECT_EQ(b.trace.trace_hi, ctx.trace_hi);
+    EXPECT_TRUE(b.trace.sampled());
+  }
+}
+
+TEST(WireTrace, UnsampledEncodingIsByteIdenticalToPreTraceFormat) {
+  // The compat contract: an unsampled request encodes NO trace block, so
+  // its bytes are exactly the pre-trace wire format (and an old decoder's
+  // exhausted() check still passes).
+  RenderRequestMsg m;
+  m.request_id = 5;
+  m.camera = Camera::orbit({32, 32, 32}, 0.4, 0.3);
+  std::vector<uint8_t> plain;
+  m.encode(&plain);
+
+  RenderRequestMsg traced = m;
+  traced.trace = obs::make_sampled_trace();
+  std::vector<uint8_t> with_block;
+  traced.encode(&with_block);
+  ASSERT_EQ(with_block.size(), plain.size() + kTraceBlockSize);
+  // The sampled payload is the plain payload plus the trailing block.
+  EXPECT_TRUE(std::equal(plain.begin(), plain.end(), with_block.begin()));
+
+  // Decoding the plain (pre-trace) payload with the current decoder works
+  // and yields an unsampled context — v-current reads v-old.
+  RenderRequestMsg back;
+  ASSERT_TRUE(RenderRequestMsg::decode(plain, &back));
+  EXPECT_FALSE(back.trace.valid());
+
+  // And an old decoder reading a sampled payload is modeled by truncating
+  // the block off: the prefix is a complete, valid pre-trace payload.
+  std::vector<uint8_t> prefix(with_block.begin(),
+                              with_block.end() - kTraceBlockSize);
+  EXPECT_EQ(prefix, plain);
+}
+
+TEST(WireTrace, TruncatedTraceBlockIsRejectedAtEveryCut) {
+  RenderRequestMsg m;
+  m.camera = Camera::orbit({32, 32, 32}, 0.1, 0.3);
+  m.trace = obs::make_sampled_trace();
+  std::vector<uint8_t> p;
+  m.encode(&p);
+  const size_t base = p.size() - kTraceBlockSize;
+  for (size_t cut = base + 1; cut < p.size(); ++cut) {
+    std::vector<uint8_t> part(p.begin(), p.begin() + cut);
+    RenderRequestMsg out;
+    EXPECT_FALSE(RenderRequestMsg::decode(part, &out)) << "cut " << cut;
+  }
+  // A wrong block version must be rejected, not misread.
+  auto bad = p;
+  bad[base] = kTraceBlockVersion + 1;
+  RenderRequestMsg out;
+  EXPECT_FALSE(RenderRequestMsg::decode(bad, &out));
+}
+
+TEST(WireTrace, FrameTraceTailRoundTripsSpans) {
+  uint64_t root = 0;
+  const obs::TraceContext ctx = obs::make_sampled_trace(&root);
+  FrameMsg m;
+  m.request_id = 3;
+  m.seq = 12;
+  m.render_ms = 1.5;
+  m.encoded = {1, 2, 3, 4, 5, 6, 7};
+  m.trace = ctx;
+  for (int i = 0; i < 3; ++i) {
+    obs::SpanRecord s;
+    s.trace_hi = ctx.trace_hi;
+    s.trace_lo = ctx.trace_lo;
+    s.span_id = obs::next_span_id();
+    s.parent_id = root;
+    s.kind = static_cast<obs::SpanKind>(i + 2);
+    s.t_start_ns = 1'000 + i;
+    s.t_end_ns = 2'000 + i;
+    s.tag = static_cast<uint64_t>(i);
+    m.spans.push_back(s);
+  }
+  std::vector<uint8_t> whole;
+  m.encode(&whole);
+  EXPECT_EQ(whole.size(), m.encoded_size());
+
+  // The zero-copy assembly (meta + blob + patched length + tail) must be
+  // byte-identical to the flat encode, tail included.
+  std::vector<uint8_t> pieced;
+  m.encode_meta(&pieced);
+  const size_t blob_len_at = pieced.size();
+  put_u32(&pieced, 0);
+  pieced.insert(pieced.end(), m.encoded.begin(), m.encoded.end());
+  put_u32_at(&pieced, blob_len_at, static_cast<uint32_t>(m.encoded.size()));
+  m.encode_trace_tail(&pieced);
+  EXPECT_EQ(pieced, whole);
+
+  FrameMsg b;
+  ASSERT_TRUE(FrameMsg::decode(whole, &b));
+  EXPECT_EQ(b.encoded, m.encoded);
+  EXPECT_TRUE(b.trace.sampled());
+  EXPECT_EQ(b.trace.trace_lo, ctx.trace_lo);
+  ASSERT_EQ(b.spans.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(b.spans[i].span_id, m.spans[i].span_id);
+    EXPECT_EQ(b.spans[i].parent_id, root);
+    EXPECT_EQ(b.spans[i].kind, m.spans[i].kind);
+    EXPECT_EQ(b.spans[i].t_start_ns, m.spans[i].t_start_ns);
+    EXPECT_EQ(b.spans[i].t_end_ns, m.spans[i].t_end_ns);
+    EXPECT_EQ(b.spans[i].trace_hi, ctx.trace_hi);  // inherited from the tail
+  }
+
+  // Untraced frames carry no tail: byte-identical to the pre-trace format.
+  FrameMsg plain = m;
+  plain.trace = obs::TraceContext{};
+  plain.spans.clear();
+  std::vector<uint8_t> plain_bytes;
+  plain.encode(&plain_bytes);
+  EXPECT_EQ(plain_bytes.size(), whole.size() - m.trace_tail_size());
+  // Truncating the tail mid-span must fail, not decode fewer spans.
+  for (size_t cut = plain_bytes.size() + 1; cut < whole.size(); ++cut) {
+    std::vector<uint8_t> part(whole.begin(), whole.begin() + cut);
+    FrameMsg out;
+    EXPECT_FALSE(FrameMsg::decode(part, &out)) << "cut " << cut;
+  }
+}
+
 // --- frame codec ----------------------------------------------------------
 
 TEST(Codec, RoundTripAcrossShapesAndContent) {
@@ -617,6 +782,136 @@ TEST(Net, ServedFramesBitIdenticalToDirectRender) {
   EXPECT_EQ(server.metrics().frames_sent.load(), static_cast<uint64_t>(kFrames));
   // The codec must beat raw RGBA on a coherent orbit sequence.
   EXPECT_LT(server.metrics().wire_ratio(), 0.6);
+}
+
+TEST(NetTrace, TracedRenderIsBitIdenticalAndRecordsParentedSpans) {
+  const serve::VolumeKey key = small_key(32);
+  obs::SpanRecorder recorder;
+  serve::ServiceOptions sopt;
+  sopt.worker_threads = 2;
+  sopt.recorder = &recorder;
+  serve::RenderService service(sopt);
+  NetServerOptions nopt;
+  nopt.recorder = &recorder;
+  NetServer server(service, nopt);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  NetClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port(), &error)) << error;
+
+  RenderRequestMsg req;
+  req.request_id = 1;
+  req.session_id = 7;
+  req.volume = key;
+  req.camera = Camera::orbit({key.nx, key.ny, key.nz}, 0.5, 0.3);
+
+  // Unsampled request: zero spans recorded, no trace tail on the frame.
+  ImageU8 plain_img;
+  FrameMsg plain_meta;
+  ASSERT_TRUE(client.render(req, &plain_img, &plain_meta, &error)) << error;
+  EXPECT_FALSE(plain_meta.trace.sampled());
+  EXPECT_TRUE(plain_meta.spans.empty());
+  EXPECT_EQ(recorder.recorded(), 0u);
+
+  // Same request, sampled: the image must be bit-identical (tracing cannot
+  // perturb rendering) and the frame must carry the stage spans.
+  uint64_t root = 0;
+  req.request_id = 2;
+  req.trace = obs::make_sampled_trace(&root);
+  ImageU8 traced_img;
+  FrameMsg traced_meta;
+  WallTimer rtt;
+  ASSERT_TRUE(client.render(req, &traced_img, &traced_meta, &error)) << error;
+  const double rtt_ms = rtt.millis();
+  EXPECT_TRUE(images_equal(plain_img, traced_img));
+  ASSERT_TRUE(traced_meta.trace.sampled());
+  EXPECT_EQ(traced_meta.trace.trace_hi, req.trace.trace_hi);
+  EXPECT_EQ(traced_meta.trace.trace_lo, req.trace.trace_lo);
+
+  // Parentage: exactly one request span, rooted at the client's root span;
+  // every stage span is its child.
+  const obs::SpanRecord* request_span = nullptr;
+  for (const obs::SpanRecord& s : traced_meta.spans) {
+    if (s.kind == obs::SpanKind::kRequest) {
+      ASSERT_EQ(request_span, nullptr) << "duplicate request span";
+      request_span = &s;
+    }
+  }
+  ASSERT_NE(request_span, nullptr);
+  EXPECT_EQ(request_span->parent_id, root);
+  bool saw_composite = false, saw_warp = false, saw_encode = false;
+  for (const obs::SpanRecord& s : traced_meta.spans) {
+    if (s.kind == obs::SpanKind::kRequest) continue;
+    EXPECT_EQ(s.parent_id, request_span->span_id) << obs::to_string(s.kind);
+    saw_composite |= s.kind == obs::SpanKind::kComposite;
+    saw_warp |= s.kind == obs::SpanKind::kWarp;
+    saw_encode |= s.kind == obs::SpanKind::kFrameEncode;
+  }
+  EXPECT_TRUE(saw_composite);
+  EXPECT_TRUE(saw_warp);
+  EXPECT_TRUE(saw_encode);
+
+  // Duration consistency: stage durations fit inside the request span and
+  // the whole server-side request fits inside the measured round-trip.
+  double stage_ms = 0.0;
+  for (const obs::SpanRecord& s : traced_meta.spans) {
+    EXPECT_GE(s.duration_ms(), 0.0) << obs::to_string(s.kind);
+    if (s.kind == obs::SpanKind::kComposite || s.kind == obs::SpanKind::kWarp ||
+        s.kind == obs::SpanKind::kQueueWait) {
+      stage_ms += s.duration_ms();
+    }
+  }
+  EXPECT_LE(stage_ms, request_span->duration_ms() + 0.5);
+  EXPECT_LE(request_span->duration_ms(), rtt_ms + 0.5);
+
+  // The recorder saw the same spans (plus the send span, which lands on
+  // the poll thread after the frame is already on the wire).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const std::vector<obs::SpanRecord> recorded = recorder.snapshot();
+  EXPECT_GE(recorded.size(), traced_meta.spans.size());
+  bool saw_send = false;
+  for (const obs::SpanRecord& s : recorded) {
+    EXPECT_EQ(s.trace_lo, req.trace.trace_lo);
+    saw_send |= s.kind == obs::SpanKind::kSend;
+  }
+  EXPECT_TRUE(saw_send);
+  client.send_bye(nullptr);
+}
+
+TEST(NetTrace, HeadSamplingPromotesUnsampledRequests) {
+  const serve::VolumeKey key = small_key(32);
+  obs::SpanRecorder recorder;
+  serve::ServiceOptions sopt;
+  sopt.worker_threads = 2;
+  sopt.recorder = &recorder;
+  serve::RenderService service(sopt);
+  NetServerOptions nopt;
+  nopt.recorder = &recorder;
+  nopt.trace_sample = 2;  // every 2nd unsampled request gets a trace
+  NetServer server(service, nopt);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  NetClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port(), &error)) << error;
+
+  int sampled = 0;
+  for (int f = 0; f < 4; ++f) {
+    RenderRequestMsg req;
+    req.request_id = static_cast<uint64_t>(f) + 1;
+    req.session_id = 3;
+    req.volume = key;
+    req.camera = Camera::orbit({key.nx, key.ny, key.nz}, 0.1 * f, 0.3);
+    ImageU8 image;
+    FrameMsg meta;
+    ASSERT_TRUE(client.render(req, &image, &meta, &error)) << error;
+    if (meta.trace.sampled()) {
+      ++sampled;
+      EXPECT_FALSE(meta.spans.empty());
+    }
+  }
+  EXPECT_EQ(sampled, 2);  // requests 2 and 4 of 4 at --trace-sample=2
+  EXPECT_GT(recorder.recorded(), 0u);
+  client.send_bye(nullptr);
 }
 
 // Regression: a stopped NetServer must be startable again. stop() retires

@@ -79,7 +79,7 @@ TEST(Serve, FramesBitIdenticalToDirectRenderer) {
 // Builder producing volumes with a controllable encoded footprint: n^3
 // phantoms so distinct sizes give distinct (monotone) byte counts.
 VolumeCache::Builder counting_builder(std::atomic<int>* builds) {
-  return [builds](const VolumeKey& key) {
+  return [builds](const VolumeKey& key, PrepareTiming*) {
     builds->fetch_add(1);
     const DensityVolume density = make_mri_brain(key.nx, key.ny, key.nz);
     const ClassifiedVolume classified =
@@ -156,11 +156,11 @@ TEST(Serve, DeadlineExpiringInQueueIsShedWithTypedError) {
   // A slow builder keeps the scheduler busy on the first request while the
   // second request's deadline expires in the queue.
   std::atomic<int> builds{0};
-  auto slow = [&](const VolumeKey& key) {
+  auto slow = [&](const VolumeKey& key, PrepareTiming* t) {
     if (builds.fetch_add(1) == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(150));
     }
-    return VolumeCache::phantom_builder()(key);
+    return VolumeCache::phantom_builder()(key, t);
   };
   ServiceOptions opt;
   opt.worker_threads = 1;
@@ -188,9 +188,9 @@ TEST(Serve, DeadlineExpiringInQueueIsShedWithTypedError) {
 
 TEST(Serve, QueueFullIsTypedRejection) {
   // Stall the scheduler with a slow first build, then overfill the queue.
-  auto slow = [](const VolumeKey& key) {
+  auto slow = [](const VolumeKey& key, PrepareTiming* t) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    return VolumeCache::phantom_builder()(key);
+    return VolumeCache::phantom_builder()(key, t);
   };
   ServiceOptions opt;
   opt.worker_threads = 1;
@@ -223,9 +223,9 @@ TEST(Serve, QueueFullIsTypedRejection) {
 }
 
 TEST(Serve, StopShedsQueuedRequestsWithShutdownStatus) {
-  auto slow = [](const VolumeKey& key) {
+  auto slow = [](const VolumeKey& key, PrepareTiming* t) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    return VolumeCache::phantom_builder()(key);
+    return VolumeCache::phantom_builder()(key, t);
   };
   ServiceOptions opt;
   opt.worker_threads = 1;
@@ -422,9 +422,9 @@ TEST(Serve, SubmitAsyncDeliversCallbackOnSchedulerThread) {
 }
 
 TEST(Serve, SubmitAsyncShedsWithTypedStatusOnStop) {
-  auto slow = [](const VolumeKey& key) {
+  auto slow = [](const VolumeKey& key, PrepareTiming* t) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    return VolumeCache::phantom_builder()(key);
+    return VolumeCache::phantom_builder()(key, t);
   };
   ServiceOptions opt;
   opt.worker_threads = 1;

@@ -14,9 +14,18 @@
 //                      [--probe-interval-ms=250] [--restart=1]
 //                      [--drain-timeout-ms=5000]
 //                      [--json=clusterctl_metrics.json]
+//                      [--trace-sample=0] [--trace-slow-ms=0] [--trace-dir=]
 //
 // --netserve defaults to a `netserve` binary next to this one, so running
 // from the build tree needs no flags.
+//
+// Tracing: --trace-sample / --trace-slow-ms are forwarded to every shard
+// (head-sampling happens at the shard; client-sampled requests are always
+// traced). --trace-dir=DIR collects the span dumps at shutdown — the
+// in-process router's own dump plus a kMetricsSelectorTrace fetch from
+// each live shard — as DIR/router_trace.json and DIR/<shard>_trace.json,
+// ready for tools/traceview.
+#include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -31,6 +40,8 @@
 #include <vector>
 
 #include "cluster/router.hpp"
+#include "net/client.hpp"
+#include "obs/trace.hpp"
 #include "shutdown.hpp"
 #include "util/cli.hpp"
 
@@ -68,15 +79,42 @@ pid_t spawn(const std::string& exe, const std::vector<std::string>& args) {
 
 pid_t spawn_shard(const std::string& exe, const ShardProc& shard,
                   const std::string& bind, int threads, int cache_mb, int batch,
-                  int drain_timeout_ms) {
+                  int drain_timeout_ms, int trace_sample, double trace_slow_ms) {
   return spawn(exe, {"--port=" + std::to_string(shard.port),
                      "--bind=" + bind,
                      "--threads=" + std::to_string(threads),
                      "--cache-mb=" + std::to_string(cache_mb),
                      "--batch=" + std::to_string(batch),
                      "--drain-timeout-ms=" + std::to_string(drain_timeout_ms),
+                     "--trace-sample=" + std::to_string(trace_sample),
+                     "--trace-slow-ms=" + std::to_string(trace_slow_ms),
+                     "--trace-node=" + shard.id,
                      "--json="});  // shards skip their own report; the
                                    // router aggregates live metrics instead
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+// Pulls the kMetricsSelectorTrace document straight from a shard (the
+// router is bypassed on purpose: each process dumps its own spans).
+bool fetch_shard_trace(const std::string& bind, uint16_t port, std::string* out) {
+  net::NetClientOptions copt;
+  copt.recv_timeout_ms = 5'000.0;
+  copt.connect_retries = 0;
+  net::NetClient client(copt);
+  std::string error;
+  if (!client.connect(bind, port, &error)) return false;
+  const bool ok =
+      client.fetch_metrics(out, &error, net::kMetricsSelectorTrace);
+  client.send_bye(nullptr);
+  return ok;
 }
 
 // One WNOHANG sweep; true if `shard` was reaped.
@@ -103,7 +141,7 @@ int main(int argc, char** argv) {
   flags.require_known({"shards", "port", "bind", "shard-port-base", "netserve",
                        "threads", "cache-mb", "batch", "vnodes", "replicate",
                        "probe-interval-ms", "restart", "drain-timeout-ms",
-                       "json"});
+                       "json", "trace-sample", "trace-slow-ms", "trace-dir"});
   const int nshards = flags.get_int("shards", 2);
   const std::string bind = flags.get("bind", "127.0.0.1");
   const uint16_t router_port = static_cast<uint16_t>(flags.get_int("port", 7421));
@@ -116,6 +154,9 @@ int main(int argc, char** argv) {
   const bool restart = flags.get_bool("restart", true);
   const int drain_timeout_ms = flags.get_int("drain-timeout-ms", 5'000);
   const std::string json_path = flags.get("json", "clusterctl_metrics.json");
+  const int trace_sample = flags.get_int("trace-sample", 0);
+  const double trace_slow_ms = flags.get_double("trace-slow-ms", 0.0);
+  const std::string trace_dir = flags.get("trace-dir", "");
   if (nshards < 1 || nshards > 64) {
     std::fprintf(stderr, "clusterctl: --shards must be in [1, 64]\n");
     return 2;
@@ -130,7 +171,7 @@ int main(int argc, char** argv) {
     p.id = "shard-" + std::to_string(i);
     p.port = static_cast<uint16_t>(port_base + i);
     p.pid = spawn_shard(netserve, p, bind, threads, cache_mb, batch,
-                        drain_timeout_ms);
+                        drain_timeout_ms, trace_sample, trace_slow_ms);
     if (p.pid < 0) {
       std::fprintf(stderr, "clusterctl: fork: %s\n", std::strerror(errno));
       return 1;
@@ -138,12 +179,18 @@ int main(int argc, char** argv) {
     specs.push_back({p.id, bind, p.port, 1});
   }
 
+  obs::SpanRecorder::Options recopt;
+  recopt.slow_ms = trace_slow_ms;
+  obs::SpanRecorder recorder(recopt);
+
   cluster::RouterOptions ropt;
   ropt.bind_address = bind;
   ropt.port = router_port;
   ropt.vnodes = flags.get_int("vnodes", 64);
   ropt.replicate = flags.get_int("replicate", 1);
   ropt.probe_interval_ms = flags.get_double("probe-interval-ms", 250.0);
+  ropt.recorder = &recorder;
+  ropt.trace_node = "router";
   cluster::Router router(specs, ropt);
   std::string error;
   if (!router.start(&error)) {
@@ -186,7 +233,7 @@ int main(int argc, char** argv) {
       }
       if (p.pid < 0 && restart && now >= p.next_restart) {
         p.pid = spawn_shard(netserve, p, bind, threads, cache_mb, batch,
-                            drain_timeout_ms);
+                            drain_timeout_ms, trace_sample, trace_slow_ms);
         ++p.restarts;
         std::printf("clusterctl: restarted %s (pid %d, restart #%d)\n",
                     p.id.c_str(), static_cast<int>(p.pid), p.restarts);
@@ -202,6 +249,28 @@ int main(int argc, char** argv) {
   // then SIGTERM the shards and give each drain-timeout + 2 s of grace
   // before escalating to SIGKILL.
   const std::string doc = router.metrics_json();
+  // Span dumps must be pulled while the shards still answer; the router's
+  // own dump comes from the in-process recorder.
+  if (!trace_dir.empty()) {
+    ::mkdir(trace_dir.c_str(), 0755);  // fine if it already exists
+    if (write_text_file(trace_dir + "/router_trace.json",
+                        router.trace_dump_json())) {
+      std::printf("clusterctl: wrote %s/router_trace.json\n", trace_dir.c_str());
+    } else {
+      std::fprintf(stderr, "clusterctl: cannot write %s/router_trace.json\n",
+                   trace_dir.c_str());
+    }
+    for (const ShardProc& p : procs) {
+      std::string dump;
+      if (p.pid > 0 && fetch_shard_trace(bind, p.port, &dump) &&
+          write_text_file(trace_dir + "/" + p.id + "_trace.json", dump)) {
+        std::printf("clusterctl: wrote %s/%s_trace.json\n", trace_dir.c_str(),
+                    p.id.c_str());
+      } else {
+        std::fprintf(stderr, "clusterctl: no trace dump from %s\n", p.id.c_str());
+      }
+    }
+  }
   router.stop();
   for (ShardProc& p : procs) {
     if (p.pid > 0) ::kill(p.pid, SIGTERM);

@@ -16,7 +16,13 @@
 // router, sweeping the shard counts in --shards:
 //
 //   ./tools/netbench --cluster [--shards=1,2,4] [--frames=24] [--image=64]
-//                    [--json=BENCH_cluster.json]
+//                    [--json=BENCH_cluster.json] [--trace-out=DIR]
+//
+// --trace-out=DIR (cluster mode) sends one sampled request through the
+// router after the largest sweep configuration and writes DIR/
+// router_trace.json, DIR/shard-N_trace.json and DIR/router_prom.txt —
+// the inputs tools/traceview reassembles into a cross-process trace tree
+// (CI's trace smoke stage drives exactly this path).
 //
 // The working set is constructed so that aggregate VolumeCache capacity is
 // the scaling resource (the point of consistent-hash placement): per-shard
@@ -24,7 +30,10 @@
 // exactly the warm half hot, and four shards hold everything. Volume seeds
 // are searched against the same HashRing the router builds, so placement
 // is deterministic and verified, not assumed.
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -38,6 +47,7 @@
 #include "core/factorization.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "serve/volume_cache.hpp"
 #include "util/cli.hpp"
 #include "util/histogram.hpp"
@@ -218,6 +228,15 @@ void run_cluster_session(uint16_t port, uint64_t session, int frames,
   client.send_bye(nullptr);
 }
 
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
 struct ClusterShardReport {
   uint64_t routed_requests = 0;
   uint64_t forwarded_frames = 0;
@@ -238,13 +257,18 @@ struct ClusterConfigResult {
 
 ClusterConfigResult run_cluster_config(int nshards, uint64_t budget, int frames,
                                        int image,
-                                       const std::vector<ClusterVolume>& vols) {
+                                       const std::vector<ClusterVolume>& vols,
+                                       const std::string& trace_dir) {
   ClusterConfigResult result;
   result.shards = nshards;
 
+  // Recorders outlive the servers that write into them (declared first =>
+  // destroyed last). Only instantiated when --trace-out asks for dumps.
+  std::vector<std::unique_ptr<obs::SpanRecorder>> recorders;
   std::vector<std::unique_ptr<serve::RenderService>> services;
   std::vector<std::unique_ptr<net::NetServer>> servers;
   std::vector<cluster::ShardSpec> specs;
+  const bool tracing = !trace_dir.empty();
   for (int i = 0; i < nshards; ++i) {
     serve::ServiceOptions sopt;
     // One worker and one un-sharded cache per shard: the bench runs on any
@@ -255,9 +279,15 @@ ClusterConfigResult run_cluster_config(int nshards, uint64_t budget, int frames,
     sopt.batch_max = 1;
     sopt.cache_bytes = budget;
     sopt.cache_shards = 1;
-    services.push_back(std::make_unique<serve::RenderService>(sopt));
     net::NetServerOptions nopt;
     nopt.port = 0;
+    if (tracing) {
+      recorders.push_back(std::make_unique<obs::SpanRecorder>());
+      sopt.recorder = recorders.back().get();
+      nopt.recorder = recorders.back().get();
+      nopt.trace_node = "shard-" + std::to_string(i);
+    }
+    services.push_back(std::make_unique<serve::RenderService>(sopt));
     servers.push_back(std::make_unique<net::NetServer>(*services.back(), nopt));
     std::string error;
     if (!servers.back()->start(&error)) {
@@ -268,9 +298,14 @@ ClusterConfigResult run_cluster_config(int nshards, uint64_t budget, int frames,
                      servers.back()->port(), 1});
   }
 
+  obs::SpanRecorder router_recorder;
   cluster::RouterOptions ropt;
   ropt.port = 0;
   ropt.probe_interval_ms = 100.0;
+  if (tracing) {
+    ropt.recorder = &router_recorder;
+    ropt.trace_node = "router";
+  }
   cluster::Router router(specs, ropt);
   std::string error;
   if (!router.start(&error)) {
@@ -305,6 +340,59 @@ ClusterConfigResult run_cluster_config(int nshards, uint64_t budget, int frames,
                      : 0.0;
   }
 
+  // Traced probe: one explicitly sampled request through the router against
+  // the warm cluster, then collect the span dumps from every process-level
+  // recorder plus the router's Prometheus exposition.
+  if (tracing && result.error.empty()) {
+    ::mkdir(trace_dir.c_str(), 0755);  // fine if it already exists
+    net::NetClient probe;
+    std::string perr;
+    if (!probe.connect("127.0.0.1", router.port(), &perr)) {
+      std::fprintf(stderr, "netbench: trace probe connect failed: %s\n",
+                   perr.c_str());
+    } else {
+      net::RenderRequestMsg req;
+      req.request_id = 1;
+      req.session_id = 9'001;  // fresh session: exercises the pin path too
+      req.volume = vols[0].key;
+      req.camera = Camera::orbit({vols[0].key.nx, vols[0].key.ny, vols[0].key.nz},
+                                 0.4, 0.35);
+      req.camera.image_width = req.camera.image_height = image;
+      req.trace = obs::make_sampled_trace();
+      ImageU8 img;
+      net::FrameMsg meta;
+      if (!probe.render(req, &img, &meta, &perr)) {
+        std::fprintf(stderr, "netbench: trace probe render failed: %s\n",
+                     perr.c_str());
+      } else {
+        std::printf("  traced probe: trace %s, %zu server spans on the frame\n",
+                    obs::trace_id_hex(req.trace).c_str(), meta.spans.size());
+      }
+      std::string prom;
+      if (probe.fetch_metrics(&prom, &perr, net::kMetricsSelectorPrometheus)) {
+        write_file(trace_dir + "/router_prom.txt", prom);
+      }
+      probe.send_bye(nullptr);
+    }
+    // The shard-side kSend span lands on the shard's poll thread as the
+    // frame drains; give it a beat before snapshotting in-process.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    bool dumps_ok =
+        write_file(trace_dir + "/router_trace.json", router.trace_dump_json());
+    for (int i = 0; i < nshards; ++i) {
+      dumps_ok &=
+          write_file(trace_dir + "/shard-" + std::to_string(i) + "_trace.json",
+                     servers[static_cast<size_t>(i)]->trace_dump_json());
+    }
+    if (dumps_ok) {
+      std::printf("  wrote trace dumps to %s/\n", trace_dir.c_str());
+    } else {
+      std::fprintf(stderr, "netbench: could not write trace dumps to %s/\n",
+                   trace_dir.c_str());
+      result.error = "trace dump write failed";
+    }
+  }
+
   result.protocol_errors = router.metrics().protocol_errors.load();
   for (int i = 0; i < nshards; ++i) {
     ClusterShardReport report;
@@ -330,6 +418,7 @@ int run_cluster(const CliFlags& flags) {
   const int image = flags.get_int("image", 64);
   const std::string shard_list = flags.get("shards", "1,2,4");
   const std::string json_path = flags.get("json", "BENCH_cluster.json");
+  const std::string trace_out = flags.get("trace-out", "");
 
   std::vector<int> counts;
   for (size_t pos = 0; pos < shard_list.size();) {
@@ -402,7 +491,7 @@ int run_cluster(const CliFlags& flags) {
   auto builder = serve::VolumeCache::phantom_builder();
   for (ClusterVolume& v : vols) {
     WallTimer t;
-    v.bytes = builder(v.key)->storage_bytes();
+    v.bytes = builder(v.key, nullptr)->storage_bytes();
     v.build_ms = t.millis();
   }
   uint64_t load2[2] = {0, 0}, load4[4] = {0, 0, 0, 0}, total = 0;
@@ -435,7 +524,11 @@ int run_cluster(const CliFlags& flags) {
 
   std::vector<ClusterConfigResult> sweep;
   for (const int n : counts) {
-    ClusterConfigResult r = run_cluster_config(n, budget, frames, image, vols);
+    // Trace dumps come from the largest configuration only: one directory,
+    // one reassembled tree, and the multi-shard path is the one worth seeing.
+    const bool last = n == counts.back();
+    ClusterConfigResult r = run_cluster_config(n, budget, frames, image, vols,
+                                               last ? trace_out : std::string());
     std::printf("  %d shard(s): %llu frames in %.0f ms -> %.1f frames/sec "
                 "(%llu failed, %llu protocol errors)\n",
                 n, static_cast<unsigned long long>(r.frames_ok), r.wall_ms,
@@ -596,7 +689,7 @@ int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   flags.require_known({"mode", "sessions", "frames", "size", "threads", "kind",
                        "step", "window", "pending", "prepare-threads", "json",
-                       "cluster", "shards", "image"});
+                       "cluster", "shards", "image", "trace-out"});
   if (flags.get_bool("cluster", false)) return run_cluster(flags);
   const std::string mode = flags.get("mode", "stream");
   const int sessions = flags.get_int("sessions", 4);

@@ -5,14 +5,24 @@
 //
 //   ./tools/netclient --host=127.0.0.1 --port=7420 [--mode=render|stream|metrics]
 //                     [--frames=8] [--size=64] [--kind=mri|ct] [--session=1]
-//                     [--step=2.0] [--ppm=] [--timeout-ms=30000]
+//                     [--step=2.0] [--ppm=] [--timeout-ms=30000] [--trace=0]
+//                     [--format=json|prometheus|trace]
+//
+// --trace=1 requests a sampled trace on every frame: the server answers
+// with its per-stage spans in the frame's trace tail, printed here as a
+// per-frame breakdown table (works through the cluster router too — the
+// context forwards verbatim). --format picks the metrics-mode document:
+// the combined JSON (default), the Prometheus text exposition, or the
+// node's span dump (feed those to tools/traceview).
 #include <cstdio>
 #include <string>
 
 #include "core/factorization.hpp"
 #include "net/client.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/image.hpp"
+#include "util/table.hpp"
 #include "util/timer.hpp"
 
 using namespace psw;
@@ -34,12 +44,25 @@ net::RenderRequestMsg request_for_frame(uint64_t session, int frame,
   return req;
 }
 
+// Per-frame server-side stage breakdown from the frame's trace tail.
+void print_span_table(const net::FrameMsg& meta) {
+  if (!meta.trace.sampled() || meta.spans.empty()) return;
+  TextTable table({"stage", "ms", "tag"});
+  for (const auto& s : meta.spans) {
+    table.add_row({obs::to_string(s.kind), fmt(s.duration_ms(), 3),
+                   std::to_string(s.tag)});
+  }
+  std::printf("  trace %s server-side stages:\n%s",
+              obs::trace_id_hex(meta.trace).c_str(), table.to_string().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   flags.require_known({"host", "port", "mode", "frames", "size", "kind",
-                       "session", "step", "ppm", "timeout-ms"});
+                       "session", "step", "ppm", "timeout-ms", "trace",
+                       "format"});
   const std::string host = flags.get("host", "127.0.0.1");
   const uint16_t port = static_cast<uint16_t>(flags.get_int("port", 7420));
   const std::string mode = flags.get("mode", "render");
@@ -49,10 +72,18 @@ int main(int argc, char** argv) {
   const uint64_t session = static_cast<uint64_t>(flags.get_int("session", 1));
   const double step = flags.get_double("step", 2.0);
   const std::string ppm_path = flags.get("ppm", "");
+  const bool trace = flags.get_int("trace", 0) != 0;
+  const std::string format = flags.get("format", "json");
 
   if (mode != "render" && mode != "stream" && mode != "metrics") {
     std::fprintf(stderr, "--mode must be render, stream or metrics (got '%s')\n",
                  mode.c_str());
+    return 2;
+  }
+  if (format != "json" && format != "prometheus" && format != "trace") {
+    std::fprintf(stderr,
+                 "--format must be json, prometheus or trace (got '%s')\n",
+                 format.c_str());
     return 2;
   }
   if (kind != "mri" && kind != "ct") {
@@ -78,19 +109,24 @@ int main(int argc, char** argv) {
   WallTimer wall;
 
   if (mode == "metrics") {
-    std::string json;
-    if (!client.fetch_metrics(&json, &error)) {
+    const uint8_t selector = format == "prometheus"
+                                 ? net::kMetricsSelectorPrometheus
+                                 : format == "trace" ? net::kMetricsSelectorTrace
+                                                     : net::kMetricsSelectorJson;
+    std::string doc;
+    if (!client.fetch_metrics(&doc, &error, selector)) {
       std::fprintf(stderr, "netclient: metrics failed: %s\n", error.c_str());
       return 1;
     }
-    std::printf("%s\n", json.c_str());
+    std::printf("%s\n", doc.c_str());
     client.send_bye(nullptr);
     return 0;
   }
 
   if (mode == "render") {
     for (int f = 0; f < frames; ++f) {
-      const net::RenderRequestMsg req = request_for_frame(session, f, kind, size, step);
+      net::RenderRequestMsg req = request_for_frame(session, f, kind, size, step);
+      if (trace) req.trace = obs::make_sampled_trace();
       net::FrameMsg meta;
       WallTimer rtt;
       if (!client.render(req, &last, &meta, &error)) {
@@ -100,6 +136,7 @@ int main(int argc, char** argv) {
       std::printf("frame %3d: %3dx%-3d rtt %6.1f ms (render %5.1f ms, %s)\n", f,
                   last.width(), last.height(), rtt.millis(), meta.render_ms,
                   meta.cache_hit ? "cache hit" : "cache miss");
+      print_span_table(meta);
       ++received;
     }
   } else {
@@ -111,6 +148,7 @@ int main(int argc, char** argv) {
     req.volume.nx = req.volume.ny = req.volume.nz = size;
     req.step_deg = step;
     req.frames = static_cast<uint32_t>(frames);
+    if (trace) req.trace = obs::make_sampled_trace();
     if (!client.open_stream(req, &error)) {
       std::fprintf(stderr, "netclient: open stream failed: %s\n", error.c_str());
       return 1;
@@ -134,6 +172,7 @@ int main(int argc, char** argv) {
       }
       last = std::move(event.image);
       ++received;
+      print_span_table(event.frame);
       if (event.frame.dropped_before > 0) {
         std::printf("frame seq %3u: (%u dropped before this one)\n",
                     event.frame.seq, event.frame.dropped_before);

@@ -10,6 +10,15 @@
 //                    [--pool-buffers=8] [--pool-mb=64] [--pool-poison=0]
 //                    [--frame-pool=32] [--drain-timeout-ms=0]
 //                    [--json=netserve_metrics.json]
+//                    [--trace-sample=0] [--trace-slow-ms=0]
+//                    [--trace-dump=FILE] [--trace-node=netserve]
+//
+// Tracing: --trace-sample=N head-samples every Nth request at this server
+// (client-sampled requests are always traced); --trace-slow-ms=T retains
+// whole traces of requests slower than T ms in the flight recorder;
+// --trace-dump writes the span-dump JSON (the kMetricsSelectorTrace
+// document) at shutdown. Sampling off keeps the render and delivery hot
+// paths allocation-free.
 //
 // --drain-timeout-ms bounds the SIGTERM drain: 0 waits indefinitely (the
 // historical behavior); a positive value gives queued work that long to
@@ -25,6 +34,7 @@
 #include <string>
 
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 #include "shutdown.hpp"
 #include "util/cli.hpp"
@@ -37,7 +47,8 @@ int main(int argc, char** argv) {
                        "cache-mb", "cache-kb", "max-connections", "window",
                        "pending", "idle-timeout-ms", "prepare-threads",
                        "pool-buffers", "pool-mb", "pool-poison", "frame-pool",
-                       "drain-timeout-ms", "json"});
+                       "drain-timeout-ms", "json", "trace-sample",
+                       "trace-slow-ms", "trace-dump", "trace-node"});
 
   serve::ServiceOptions sopt;
   sopt.worker_threads = flags.get_int("threads", 4);
@@ -64,6 +75,16 @@ int main(int argc, char** argv) {
   nopt.idle_timeout_ms = flags.get_double("idle-timeout-ms", 30'000.0);
   const int drain_timeout_ms = flags.get_int("drain-timeout-ms", 0);
   const std::string json_path = flags.get("json", "netserve_metrics.json");
+  const std::string trace_dump_path = flags.get("trace-dump", "");
+
+  obs::SpanRecorder::Options ropt;
+  ropt.slow_ms = flags.get_double("trace-slow-ms", 0.0);
+  obs::SpanRecorder recorder(ropt);
+  sopt.recorder = &recorder;
+  nopt.recorder = &recorder;
+  nopt.trace_sample =
+      static_cast<uint32_t>(flags.get_int("trace-sample", 0));
+  nopt.trace_node = flags.get("trace-node", "netserve");
 
   tools::install_shutdown_handler();
 
@@ -119,6 +140,21 @@ int main(int argc, char** argv) {
     std::fputc('\n', f);
     std::fclose(f);
     std::printf("netserve: wrote %s\n", json_path.c_str());
+  }
+  if (!trace_dump_path.empty()) {
+    const std::string dump = server.trace_dump_json();
+    std::FILE* f = std::fopen(trace_dump_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "netserve: cannot write %s\n",
+                   trace_dump_path.c_str());
+      return 1;
+    }
+    std::fwrite(dump.data(), 1, dump.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("netserve: wrote %s (%llu spans recorded)\n",
+                trace_dump_path.c_str(),
+                static_cast<unsigned long long>(recorder.recorded()));
   }
   // Distinct exit code for a timed-out drain: the metrics document is
   // still flushed above, but a supervisor can tell the difference.

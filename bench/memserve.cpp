@@ -26,13 +26,17 @@
 //                    send buffer (copying the payload). Same encoder class,
 //                    same frames — the delta is the buffering strategy.
 //
-//   end_to_end       one warm RenderService submit/get/recycle loop, so the
-//                    report also shows what a whole served frame costs
-//                    (render scratch included; informational, not gated).
+//   end_to_end       one warm RenderService frame loop through the
+//                    callback (submit_async) path NetServer uses, so the
+//                    report also shows what a whole served frame costs —
+//                    render scratch included. Gated with --gate-e2e=N
+//                    (0 disables): render-path alloc regressions then fail
+//                    CI just like delivery-path ones.
 //
 //   ./bench/memserve [--frames=96] [--warmup=16] [--inputs=8] [--size=64]
-//                    [--threads=4] [--step=2.0] [--gate=2]
+//                    [--threads=4] [--step=2.0] [--gate=2] [--gate-e2e=0]
 //                    [--json=BENCH_memserve.json]
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -98,13 +102,14 @@ void write_section(JsonWriter& w, const SectionResult& r) {
 int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   flags.require_known({"frames", "warmup", "inputs", "size", "threads", "step",
-                       "gate", "json"});
+                       "gate", "gate-e2e", "json"});
   const int frames = flags.get_int("frames", 96);
   const int warmup = flags.get_int("warmup", 16);
   const int inputs = flags.get_int("inputs", 8);
   const int size = flags.get_int("size", 64);
   const double step = flags.get_double("step", 2.0);
   const double gate = flags.get_double("gate", 2.0);
+  const double gate_e2e = flags.get_double("gate-e2e", 0.0);
   const std::string json_path = flags.get("json", "BENCH_memserve.json");
 
   ServiceOptions sopt;
@@ -308,16 +313,35 @@ int main(int argc, char** argv) {
     legacy.ms_per_frame = ms / frames;
   }
 
-  // --- end_to_end: whole served frames through the warm service
+  // --- end_to_end: whole served frames through the warm service, via the
+  // callback path NetServer takes (no per-frame promise/future state).
   SectionResult e2e;
   {
     int base = inputs;
+    // Completion rendezvous: the callback stores the result and flips the
+    // futex-waitable flag. The submit_async lambda captures one pointer, so
+    // it fits std::function's small-buffer storage — no allocation.
+    struct Sink {
+      std::atomic<int> done{0};
+      ServeStatus status = ServeStatus::kError;
+      ImageU8 image;
+    } sink;
     auto serve_one = [&](int f) -> bool {
-      Ticket t = service.submit(request_for_frame(f, size, step));
-      if (!t.accepted()) return false;
-      FrameResult r = t.result.get();
-      if (r.status != ServeStatus::kOk) return false;
-      service.recycle_frame(std::move(r.image));
+      sink.status = ServeStatus::kError;
+      const ServeStatus admitted = service.submit_async(
+          request_for_frame(f, size, step), [sp = &sink](FrameResult r) {
+            sp->status = r.status;
+            sp->image = std::move(r.image);
+            sp->done.store(1, std::memory_order_release);
+            sp->done.notify_one();
+          });
+      if (admitted != ServeStatus::kOk) return false;
+      sink.done.wait(0, std::memory_order_acquire);
+      // relaxed: the next submit_async's queue handoff orders this reset
+      // before the scheduler's completion store.
+      sink.done.store(0, std::memory_order_relaxed);
+      if (sink.status != ServeStatus::kOk) return false;
+      service.recycle_frame(std::move(sink.image));
       return true;
     };
     for (int f = 0; f < warmup; ++f) serve_one(base + f);
@@ -368,6 +392,7 @@ int main(int argc, char** argv) {
         .field("threads", sopt.worker_threads)
         .field("raw_bytes_per_frame", raw_bytes)
         .field("gate_allocs_per_frame", gate)
+        .field("gate_e2e_allocs_per_frame", gate_e2e)
         .end_object();
     w.key("delivery");
     write_section(w, delivery);
@@ -397,7 +422,16 @@ int main(int argc, char** argv) {
                  delivery.allocs_per_frame, gate);
     return 1;
   }
-  std::printf("memserve: OK — delivery path %.2f allocs/frame (gate %.2f)\n",
-              delivery.allocs_per_frame, gate);
+  if (gate_e2e > 0.0 && e2e.allocs_per_frame > gate_e2e) {
+    std::fprintf(stderr,
+                 "memserve: FAIL — end-to-end render path costs %.2f "
+                 "allocs/frame (gate %.2f)\n",
+                 e2e.allocs_per_frame, gate_e2e);
+    return 1;
+  }
+  std::printf("memserve: OK — delivery path %.2f allocs/frame (gate %.2f), "
+              "end-to-end %.2f allocs/frame (gate %s)\n",
+              delivery.allocs_per_frame, gate, e2e.allocs_per_frame,
+              gate_e2e > 0.0 ? "on" : "off");
   return 0;
 }

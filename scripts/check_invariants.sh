@@ -94,7 +94,15 @@ else
   # discard_outbound returning storage to the pools. bench/memserve pins
   # this path at 0 allocations per warm frame; these AST rules make the
   # "how" a reviewable invariant instead of a benchmark-only observation.
-  delivery='"send_frame","queue_send","write_ready","encode_append","encode_meta","encode_header","put_u32_at","recycle_frame","release","discard_outbound"'
+  #
+  # The render inner loop is held to the same no-new rule: render() (both
+  # parallel renderers, including every worker lambda in their bodies — the
+  # parent map reaches through LambdaExpr), the *_into partition helpers
+  # and the warp splitter draw all per-frame storage from the renderer's
+  # FrameScratch. The scratch's own grow path (FrameScratch::begin_frame,
+  # a separate function in frame_scratch.hpp) is intentionally outside the
+  # matched set: growth on a P/dims change is the one legal allocation.
+  delivery='"send_frame","queue_send","write_ready","encode_append","encode_meta","encode_header","put_u32_at","recycle_frame","release","discard_outbound","render","prefix_sum_into","prefix_sum_parallel_into","balanced_partition_into","uniform_partition_into","warp_x_interval"'
   # The strictly in-place subset: these may not even append to a container
   # (the wider set legitimately push_backs into reserved pooled/member
   # scratch, which reuses capacity on the warm path).
@@ -105,6 +113,9 @@ else
     "$root/src/net/wire.cpp"
     "$root/src/serve/service.cpp"
     "$root/src/util/buffer_pool.cpp"
+    "$root/src/parallel/new_renderer.cpp"
+    "$root/src/parallel/old_renderer.cpp"
+    "$root/src/parallel/partition.cpp"
   )
 
   cq_out=$("$cq" -p "$out" \

@@ -160,16 +160,20 @@ for needle in ("trace ", "router-proxy", "request", "composite", "warp",
     assert needle in text, (needle, text)
 EOF
 
-echo "==> Serving memory-path smoke run (memserve, allocs-per-frame gate)"
+echo "==> Serving memory-path smoke run (memserve, allocs-per-frame gates)"
 # memserve exits non-zero when the warm delivery path (pooled payload ->
 # encode-in-place -> header stamp) costs more than --gate allocations per
-# frame; the JSON check also pins the zero-copy claim and the before/after
-# contrast against the legacy flat-copy shape.
-(cd "$out/release/bench" && ./memserve --gate=2 \
+# frame, or when the whole warm end-to-end path (admission -> scheduler ->
+# pooled render scratch -> delivery) exceeds --gate-e2e; the JSON check
+# also pins the zero-copy claim and the before/after contrast against the
+# legacy flat-copy shape.
+(cd "$out/release/bench" && ./memserve --gate=2 --gate-e2e=2 \
   --json="$out/BENCH_memserve.json" >/dev/null)
 python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
 assert d['delivery']['allocs_per_frame'] <= 2, d; \
 assert d['delivery']['bytes_copied_per_frame'] == 0, d; \
+assert d['end_to_end']['allocs_per_frame'] <= 2, d; \
+assert d['end_to_end']['alloc_bytes_per_frame'] <= 256, d; \
 assert d['legacy_delivery']['allocs_per_frame'] > d['delivery']['allocs_per_frame'], d; \
 assert d['traced_delivery']['wire_bytes_per_frame'] > d['delivery']['wire_bytes_per_frame'], d" \
   "$out/BENCH_memserve.json"

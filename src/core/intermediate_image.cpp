@@ -12,6 +12,16 @@ void IntermediateImage::resize(int width, int height) {
   skip_.assign(static_cast<size_t>(width) * height, 0);
 }
 
+void IntermediateImage::resize_for_reuse(int width, int height) {
+  width_ = width;
+  height_ = height;
+  const size_t n = static_cast<size_t>(width) * height;
+  if (pixels_.size() < n) {
+    pixels_.resize(n);
+    skip_.resize(n);
+  }
+}
+
 void IntermediateImage::clear() { clear_rows(0, height_); }
 
 void IntermediateImage::clear_rows(int v0, int v1) {

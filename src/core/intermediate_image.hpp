@@ -27,6 +27,12 @@ class IntermediateImage {
   IntermediateImage(int width, int height) { resize(width, height); }
 
   void resize(int width, int height);
+  // Resize without clearing, reusing existing storage when it is large
+  // enough (mirrors ImageU8::pixel_capacity). Contents of the new extent
+  // are unspecified: only callers that clear every row they later read —
+  // the parallel renderers clear all of [0, height) each frame — may use
+  // this; everyone else wants resize().
+  void resize_for_reuse(int width, int height);
   // Clears pixels and skip links for a new frame.
   void clear();
   // Clears only the given scanline range [v0, v1) — what each processor

@@ -209,6 +209,15 @@ void encode_ktile(const ClassifiedVoxel* data, size_t step_i, size_t step_j, siz
 RleVolume::Chunk RleVolume::encode_chunk(const ClassifiedVolume& vol, int principal_axis,
                                          uint8_t alpha_threshold, size_t begin,
                                          size_t end) {
+  Chunk out;
+  std::vector<ClassifiedVoxel> lane_buf;
+  encode_chunk_into(vol, principal_axis, alpha_threshold, begin, end, &out, &lane_buf);
+  return out;
+}
+
+void RleVolume::encode_chunk_into(const ClassifiedVolume& vol, int principal_axis,
+                                  uint8_t alpha_threshold, size_t begin, size_t end,
+                                  Chunk* outp, std::vector<ClassifiedVoxel>* lane_buf) {
   const AxisPermutation perm = AxisPermutation::for_principal_axis(principal_axis);
   const size_t ni = static_cast<size_t>(vol.dim(perm.axis_i));
   const size_t nj = static_cast<size_t>(vol.dim(perm.axis_j));
@@ -222,10 +231,13 @@ RleVolume::Chunk RleVolume::encode_chunk(const ClassifiedVolume& vol, int princi
   const size_t step_j = stride[perm.axis_j];
   const size_t step_k = stride[perm.axis_k];
 
-  Chunk out;
+  Chunk& out = *outp;
+  out.runs.clear();
+  out.voxels.clear();
+  out.fragments.clear();
   out.begin = begin;
   out.end = end;
-  if (begin >= end || ni == 0) return out;
+  if (begin >= end || ni == 0) return;
   const ClassifiedVoxel* data = vol.data();
   const auto scanline_base = [&](size_t s) {
     return data + (s / nj) * step_k + (s % nj) * step_j;
@@ -251,18 +263,18 @@ RleVolume::Chunk RleVolume::encode_chunk(const ClassifiedVolume& vol, int princi
         encode_piece(scanline_base(s), 1, 0, ni, alpha_threshold, out);
       }
     } else if (step_j == 1) {
-      std::vector<ClassifiedVoxel> buf(kLanes * ni);
+      if (lane_buf->size() < kLanes * ni) lane_buf->resize(kLanes * ni);
       const size_t k_first = s0 / nj, k_last = (s1 - 1) / nj;
       for (size_t k = k_first; k <= k_last; ++k) {
         const size_t jlo = k == k_first ? s0 % nj : 0;
         const size_t jhi = k == k_last ? (s1 - 1) % nj + 1 : nj;
-        encode_jtile(data, step_i, step_k, ni, k, jlo, jhi, alpha_threshold, buf.data(),
-                     out);
+        encode_jtile(data, step_i, step_k, ni, k, jlo, jhi, alpha_threshold,
+                     lane_buf->data(), out);
       }
     } else {
       // step_k == 1: only fully covered ks tile; the partial first/last k
       // fall back to the scalar walk (at most two per chunk).
-      std::vector<ClassifiedVoxel> buf(kLanes * ni * nj);
+      if (lane_buf->size() < kLanes * ni * nj) lane_buf->resize(kLanes * ni * nj);
       const size_t k_first = s0 / nj, k_last = (s1 - 1) / nj;
       size_t klo = k_first, khi = k_last + 1;
       if (s0 % nj != 0) {  // leading partial k
@@ -275,8 +287,8 @@ RleVolume::Chunk RleVolume::encode_chunk(const ClassifiedVolume& vol, int princi
       const bool trailing_partial = s1 % nj != 0 && khi > klo;
       if (trailing_partial) --khi;
       if (klo < khi) {
-        encode_ktile(data, step_i, step_j, ni, nj, klo, khi, alpha_threshold, buf.data(),
-                     out);
+        encode_ktile(data, step_i, step_j, ni, nj, klo, khi, alpha_threshold,
+                     lane_buf->data(), out);
       }
       if (trailing_partial) {
         for (size_t j = 0; j < s1 % nj; ++j) {
@@ -290,11 +302,15 @@ RleVolume::Chunk RleVolume::encode_chunk(const ClassifiedVolume& vol, int princi
   if (v < end) {
     encode_piece(scanline_base(v / ni), step_i, 0, end - v, alpha_threshold, out);
   }
-  return out;
 }
 
 RleVolume RleVolume::stitch(const ClassifiedVolume& vol, int principal_axis,
                             uint8_t alpha_threshold, const std::vector<Chunk>& chunks) {
+  return stitch(vol, principal_axis, alpha_threshold, chunks.data(), chunks.size());
+}
+
+RleVolume RleVolume::stitch(const ClassifiedVolume& vol, int principal_axis,
+                            uint8_t alpha_threshold, const Chunk* chunks, size_t count) {
   RleVolume r;
   r.axis_ = principal_axis;
   r.perm_ = AxisPermutation::for_principal_axis(principal_axis);
@@ -321,16 +337,17 @@ RleVolume RleVolume::stitch(const ClassifiedVolume& vol, int principal_axis,
   }
 
   size_t total_runs = 0, total_voxels = 0;
-  for (const Chunk& c : chunks) {
-    total_runs += c.runs.size();
-    total_voxels += c.voxels.size();
+  for (size_t ci = 0; ci < count; ++ci) {
+    total_runs += chunks[ci].runs.size();
+    total_voxels += chunks[ci].voxels.size();
   }
   r.runs_.reserve(total_runs + scanlines);  // + possible leading zero runs
   r.voxels_.reserve(total_voxels);
 
   bool line_open = false;
   bool last_opaque = false;  // class of the last appended run of the open line
-  for (const Chunk& c : chunks) {
+  for (size_t ci = 0; ci < count; ++ci) {
+    const Chunk& c = chunks[ci];
     size_t run_pos = 0, vox_pos = 0;
     const bool continues_line = (c.begin % static_cast<size_t>(r.ni_)) != 0;
     for (size_t f = 0; f < c.fragments.size(); ++f) {

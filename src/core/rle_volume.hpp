@@ -70,9 +70,22 @@ class RleVolume {
   };
   static Chunk encode_chunk(const ClassifiedVolume& vol, int principal_axis,
                             uint8_t alpha_threshold, size_t begin, size_t end);
+  // Allocation-reusing form of encode_chunk: rewrites `out` in place (its
+  // run/voxel/fragment tables are cleared but keep their capacity) and
+  // gathers strided lanes through `lane_buf`, which is grown as needed and
+  // meant to be shared across a worker's sequential calls. Bit-identical
+  // output — the lane buffer's prior contents are never read.
+  static void encode_chunk_into(const ClassifiedVolume& vol, int principal_axis,
+                                uint8_t alpha_threshold, size_t begin, size_t end,
+                                Chunk* out, std::vector<ClassifiedVoxel>* lane_buf);
   // `chunks` must tile [0, ni*nj*nk) in order. Bit-identical to encode().
   static RleVolume stitch(const ClassifiedVolume& vol, int principal_axis,
                           uint8_t alpha_threshold, const std::vector<Chunk>& chunks);
+  // Same, over the first `count` entries of a caller-owned chunk array —
+  // the pooled preparation path keeps oversized (capacity-retaining) chunk
+  // tables and passes the live prefix.
+  static RleVolume stitch(const ClassifiedVolume& vol, int principal_axis,
+                          uint8_t alpha_threshold, const Chunk* chunks, size_t count);
 
   // Structural equality / FNV-1a content hash over runs, voxels and offset
   // tables; pins serial-vs-parallel bit-identity in tests and benches.

@@ -23,6 +23,21 @@ class Volume {
     data_.assign(static_cast<size_t>(nx) * ny * nz, fill);
   }
 
+  // Like resize(), but reused storage keeps its previous contents (no
+  // refill pass over the grid). Only for callers that store every voxel
+  // before reading any — the classification kernels qualify: they write
+  // even provably-transparent voxels explicitly. Capacity is retained
+  // across shrink/regrow, so pooled volumes stop allocating once warm.
+  void resize_for_reuse(int nx, int ny, int nz) {
+    nx_ = nx;
+    ny_ = ny;
+    nz_ = nz;
+    data_.resize(static_cast<size_t>(nx) * ny * nz);
+  }
+
+  // Allocated (not just used) element capacity; pool byte accounting.
+  size_t capacity() const { return data_.capacity(); }
+
   int nx() const { return nx_; }
   int ny() const { return ny_; }
   int nz() const { return nz_; }

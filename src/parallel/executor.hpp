@@ -5,11 +5,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
 #include "core/hook.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/function_ref.hpp"
 
 namespace psw {
 
@@ -22,8 +22,10 @@ class Executor {
 
   // Runs body(p) for every p; returns when all are done. For a threaded
   // executor the return is a barrier; for a serial executor bodies run in
-  // processor order.
-  virtual void run(const std::function<void(int)>& body) = 0;
+  // processor order. Takes a non-owning FunctionRef (the call blocks until
+  // the region joins) so per-frame regions never pay a std::function heap
+  // allocation for large captures.
+  virtual void run(FunctionRef<void(int)> body) = 0;
 
   // True when bodies genuinely overlap in time. Renderers use this to
   // decide whether work stealing and fused composite+warp phases (with
@@ -76,7 +78,7 @@ class SerialExecutor : public Executor {
 
   int procs() const override { return procs_; }
   bool concurrent() const override { return false; }
-  void run(const std::function<void(int)>& body) override {
+  void run(FunctionRef<void(int)> body) override {
     for (int p = 0; p < procs_; ++p) body(p);
   }
 
@@ -91,7 +93,7 @@ class ThreadedExecutor : public Executor {
 
   int procs() const override { return pool_.size(); }
   bool concurrent() const override { return true; }
-  void run(const std::function<void(int)>& body) override { pool_.run(body); }
+  void run(FunctionRef<void(int)> body) override { pool_.run(body); }
 
  private:
   ThreadPool pool_;

@@ -47,6 +47,15 @@ ParallelRenderStats NewParallelRenderer::render(const EncodedVolume& volume,
                                                 const Camera& camera, Executor& exec,
                                                 ImageU8* out) {
   ParallelRenderStats stats;
+  render(volume, camera, exec, out, &stats);
+  return stats;
+}
+
+void NewParallelRenderer::render(const EncodedVolume& volume, const Camera& camera,
+                                 Executor& exec, ImageU8* out,
+                                 ParallelRenderStats* stats_out) {
+  ParallelRenderStats& stats = *stats_out;
+  stats.reset();
   WallTimer total;
   const int P = exec.procs();
 
@@ -54,10 +63,11 @@ ParallelRenderStats NewParallelRenderer::render(const EncodedVolume& volume,
   const Factorization f = factorize(camera, dims);
   const RleVolume& rle = volume.for_axis(f.principal_axis);
 
-  if (intermediate_.width() != f.intermediate_width ||
-      intermediate_.height() != f.intermediate_height) {
-    intermediate_.resize(f.intermediate_width, f.intermediate_height);
-  }
+  // Reuse the intermediate image's storage across frames (and across the
+  // small size wobbles of a rotating camera): every row of the new extent
+  // is cleared below before it is read, either by the per-partition edge
+  // pass or by process_chunk, so no zeroing resize is needed.
+  intermediate_.resize_for_reuse(f.intermediate_width, f.intermediate_height);
   const int height = f.intermediate_height;
 
   // Region of the intermediate image that can receive any contribution
@@ -70,11 +80,11 @@ ParallelRenderStats NewParallelRenderer::render(const EncodedVolume& volume,
   stats.active_hi = act_hi;
 
   // Partition: predictively balanced from the last profile, else uniform
-  // over the active region (first frame).
-  std::vector<int> bounds;
+  // over the active region (first frame). All arrays live in the scratch.
+  std::vector<int>& bounds = scratch_.part.bounds;
   if (profile_.valid_for(profile_height_) && profile_height_ > 0) {
-    const std::vector<uint64_t> cum = prefix_sum_parallel(profile_.cost(), exec);
-    bounds = balanced_partition(cum, P);
+    prefix_sum_parallel_into(profile_.cost(), exec, &scratch_.part);
+    balanced_partition_into(scratch_.part.cum, P, &bounds);
     if (profile_height_ != height) {
       // Rotation changed the intermediate size slightly; rescale.
       const double scale = static_cast<double>(height) / profile_height_;
@@ -86,12 +96,12 @@ ParallelRenderStats NewParallelRenderer::render(const EncodedVolume& volume,
       for (int p = P - 1; p >= 1; --p) bounds[p] = std::min(bounds[p], bounds[p + 1]);
     }
   } else {
-    bounds = uniform_partition(std::max(0, act_hi - act_lo), P);
+    uniform_partition_into(std::max(0, act_hi - act_lo), P, &bounds);
     for (int& b : bounds) b += act_lo;
     bounds.front() = 0;
     bounds.back() = height;
   }
-  stats.bounds = bounds;
+  stats.bounds.assign(bounds.begin(), bounds.end());
 
   // Profile this frame? (First frame, or the profile is stale; §4.2.)
   const bool profiling =
@@ -100,11 +110,12 @@ ParallelRenderStats NewParallelRenderer::render(const EncodedVolume& volume,
   stats.profiled = profiling;
   if (profiling) profile_.begin_frame(height);
 
-  // Seed the queues with the active slice of each partition.
-  StealQueues queues(P);
+  // Seed the (reopened) queues with the active slice of each partition.
+  scratch_.begin_frame(P);
+  StealQueues& queues = scratch_.queues;
+  std::atomic<int>* const remaining = scratch_.remaining.get();
+  std::atomic<bool>* const done = scratch_.done.get();
   const int chunk = std::max(1, options_.chunk_scanlines);
-  std::vector<std::atomic<int>> remaining(P);
-  std::vector<std::atomic<bool>> done(P);
   for (int p = 0; p < P; ++p) {
     const int lo = std::max(bounds[p], act_lo);
     const int hi = std::min(bounds[p + 1], act_hi);
@@ -126,8 +137,18 @@ ParallelRenderStats NewParallelRenderer::render(const EncodedVolume& volume,
   const bool p2p_sync = options_.fused_phases;
   stats.composite_work.assign(P, 0);
   stats.warp_pixels.assign(P, 0);
-  std::vector<CompositeStats> comp_stats(P);
-  std::vector<double> composite_sec(P, 0.0), warp_sec(P, 0.0);
+  std::vector<CompositeStats>& comp_stats = scratch_.comp_stats;
+  std::vector<double>& composite_sec = scratch_.composite_sec;
+  std::vector<double>& warp_sec = scratch_.warp_sec;
+
+  // Rows the inactive-edge pass will clear (0 when every partition is
+  // fully active and the pass is skipped); computed here so the stat needs
+  // no synchronization inside the parallel region.
+  for (int p = 0; p < P; ++p) {
+    stats.edge_rows_cleared +=
+        static_cast<uint64_t>(std::max(0, std::min(bounds[p + 1], act_lo) - bounds[p])) +
+        static_cast<uint64_t>(std::max(0, bounds[p + 1] - std::max(bounds[p], act_hi)));
+  }
 
   out->resize(f.final_width, f.final_height);
   const Affine2D inv = f.warp.inverse();
@@ -172,9 +193,15 @@ ParallelRenderStats NewParallelRenderer::render(const EncodedVolume& volume,
   };
 
   auto clear_inactive_rows = [&](int p) {
-    // Clear the never-composited rows of my partition once per frame.
-    intermediate_.clear_rows(bounds[p], std::min(bounds[p + 1], act_lo));
-    intermediate_.clear_rows(std::max(bounds[p], act_hi), bounds[p + 1]);
+    // Clear the never-composited rows of my partition once per frame. A
+    // fully active partition has none — skip the pass outright so warm
+    // frames (where the profile pins every partition inside the active
+    // region) pay nothing here.
+    const int lo = bounds[p], hi = bounds[p + 1];
+    if (lo < act_lo || hi > act_hi) {
+      intermediate_.clear_rows(lo, std::min(hi, act_lo));
+      intermediate_.clear_rows(std::max(lo, act_hi), hi);
+    }
     retire(p, p, 1);
   };
 
@@ -285,7 +312,6 @@ ParallelRenderStats NewParallelRenderer::render(const EncodedVolume& volume,
   ++frame_index_;
 
   stats.total_ms = total.millis();
-  return stats;
 }
 
 }  // namespace psw

@@ -10,6 +10,7 @@
 
 #include "core/renderer.hpp"
 #include "parallel/executor.hpp"
+#include "parallel/frame_scratch.hpp"
 #include "parallel/options.hpp"
 #include "parallel/profile.hpp"
 
@@ -25,6 +26,13 @@ class NewParallelRenderer {
   ParallelRenderStats render(const EncodedVolume& volume, const Camera& camera,
                              Executor& exec, ImageU8* out);
 
+  // Allocation-free form: all per-frame working state lives in the
+  // renderer's FrameScratch, the intermediate image is reused within
+  // capacity, and the statistics are written into *stats (capacity-reusing
+  // assigns). Steady-state frames perform zero heap allocations.
+  void render(const EncodedVolume& volume, const Camera& camera, Executor& exec,
+              ImageU8* out, ParallelRenderStats* stats);
+
   // Forgets profile state (e.g. when switching animations or volumes).
   void reset() {
     profile_.invalidate();
@@ -39,6 +47,7 @@ class NewParallelRenderer {
   ParallelOptions options_;
   IntermediateImage intermediate_;
   ScanlineProfile profile_;
+  FrameScratch scratch_;    // per-frame working set, reused across frames
   int profile_height_ = 0;  // intermediate height the profile was taken at
   int frame_index_ = 0;
 };

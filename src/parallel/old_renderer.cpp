@@ -10,6 +10,15 @@ ParallelRenderStats OldParallelRenderer::render(const EncodedVolume& volume,
                                                 const Camera& camera, Executor& exec,
                                                 ImageU8* out) {
   ParallelRenderStats stats;
+  render(volume, camera, exec, out, &stats);
+  return stats;
+}
+
+void OldParallelRenderer::render(const EncodedVolume& volume, const Camera& camera,
+                                 Executor& exec, ImageU8* out,
+                                 ParallelRenderStats* stats_out) {
+  ParallelRenderStats& stats = *stats_out;
+  stats.reset();
   WallTimer total;
   const int P = exec.procs();
 
@@ -17,15 +26,16 @@ ParallelRenderStats OldParallelRenderer::render(const EncodedVolume& volume,
   const Factorization f = factorize(camera, dims);
   const RleVolume& rle = volume.for_axis(f.principal_axis);
 
-  if (intermediate_.width() != f.intermediate_width ||
-      intermediate_.height() != f.intermediate_height) {
-    intermediate_.resize(f.intermediate_width, f.intermediate_height);
-  }
+  // Storage-reusing resize: every scanline is cleared by process_chunk
+  // below (the interleaved chunks tile [0, height)), so nothing stale is
+  // ever read.
+  intermediate_.resize_for_reuse(f.intermediate_width, f.intermediate_height);
   const int height = f.intermediate_height;
 
   // --- Compositing phase: interleaved chunks, task stealing. ---
   exec.begin_phase("composite");
-  StealQueues queues(P);
+  scratch_.begin_frame(P);
+  StealQueues& queues = scratch_.queues;
   const int chunk = std::max(1, options_.chunk_scanlines);
   int chunk_index = 0;
   for (int lo = 0; lo < height; lo += chunk, ++chunk_index) {
@@ -35,7 +45,7 @@ ParallelRenderStats OldParallelRenderer::render(const EncodedVolume& volume,
 
   const bool steal = options_.stealing;
   stats.composite_work.assign(P, 0);
-  std::vector<CompositeStats> comp_stats(P);
+  std::vector<CompositeStats>& comp_stats = scratch_.comp_stats;
 
   auto process_chunk = [&](int p, const ScanlineRange& r) -> uint32_t {
     MemoryHook* hook = exec.hook(p);
@@ -89,7 +99,6 @@ ParallelRenderStats OldParallelRenderer::render(const EncodedVolume& volume,
   stats.warp_ms = warp_timer.millis();
 
   stats.total_ms = total.millis();
-  return stats;
 }
 
 }  // namespace psw

@@ -6,6 +6,7 @@
 
 #include "core/renderer.hpp"
 #include "parallel/executor.hpp"
+#include "parallel/frame_scratch.hpp"
 #include "parallel/options.hpp"
 
 namespace psw {
@@ -20,12 +21,19 @@ class OldParallelRenderer {
   ParallelRenderStats render(const EncodedVolume& volume, const Camera& camera,
                              Executor& exec, ImageU8* out);
 
+  // Allocation-free form: per-frame working state lives in the renderer's
+  // FrameScratch and statistics are written into *stats with
+  // capacity-reusing assigns (see NewParallelRenderer for the contract).
+  void render(const EncodedVolume& volume, const Camera& camera, Executor& exec,
+              ImageU8* out, ParallelRenderStats* stats);
+
   const ParallelOptions& options() const { return options_; }
   const IntermediateImage& intermediate() const { return intermediate_; }
 
  private:
   ParallelOptions options_;
   IntermediateImage intermediate_;
+  FrameScratch scratch_;  // per-frame working set, reused across frames
 };
 
 }  // namespace psw

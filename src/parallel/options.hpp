@@ -42,6 +42,24 @@ struct ParallelRenderStats {
   bool profiled = false;
   std::vector<int> bounds;  // partition boundaries (P+1 entries)
   int active_lo = 0, active_hi = 0;
+  // Rows cleared by the per-partition inactive-edge pass; 0 on frames whose
+  // partitions are all fully active (the pass is skipped entirely then).
+  uint64_t edge_rows_cleared = 0;
+
+  // Returns the struct to its default state while keeping vector capacity,
+  // so a caller-owned stats object makes the render out-param path
+  // allocation-free across frames.
+  void reset() {
+    total_ms = composite_ms = warp_ms = 0.0;
+    composite = CompositeStats{};
+    composite_work.clear();
+    warp_pixels.clear();
+    steals = lock_ops = 0;
+    profiled = false;
+    bounds.clear();
+    active_lo = active_hi = 0;
+    edge_rows_cleared = 0;
+  }
 
   // Max-over-mean deviation of per-processor composite work.
   double work_imbalance() const {

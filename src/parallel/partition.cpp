@@ -5,20 +5,30 @@
 
 namespace psw {
 
+void prefix_sum_into(const std::vector<uint32_t>& cost, std::vector<uint64_t>* out) {
+  out->assign(cost.size() + 1, 0);
+  for (size_t i = 0; i < cost.size(); ++i) (*out)[i + 1] = (*out)[i] + cost[i];
+}
+
 std::vector<uint64_t> prefix_sum(const std::vector<uint32_t>& cost) {
-  std::vector<uint64_t> out(cost.size() + 1, 0);
-  for (size_t i = 0; i < cost.size(); ++i) out[i + 1] = out[i] + cost[i];
+  std::vector<uint64_t> out;
+  prefix_sum_into(cost, &out);
   return out;
 }
 
-std::vector<uint64_t> prefix_sum_parallel(const std::vector<uint32_t>& cost,
-                                          Executor& exec) {
+void prefix_sum_parallel_into(const std::vector<uint32_t>& cost, Executor& exec,
+                              PartitionScratch* scratch) {
   const int P = exec.procs();
   const size_t n = cost.size();
-  if (P <= 1 || n < static_cast<size_t>(4 * P)) return prefix_sum(cost);
+  if (P <= 1 || n < static_cast<size_t>(4 * P)) {
+    prefix_sum_into(cost, &scratch->cum);
+    return;
+  }
 
-  std::vector<uint64_t> out(n + 1, 0);
-  std::vector<uint64_t> block_sum(P, 0);
+  std::vector<uint64_t>& out = scratch->cum;
+  std::vector<uint64_t>& block_sum = scratch->block_sum;
+  out.assign(n + 1, 0);
+  block_sum.assign(P, 0);
   const size_t block = (n + P - 1) / P;
 
   // Pass 1: per-block local prefix into out[1..], plus block totals.
@@ -35,7 +45,8 @@ std::vector<uint64_t> prefix_sum_parallel(const std::vector<uint32_t>& cost,
 
   // Scan of block sums (P entries; serial is fine and matches the paper's
   // logarithmic prefix step cost being negligible).
-  std::vector<uint64_t> block_base(P + 1, 0);
+  std::vector<uint64_t>& block_base = scratch->block_base;
+  block_base.assign(P + 1, 0);
   for (int p = 0; p < P; ++p) block_base[p + 1] = block_base[p] + block_sum[p];
 
   // Pass 2: add block bases.
@@ -45,16 +56,26 @@ std::vector<uint64_t> prefix_sum_parallel(const std::vector<uint32_t>& cost,
     const size_t hi = std::min(n, lo + block);
     for (size_t i = lo; i < hi; ++i) out[i + 1] += block_base[p];
   });
-  return out;
 }
 
-std::vector<int> balanced_partition(const std::vector<uint64_t>& cumulative, int procs) {
+std::vector<uint64_t> prefix_sum_parallel(const std::vector<uint32_t>& cost,
+                                          Executor& exec) {
+  PartitionScratch scratch;
+  prefix_sum_parallel_into(cost, exec, &scratch);
+  return std::move(scratch.cum);
+}
+
+void balanced_partition_into(const std::vector<uint64_t>& cumulative, int procs,
+                             std::vector<int>* bounds_out) {
   const int n = static_cast<int>(cumulative.size()) - 1;
   const uint64_t total = cumulative.back();
-  if (total == 0) return uniform_partition(n, procs);
+  if (total == 0) {
+    uniform_partition_into(n, procs, bounds_out);
+    return;
+  }
 
-  std::vector<int> bounds(procs + 1);
-  bounds[0] = 0;
+  std::vector<int>& bounds = *bounds_out;
+  bounds.assign(procs + 1, 0);
   bounds[procs] = n;
   for (int p = 1; p < procs; ++p) {
     const double target = static_cast<double>(total) * p / procs;
@@ -73,14 +94,25 @@ std::vector<int> balanced_partition(const std::vector<uint64_t>& cumulative, int
   }
   // Enforce monotonicity against pathological profiles.
   for (int p = 1; p <= procs; ++p) bounds[p] = std::max(bounds[p], bounds[p - 1]);
+}
+
+std::vector<int> balanced_partition(const std::vector<uint64_t>& cumulative, int procs) {
+  std::vector<int> bounds;
+  balanced_partition_into(cumulative, procs, &bounds);
   return bounds;
 }
 
-std::vector<int> uniform_partition(int n, int procs) {
-  std::vector<int> bounds(procs + 1);
+void uniform_partition_into(int n, int procs, std::vector<int>* bounds_out) {
+  std::vector<int>& bounds = *bounds_out;
+  bounds.assign(procs + 1, 0);
   for (int p = 0; p <= procs; ++p) {
     bounds[p] = static_cast<int>(static_cast<int64_t>(n) * p / procs);
   }
+}
+
+std::vector<int> uniform_partition(int n, int procs) {
+  std::vector<int> bounds;
+  uniform_partition_into(n, procs, &bounds);
   return bounds;
 }
 

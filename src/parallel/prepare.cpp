@@ -22,23 +22,97 @@ std::pair<size_t, size_t> piece_range(size_t total, size_t pieces, size_t p) {
 
 }  // namespace
 
+size_t PrepareScratch::footprint_bytes() const {
+  size_t b = classified.capacity() * sizeof(ClassifiedVoxel);
+  for (const auto& axis : chunks) {
+    b += axis.capacity() * sizeof(RleVolume::Chunk);
+    for (const auto& c : axis) {
+      b += c.runs.capacity() * sizeof(uint16_t) +
+           c.voxels.capacity() * sizeof(ClassifiedVoxel) +
+           c.fragments.capacity() * sizeof(RleVolume::Chunk::Fragment);
+    }
+  }
+  b += lane_bufs.capacity() * sizeof(std::vector<ClassifiedVoxel>);
+  for (const auto& lanes : lane_bufs) b += lanes.capacity() * sizeof(ClassifiedVoxel);
+  return b;
+}
+
+std::unique_ptr<PrepareScratch> PrepareScratchPool::acquire() {
+  {
+    MutexLock lock(mutex_);
+    ++stats_.acquires;
+    ++stats_.outstanding;
+    if (!free_.empty()) {
+      ++stats_.hits;
+      std::unique_ptr<PrepareScratch> scratch = std::move(free_.back());
+      free_.pop_back();
+      --stats_.retained;
+      stats_.retained_bytes -= scratch->footprint_bytes();
+      return scratch;
+    }
+    ++stats_.misses;
+  }
+  return std::make_unique<PrepareScratch>();
+}
+
+void PrepareScratchPool::release(std::unique_ptr<PrepareScratch> scratch) {
+  if (!scratch) return;
+  const size_t bytes = scratch->footprint_bytes();
+  {
+    MutexLock lock(mutex_);
+    ++stats_.releases;
+    --stats_.outstanding;
+    if (free_.size() < options_.max_retained &&
+        stats_.retained_bytes + bytes <= options_.max_retained_bytes) {
+      ++stats_.retained;
+      stats_.retained_bytes += bytes;
+      free_.push_back(std::move(scratch));
+      return;
+    }
+    ++stats_.discards;
+  }
+  // An over-budget scratch frees here, outside the lock.
+}
+
+PoolStats PrepareScratchPool::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+void PrepareScratchPool::trim() {
+  std::vector<std::unique_ptr<PrepareScratch>> dropped;
+  {
+    MutexLock lock(mutex_);
+    dropped.swap(free_);
+    stats_.retained = 0;
+    stats_.retained_bytes = 0;
+  }
+}
+
 ClassifiedVolume classify_parallel(const DensityVolume& density, const TransferFunction& tf,
                                    const ClassifyOptions& opt, ThreadPool& pool,
                                    int chunks_per_thread) {
-  ClassifiedVolume out(density.nx(), density.ny(), density.nz());
+  ClassifiedVolume out;
+  classify_parallel_into(density, tf, opt, pool, chunks_per_thread, &out);
+  return out;
+}
+
+void classify_parallel_into(const DensityVolume& density, const TransferFunction& tf,
+                            const ClassifyOptions& opt, ThreadPool& pool,
+                            int chunks_per_thread, ClassifiedVolume* out) {
+  out->resize_for_reuse(density.nx(), density.ny(), density.nz());
   const VoxelClassifier kernel(tf, opt);
   const size_t nz = static_cast<size_t>(density.nz());
   const size_t slabs = std::min(
       nz, static_cast<size_t>(pool.size()) * std::max(1, chunks_per_thread));
-  if (slabs == 0) return out;
+  if (slabs == 0) return;
   std::atomic<size_t> next{0};
   pool.run([&](int) {
     for (size_t s = next.fetch_add(1); s < slabs; s = next.fetch_add(1)) {
       const auto [z0, z1] = piece_range(nz, slabs, s);
-      kernel.classify_slab(density, static_cast<int>(z0), static_cast<int>(z1), &out);
+      kernel.classify_slab(density, static_cast<int>(z0), static_cast<int>(z1), out);
     }
   });
-  return out;
 }
 
 RleVolume encode_parallel(const ClassifiedVolume& vol, int principal_axis,
@@ -60,24 +134,36 @@ RleVolume encode_parallel(const ClassifiedVolume& vol, int principal_axis,
 }
 
 EncodedVolume build_encoded_parallel(const ClassifiedVolume& vol, uint8_t alpha_threshold,
-                                     ThreadPool& pool, int chunks_per_thread) {
+                                     ThreadPool& pool, int chunks_per_thread,
+                                     PrepareScratch* scratch) {
   const size_t total = vol.size();
   const size_t per_axis =
       total > 0 ? std::min(total, static_cast<size_t>(pool.size()) *
                                       std::max(1, chunks_per_thread))
                 : 0;
-  std::array<std::vector<RleVolume::Chunk>, 3> chunks;
-  for (auto& c : chunks) c.resize(per_axis);
+  PrepareScratch local;
+  PrepareScratch& s = scratch != nullptr ? *scratch : local;
+  // Grow-only: a chunk table longer than this build needs keeps its tail
+  // (and every chunk its vectors' capacity); only the first per_axis
+  // entries participate below.
+  for (auto& c : s.chunks) {
+    if (c.size() < per_axis) c.resize(per_axis);
+  }
+  if (s.lane_bufs.size() < static_cast<size_t>(pool.size())) {
+    s.lane_bufs.resize(static_cast<size_t>(pool.size()));
+  }
 
   // One flat task list over (axis, chunk) so all three encodings advance
   // concurrently; chunk tasks of a straggling axis backfill idle workers.
   std::atomic<size_t> next{0};
-  pool.run([&](int) {
+  pool.run([&](int worker) {
+    std::vector<ClassifiedVoxel>& lanes = s.lane_bufs[static_cast<size_t>(worker)];
     for (size_t t = next.fetch_add(1); t < 3 * per_axis; t = next.fetch_add(1)) {
       const int axis = static_cast<int>(t / per_axis);
       const size_t c = t % per_axis;
       const auto [begin, end] = piece_range(total, per_axis, c);
-      chunks[axis][c] = RleVolume::encode_chunk(vol, axis, alpha_threshold, begin, end);
+      RleVolume::encode_chunk_into(vol, axis, alpha_threshold, begin, end,
+                                   &s.chunks[axis][c], &lanes);
     }
   });
 
@@ -85,37 +171,82 @@ EncodedVolume build_encoded_parallel(const ClassifiedVolume& vol, uint8_t alpha_
   std::atomic<int> next_axis{0};
   pool.run([&](int) {
     for (int axis = next_axis.fetch_add(1); axis < 3; axis = next_axis.fetch_add(1)) {
-      rle[axis] = RleVolume::stitch(vol, axis, alpha_threshold, chunks[axis]);
+      rle[axis] =
+          RleVolume::stitch(vol, axis, alpha_threshold, s.chunks[axis].data(), per_axis);
     }
   });
   return EncodedVolume::from_axes(std::move(rle), {vol.nx(), vol.ny(), vol.nz()},
                                   alpha_threshold);
 }
 
+namespace {
+
+// Serial encoding through the pooled scratch: each axis is one chunk built
+// with encode_chunk_into, which is exactly how RleVolume::encode is
+// implemented — so the output is bit-identical to EncodedVolume::build.
+EncodedVolume build_encoded_serial(const ClassifiedVolume& vol, uint8_t alpha_threshold,
+                                   PrepareScratch& s) {
+  const size_t total = vol.size();
+  if (s.lane_bufs.empty()) s.lane_bufs.resize(1);
+  std::array<RleVolume, 3> rle;
+  for (int axis = 0; axis < 3; ++axis) {
+    auto& chunks = s.chunks[axis];
+    size_t count = 0;
+    if (total > 0) {
+      if (chunks.empty()) chunks.resize(1);
+      RleVolume::encode_chunk_into(vol, axis, alpha_threshold, 0, total, &chunks[0],
+                                   &s.lane_bufs[0]);
+      count = 1;
+    }
+    rle[axis] = RleVolume::stitch(vol, axis, alpha_threshold, chunks.data(), count);
+  }
+  return EncodedVolume::from_axes(std::move(rle), {vol.nx(), vol.ny(), vol.nz()},
+                                  alpha_threshold);
+}
+
+}  // namespace
+
 EncodedVolume prepare_volume(const DensityVolume& density, const TransferFunction& tf,
                              const ClassifyOptions& copt, const PrepareOptions& opt,
-                             ClassifiedVolume* classified_out, PrepareTiming* timing) {
+                             ClassifiedVolume* classified_out, PrepareTiming* timing,
+                             PrepareScratch* scratch) {
   const auto t0 = std::chrono::steady_clock::now();
-  ClassifiedVolume classified;
+  ClassifiedVolume local_classified;
+  ClassifiedVolume& classified =
+      scratch != nullptr ? scratch->classified : local_classified;
   EncodedVolume encoded;
   double classify_ms = 0.0;
   if (opt.threads <= 1) {
-    classified = classify(density, tf, copt);
-    classify_ms = elapsed_ms(t0);
-    encoded = EncodedVolume::build(classified, copt.alpha_threshold);
+    if (scratch != nullptr) {
+      classified.resize_for_reuse(density.nx(), density.ny(), density.nz());
+      const VoxelClassifier kernel(tf, copt);
+      kernel.classify_slab(density, 0, density.nz(), &classified);
+      classify_ms = elapsed_ms(t0);
+      encoded = build_encoded_serial(classified, copt.alpha_threshold, *scratch);
+    } else {
+      classified = classify(density, tf, copt);
+      classify_ms = elapsed_ms(t0);
+      encoded = EncodedVolume::build(classified, copt.alpha_threshold);
+    }
   } else {
     ThreadPool pool(opt.threads);
-    classified = classify_parallel(density, tf, copt, pool, opt.chunks_per_thread);
+    classify_parallel_into(density, tf, copt, pool, opt.chunks_per_thread, &classified);
     classify_ms = elapsed_ms(t0);
-    encoded =
-        build_encoded_parallel(classified, copt.alpha_threshold, pool, opt.chunks_per_thread);
+    encoded = build_encoded_parallel(classified, copt.alpha_threshold, pool,
+                                     opt.chunks_per_thread, scratch);
   }
   if (timing != nullptr) {
     timing->classify_ms = classify_ms;
     timing->total_ms = elapsed_ms(t0);
     timing->encode_ms = timing->total_ms - classify_ms;
   }
-  if (classified_out != nullptr) *classified_out = std::move(classified);
+  if (classified_out != nullptr) {
+    if (scratch != nullptr) {
+      *classified_out = classified;  // copy: the scratch keeps its storage
+    } else {
+      *classified_out = std::move(classified);
+    }
+  }
   return encoded;
 }
 

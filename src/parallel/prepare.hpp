@@ -7,11 +7,17 @@
 // the single-pass encoder would have produced them.
 #pragma once
 
+#include <array>
+#include <memory>
+#include <vector>
+
 #include "core/classify.hpp"
 #include "core/rle_volume.hpp"
 #include "core/transfer.hpp"
 #include "core/volume.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/buffer_pool.hpp"
+#include "util/sync.hpp"
 
 namespace psw {
 
@@ -30,11 +36,68 @@ struct PrepareTiming {
   double total_ms = 0.0;
 };
 
+// Reusable build-side storage for one volume preparation: the classified
+// voxel grid, the three per-axis chunk tables (each chunk's run/voxel/
+// fragment vectors keep their capacity across builds) and one strided-lane
+// gather buffer per pool worker. None of this survives into the returned
+// EncodedVolume — it is exactly the transient storage a cold build would
+// otherwise allocate and free — so a warm scratch makes repeated
+// preparations (cache misses in the serving path) allocation-free on the
+// build side. Grow-only: capacities track the largest volume prepared.
+struct PrepareScratch {
+  ClassifiedVolume classified;
+  std::array<std::vector<RleVolume::Chunk>, 3> chunks;
+  std::vector<std::vector<ClassifiedVoxel>> lane_bufs;  // one per worker
+  // Heap bytes held (capacities, not sizes); pool retention accounting.
+  size_t footprint_bytes() const;
+};
+
+// Thread-safe pool of PrepareScratch instances with the same PoolStats
+// accounting (and conservation invariants) as the frame/buffer pools, so
+// the service metrics JSON can export prepare-side reuse next to
+// frame_pool. Retention is bounded by count and by held bytes — a scratch
+// sized for a huge one-off volume is discarded rather than pinned.
+class PrepareScratchPool {
+ public:
+  struct Options {
+    size_t max_retained = 2;
+    size_t max_retained_bytes = 1u << 30;
+  };
+
+  PrepareScratchPool() : PrepareScratchPool(Options{}) {}
+  explicit PrepareScratchPool(Options options) : options_(options) {}
+
+  PrepareScratchPool(const PrepareScratchPool&) = delete;
+  PrepareScratchPool& operator=(const PrepareScratchPool&) = delete;
+
+  // Warmest retained scratch, or a fresh one. Never returns null.
+  std::unique_ptr<PrepareScratch> acquire();
+  // Returns a scratch for reuse (null is ignored). Retained unless the
+  // count or byte bound says otherwise.
+  void release(std::unique_ptr<PrepareScratch> scratch);
+
+  PoolStats stats() const;
+  // Drops every retained scratch (budget pressure, tests).
+  void trim();
+
+ private:
+  Options options_;
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<PrepareScratch>> free_ PSW_GUARDED_BY(mutex_);
+  PoolStats stats_ PSW_GUARDED_BY(mutex_);
+};
+
 // Slab-parallel classification: z-slabs are claimed off an atomic counter
 // and written to disjoint output ranges through the shared kernel.
 ClassifiedVolume classify_parallel(const DensityVolume& density, const TransferFunction& tf,
                                    const ClassifyOptions& opt, ThreadPool& pool,
                                    int chunks_per_thread = 4);
+
+// Same, classifying into `out` (resized for reuse — warm storage is kept,
+// and every voxel is stored before any is read).
+void classify_parallel_into(const DensityVolume& density, const TransferFunction& tf,
+                            const ClassifyOptions& opt, ThreadPool& pool,
+                            int chunks_per_thread, ClassifiedVolume* out);
 
 // Chunk-parallel encoding of one principal axis.
 RleVolume encode_parallel(const ClassifiedVolume& vol, int principal_axis,
@@ -43,18 +106,26 @@ RleVolume encode_parallel(const ClassifiedVolume& vol, int principal_axis,
 
 // Encodes all three principal axes concurrently: every (axis, chunk) pair
 // is one task in a single flat work list, so all three encodings progress
-// at once rather than axis-by-axis.
+// at once rather than axis-by-axis. With a `scratch`, chunk tables and
+// per-worker lane buffers come from it instead of being allocated (output
+// is bit-identical either way).
 EncodedVolume build_encoded_parallel(const ClassifiedVolume& vol, uint8_t alpha_threshold,
-                                     ThreadPool& pool, int chunks_per_thread = 4);
+                                     ThreadPool& pool, int chunks_per_thread = 4,
+                                     PrepareScratch* scratch = nullptr);
 
 // The full preparation pipeline: classification followed by per-axis
 // encoding, serial when opt.threads <= 1 and pool-parallel otherwise.
 // Output is bit-identical across thread counts. `classified_out` (optional)
 // receives the intermediate classified volume; `timing` (optional) receives
-// per-stage wall times.
+// per-stage wall times. `scratch` (optional) supplies the transient build
+// storage — classified grid, chunk tables, lane buffers — so a warm
+// scratch makes the whole build allocation-free except the returned
+// encoding itself; with both `scratch` and `classified_out` set, the
+// classified volume is copied out (the scratch keeps its storage).
 EncodedVolume prepare_volume(const DensityVolume& density, const TransferFunction& tf,
                              const ClassifyOptions& copt, const PrepareOptions& opt = {},
                              ClassifiedVolume* classified_out = nullptr,
-                             PrepareTiming* timing = nullptr);
+                             PrepareTiming* timing = nullptr,
+                             PrepareScratch* scratch = nullptr);
 
 }  // namespace psw

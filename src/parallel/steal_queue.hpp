@@ -15,7 +15,6 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <vector>
 
 #include "util/sync.hpp"
 
@@ -34,9 +33,29 @@ struct ScanlineRange {
 
 class StealQueues {
  public:
-  explicit StealQueues(int procs) : queues_(procs), lock_ops_(0), steals_(0) {}
+  StealQueues() : lock_ops_(0), steals_(0) {}
+  explicit StealQueues(int procs) : StealQueues() { reset(procs); }
 
-  int procs() const { return static_cast<int>(queues_.size()); }
+  // Reopens the queues for a new frame with `procs` processors: grows the
+  // per-processor storage if needed (grow-only, queues are pinned in place
+  // by the deque), empties every active queue and zeroes the statistics.
+  // Single-threaded, like seeding — called between parallel regions.
+  void reset(int procs) {
+    while (static_cast<int>(queues_.size()) < procs) queues_.emplace_back();
+    procs_ = procs;
+    for (int p = 0; p < procs_; ++p) {
+      Queue& q = queues_[static_cast<size_t>(p)];
+      MutexLock lock(q.mutex);
+      q.ranges.clear();
+      // relaxed: reset precedes the parallel region; the executor's run()
+      // entry publishes the zeroed counters to the workers.
+      q.approx_remaining.store(0, std::memory_order_relaxed);
+    }
+    lock_ops_.store(0, std::memory_order_relaxed);  // relaxed: see above
+    steals_.store(0, std::memory_order_relaxed);    // relaxed: see above
+  }
+
+  int procs() const { return procs_; }
 
   // Seeds before the parallel region begins (no locking needed then, but we
   // lock anyway for simplicity; the renderers call this single-threaded).
@@ -134,7 +153,12 @@ class StealQueues {
     return true;
   }
 
-  std::vector<Queue> queues_;
+  // Deque, not vector: Queue is pinned by its Mutex/atomic (non-movable),
+  // and deque growth never relocates existing elements — so reset() can
+  // grow the storage across frames while reusing every existing queue's
+  // deque nodes (steady-state seeding allocates nothing).
+  std::deque<Queue> queues_;
+  int procs_ = 0;
   std::atomic<uint64_t> lock_ops_;
   std::atomic<uint64_t> steals_;
 };

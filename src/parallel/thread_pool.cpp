@@ -18,22 +18,22 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::run(const std::function<void(int)>& body) {
+void ThreadPool::run(FunctionRef<void(int)> body) {
   MutexLock lock(mutex_);
-  body_ = &body;
+  body_ = body;
   remaining_ = size();
   first_error_ = nullptr;
   ++generation_;
   start_cv_.notify_all();
   while (remaining_ != 0) done_cv_.wait(mutex_);
-  body_ = nullptr;
+  body_ = FunctionRef<void(int)>();
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
 void ThreadPool::worker_loop(int index) {
   uint64_t seen_generation = 0;
   while (true) {
-    const std::function<void(int)>* body;
+    FunctionRef<void(int)> body;
     {
       MutexLock lock(mutex_);
       while (!shutdown_ && generation_ == seen_generation) start_cv_.wait(mutex_);
@@ -43,7 +43,7 @@ void ThreadPool::worker_loop(int index) {
     }
     std::exception_ptr error;
     try {
-      (*body)(index);
+      body(index);
     } catch (...) {
       error = std::current_exception();
     }

@@ -3,10 +3,10 @@
 // phases).
 #pragma once
 
-#include <functional>
 #include <thread>
 #include <vector>
 
+#include "util/function_ref.hpp"
 #include "util/sync.hpp"
 
 namespace psw {
@@ -23,8 +23,10 @@ class ThreadPool {
 
   // Runs body(t) on every worker t in [0, size()) and returns when all have
   // finished (an implicit barrier). Exceptions from bodies are rethrown
-  // (the first one) after all workers finish.
-  void run(const std::function<void(int)>& body);
+  // (the first one) after all workers finish. The FunctionRef is non-owning
+  // but run() blocks until every worker is done, so the caller's callable
+  // outlives all invocations.
+  void run(FunctionRef<void(int)> body);
 
  private:
   void worker_loop(int index);
@@ -33,13 +35,13 @@ class ThreadPool {
   // Lock protocol: one mutex covers the whole run/join handshake — the
   // caller publishes `body_` and bumps `generation_` under it, workers read
   // the generation and body under it, and the last worker out decrements
-  // `remaining_` to zero and signals done_cv_. `body_` points at the
-  // caller's function, which only the generation fence makes safe to read
-  // (hence guarded pointer, not guarded pointee).
+  // `remaining_` to zero and signals done_cv_. `body_` refers to the
+  // caller's callable, which only the generation fence makes safe to call
+  // (hence guarded reference, not guarded referent).
   Mutex mutex_;
   CondVar start_cv_;  // with mutex_: new generation published or shutdown_
   CondVar done_cv_;   // with mutex_: remaining_ reached zero
-  const std::function<void(int)>* body_ PSW_GUARDED_BY(mutex_) = nullptr;
+  FunctionRef<void(int)> body_ PSW_GUARDED_BY(mutex_);
   uint64_t generation_ PSW_GUARDED_BY(mutex_) = 0;
   int remaining_ PSW_GUARDED_BY(mutex_) = 0;
   bool shutdown_ PSW_GUARDED_BY(mutex_) = false;

@@ -11,11 +11,11 @@
 // uniform per-unit cost would produce, deterministically.
 #pragma once
 
-#include <functional>
 #include <limits>
 #include <vector>
 
 #include "parallel/steal_queue.hpp"
+#include "util/function_ref.hpp"
 
 namespace psw {
 
@@ -26,7 +26,7 @@ namespace psw {
 // victim's back).
 inline void virtual_time_schedule(
     StealQueues& queues, int procs, int chunk, bool steal,
-    const std::function<uint32_t(int, const ScanlineRange&)>& process) {
+    FunctionRef<uint32_t(int, const ScanlineRange&)> process) {
   std::vector<double> clock(procs, 0.0);
   std::vector<bool> exhausted(procs, false);
   int active = procs;

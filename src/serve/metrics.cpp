@@ -49,15 +49,16 @@ void write_pool_json(JsonWriter& w, const PoolStats& pool) {
       .end_object();
 }
 
-std::string ServiceMetrics::to_json(const CacheStats& cache,
-                                    const PoolStats& frame_pool) const {
+std::string ServiceMetrics::to_json(const CacheStats& cache, const PoolStats& frame_pool,
+                                    const PoolStats& prepare_pool) const {
   JsonWriter w;
-  write_json(w, cache, frame_pool);
+  write_json(w, cache, frame_pool, prepare_pool);
   return w.str();
 }
 
 void ServiceMetrics::write_json(JsonWriter& w, const CacheStats& cache,
-                                const PoolStats& frame_pool) const {
+                                const PoolStats& frame_pool,
+                                const PoolStats& prepare_pool) const {
   w.begin_object();
   w.key("admission").begin_object()
       .field("submitted", submitted.load())
@@ -104,6 +105,8 @@ void ServiceMetrics::write_json(JsonWriter& w, const CacheStats& cache,
       .end_object();
   w.key("frame_pool");
   write_pool_json(w, frame_pool);
+  w.key("prepare_pool");
+  write_pool_json(w, prepare_pool);
   w.end_object();
 }
 

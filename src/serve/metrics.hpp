@@ -68,12 +68,13 @@ struct ServiceMetrics {
   bool reconciles() const;
 
   // Writes one JSON object with counters, histograms, the given cache stats
-  // and the frame-pool allocation accounting at the writer's current value
-  // slot.
-  void write_json(JsonWriter& w, const CacheStats& cache,
-                  const PoolStats& frame_pool) const;
+  // and the frame-pool / prepare-pool allocation accounting at the writer's
+  // current value slot.
+  void write_json(JsonWriter& w, const CacheStats& cache, const PoolStats& frame_pool,
+                  const PoolStats& prepare_pool) const;
   // Same, as a standalone string.
-  std::string to_json(const CacheStats& cache, const PoolStats& frame_pool) const;
+  std::string to_json(const CacheStats& cache, const PoolStats& frame_pool,
+                      const PoolStats& prepare_pool) const;
 };
 
 // Shared pool-stat JSON shape ({"acquires": ..., "hit_rate": ...}); used by

@@ -48,8 +48,11 @@ struct VolumeKey {
   uint64_t seed = 0;  // 0 = the phantom generator's default seed
 
   // Canonical string form: exact (floats rendered with full precision),
-  // used as the cache map key and in telemetry.
+  // used as the cache map key and in telemetry. The _into form assigns into
+  // a caller-owned string (capacity-reusing; the key exceeds the SSO
+  // budget) so the per-frame cache consult stays allocation-free.
   std::string canonical() const;
+  void canonical_into(std::string* out) const;
 };
 
 struct RenderRequest {

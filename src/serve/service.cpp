@@ -26,12 +26,13 @@ namespace {
 // phantom builder prepares misses with prepare_threads threads (0 = match
 // the render pool size).
 VolumeCache::Builder resolve_builder(const ServiceOptions& options,
-                                     VolumeCache::Builder builder) {
+                                     VolumeCache::Builder builder,
+                                     PrepareScratchPool* scratch_pool) {
   if (builder) return builder;
   PrepareOptions prep;
   prep.threads = options.prepare_threads > 0 ? options.prepare_threads
                                              : std::max(1, options.worker_threads);
-  return VolumeCache::phantom_builder(prep);
+  return VolumeCache::phantom_builder(prep, scratch_pool);
 }
 }  // namespace
 
@@ -41,7 +42,7 @@ RenderService::RenderService(ServiceOptions options, VolumeCache::Builder builde
           static_cast<size_t>(std::max(0, options.frame_pool_frames)),
           FramePool::Options{}.max_retained_bytes}),
       cache_(options.cache_bytes, options.cache_shards,
-             resolve_builder(options, std::move(builder))),
+             resolve_builder(options, std::move(builder), &prepare_pool_)),
       sessions_(options.max_sessions, options.parallel),
       exec_(std::max(1, options.worker_threads)) {
   options_.worker_threads = exec_.procs();
@@ -189,10 +190,10 @@ void RenderService::render_one(Pending& p, Clock::time_point dispatched) {
   // first-touch binding.
   double build_ms = 0.0;
   PrepareTiming prep;
-  const std::string canonical = p.request.volume.canonical();
+  p.request.volume.canonical_into(&canonical_scratch_);
   const Clock::time_point build_start = Clock::now();
   std::shared_ptr<const EncodedVolume> volume =
-      cache_.get(p.request.volume, &build_ms, &prep);
+      cache_.get(p.request.volume, canonical_scratch_, &build_ms, &prep);
   const Clock::time_point build_end = Clock::now();
   result.timing.cache_hit = build_ms == 0.0;
   result.timing.classify_ms = build_ms;
@@ -216,17 +217,18 @@ void RenderService::render_one(Pending& p, Clock::time_point dispatched) {
                to_ns(build_end) - encode_ns, to_ns(build_end));
     }
   }
-  if (session.volume_key != canonical) {
+  if (session.volume_key != canonical_scratch_) {
     // New volume for this session: the old profile describes a different
     // dataset (or transfer function), so partition prediction restarts.
     session.renderer.reset();
-    session.volume_key = canonical;
+    session.volume_key = canonical_scratch_;
   }
   session.volume = std::move(volume);
 
   const Clock::time_point render_start = Clock::now();
-  const ParallelRenderStats stats =
-      session.renderer.render(*session.volume, p.request.camera, exec_, &result.image);
+  session.renderer.render(*session.volume, p.request.camera, exec_, &result.image,
+                          &stats_scratch_);
+  const ParallelRenderStats& stats = stats_scratch_;
   const Clock::time_point render_end = Clock::now();
   ++session.frames_rendered;
 
@@ -272,15 +274,20 @@ void RenderService::render_one(Pending& p, Clock::time_point dispatched) {
 }
 
 void RenderService::scheduler_loop() {
+  // batch_ is scheduler-confined and reused across iterations; clear()
+  // keeps its capacity so steady-state dispatch never allocates.
+  std::vector<Pending>& batch = batch_;
   for (;;) {
-    std::vector<Pending> batch;
+    batch.clear();
     {
       MutexLock lock(mutex_);
       while (!stopping_ && total_queued_ == 0) work_cv_.wait(mutex_);
       if (stopping_) {
         // Shed everything still queued with the typed shutdown status.
         for (auto& [sid, q] : queues_) {
-          for (Pending& p : q) shed(p, ServeStatus::kShutdown);
+          for (size_t i = q.head; i < q.items.size(); ++i) {
+            shed(q.items[i], ServeStatus::kShutdown);
+          }
           metrics_.queue_depth.fetch_sub(static_cast<int64_t>(q.size()));
           total_queued_ -= static_cast<int64_t>(q.size());
         }
@@ -304,7 +311,15 @@ void RenderService::scheduler_loop() {
         q.pop_front();
       }
       if (q.empty()) {
-        queues_.erase(it);
+        // Retain the emptied FIFO (map node + deque block) for the
+        // session's next frame — per-frame erase/reinsert churn is exactly
+        // the allocator traffic this path must avoid. A bounded sweep
+        // erases on drain only once the table has grown well past the
+        // session capacity (many one-shot session ids).
+        if (queues_.size() >
+            static_cast<size_t>(2 * std::max(1, options_.max_sessions))) {
+          queues_.erase(it);
+        }
       } else {
         rotation_.push_back(sid);
       }

@@ -100,8 +100,10 @@ class RenderService {
   const ServiceMetrics& metrics() const { return metrics_; }
   CacheStats cache_stats() const { return cache_.stats(); }
   PoolStats frame_pool_stats() const { return frame_pool_.stats(); }
+  PoolStats prepare_pool_stats() const { return prepare_pool_.stats(); }
   std::string metrics_json() const {
-    return metrics_.to_json(cache_.stats(), frame_pool_.stats());
+    return metrics_.to_json(cache_.stats(), frame_pool_.stats(),
+                            prepare_pool_.stats());
   }
 
  private:
@@ -113,6 +115,29 @@ class RenderService {
     std::optional<std::promise<FrameResult>> promise;
     Completion done;
     Clock::time_point enqueued;
+  };
+
+  // Per-session FIFO on a vector with a head cursor. Not a std::deque:
+  // sizeof(Pending) exceeds the deque's 512-byte node budget (one element
+  // per node), so a deque pays one node allocation per enqueued frame.
+  // The vector reuses its capacity forever — moved-out slots sit behind
+  // `head` until the queue drains, when one clear() (no deallocation)
+  // rewinds it.
+  struct PendingQueue {
+    std::vector<Pending> items;
+    size_t head = 0;
+
+    bool empty() const { return head == items.size(); }
+    size_t size() const { return items.size() - head; }
+    Pending& front() { return items[head]; }
+    void push_back(Pending&& p) { items.push_back(std::move(p)); }
+    void pop_front() {
+      ++head;
+      if (head == items.size()) {
+        items.clear();
+        head = 0;
+      }
+    }
   };
 
   // Shared admission path: validates the deadline, reserves queue space and
@@ -129,9 +154,20 @@ class RenderService {
   ServiceOptions options_;
   ServiceMetrics metrics_;
   FramePool frame_pool_;
+  // Transient build storage for cache-miss volume preparation. Declared
+  // before cache_: the default builder holds a pointer to it, so it must
+  // outlive the cache (members destroy in reverse order).
+  PrepareScratchPool prepare_pool_;
   VolumeCache cache_;
   SessionTable sessions_;   // scheduler thread only
   ThreadedExecutor exec_;   // scheduler thread only
+  // Scheduler-thread-confined per-frame scratch (like sessions_/exec_):
+  // the canonical-key buffer, the render-stats out-param and the dispatch
+  // batch are reused across frames so steady-state scheduling performs no
+  // heap allocation.
+  std::string canonical_scratch_;     // scheduler thread only
+  ParallelRenderStats stats_scratch_; // scheduler thread only
+  std::vector<Pending> batch_;        // scheduler thread only
 
   // Lock protocol: `mutex_` covers the admission queue state below it —
   // the per-session FIFOs, the round-robin rotation (every session with a
@@ -143,7 +179,7 @@ class RenderService {
   Mutex mutex_;
   CondVar work_cv_;   // with mutex_: work arrived or stopping_
   CondVar drain_cv_;  // with mutex_: queue empty and nothing in flight
-  std::map<uint64_t, std::deque<Pending>> queues_
+  std::map<uint64_t, PendingQueue> queues_
       PSW_GUARDED_BY(mutex_);  // per-session FIFO
   std::deque<uint64_t> rotation_
       PSW_GUARDED_BY(mutex_);  // sessions with pending work, RR order

@@ -9,19 +9,31 @@
 
 namespace psw::serve {
 
-std::string VolumeKey::canonical() const {
+void VolumeKey::canonical_into(std::string* out) const {
   char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "%s:%dx%dx%d:tf=%d:at=%d:amb=%.9g:dif=%.9g:light=%.9g,%.9g,%.9g:seed=%llu",
-                kind.c_str(), nx, ny, nz, tf_preset, classify.alpha_threshold,
-                static_cast<double>(classify.ambient), static_cast<double>(classify.diffuse),
-                classify.light_dir.x, classify.light_dir.y, classify.light_dir.z,
-                static_cast<unsigned long long>(seed));
-  return buf;
+  const int n = std::snprintf(
+      buf, sizeof(buf),
+      "%s:%dx%dx%d:tf=%d:at=%d:amb=%.9g:dif=%.9g:light=%.9g,%.9g,%.9g:seed=%llu",
+      kind.c_str(), nx, ny, nz, tf_preset, classify.alpha_threshold,
+      static_cast<double>(classify.ambient), static_cast<double>(classify.diffuse),
+      classify.light_dir.x, classify.light_dir.y, classify.light_dir.z,
+      static_cast<unsigned long long>(seed));
+  out->assign(buf, static_cast<size_t>(std::max(0, n)));
+}
+
+std::string VolumeKey::canonical() const {
+  std::string out;
+  canonical_into(&out);
+  return out;
 }
 
 VolumeCache::Builder VolumeCache::phantom_builder(const PrepareOptions& prep) {
-  return [prep](const VolumeKey& key, PrepareTiming* timing) {
+  return phantom_builder(prep, nullptr);
+}
+
+VolumeCache::Builder VolumeCache::phantom_builder(const PrepareOptions& prep,
+                                                  PrepareScratchPool* scratch_pool) {
+  return [prep, scratch_pool](const VolumeKey& key, PrepareTiming* timing) {
     DensityVolume density =
         key.kind == "ct"
             ? (key.seed ? make_ct_head(key.nx, key.ny, key.nz, key.seed)
@@ -30,8 +42,12 @@ VolumeCache::Builder VolumeCache::phantom_builder(const PrepareOptions& prep) {
                         : make_mri_brain(key.nx, key.ny, key.nz));
     const TransferFunction tf =
         key.tf_preset == 1 ? TransferFunction::ct_preset() : TransferFunction::mri_preset();
-    return std::make_shared<const EncodedVolume>(
-        prepare_volume(density, tf, key.classify, prep, nullptr, timing));
+    std::unique_ptr<PrepareScratch> scratch =
+        scratch_pool != nullptr ? scratch_pool->acquire() : nullptr;
+    auto volume = std::make_shared<const EncodedVolume>(
+        prepare_volume(density, tf, key.classify, prep, nullptr, timing, scratch.get()));
+    if (scratch_pool != nullptr) scratch_pool->release(std::move(scratch));
+    return volume;
   };
 }
 
@@ -62,9 +78,15 @@ void VolumeCache::evict_locked(Shard& s, uint64_t shard_budget) {
 std::shared_ptr<const EncodedVolume> VolumeCache::get(const VolumeKey& key,
                                                       double* build_ms,
                                                       PrepareTiming* prep) {
+  return get(key, key.canonical(), build_ms, prep);
+}
+
+std::shared_ptr<const EncodedVolume> VolumeCache::get(const VolumeKey& key,
+                                                      const std::string& canonical,
+                                                      double* build_ms,
+                                                      PrepareTiming* prep) {
   if (build_ms) *build_ms = 0.0;
   if (prep) *prep = PrepareTiming{};
-  const std::string canonical = key.canonical();
   Shard& s = shard_for(canonical);
   MutexLock lock(s.mutex);
   const auto it = s.index.find(canonical);

@@ -53,6 +53,13 @@ class VolumeCache {
                                            double* build_ms = nullptr,
                                            PrepareTiming* prep = nullptr);
 
+  // Same, with the caller supplying key.canonical() (computed into a
+  // reusable buffer); the hit path then performs no allocation at all.
+  std::shared_ptr<const EncodedVolume> get(const VolumeKey& key,
+                                           const std::string& canonical,
+                                           double* build_ms,
+                                           PrepareTiming* prep);
+
   CacheStats stats() const;
   uint64_t byte_budget() const { return budget_; }
 
@@ -60,6 +67,13 @@ class VolumeCache {
   // prep.threads > 1 misses classify and encode on a thread pool (output is
   // bit-identical — see parallel/prepare.hpp).
   static Builder phantom_builder(const PrepareOptions& prep = {});
+
+  // Same, drawing the transient build storage (classified grid, chunk
+  // tables, lane buffers) from `scratch_pool`, so repeated misses rebuild
+  // into warm memory instead of allocating. The pool (null = no pooling)
+  // must outlive the returned builder.
+  static Builder phantom_builder(const PrepareOptions& prep,
+                                 PrepareScratchPool* scratch_pool);
 
  private:
   struct Entry {

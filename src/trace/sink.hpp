@@ -139,7 +139,7 @@ class TracingExecutor : public Executor {
 
   int procs() const override { return procs_; }
   bool concurrent() const override { return false; }
-  void run(const std::function<void(int)>& body) override {
+  void run(FunctionRef<void(int)> body) override {
     for (int p = 0; p < procs_; ++p) body(p);
     // run() returning is a global barrier on a threaded executor; record it
     // so the happens-before graph matches the claimed concurrent schedule.

@@ -1,0 +1,48 @@
+// Non-owning callable reference: two words (object pointer + call thunk),
+// no heap, no virtual dispatch. The executor/thread-pool run paths take
+// this instead of std::function so that per-frame parallel regions whose
+// lambdas capture more than std::function's small-buffer budget (16 bytes
+// on libstdc++) stop allocating. The referenced callable must outlive every
+// invocation — true for all run() uses, which block until the region joins.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace psw {
+
+template <class Sig>
+class FunctionRef;
+
+template <class R, class... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<std::remove_reference_t<F>>,
+                                FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): reference semantics on purpose
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace psw

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 
 #include "core/classify.hpp"
@@ -288,6 +290,96 @@ TEST(NewRenderer, IntermediateSizeChangeAcrossFramesIsHandled) {
     const Camera cam = Camera::orbit(test_scene().dims, frame * (kPi / 10), 0.35);
     const ImageU8 want = serial_reference(cam);
     renderer.render(test_scene().encoded, cam, exec, &img);
+    expect_images_identical(want, img);
+  }
+}
+
+TEST(NewRenderer, EdgeClearSkipsFullyActivePartitions) {
+  // Edge clearing touches exactly the rows outside the active band: a
+  // partition fully inside [active_lo, active_hi) clears nothing, and the
+  // stats pin the exact row count so a regression to clear-everything (or
+  // clear-nothing) fails here rather than only in the allocation bench.
+  NewParallelRenderer renderer;
+  SerialExecutor exec(4);
+  ImageU8 img;
+  ParallelRenderStats stats;
+  const Camera cam = Camera::orbit(test_scene().dims, 0.3, 0.2);
+  renderer.render(test_scene().encoded, cam, exec, &img, &stats);
+  ASSERT_GE(stats.bounds.size(), 2u);
+  uint64_t expected = 0;
+  bool fully_active_partition = false;
+  for (size_t p = 0; p + 1 < stats.bounds.size(); ++p) {
+    const int lo = stats.bounds[p], hi = stats.bounds[p + 1];
+    expected += static_cast<uint64_t>(
+        std::max(0, std::min(hi, stats.active_lo) - lo));
+    expected += static_cast<uint64_t>(
+        std::max(0, hi - std::max(lo, stats.active_hi)));
+    if (lo >= stats.active_lo && hi <= stats.active_hi) fully_active_partition = true;
+  }
+  EXPECT_EQ(stats.edge_rows_cleared, expected);
+  // The brain phantom leaves empty margins, so some rows clear...
+  EXPECT_GT(stats.edge_rows_cleared, 0u);
+  // ...but at least one interior partition is fully active and skips.
+  EXPECT_TRUE(fully_active_partition);
+  // And the cleared margins really read as transparent through the warp.
+  expect_images_identical(serial_reference(cam), img);
+}
+
+TEST(NewRenderer, StaleMarginsAreReclearedAcrossFrames) {
+  // The intermediate image is reused without zeroing between frames. Frames
+  // whose active band covers a row leave composited colour behind; when a
+  // later orientation turns that row back into margin, the edge clear must
+  // erase it or the warp would read a stale scanline. Swinging the pitch
+  // back and forth moves the active band up and down through one renderer.
+  NewParallelRenderer renderer;
+  ThreadedExecutor exec(4);
+  ImageU8 img;
+  ParallelRenderStats stats;
+  for (int frame = 0; frame < 9; ++frame) {
+    const Camera cam =
+        Camera::orbit(test_scene().dims, 0.25 * frame, 0.45 * ((frame % 3) - 1));
+    const ImageU8 want = serial_reference(cam);
+    renderer.render(test_scene().encoded, cam, exec, &img, &stats);
+    expect_images_identical(want, img);
+  }
+}
+
+TEST(NewRenderer, ScratchReuseAcrossChangingProcsAndDims) {
+  // One renderer whose frame scratch survives procs growing, shrinking and
+  // regrowing while the output image dims wobble the same way: every frame
+  // must stay bit-identical to the serial reference at those dims.
+  NewParallelRenderer renderer;
+  ImageU8 img;
+  ParallelRenderStats stats;
+  const int procs_seq[] = {2, 8, 3, 16, 1, 8};
+  const int size_seq[] = {64, 96, 48, 128, 64, 96};
+  for (int frame = 0; frame < 6; ++frame) {
+    ThreadedExecutor exec(procs_seq[frame]);
+    Camera cam = Camera::orbit(test_scene().dims, 0.35 * frame, 0.25);
+    cam.image_width = size_seq[frame];
+    cam.image_height = size_seq[frame];
+    const ImageU8 want = serial_reference(cam);
+    renderer.render(test_scene().encoded, cam, exec, &img, &stats);
+    ASSERT_EQ(static_cast<int>(stats.bounds.size()), procs_seq[frame] + 1);
+    expect_images_identical(want, img);
+  }
+}
+
+TEST(OldRenderer, ScratchReuseAcrossChangingProcsAndDims) {
+  // The chunk/steal renderer's scratch (steal queues, per-worker stats)
+  // must survive the same procs/dims churn bit-identically.
+  OldParallelRenderer renderer;
+  ImageU8 img;
+  ParallelRenderStats stats;
+  const int procs_seq[] = {3, 16, 2, 8, 1, 16};
+  const int size_seq[] = {96, 48, 128, 64, 96, 48};
+  for (int frame = 0; frame < 6; ++frame) {
+    ThreadedExecutor exec(procs_seq[frame]);
+    Camera cam = Camera::orbit(test_scene().dims, 0.3 * frame + 0.1, -0.2);
+    cam.image_width = size_seq[frame];
+    cam.image_height = size_seq[frame];
+    const ImageU8 want = serial_reference(cam);
+    renderer.render(test_scene().encoded, cam, exec, &img, &stats);
     expect_images_identical(want, img);
   }
 }

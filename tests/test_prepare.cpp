@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -240,6 +241,116 @@ TEST(ClassifyParallel, MoreThreadsThanSlabs) {
   ThreadPool pool(16);
   const ClassifiedVolume parallel = classify_parallel(density, tf, opt, pool);
   EXPECT_EQ(classified_content_hash(serial), classified_content_hash(parallel));
+}
+
+// --- Pooled preparation scratch ------------------------------------------
+
+TEST(PrepareScratch, EncodeChunkIntoReuseIsBitIdentical) {
+  // One Chunk and one lane buffer reused across every axis and a mix of
+  // chunk extents (growing, shrinking, regrowing): each rewrite must equal
+  // a freshly allocated encode_chunk of the same range.
+  const ClassifiedVolume vol = random_volume(19, 23, 11, 0.4, 7);
+  const uint8_t threshold = 12;
+  const size_t total = vol.size();
+  RleVolume::Chunk reused;
+  std::vector<ClassifiedVoxel> lanes;
+  for (int axis = 0; axis < 3; ++axis) {
+    const size_t cuts[] = {0, total / 2, total / 2 + 5, 2 * total / 3, total};
+    for (size_t i = 0; i + 1 < 5; ++i) {
+      const RleVolume::Chunk fresh =
+          RleVolume::encode_chunk(vol, axis, threshold, cuts[i], cuts[i + 1]);
+      RleVolume::encode_chunk_into(vol, axis, threshold, cuts[i], cuts[i + 1],
+                                   &reused, &lanes);
+      EXPECT_EQ(fresh.begin, reused.begin);
+      EXPECT_EQ(fresh.end, reused.end);
+      EXPECT_EQ(fresh.runs, reused.runs);
+      ASSERT_EQ(fresh.voxels.size(), reused.voxels.size());
+      EXPECT_EQ(0, std::memcmp(fresh.voxels.data(), reused.voxels.data(),
+                               fresh.voxels.size() * sizeof(ClassifiedVoxel)));
+      ASSERT_EQ(fresh.fragments.size(), reused.fragments.size());
+      for (size_t f = 0; f < fresh.fragments.size(); ++f) {
+        EXPECT_EQ(fresh.fragments[f].run_count, reused.fragments[f].run_count);
+        EXPECT_EQ(fresh.fragments[f].voxel_count, reused.fragments[f].voxel_count);
+        EXPECT_EQ(fresh.fragments[f].first_opaque, reused.fragments[f].first_opaque);
+      }
+    }
+  }
+}
+
+TEST(PrepareScratch, PooledPrepareIsBitIdenticalAcrossGrowShrinkRegrow) {
+  // One scratch cycled through the pool across volumes of growing,
+  // shrinking and regrowing dims: every pooled build must hash identically
+  // to a scratch-free build of the same volume.
+  PrepareScratchPool pool;
+  const TransferFunction tf = preset_for("mri");
+  const ClassifyOptions copt;
+  PrepareOptions popt;
+  popt.threads = 4;
+  const int dims[][3] = {{24, 24, 24}, {40, 40, 40}, {16, 12, 20}, {40, 40, 40}};
+  for (const auto& d : dims) {
+    const DensityVolume density = make_phantom("mri", d[0], d[1], d[2]);
+    const EncodedVolume fresh = prepare_volume(density, tf, copt, popt);
+    std::unique_ptr<PrepareScratch> scratch = pool.acquire();
+    const EncodedVolume pooled =
+        prepare_volume(density, tf, copt, popt, nullptr, nullptr, scratch.get());
+    pool.release(std::move(scratch));
+    EXPECT_EQ(fresh.content_hash(), pooled.content_hash());
+  }
+  const PoolStats stats = pool.stats();
+  EXPECT_TRUE(stats.conserves());
+  EXPECT_EQ(stats.outstanding, 0u);
+  EXPECT_EQ(stats.misses, 1u);       // first acquire builds the scratch
+  EXPECT_EQ(stats.hits, 3u);         // every later build reuses it warm
+  EXPECT_GT(stats.retained_bytes, 0u);
+}
+
+TEST(PrepareScratch, SerialScratchPathMatchesBuild) {
+  // threads <= 1 routes through the single-chunk scratch encoder; it must
+  // reproduce EncodedVolume::build exactly, including classified_out (which
+  // copies out of the scratch instead of moving its storage away).
+  PrepareScratchPool pool;
+  const TransferFunction tf = preset_for("ct");
+  const ClassifyOptions copt;
+  PrepareOptions popt;
+  popt.threads = 1;
+  for (const int n : {18, 30, 22}) {
+    const DensityVolume density = make_phantom("ct", n, n, n);
+    ClassifiedVolume want_classified;
+    const EncodedVolume fresh =
+        prepare_volume(density, tf, copt, popt, &want_classified);
+    std::unique_ptr<PrepareScratch> scratch = pool.acquire();
+    ClassifiedVolume got_classified;
+    const EncodedVolume pooled = prepare_volume(density, tf, copt, popt,
+                                                &got_classified, nullptr, scratch.get());
+    EXPECT_EQ(fresh.content_hash(), pooled.content_hash());
+    EXPECT_EQ(classified_content_hash(want_classified),
+              classified_content_hash(got_classified));
+    // The scratch still holds its classified storage after the copy-out.
+    EXPECT_EQ(scratch->classified.size(), got_classified.size());
+    pool.release(std::move(scratch));
+  }
+  EXPECT_TRUE(pool.stats().conserves());
+}
+
+TEST(PrepareScratchPool, RetentionBoundsAndTrim) {
+  PrepareScratchPool pool(PrepareScratchPool::Options{/*max_retained=*/1,
+                                                      /*max_retained_bytes=*/1u << 30});
+  std::unique_ptr<PrepareScratch> a = pool.acquire();
+  std::unique_ptr<PrepareScratch> b = pool.acquire();
+  pool.release(std::move(a));
+  pool.release(std::move(b));  // second release exceeds max_retained
+  PoolStats s = pool.stats();
+  EXPECT_TRUE(s.conserves());
+  EXPECT_EQ(s.acquires, 2u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.retained, 1u);
+  EXPECT_EQ(s.discards, 1u);
+  EXPECT_EQ(s.outstanding, 0u);
+  pool.trim();
+  s = pool.stats();
+  EXPECT_TRUE(s.conserves());
+  EXPECT_EQ(s.retained, 0u);
+  EXPECT_EQ(s.retained_bytes, 0u);
 }
 
 }  // namespace

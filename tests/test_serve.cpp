@@ -356,6 +356,60 @@ TEST(Serve, FramePoolRecyclesStorageAndCountersConserve) {
   EXPECT_NE(json.find("\"hit_rate\""), std::string::npos);
 }
 
+TEST(Serve, PreparePoolConservesUnderConcurrentMissLoad) {
+  // Four submitter threads, each with its own session and a distinct volume
+  // size: every first-touch is a cache miss, so the prepare-scratch pool
+  // cycles acquire/release while renders from other sessions overlap. Run
+  // under TSan in CI, this covers the pooled build buffers under real
+  // concurrent serve load.
+  ServiceOptions opt;
+  opt.worker_threads = 4;
+  opt.queue_capacity = 64;
+  RenderService service(opt);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int f = 0; f < kPerThread; ++f) {
+        RenderRequest req;
+        req.session_id = 100 + static_cast<uint64_t>(t);
+        req.volume = small_key(20 + 4 * t);
+        req.camera = orbit_frame(req.volume, f);
+        Ticket ticket = service.submit(req);
+        ASSERT_TRUE(ticket.accepted());
+        FrameResult r = ticket.result.get();
+        if (r.status == ServeStatus::kOk) {
+          ok.fetch_add(1);
+          service.recycle_frame(std::move(r.image));
+        }
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  service.drain();
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+
+  // One scratch acquisition per cache miss (one per distinct volume, built
+  // on the scheduler thread), every one returned; after the first miss the
+  // pool serves every later build from its retained scratch.
+  const PoolStats prep = service.prepare_pool_stats();
+  EXPECT_TRUE(prep.conserves());
+  EXPECT_EQ(prep.acquires, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(prep.releases, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(prep.outstanding, 0u);
+  EXPECT_EQ(prep.misses, 1u);
+  EXPECT_EQ(prep.hits, static_cast<uint64_t>(kThreads) - 1);
+  EXPECT_GT(prep.retained_bytes, 0u);
+
+  // The prepare pool is part of the telemetry document, same shape as the
+  // frame pool.
+  const std::string json = service.metrics_json();
+  EXPECT_NE(json.find("\"prepare_pool\""), std::string::npos);
+}
+
 TEST(Serve, SameSessionFramesBatchAndReuseProfile) {
   ServiceOptions opt;
   opt.worker_threads = 2;

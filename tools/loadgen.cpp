@@ -260,6 +260,7 @@ int main(int argc, char** argv) {
   const ServiceMetrics& m = service.metrics();
   const CacheStats cache = service.cache_stats();
   const PoolStats fpool = service.frame_pool_stats();
+  const PoolStats ppool = service.prepare_pool_stats();
   const double fps = wall_ms > 0 ? 1e3 * static_cast<double>(outcome.ok) / wall_ms : 0.0;
 
   std::printf("\n%llu frames served in %.0f ms -> %.2f frames/sec aggregate\n",
@@ -339,7 +340,7 @@ int main(int argc, char** argv) {
     outcome.warm.write_json(w);
     w.end_object();
     w.key("service");
-    m.write_json(w, cache, fpool);
+    m.write_json(w, cache, fpool, ppool);
     w.end_object();
     std::string body = w.str();
     body += '\n';
